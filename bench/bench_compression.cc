@@ -1,0 +1,86 @@
+// T3 — compression effectiveness: ratio of total to distinct predicates and
+// index memory, across cluster sizes and grouping strategies, plus the
+// sparse-mask threshold ablation. This is the structural half of PCM's win.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/base/string_util.h"
+#include "src/base/timer.h"
+#include "src/core/cluster_builder.h"
+#include "src/core/pcm.h"
+
+namespace apcm::bench {
+namespace {
+
+void Run() {
+  workload::WorkloadSpec spec = DefaultSpec();
+  spec.num_subscriptions = FullScale() ? 1'000'000 : 200'000;
+  spec.num_events = 0;
+  PrintBanner("T3", "compression ratio and memory footprint", spec);
+  const auto subscriptions = workload::GenerateSubscriptions(spec).value();
+
+  uint64_t total_predicates = 0;
+  for (const auto& sub : subscriptions) total_predicates += sub.size();
+  std::printf("subscriptions=%s, total predicates=%s\n",
+              FormatWithCommas(subscriptions.size()).c_str(),
+              FormatWithCommas(total_predicates).c_str());
+
+  TablePrinter table({"strategy", "cluster size", "sparse<=", "distinct preds",
+                      "ratio", "memory", "build(s)"});
+  using core::ClusterStrategy;
+  struct Config {
+    ClusterStrategy strategy;
+    uint32_t cluster_size;
+    uint32_t sparse_threshold;
+  };
+  const Config configs[] = {
+      {ClusterStrategy::kPivot, 64, 4},
+      {ClusterStrategy::kPivot, 256, 4},
+      {ClusterStrategy::kPivot, 1024, 4},
+      {ClusterStrategy::kPivot, 4096, 4},
+      {ClusterStrategy::kSignature, 1024, 4},
+      {ClusterStrategy::kInsertionOrder, 1024, 4},
+      {ClusterStrategy::kPivot, 1024, 0},     // dense masks only
+      {ClusterStrategy::kPivot, 1024, 1024},  // sparse lists only
+  };
+  for (const Config& config : configs) {
+    core::ClusterBuilderOptions options;
+    options.strategy = config.strategy;
+    options.cluster_size = config.cluster_size;
+    options.cluster_options.sparse_threshold = config.sparse_threshold;
+    WallTimer timer;
+    const auto clusters = core::BuildClusters(subscriptions, options);
+    const double build_seconds = timer.ElapsedSeconds();
+    uint64_t distinct = 0;
+    uint64_t memory = 0;
+    for (const auto& cluster : clusters) {
+      distinct += cluster.distinct_predicates();
+      memory += cluster.MemoryBytes();
+    }
+    table.AddRow({core::ClusterStrategyName(config.strategy),
+                  std::to_string(config.cluster_size),
+                  std::to_string(config.sparse_threshold),
+                  FormatWithCommas(distinct),
+                  Fixed(static_cast<double>(total_predicates) /
+                            static_cast<double>(distinct),
+                        2) +
+                      "x",
+                  FormatBytes(memory), Fixed(build_seconds, 2)});
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\npaper shape: larger clusters and similarity grouping raise the "
+      "compression ratio; signature grouping beats arbitrary grouping; the "
+      "sparse-mask threshold trades bitmap memory for slot lists without "
+      "changing the ratio.\n");
+}
+
+}  // namespace
+}  // namespace apcm::bench
+
+int main() {
+  apcm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// F9 — sensitivity to dimensionality (size of the attribute universe).
+// Low dimensionality concentrates predicates on few attributes (heavy
+// sharing, many candidates per event attribute); high dimensionality spreads
+// them out (sparser index entries, better pruning, less sharing).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/base/string_util.h"
+
+namespace apcm::bench {
+namespace {
+
+void Run() {
+  workload::WorkloadSpec base = DefaultSpec();
+  base.num_subscriptions = FullScale() ? 500'000 : 50'000;
+  base.num_events = 1'000;
+  PrintBanner("F9", "throughput vs dimensionality", base);
+
+  TablePrinter table({"attributes", "matcher", "events/s", "matches/ev"});
+  for (uint32_t dims : {100u, 400u, 1000u, 3000u}) {
+    workload::WorkloadSpec spec = base;
+    spec.num_attributes = dims;
+    const workload::Workload workload = workload::Generate(spec).value();
+    std::printf("dims=%u...\n", dims);
+    for (const Contender& contender : DefaultContenders()) {
+      auto matcher = MakeContender(contender, spec);
+      const ThroughputResult result =
+          MeasureThroughput(*matcher, workload, 256);
+      table.AddRow({std::to_string(dims), contender.label,
+                    Rate(result.events_per_second),
+                    Fixed(result.matches_per_event, 2)});
+    }
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\npaper shape: inverted baselines improve with dimensionality "
+      "(fewer candidates per event attribute); compressed matching benefits "
+      "too as absence masks kill whole clusters, and keeps the lead "
+      "throughout.\n");
+}
+
+}  // namespace
+}  // namespace apcm::bench
+
+int main() {
+  apcm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,165 @@
+// M — microbenchmarks (google-benchmark) for the hot kernels: bitmap
+// word operations, predicate evaluation, compressed-cluster matching, and
+// cluster construction. These are the unit costs behind the macro numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/bitmap/bitmap.h"
+#include "src/core/cluster.h"
+#include "src/core/cluster_builder.h"
+#include "src/workload/generator.h"
+
+namespace apcm {
+namespace {
+
+void BM_AndNotWords(benchmark::State& state) {
+  const auto words = static_cast<uint64_t>(state.range(0));
+  std::vector<uint64_t> dst(words, ~0ULL);
+  std::vector<uint64_t> src(words, 0x5555555555555555ULL);
+  for (auto _ : state) {
+    AndNotWords(dst.data(), src.data(), words);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(words) * 8);
+}
+BENCHMARK(BM_AndNotWords)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_PopCountWords(benchmark::State& state) {
+  const auto words = static_cast<uint64_t>(state.range(0));
+  std::vector<uint64_t> data(words, 0xDEADBEEFDEADBEEFULL);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PopCountWords(data.data(), words));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(words) * 8);
+}
+BENCHMARK(BM_PopCountWords)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_ForEachSetBit(benchmark::State& state) {
+  const uint64_t words = 256;
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  Rng rng(1);
+  std::vector<uint64_t> data(words, 0);
+  for (uint64_t i = 0; i < words * 64; ++i) {
+    if (rng.Bernoulli(density)) data[i / 64] |= 1ULL << (i % 64);
+  }
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    ForEachSetBit(data.data(), words, [&](uint64_t bit) { sum += bit; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_ForEachSetBit)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_PredicateEval(benchmark::State& state) {
+  const Predicate between(0, 100, 5'000);
+  const Predicate in_set(0, std::vector<Value>{3, 17, 99, 256, 1024});
+  Rng rng(2);
+  std::vector<Value> values;
+  for (int i = 0; i < 1024; ++i) values.push_back(rng.UniformInt(0, 10'000));
+  const Predicate& pred = state.range(0) == 0 ? between : in_set;
+  size_t cursor = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pred.Eval(values[cursor]));
+    cursor = (cursor + 1) % values.size();
+  }
+}
+BENCHMARK(BM_PredicateEval)->Arg(0)->Arg(1);
+
+const workload::Workload& MicroWorkload() {
+  static const workload::Workload* workload = [] {
+    workload::WorkloadSpec spec;
+    spec.seed = 77;
+    spec.num_subscriptions = 4'096;
+    spec.num_events = 512;
+    spec.num_attributes = 200;
+    spec.domain_max = 10'000;
+    spec.min_predicates = 5;
+    spec.max_predicates = 15;
+    spec.min_event_attrs = 15;
+    spec.max_event_attrs = 35;
+    return new workload::Workload(workload::Generate(spec).value());
+  }();
+  return *workload;
+}
+
+void BM_ClusterMatchCompressed(benchmark::State& state) {
+  const auto& workload = MicroWorkload();
+  core::ClusterBuilderOptions options;
+  options.cluster_size = static_cast<uint32_t>(state.range(0));
+  const auto clusters =
+      core::BuildClusters(workload.subscriptions, options);
+  std::vector<uint64_t> result(clusters.front().words());
+  MatcherStats stats;
+  size_t cursor = 0;
+  for (auto _ : state) {
+    for (const auto& cluster : clusters) {
+      result.resize(cluster.words());
+      benchmark::DoNotOptimize(cluster.MatchCompressed(
+          workload.events[cursor], result.data(), &stats));
+    }
+    cursor = (cursor + 1) % workload.events.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(workload.subscriptions.size()));
+}
+BENCHMARK(BM_ClusterMatchCompressed)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_ClusterMatchLazy(benchmark::State& state) {
+  const auto& workload = MicroWorkload();
+  core::ClusterBuilderOptions options;
+  options.cluster_size = 4'096;
+  const auto clusters =
+      core::BuildClusters(workload.subscriptions, options);
+  std::vector<uint64_t> result(clusters.front().words());
+  MatcherStats stats;
+  size_t cursor = 0;
+  for (auto _ : state) {
+    for (const auto& cluster : clusters) {
+      benchmark::DoNotOptimize(
+          cluster.MatchLazy(workload.events[cursor], result.data(), &stats));
+    }
+    cursor = (cursor + 1) % workload.events.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(workload.subscriptions.size()));
+}
+BENCHMARK(BM_ClusterMatchLazy);
+
+void BM_ClusterBuild(benchmark::State& state) {
+  const auto& workload = MicroWorkload();
+  core::ClusterBuilderOptions options;
+  options.cluster_size = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::BuildClusters(workload.subscriptions, options));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(workload.subscriptions.size()));
+}
+BENCHMARK(BM_ClusterBuild)->Arg(256)->Arg(4096);
+
+void BM_ExpressionMatch(benchmark::State& state) {
+  const auto& workload = MicroWorkload();
+  size_t sub_cursor = 0;
+  size_t event_cursor = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload.subscriptions[sub_cursor].Matches(
+        workload.events[event_cursor]));
+    sub_cursor = (sub_cursor + 1) % workload.subscriptions.size();
+    if (sub_cursor == 0) {
+      event_cursor = (event_cursor + 1) % workload.events.size();
+    }
+  }
+}
+BENCHMARK(BM_ExpressionMatch);
+
+}  // namespace
+}  // namespace apcm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// F11 — Online Stream Re-ordering. A bursty stream is shuffled (destroying
+// locality), then re-ordered with increasing OSR windows. The measurement
+// isolates OSR's two payoffs in PCM: absence-phase sharing between
+// equal-signature neighbors and cluster-cache locality. Baseline rows show
+// the unshuffled (ideal) and shuffled/no-OSR (worst) endpoints.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/base/string_util.h"
+#include "src/base/timer.h"
+#include "src/core/osr.h"
+#include "src/core/pcm.h"
+
+namespace apcm::bench {
+namespace {
+
+double MeasureOrdered(core::PcmMatcher& pcm, const std::vector<Event>& events,
+                      uint32_t batch_size) {
+  std::vector<std::vector<SubscriptionId>> results;
+  const double budget = TimeBudgetSeconds();
+  uint64_t processed = 0;
+  WallTimer timer;
+  do {
+    for (size_t pos = 0; pos < events.size(); pos += batch_size) {
+      const size_t end = std::min(events.size(), pos + batch_size);
+      std::vector<Event> batch(events.begin() + static_cast<long>(pos),
+                               events.begin() + static_cast<long>(end));
+      pcm.MatchBatch(batch, &results);
+      processed += batch.size();
+    }
+  } while (timer.ElapsedSeconds() < budget);
+  return static_cast<double>(processed) / timer.ElapsedSeconds();
+}
+
+void Run() {
+  workload::WorkloadSpec spec = DefaultSpec();
+  spec.num_subscriptions = FullScale() ? 500'000 : 100'000;
+  spec.num_events = 8'192;
+  spec.event_locality = 0.9;  // bursty source stream
+  PrintBanner("F11", "OSR: window size vs throughput on a shuffled bursty stream",
+              spec);
+  const workload::Workload workload = workload::Generate(spec).value();
+
+  core::PcmOptions options;
+  options.mode = core::PcmMode::kCompressed;
+  options.share_absence_phase = true;
+  core::PcmMatcher pcm(options);
+  pcm.Build(workload.subscriptions);
+
+  std::vector<Event> shuffled = workload.events;
+  workload::ShuffleEvents(&shuffled, 404);
+
+  TablePrinter table({"stream", "OSR window", "events/s", "vs no-OSR"});
+  const uint32_t batch = 256;
+
+  const double no_osr = MeasureOrdered(pcm, shuffled, batch);
+  table.AddRow({"shuffled", "0 (off)", Rate(no_osr), "1.00x"});
+  std::printf("no-OSR done\n");
+
+  for (uint32_t window : {256u, 1024u, 4096u, 8192u}) {
+    core::OsrOptions osr;
+    osr.window_size = window;
+    const std::vector<Event> reordered =
+        core::ApplyOrder(shuffled, core::ReorderStream(shuffled, osr));
+    const double rate = MeasureOrdered(pcm, reordered, batch);
+    table.AddRow({"shuffled", std::to_string(window), Rate(rate),
+                  Fixed(rate / no_osr, 2) + "x"});
+    std::printf("window=%u done\n", window);
+  }
+
+  const double ideal = MeasureOrdered(pcm, workload.events, batch);
+  table.AddRow({"original (bursty)", "-", Rate(ideal),
+                Fixed(ideal / no_osr, 2) + "x"});
+
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\npaper shape: throughput rises with the OSR window and approaches "
+      "the unshuffled stream's rate; the residual gap is re-ordering scope "
+      "lost at window boundaries.\n");
+}
+
+}  // namespace
+}  // namespace apcm::bench
+
+int main() {
+  apcm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// F5 — throughput as the subscription count grows. The paper's central
+// scaling figure: index-based baselines degrade with the workload size while
+// compressed matching holds orders of magnitude higher rates.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/base/string_util.h"
+
+namespace apcm::bench {
+namespace {
+
+void Run() {
+  const std::vector<uint32_t> sizes =
+      FullScale()
+          ? std::vector<uint32_t>{100'000, 500'000, 1'000'000, 2'000'000,
+                                  5'000'000}
+          : std::vector<uint32_t>{10'000, 50'000, 100'000, 200'000};
+
+  workload::WorkloadSpec base = DefaultSpec();
+  base.num_events = FullScale() ? 5'000 : 1'000;
+  PrintBanner("F5", "throughput vs number of subscriptions", base);
+
+  TablePrinter table({"subscriptions", "matcher", "build(s)", "events/s",
+                      "matches/ev"});
+  for (uint32_t size : sizes) {
+    workload::WorkloadSpec spec = base;
+    spec.num_subscriptions = size;
+    std::printf("generating %s subscriptions...\n",
+                FormatWithCommas(size).c_str());
+    const workload::Workload workload = workload::Generate(spec).value();
+    for (const Contender& contender : DefaultContenders()) {
+      auto matcher = MakeContender(contender, spec);
+      const ThroughputResult result =
+          MeasureThroughput(*matcher, workload, 256);
+      table.AddRow({FormatWithCommas(size), contender.label,
+                    Fixed(result.build_seconds, 2),
+                    Rate(result.events_per_second),
+                    Fixed(result.matches_per_event, 2)});
+    }
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\npaper shape: scan/counting degrade ~linearly in the subscription "
+      "count; pcm/a-pcm stay 2-4 orders of magnitude above scan at every "
+      "size, with the gap widening as subscriptions grow.\n");
+}
+
+}  // namespace
+}  // namespace apcm::bench
+
+int main() {
+  apcm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,92 @@
+#ifndef APCM_BENCH_BENCH_UTIL_H_
+#define APCM_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/engine/matcher_factory.h"
+#include "src/index/matcher.h"
+#include "src/workload/generator.h"
+
+namespace apcm::bench {
+
+/// True when APCM_BENCH_FULL=1: run paper-scale workloads (minutes to hours)
+/// instead of the scaled-down defaults (seconds). EXPERIMENTS.md records
+/// results for both.
+bool FullScale();
+
+/// Per-matcher wall-clock budget in seconds (APCM_BENCH_SECONDS, default 2.0
+/// scaled / 10.0 full). Slow matchers process as many events as fit in the
+/// budget; throughput is still well-defined.
+double TimeBudgetSeconds();
+
+/// The evaluation's default workload (BEGen-style defaults reconstructed
+/// from the BE-Tree lineage): 400 dimensions, domain [0, 10000], 5-15
+/// predicates, Zipf(1) attribute popularity, 50% seeded events.
+workload::WorkloadSpec DefaultSpec();
+
+/// Result of one throughput measurement.
+struct ThroughputResult {
+  double events_per_second = 0;
+  double matches_per_event = 0;
+  uint64_t events_processed = 0;
+  double seconds = 0;
+  double build_seconds = 0;
+  uint64_t memory_bytes = 0;
+  MatcherStats stats;  ///< matcher counter deltas for the measured window
+};
+
+/// Builds `matcher` over the workload's subscriptions, then streams the
+/// workload's events through MatchBatch in batches of `batch_size`, cycling
+/// the event list until the time budget expires (at least one full batch).
+ThroughputResult MeasureThroughput(Matcher& matcher,
+                                   const workload::Workload& workload,
+                                   uint32_t batch_size);
+
+/// Like MeasureThroughput but the matcher is already built (for sweeps that
+/// reuse one index).
+ThroughputResult MeasureThroughputPrebuilt(Matcher& matcher,
+                                           const workload::Workload& workload,
+                                           uint32_t batch_size);
+
+/// Fixed-width table printer for paper-style output.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Prints header, separator, and all rows to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12,345" / "1.23M" style formatting helpers for table cells.
+std::string Rate(double events_per_second);
+std::string Fixed(double value, int decimals);
+
+/// Prints the experiment banner: id, title, and the workload description.
+void PrintBanner(const std::string& experiment_id, const std::string& title,
+                 const workload::WorkloadSpec& spec);
+
+/// The standard matcher lineup of the comparison benchmarks.
+struct Contender {
+  engine::MatcherKind kind;
+  std::string label;
+  int threads = 1;  ///< PCM kinds only
+};
+
+/// Baselines + contributions at 1 thread (the honest lineup for this
+/// single-CPU host; N-core numbers come from bench_threads' work model).
+std::vector<Contender> DefaultContenders();
+
+/// Instantiates a contender for the given workload spec.
+std::unique_ptr<Matcher> MakeContender(const Contender& contender,
+                                       const workload::WorkloadSpec& spec);
+
+}  // namespace apcm::bench
+
+#endif  // APCM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,63 @@
+// F14 — sensitivity to workload skew: uniform vs Zipf attribute popularity
+// (and value skew). Skewed attributes concentrate predicates, which boosts
+// compression (more sharing) but also concentrates candidates in the
+// inverted baselines.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/base/string_util.h"
+#include "src/core/pcm.h"
+
+namespace apcm::bench {
+namespace {
+
+void Run() {
+  workload::WorkloadSpec base = DefaultSpec();
+  base.num_subscriptions = FullScale() ? 500'000 : 50'000;
+  base.num_events = 1'000;
+  PrintBanner("F14", "distribution sensitivity: attribute/value skew", base);
+
+  struct Skew {
+    double attr;
+    double value;
+  };
+  TablePrinter table({"attr zipf", "value zipf", "matcher", "events/s",
+                      "compression"});
+  for (const Skew skew :
+       {Skew{0.0, 0.0}, Skew{0.5, 0.0}, Skew{1.0, 0.0}, Skew{1.5, 0.0},
+        Skew{1.0, 1.0}}) {
+    workload::WorkloadSpec spec = base;
+    spec.attribute_zipf = skew.attr;
+    spec.value_zipf = skew.value;
+    const workload::Workload workload = workload::Generate(spec).value();
+    std::printf("attr_zipf=%.1f value_zipf=%.1f...\n", skew.attr, skew.value);
+    for (const Contender& contender : DefaultContenders()) {
+      auto matcher = MakeContender(contender, spec);
+      const ThroughputResult result =
+          MeasureThroughput(*matcher, workload, 256);
+      std::string compression = "-";
+      if (auto* pcm = dynamic_cast<core::PcmMatcher*>(matcher.get())) {
+        compression = Fixed(pcm->CompressionRatio(), 2) + "x";
+      }
+      table.AddRow({Fixed(skew.attr, 1), Fixed(skew.value, 1),
+                    contender.label, Rate(result.events_per_second),
+                    compression});
+    }
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\npaper shape: compression ratio grows with skew (popular attributes "
+      "and values repeat across subscriptions); the compressed family gains "
+      "with skew while candidate-based baselines lose ground on hot "
+      "attributes.\n");
+}
+
+}  // namespace
+}  // namespace apcm::bench
+
+int main() {
+  apcm::bench::Run();
+  return 0;
+}

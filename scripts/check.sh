@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, run every test, smoke every example,
+# and run each benchmark briefly. This is what CI would run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+./build/examples/quickstart > /dev/null
+./build/examples/ads_targeting 20000 > /dev/null
+./build/examples/intrusion_detection > /dev/null
+./build/examples/algo_trading > /dev/null
+./build/examples/workload_tool generate /tmp/apcm_check.bin --subs 5000
+./build/examples/workload_tool match /tmp/apcm_check.bin a-pcm > /dev/null
+./build/examples/workload_tool index /tmp/apcm_check.bin /tmp/apcm_check.idx
+./build/examples/workload_tool match-indexed /tmp/apcm_check.bin /tmp/apcm_check.idx > /dev/null
+rm -f /tmp/apcm_check.bin /tmp/apcm_check.idx
+
+APCM_BENCH_SECONDS=0.2 bash -c 'for b in build/bench/bench_*; do "$b" > /dev/null; done'
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,31 @@
+#ifndef APCM_BASE_BIT_OPS_H_
+#define APCM_BASE_BIT_OPS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace apcm {
+
+/// Number of set bits in `word`.
+inline int PopCount(uint64_t word) { return std::popcount(word); }
+
+/// Index (0-based from LSB) of the lowest set bit. Requires word != 0.
+inline int CountTrailingZeros(uint64_t word) { return std::countr_zero(word); }
+
+/// Rounds `n` up to the next multiple of `multiple` (a power of two).
+inline uint64_t RoundUpPow2(uint64_t n, uint64_t multiple) {
+  return (n + multiple - 1) & ~(multiple - 1);
+}
+
+/// Ceil(n / d) for positive integers.
+inline uint64_t CeilDiv(uint64_t n, uint64_t d) { return (n + d - 1) / d; }
+
+/// Smallest power of two >= n (n >= 1).
+inline uint64_t NextPow2(uint64_t n) { return std::bit_ceil(n); }
+
+/// floor(log2(n)) for n >= 1.
+inline int FloorLog2(uint64_t n) { return 63 - std::countl_zero(n); }
+
+}  // namespace apcm
+
+#endif  // APCM_BASE_BIT_OPS_H_

@@ -1,0 +1,99 @@
+#include "src/base/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/base/bit_ops.h"
+#include "src/base/macros.h"
+
+namespace apcm {
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+int Histogram::BucketFor(int64_t value) {
+  if (value < 0) value = 0;
+  const uint64_t v = static_cast<uint64_t>(value);
+  // Values below 2^kSubBucketBits are exact; above, the top
+  // kSubBucketBits+1 bits select (octave, sub-bucket).
+  if (v < kSubBuckets) return static_cast<int>(v);
+  const int msb = FloorLog2(v);
+  const int octave = msb - kSubBucketBits + 1;  // >= 1
+  const int sub =
+      static_cast<int>((v >> (msb - kSubBucketBits)) - kSubBuckets);
+  return std::min(octave * kSubBuckets + sub, kBuckets - 1);
+}
+
+int64_t Histogram::BucketUpperBound(int index) {
+  if (index < kSubBuckets) return index;
+  const int octave = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  const int shift = octave - 1;
+  const uint64_t base = static_cast<uint64_t>(kSubBuckets + sub) << shift;
+  return static_cast<int64_t>(base + (1ULL << shift) - 1);
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[static_cast<size_t>(BucketFor(value))]++;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_++;
+  sum_ += static_cast<double>(value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+int64_t Histogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target =
+      std::max<uint64_t>(1, static_cast<uint64_t>(q * static_cast<double>(count_) + 0.5));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::min<int64_t>(BucketUpperBound(i), max_);
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f p50=%lld p90=%lld p99=%lld max=%lld",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<long long>(ValueAtQuantile(0.50)),
+                static_cast<long long>(ValueAtQuantile(0.90)),
+                static_cast<long long>(ValueAtQuantile(0.99)),
+                static_cast<long long>(max_));
+  return buf;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0;
+}
+
+}  // namespace apcm

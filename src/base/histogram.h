@@ -1,0 +1,58 @@
+#ifndef APCM_BASE_HISTOGRAM_H_
+#define APCM_BASE_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apcm {
+
+/// Fixed-memory latency histogram with exponential buckets (HdrHistogram-
+/// style, base 2 with 16 linear sub-buckets per octave, ~6% relative error).
+/// Records values in arbitrary integer units (we use nanoseconds).
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one sample. Negative samples are clamped to zero.
+  void Record(int64_t value);
+
+  /// Merges another histogram's samples into this one.
+  void Merge(const Histogram& other);
+
+  /// Number of recorded samples.
+  uint64_t count() const { return count_; }
+  /// Smallest / largest recorded sample (0 if empty).
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return max_; }
+  /// Mean of recorded samples (0 if empty).
+  double Mean() const;
+
+  /// Value at quantile q in [0, 1] (e.g. 0.99 for p99); returns an upper
+  /// bound of the containing bucket. 0 if empty.
+  int64_t ValueAtQuantile(double q) const;
+
+  /// Human-readable one-line summary: count/mean/p50/p90/p99/max.
+  std::string Summary() const;
+
+  /// Clears all samples.
+  void Reset();
+
+ private:
+  static constexpr int kSubBucketBits = 4;  // 16 sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kBuckets = (64 - kSubBucketBits) * kSubBuckets;
+
+  static int BucketFor(int64_t value);
+  static int64_t BucketUpperBound(int index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0;
+};
+
+}  // namespace apcm
+
+#endif  // APCM_BASE_HISTOGRAM_H_

@@ -1,0 +1,37 @@
+#ifndef APCM_BASE_LOGGING_H_
+#define APCM_BASE_LOGGING_H_
+
+#include <string>
+
+namespace apcm {
+
+/// Severity of a log line.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is printed (default kInfo).
+void SetLogLevel(LogLevel level);
+
+/// Current minimum severity.
+LogLevel GetLogLevel();
+
+/// Writes one line to stderr as "[LEVEL] message" if `level` is at or above
+/// the configured minimum. Thread-safe (single write call per line).
+void Log(LogLevel level, const std::string& message);
+
+/// Convenience wrappers.
+inline void LogDebug(const std::string& message) {
+  Log(LogLevel::kDebug, message);
+}
+inline void LogInfo(const std::string& message) {
+  Log(LogLevel::kInfo, message);
+}
+inline void LogWarning(const std::string& message) {
+  Log(LogLevel::kWarning, message);
+}
+inline void LogError(const std::string& message) {
+  Log(LogLevel::kError, message);
+}
+
+}  // namespace apcm
+
+#endif  // APCM_BASE_LOGGING_H_

@@ -1,0 +1,46 @@
+#ifndef APCM_BASE_MACROS_H_
+#define APCM_BASE_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Project-wide helper macros: invariant checks and branch hints.
+///
+/// The library is exception-free; programming errors (broken invariants,
+/// out-of-contract arguments) abort via APCM_CHECK, while recoverable errors
+/// are reported through apcm::Status.
+
+/// Aborts the process with a message when `condition` is false. Enabled in
+/// all build types: these guard invariants whose violation would otherwise
+/// corrupt matching results silently.
+#define APCM_CHECK(condition)                                              \
+  do {                                                                     \
+    if (__builtin_expect(!(condition), 0)) {                               \
+      std::fprintf(stderr, "APCM_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #condition);                                  \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Like APCM_CHECK but compiled out of release builds; use on hot paths.
+#ifndef NDEBUG
+#define APCM_DCHECK(condition) APCM_CHECK(condition)
+#else
+#define APCM_DCHECK(condition) \
+  do {                         \
+  } while (0)
+#endif
+
+/// Branch-prediction hints for hot loops.
+#define APCM_LIKELY(x) __builtin_expect(!!(x), 1)
+#define APCM_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+namespace apcm {
+
+/// Cache line size assumed for alignment of per-thread state.
+inline constexpr int kCacheLineSize = 64;
+
+}  // namespace apcm
+
+#endif  // APCM_BASE_MACROS_H_

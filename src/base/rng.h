@@ -1,0 +1,83 @@
+#ifndef APCM_BASE_RNG_H_
+#define APCM_BASE_RNG_H_
+
+#include <cstdint>
+
+#include "src/base/macros.h"
+
+namespace apcm {
+
+/// Deterministic pseudo-random generator (xoshiro256** seeded via
+/// splitmix64). Used everywhere randomness is needed so that workloads,
+/// tests, and benchmarks are reproducible from a single seed. Satisfies the
+/// UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the generator deterministically from `seed`.
+  explicit Rng(uint64_t seed = 0) {
+    // splitmix64 expansion of the seed into the xoshiro state; guarantees a
+    // non-zero state for any seed.
+    uint64_t x = seed + 0x9E3779B97F4A7C15ULL;
+    for (auto& s : state_) {
+      uint64_t z = (x += 0x9E3779B97F4A7C15ULL);
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ULL; }
+
+  /// Next 64 uniformly random bits.
+  uint64_t operator()() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Uses Lemire's
+  /// multiply-shift reduction (slightly biased for astronomically large
+  /// bounds, irrelevant for workload generation).
+  uint64_t Uniform(uint64_t bound) {
+    APCM_DCHECK(bound > 0);
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(operator()()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    APCM_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Derives an independent child generator; useful for giving each thread
+  /// or each generated entity its own deterministic stream.
+  Rng Fork() { return Rng(operator()()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace apcm
+
+#endif  // APCM_BASE_RNG_H_

@@ -1,0 +1,160 @@
+#ifndef APCM_BASE_STATUS_H_
+#define APCM_BASE_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "src/base/macros.h"
+
+namespace apcm {
+
+/// Machine-readable category of an error carried by Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kIOError,
+};
+
+/// Returns the canonical lower-case name of a status code ("ok",
+/// "invalid_argument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation, in the style of arrow::Status /
+/// rocksdb::Status. Library code never throws; every operation that can fail
+/// for reasons other than programmer error returns Status or StatusOr<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with `code` and a human-readable `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per non-OK code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define APCM_RETURN_NOT_OK(expr)          \
+  do {                                    \
+    ::apcm::Status _st = (expr);          \
+    if (APCM_UNLIKELY(!_st.ok())) {       \
+      return _st;                         \
+    }                                     \
+  } while (0)
+
+/// Either a value of type T or a non-OK Status explaining why the value could
+/// not be produced.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (the common, successful path).
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status.
+  StatusOr(Status status)  // NOLINT(runtime/explicit)
+      : rep_(std::move(status)) {
+    APCM_CHECK(!std::get<Status>(rep_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The error status; OK if a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+  /// The held value. Requires ok().
+  const T& value() const& {
+    APCM_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    APCM_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    APCM_CHECK(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+/// Evaluates `rexpr` (a StatusOr<T> expression); on success assigns the value
+/// to `lhs`, otherwise returns the error status from the enclosing function.
+#define APCM_ASSIGN_OR_RETURN(lhs, rexpr)        \
+  APCM_ASSIGN_OR_RETURN_IMPL_(                   \
+      APCM_STATUS_MACROS_CONCAT_(_sor, __LINE__), lhs, rexpr)
+
+#define APCM_STATUS_MACROS_CONCAT_INNER_(x, y) x##y
+#define APCM_STATUS_MACROS_CONCAT_(x, y) APCM_STATUS_MACROS_CONCAT_INNER_(x, y)
+#define APCM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (APCM_UNLIKELY(!tmp.ok())) {                    \
+    return tmp.status();                             \
+  }                                                  \
+  lhs = std::move(tmp).value()
+
+}  // namespace apcm
+
+#endif  // APCM_BASE_STATUS_H_

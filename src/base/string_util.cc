@@ -1,0 +1,124 @@
+#include "src/base/string_util.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace apcm {
+
+std::string_view TrimWhitespace(std::string_view text) {
+  size_t begin = 0;
+  while (begin < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  size_t end = text.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string_view> SplitAndTrim(std::string_view text, char sep) {
+  std::vector<std::string_view> pieces;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) pos = text.size();
+    std::string_view piece = TrimWhitespace(text.substr(start, pos - start));
+    if (!piece.empty()) pieces.push_back(piece);
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string result;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) result += sep;
+    result += pieces[i];
+  }
+  return result;
+}
+
+StatusOr<int64_t> ParseInt64(std::string_view text) {
+  text = TrimWhitespace(text);
+  if (text.empty()) {
+    return Status::InvalidArgument("empty integer literal");
+  }
+  // Copy into a NUL-terminated buffer for strtoll; literals are short.
+  char buf[32];
+  if (text.size() >= sizeof(buf)) {
+    return Status::InvalidArgument("integer literal too long: " +
+                                   std::string(text));
+  }
+  text.copy(buf, text.size());
+  buf[text.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(buf, &end, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer literal out of range: " +
+                              std::string(text));
+  }
+  if (end != buf + text.size()) {
+    return Status::InvalidArgument("malformed integer literal: " +
+                                   std::string(text));
+  }
+  return static_cast<int64_t>(value);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string FormatWithCommas(uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string result;
+  result.reserve(digits.size() + digits.size() / 3);
+  const size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group) {
+      result += ',';
+    }
+    result += digits[i];
+  }
+  return result;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string StringPrintf(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  std::string result(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(result.data(), result.size() + 1, format, args_copy);
+  va_end(args_copy);
+  return result;
+}
+
+}  // namespace apcm

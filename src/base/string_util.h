@@ -1,0 +1,42 @@
+#ifndef APCM_BASE_STRING_UTIL_H_
+#define APCM_BASE_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace apcm {
+
+/// Splits `text` on `sep`, trimming ASCII whitespace from each piece;
+/// empty pieces are dropped.
+std::vector<std::string_view> SplitAndTrim(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view text);
+
+/// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Parses a base-10 signed integer; rejects trailing garbage.
+StatusOr<int64_t> ParseInt64(std::string_view text);
+
+/// Case-sensitive prefix test.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Formats a count with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string FormatWithCommas(uint64_t n);
+
+/// Formats bytes as a human-readable size, e.g. "3.2 MiB".
+std::string FormatBytes(uint64_t bytes);
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace apcm
+
+#endif  // APCM_BASE_STRING_UTIL_H_

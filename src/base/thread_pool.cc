@@ -1,0 +1,108 @@
+#include "src/base/thread_pool.h"
+
+#include <atomic>
+
+#include "src/base/macros.h"
+
+namespace apcm {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  APCM_CHECK(num_threads >= 1);
+  workers_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_available_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutdown with drained queue
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (tasks_.empty() && in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    APCM_CHECK(!shutdown_);
+    tasks_.push_back(std::move(fn));
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  // With no spawned workers the caller must drain the queue itself.
+  if (num_threads_ == 1) {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      task();
+    }
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(
+    uint64_t n, const std::function<void(uint64_t, uint64_t, int)>& fn) {
+  if (n == 0) return;
+  const uint64_t shards = static_cast<uint64_t>(num_threads_);
+  if (shards == 1) {
+    fn(0, n, 0);
+    return;
+  }
+  const uint64_t base = n / shards;
+  const uint64_t extra = n % shards;
+  auto shard_bounds = [&](uint64_t s) {
+    const uint64_t begin = s * base + std::min(s, extra);
+    const uint64_t end = begin + base + (s < extra ? 1 : 0);
+    return std::pair<uint64_t, uint64_t>(begin, end);
+  };
+
+  std::atomic<int> remaining{num_threads_ - 1};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  for (int s = 1; s < num_threads_; ++s) {
+    const auto [begin, end] = shard_bounds(static_cast<uint64_t>(s));
+    Submit([&, begin, end, s] {
+      if (begin < end) fn(begin, end, s);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_one();
+      }
+    });
+  }
+  const auto [begin0, end0] = shard_bounds(0);
+  if (begin0 < end0) fn(begin0, end0, 0);
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+}
+
+}  // namespace apcm

@@ -1,0 +1,65 @@
+#ifndef APCM_BASE_THREAD_POOL_H_
+#define APCM_BASE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace apcm {
+
+/// Fixed-size worker pool for data-parallel matching.
+///
+/// The pool provides two primitives:
+///  * Submit(fn): run fn on some worker, fire-and-forget (Wait() joins).
+///  * ParallelFor(n, fn): split [0, n) into one contiguous shard per worker
+///    and run fn(shard_begin, shard_end, worker_index) on each; the calling
+///    thread executes shard 0 itself and the call blocks until all shards
+///    finish. With num_threads == 1 everything runs inline on the caller, so
+///    single-threaded runs have zero synchronization overhead — important on
+///    the single-core evaluation substrate (see DESIGN.md §4).
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` logical workers (>= 1). The pool
+  /// spawns num_threads - 1 OS threads; the caller acts as worker 0 inside
+  /// ParallelFor.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs `fn(shard_begin, shard_end, worker)` over a partition of [0, n)
+  /// into num_threads() contiguous shards (some possibly empty). Blocks until
+  /// every shard completes. Not reentrant: do not call ParallelFor from
+  /// inside a shard.
+  void ParallelFor(uint64_t n,
+                   const std::function<void(uint64_t, uint64_t, int)>& fn);
+
+  /// Enqueues `fn` to run on some worker thread. Use Wait() to join.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until all Submit()ed tasks have completed.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> tasks_;
+  int in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace apcm
+
+#endif  // APCM_BASE_THREAD_POOL_H_

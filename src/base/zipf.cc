@@ -1,0 +1,63 @@
+#include "src/base/zipf.h"
+
+#include <cmath>
+
+#include "src/base/macros.h"
+
+namespace apcm {
+
+ZipfDistribution::ZipfDistribution(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  APCM_CHECK(n >= 1);
+  APCM_CHECK(theta >= 0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -theta));
+  harmonic_ = 0;
+  // The exact harmonic number is only needed by Pmf(); cap the exact
+  // summation and fall back to the integral approximation for huge n.
+  if (n <= 1'000'000) {
+    for (uint64_t k = 1; k <= n; ++k) {
+      harmonic_ += std::pow(static_cast<double>(k), -theta);
+    }
+  } else {
+    harmonic_ = h_n_ - h_x1_;
+  }
+}
+
+// H(x) = integral of x^-theta; antiderivative with the theta==1 special case.
+double ZipfDistribution::H(double x) const {
+  if (theta_ == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - theta_) - 1.0) / (1.0 - theta_);
+}
+
+double ZipfDistribution::HInverse(double x) const {
+  if (theta_ == 1.0) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - theta_), 1.0 / (1.0 - theta_));
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  if (theta_ == 0 || n_ == 1) {
+    return rng.Uniform(n_);
+  }
+  // Rejection-inversion (Hörmann & Derflinger 1996): invert the integral
+  // envelope, round to an integer rank, accept with the exact pmf ratio.
+  while (true) {
+    const double u = h_n_ + rng.UniformDouble() * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+    if (k - x <= s_ || u >= H(k + 0.5) - std::pow(k, -theta_)) {
+      return static_cast<uint64_t>(k) - 1;  // ranks are 0-based externally
+    }
+  }
+}
+
+double ZipfDistribution::Pmf(uint64_t rank) const {
+  APCM_CHECK(rank < n_);
+  if (theta_ == 0) return 1.0 / static_cast<double>(n_);
+  return std::pow(static_cast<double>(rank + 1), -theta_) / harmonic_;
+}
+
+}  // namespace apcm

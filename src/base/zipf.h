@@ -1,0 +1,46 @@
+#ifndef APCM_BASE_ZIPF_H_
+#define APCM_BASE_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/rng.h"
+
+namespace apcm {
+
+/// Samples ranks in [0, n) from a Zipf distribution with exponent `theta`:
+/// P(rank = k) proportional to 1 / (k+1)^theta. theta == 0 degenerates to the
+/// uniform distribution.
+///
+/// Uses the rejection-inversion method of Hörmann & Derflinger (1996), which
+/// needs O(1) setup and O(1) expected time per sample regardless of n —
+/// required here because attribute/value universes reach the millions.
+class ZipfDistribution {
+ public:
+  /// Creates a sampler over ranks [0, n). Requires n >= 1 and theta >= 0.
+  ZipfDistribution(uint64_t n, double theta);
+
+  /// Draws one rank in [0, n) using `rng`.
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// Exact probability of a given rank (for tests): 1/(k+1)^theta / H.
+  double Pmf(uint64_t rank) const;
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_ = 1;
+  double theta_ = 0;
+  double h_x1_ = 0;
+  double h_n_ = 0;
+  double s_ = 0;
+  double harmonic_ = 0;  // generalized harmonic number, for Pmf()
+};
+
+}  // namespace apcm
+
+#endif  // APCM_BASE_ZIPF_H_

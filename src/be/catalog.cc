@@ -1,0 +1,55 @@
+#include "src/be/catalog.h"
+
+#include "src/base/macros.h"
+
+namespace apcm {
+
+StatusOr<AttributeId> Catalog::AddAttribute(std::string_view name,
+                                            Value domain_min,
+                                            Value domain_max) {
+  if (name.empty()) {
+    return Status::InvalidArgument("attribute name must be non-empty");
+  }
+  if (domain_min > domain_max) {
+    return Status::InvalidArgument("attribute '" + std::string(name) +
+                                   "': domain min > max");
+  }
+  std::string key(name);
+  if (ids_.contains(key)) {
+    return Status::AlreadyExists("attribute '" + key + "' already registered");
+  }
+  const AttributeId id = static_cast<AttributeId>(names_.size());
+  ids_.emplace(key, id);
+  names_.push_back(std::move(key));
+  domains_.push_back(ValueInterval{domain_min, domain_max});
+  return id;
+}
+
+AttributeId Catalog::GetOrAddAttribute(std::string_view name,
+                                       ValueInterval default_domain) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  auto added = AddAttribute(name, default_domain.lo, default_domain.hi);
+  APCM_CHECK(added.ok());
+  return added.value();
+}
+
+StatusOr<AttributeId> Catalog::FindAttribute(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) {
+    return Status::NotFound("unknown attribute '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+const std::string& Catalog::Name(AttributeId id) const {
+  APCM_CHECK(id < names_.size());
+  return names_[id];
+}
+
+ValueInterval Catalog::Domain(AttributeId id) const {
+  APCM_CHECK(id < domains_.size());
+  return domains_[id];
+}
+
+}  // namespace apcm

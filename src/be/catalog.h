@@ -1,0 +1,50 @@
+#ifndef APCM_BE_CATALOG_H_
+#define APCM_BE_CATALOG_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/be/value.h"
+
+namespace apcm {
+
+/// Registry of attributes: maps names to dense AttributeIds and records each
+/// attribute's value domain. Matching itself is id-based; the catalog is used
+/// by the parser, the workload generator, and the examples.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Registers `name` with domain [min, max]; returns the new id, or
+  /// AlreadyExists if the name is taken, or InvalidArgument if min > max.
+  StatusOr<AttributeId> AddAttribute(std::string_view name, Value domain_min,
+                                     Value domain_max);
+
+  /// Returns the id for `name`, registering it with `default_domain` if new.
+  AttributeId GetOrAddAttribute(std::string_view name,
+                                ValueInterval default_domain = {0, 1'000'000});
+
+  /// Id for an existing name, or NotFound.
+  StatusOr<AttributeId> FindAttribute(std::string_view name) const;
+
+  /// Name of an existing id. Requires id < size().
+  const std::string& Name(AttributeId id) const;
+
+  /// Domain of an existing id. Requires id < size().
+  ValueInterval Domain(AttributeId id) const;
+
+  /// Number of registered attributes; ids are 0..size()-1.
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<ValueInterval> domains_;
+  std::unordered_map<std::string, AttributeId> ids_;
+};
+
+}  // namespace apcm
+
+#endif  // APCM_BE_CATALOG_H_

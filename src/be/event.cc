@@ -1,0 +1,56 @@
+#include "src/be/event.h"
+
+#include <algorithm>
+
+#include "src/base/macros.h"
+#include "src/be/catalog.h"
+
+namespace apcm {
+
+StatusOr<Event> Event::Create(std::vector<Entry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.attr < b.attr; });
+  for (size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i].attr == entries[i - 1].attr) {
+      return Status::InvalidArgument(
+          "duplicate attribute " + std::to_string(entries[i].attr) +
+          " in event");
+    }
+  }
+  Event event;
+  event.entries_ = std::move(entries);
+  return event;
+}
+
+Event Event::FromSorted(std::vector<Entry> entries) {
+#ifndef NDEBUG
+  for (size_t i = 1; i < entries.size(); ++i) {
+    APCM_DCHECK(entries[i - 1].attr < entries[i].attr);
+  }
+#endif
+  Event event;
+  event.entries_ = std::move(entries);
+  return event;
+}
+
+const Value* Event::Find(AttributeId attr) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), attr,
+      [](const Entry& e, AttributeId a) { return e.attr < a; });
+  if (it == entries_.end() || it->attr != attr) return nullptr;
+  return &it->value;
+}
+
+std::string Event::ToString(const Catalog* catalog) const {
+  std::string s;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += catalog != nullptr ? catalog->Name(entries_[i].attr)
+                            : "attr" + std::to_string(entries_[i].attr);
+    s += "=";
+    s += std::to_string(entries_[i].value);
+  }
+  return s;
+}
+
+}  // namespace apcm

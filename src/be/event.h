@@ -1,0 +1,59 @@
+#ifndef APCM_BE_EVENT_H_
+#define APCM_BE_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/be/value.h"
+
+namespace apcm {
+
+class Catalog;
+
+/// One published event: a sparse assignment of values to attributes, stored
+/// sorted by attribute id for O(log n) lookup and merge-join evaluation
+/// against expressions (whose predicates are also attribute-sorted).
+class Event {
+ public:
+  /// (attribute, value) pair.
+  struct Entry {
+    AttributeId attr;
+    Value value;
+    friend bool operator==(const Entry& a, const Entry& b) = default;
+  };
+
+  Event() = default;
+
+  /// Builds an event from possibly-unsorted pairs. Fails with
+  /// InvalidArgument on duplicate attributes.
+  static StatusOr<Event> Create(std::vector<Entry> entries);
+
+  /// Builds from entries the caller guarantees to be sorted by attribute and
+  /// duplicate-free (checked in debug builds). Hot path for the generator.
+  static Event FromSorted(std::vector<Entry> entries);
+
+  /// Value of `attr`, or nullptr if the event does not carry it.
+  const Value* Find(AttributeId attr) const;
+
+  /// True iff the event carries `attr`.
+  bool Has(AttributeId attr) const { return Find(attr) != nullptr; }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// "attr1=5, attr7=19" (names resolved when a catalog is given).
+  std::string ToString(const Catalog* catalog = nullptr) const;
+
+  friend bool operator==(const Event& a, const Event& b) = default;
+
+ private:
+  std::vector<Entry> entries_;  // sorted by attr, unique attrs
+};
+
+}  // namespace apcm
+
+#endif  // APCM_BE_EVENT_H_

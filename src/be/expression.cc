@@ -1,0 +1,80 @@
+#include "src/be/expression.h"
+
+#include <algorithm>
+
+#include "src/base/macros.h"
+
+namespace apcm {
+
+StatusOr<BooleanExpression> BooleanExpression::Create(
+    SubscriptionId id, std::vector<Predicate> predicates) {
+  std::stable_sort(predicates.begin(), predicates.end(),
+                   [](const Predicate& a, const Predicate& b) {
+                     return a.attribute() < b.attribute();
+                   });
+  for (size_t i = 1; i < predicates.size(); ++i) {
+    if (predicates[i].attribute() == predicates[i - 1].attribute()) {
+      return Status::InvalidArgument(
+          "expression " + std::to_string(id) +
+          ": multiple predicates on attribute " +
+          std::to_string(predicates[i].attribute()));
+    }
+  }
+  BooleanExpression expr;
+  expr.id_ = id;
+  expr.predicates_ = std::move(predicates);
+  return expr;
+}
+
+BooleanExpression BooleanExpression::FromSorted(
+    SubscriptionId id, std::vector<Predicate> predicates) {
+#ifndef NDEBUG
+  for (size_t i = 1; i < predicates.size(); ++i) {
+    APCM_DCHECK(predicates[i - 1].attribute() < predicates[i].attribute());
+  }
+#endif
+  BooleanExpression expr;
+  expr.id_ = id;
+  expr.predicates_ = std::move(predicates);
+  return expr;
+}
+
+bool BooleanExpression::Matches(const Event& event) const {
+  // Merge-join over the two attribute-sorted lists; every predicate must
+  // find its attribute and be satisfied.
+  const auto& entries = event.entries();
+  size_t e = 0;
+  for (const Predicate& pred : predicates_) {
+    const AttributeId attr = pred.attribute();
+    while (e < entries.size() && entries[e].attr < attr) ++e;
+    if (e == entries.size() || entries[e].attr != attr) return false;
+    if (!pred.Eval(entries[e].value)) return false;
+  }
+  return true;
+}
+
+bool BooleanExpression::MatchesCounting(const Event& event,
+                                        uint64_t* evals) const {
+  const auto& entries = event.entries();
+  size_t e = 0;
+  for (const Predicate& pred : predicates_) {
+    const AttributeId attr = pred.attribute();
+    while (e < entries.size() && entries[e].attr < attr) ++e;
+    ++*evals;
+    if (e == entries.size() || entries[e].attr != attr) return false;
+    if (!pred.Eval(entries[e].value)) return false;
+  }
+  return true;
+}
+
+std::string BooleanExpression::ToString(const Catalog* catalog) const {
+  std::string s = "id=" + std::to_string(id_) + ":";
+  if (predicates_.empty()) return s + " <true>";
+  for (size_t i = 0; i < predicates_.size(); ++i) {
+    s += i == 0 ? " " : " and ";
+    s += predicates_[i].ToString(catalog);
+  }
+  return s;
+}
+
+}  // namespace apcm

@@ -1,0 +1,195 @@
+#include "src/be/parser.h"
+
+#include <cctype>
+
+#include "src/base/string_util.h"
+
+namespace apcm {
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Splits on a standalone connective word (surrounded by whitespace), so
+// attribute names containing it are unaffected.
+std::vector<std::string_view> SplitOnWord(std::string_view text,
+                                          std::string_view word) {
+  const std::string needle = " " + std::string(word) + " ";
+  std::vector<std::string_view> pieces;
+  size_t start = 0;
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string_view::npos) {
+    pieces.push_back(text.substr(start, pos - start));
+    pos += needle.size();
+    start = pos;
+  }
+  pieces.push_back(text.substr(start));
+  return pieces;
+}
+
+std::vector<std::string_view> SplitOnAnd(std::string_view text) {
+  return SplitOnWord(text, "and");
+}
+
+// Reads a leading identifier; advances *text past it.
+StatusOr<std::string_view> TakeIdentifier(std::string_view* text) {
+  *text = TrimWhitespace(*text);
+  size_t len = 0;
+  while (len < text->size() && IsIdentChar((*text)[len])) ++len;
+  if (len == 0) {
+    return Status::InvalidArgument("expected attribute name in '" +
+                                   std::string(*text) + "'");
+  }
+  if (std::isdigit(static_cast<unsigned char>((*text)[0]))) {
+    return Status::InvalidArgument("attribute name may not start with a digit: '" +
+                                   std::string(text->substr(0, len)) + "'");
+  }
+  std::string_view ident = text->substr(0, len);
+  *text = text->substr(len);
+  return ident;
+}
+
+}  // namespace
+
+// Parses an integer literal, or a double-quoted string when a dictionary is
+// attached. Quoted operands may not contain commas or braces (the list
+// splitter runs first).
+StatusOr<Value> Parser::ParseOperand(std::string_view text) const {
+  text = TrimWhitespace(text);
+  if (!text.empty() && text.front() == '"') {
+    if (strings_ == nullptr) {
+      return Status::InvalidArgument(
+          "string operand " + std::string(text) +
+          " requires a StringDictionary attached to the parser");
+    }
+    if (text.size() < 2 || text.back() != '"') {
+      return Status::InvalidArgument("unterminated string literal: " +
+                                     std::string(text));
+    }
+    return strings_->Encode(text.substr(1, text.size() - 2));
+  }
+  return ParseInt64(text);
+}
+
+namespace {
+
+// Parses a bracketed list "[lo, hi]" or "{v1, v2, ...}" with operands
+// handled by `parse_operand`.
+template <typename OperandFn>
+StatusOr<std::vector<Value>> ParseBracketedValues(
+    std::string_view text, char open, char close,
+    const OperandFn& parse_operand) {
+  text = TrimWhitespace(text);
+  if (text.size() < 2 || text.front() != open || text.back() != close) {
+    return Status::InvalidArgument("expected '" + std::string(1, open) +
+                                   "...'" + std::string(1, close) +
+                                   " in '" + std::string(text) + "'");
+  }
+  std::vector<Value> values;
+  for (std::string_view piece :
+       SplitAndTrim(text.substr(1, text.size() - 2), ',')) {
+    APCM_ASSIGN_OR_RETURN(Value v, parse_operand(piece));
+    values.push_back(v);
+  }
+  return values;
+}
+
+}  // namespace
+
+StatusOr<Predicate> Parser::ParsePredicate(std::string_view text) const {
+  APCM_ASSIGN_OR_RETURN(std::string_view name, TakeIdentifier(&text));
+  const AttributeId attr = catalog_->GetOrAddAttribute(name);
+  text = TrimWhitespace(text);
+
+  // Keyword operators first.
+  if (StartsWith(text, "between")) {
+    APCM_ASSIGN_OR_RETURN(
+        std::vector<Value> bounds,
+        ParseBracketedValues(text.substr(7), '[', ']',
+                             [this](std::string_view t) {
+                               return ParseOperand(t);
+                             }));
+    if (bounds.size() != 2) {
+      return Status::InvalidArgument("between expects [lo, hi]");
+    }
+    if (bounds[0] > bounds[1]) {
+      return Status::InvalidArgument("between bounds out of order");
+    }
+    return Predicate(attr, bounds[0], bounds[1]);
+  }
+  if (StartsWith(text, "in")) {
+    APCM_ASSIGN_OR_RETURN(
+        std::vector<Value> values,
+        ParseBracketedValues(text.substr(2), '{', '}',
+                             [this](std::string_view t) {
+                               return ParseOperand(t);
+                             }));
+    if (values.empty()) {
+      return Status::InvalidArgument("in expects a non-empty value set");
+    }
+    return Predicate(attr, std::move(values));
+  }
+
+  // Symbolic operators; two-character forms before one-character prefixes.
+  struct OpToken {
+    std::string_view token;
+    Op op;
+  };
+  static constexpr OpToken kOps[] = {
+      {"!=", Op::kNe}, {"<=", Op::kLe}, {">=", Op::kGe},
+      {"=", Op::kEq},  {"<", Op::kLt},  {">", Op::kGt},
+  };
+  for (const auto& [token, op] : kOps) {
+    if (StartsWith(text, token)) {
+      APCM_ASSIGN_OR_RETURN(Value v, ParseOperand(text.substr(token.size())));
+      return Predicate(attr, op, v);
+    }
+  }
+  return Status::InvalidArgument("unrecognized operator in '" +
+                                 std::string(text) + "'");
+}
+
+StatusOr<BooleanExpression> Parser::ParseExpression(
+    SubscriptionId id, std::string_view text) const {
+  text = TrimWhitespace(text);
+  std::vector<Predicate> predicates;
+  if (!text.empty() && text != "<true>") {
+    for (std::string_view piece : SplitOnAnd(text)) {
+      APCM_ASSIGN_OR_RETURN(Predicate pred, ParsePredicate(piece));
+      predicates.push_back(std::move(pred));
+    }
+  }
+  return BooleanExpression::Create(id, std::move(predicates));
+}
+
+StatusOr<std::vector<std::vector<Predicate>>> Parser::ParseDisjunction(
+    std::string_view text) const {
+  text = TrimWhitespace(text);
+  std::vector<std::vector<Predicate>> disjuncts;
+  for (std::string_view disjunct_text : SplitOnWord(text, "or")) {
+    // Validate attribute-uniqueness per disjunct through ParseExpression.
+    APCM_ASSIGN_OR_RETURN(BooleanExpression expr,
+                          ParseExpression(0, disjunct_text));
+    disjuncts.push_back(expr.predicates());
+  }
+  return disjuncts;
+}
+
+StatusOr<Event> Parser::ParseEvent(std::string_view text) const {
+  std::vector<Event::Entry> entries;
+  for (std::string_view piece : SplitAndTrim(text, ',')) {
+    APCM_ASSIGN_OR_RETURN(std::string_view name, TakeIdentifier(&piece));
+    piece = TrimWhitespace(piece);
+    if (piece.empty() || piece.front() != '=') {
+      return Status::InvalidArgument("expected '=' in event entry '" +
+                                     std::string(piece) + "'");
+    }
+    APCM_ASSIGN_OR_RETURN(Value v, ParseOperand(piece.substr(1)));
+    entries.push_back(
+        Event::Entry{catalog_->GetOrAddAttribute(name), v});
+  }
+  return Event::Create(std::move(entries));
+}
+
+}  // namespace apcm

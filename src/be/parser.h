@@ -1,0 +1,65 @@
+#ifndef APCM_BE_PARSER_H_
+#define APCM_BE_PARSER_H_
+
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/be/catalog.h"
+#include "src/be/event.h"
+#include "src/be/expression.h"
+#include "src/be/string_dictionary.h"
+
+namespace apcm {
+
+/// Text front-end for subscriptions and events, used by the examples, the
+/// trace format, and tests.
+///
+/// Expression grammar (one conjunction per line, predicates joined by "and"):
+///   price <= 100 and category in {1, 2, 3} and age between [20, 30]
+/// Operators: = != < <= > >=, "between [lo, hi]", "in {v1, v2, ...}".
+///
+/// Event grammar (comma-separated assignments):
+///   price = 50, category = 2
+///
+/// Attribute names are identifiers ([A-Za-z_][A-Za-z0-9_]*); unknown names
+/// are registered in the catalog with its default domain.
+///
+/// With a StringDictionary attached, operands may also be double-quoted
+/// strings, dictionary-encoded on the fly:
+///   country = "US" and tier in {"gold", "silver"}
+class Parser {
+ public:
+  /// The parser registers new attribute names in `catalog`; the catalog must
+  /// outlive the parser. `strings` (optional) enables quoted-string operands
+  /// and must outlive the parser too.
+  explicit Parser(Catalog* catalog, StringDictionary* strings = nullptr)
+      : catalog_(catalog), strings_(strings) {}
+
+  /// Parses one predicate, e.g. "price <= 100".
+  StatusOr<Predicate> ParsePredicate(std::string_view text) const;
+
+  /// Parses a conjunction into an expression with the given id.
+  StatusOr<BooleanExpression> ParseExpression(SubscriptionId id,
+                                              std::string_view text) const;
+
+  /// Parses a disjunction of conjunctions ("a = 1 and b = 2 or c = 3"; "or"
+  /// binds loosest). Returns one predicate list per disjunct, for
+  /// StreamEngine::AddDisjunctiveSubscription. A plain conjunction yields a
+  /// single disjunct.
+  StatusOr<std::vector<std::vector<Predicate>>> ParseDisjunction(
+      std::string_view text) const;
+
+  /// Parses an event.
+  StatusOr<Event> ParseEvent(std::string_view text) const;
+
+ private:
+  /// Parses an integer literal or (with a dictionary) a quoted string.
+  StatusOr<Value> ParseOperand(std::string_view text) const;
+
+  Catalog* catalog_;
+  StringDictionary* strings_;
+};
+
+}  // namespace apcm
+
+#endif  // APCM_BE_PARSER_H_

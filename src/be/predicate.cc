@@ -1,0 +1,163 @@
+#include "src/be/predicate.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/base/string_util.h"
+#include "src/be/catalog.h"
+
+namespace apcm {
+
+std::string_view OpToString(Op op) {
+  switch (op) {
+    case Op::kEq:
+      return "=";
+    case Op::kNe:
+      return "!=";
+    case Op::kLt:
+      return "<";
+    case Op::kLe:
+      return "<=";
+    case Op::kGt:
+      return ">";
+    case Op::kGe:
+      return ">=";
+    case Op::kBetween:
+      return "between";
+    case Op::kIn:
+      return "in";
+  }
+  return "?";
+}
+
+Predicate::Predicate(AttributeId attr, Op op, Value v)
+    : attr_(attr), op_(op), v1_(v) {
+  APCM_CHECK(op != Op::kBetween && op != Op::kIn);
+}
+
+Predicate::Predicate(AttributeId attr, Value lo, Value hi)
+    : attr_(attr), op_(Op::kBetween), v1_(lo), v2_(hi) {
+  APCM_CHECK(lo <= hi);
+}
+
+Predicate::Predicate(AttributeId attr, std::vector<Value> values)
+    : attr_(attr), op_(Op::kIn), values_(std::move(values)) {
+  APCM_CHECK(!values_.empty());
+  std::sort(values_.begin(), values_.end());
+  values_.erase(std::unique(values_.begin(), values_.end()), values_.end());
+}
+
+bool Predicate::EvalIn(Value value) const {
+  return std::binary_search(values_.begin(), values_.end(), value);
+}
+
+void Predicate::AppendIntervals(ValueInterval domain,
+                                std::vector<ValueInterval>* out) const {
+  // All ±1 adjustments below are guarded so operands at the int64 extremes
+  // cannot overflow (UB).
+  constexpr Value kValueMin = std::numeric_limits<Value>::min();
+  constexpr Value kValueMax = std::numeric_limits<Value>::max();
+  auto clip = [&](Value lo, Value hi) {
+    lo = std::max(lo, domain.lo);
+    hi = std::min(hi, domain.hi);
+    if (lo <= hi) out->push_back(ValueInterval{lo, hi});
+  };
+  switch (op_) {
+    case Op::kEq:
+      clip(v1_, v1_);
+      break;
+    case Op::kNe:
+      if (v1_ < domain.lo || v1_ > domain.hi) {
+        clip(domain.lo, domain.hi);  // v1_ outside domain: always true
+      } else {
+        if (v1_ > kValueMin) clip(domain.lo, v1_ - 1);
+        if (v1_ < kValueMax) clip(v1_ + 1, domain.hi);
+      }
+      break;
+    case Op::kLt:
+      if (v1_ > kValueMin) clip(domain.lo, v1_ - 1);
+      break;
+    case Op::kLe:
+      clip(domain.lo, v1_);
+      break;
+    case Op::kGt:
+      if (v1_ < kValueMax) clip(v1_ + 1, domain.hi);
+      break;
+    case Op::kGe:
+      clip(v1_, domain.hi);
+      break;
+    case Op::kBetween:
+      clip(v1_, v2_);
+      break;
+    case Op::kIn: {
+      // Coalesce runs of consecutive values into single intervals.
+      size_t i = 0;
+      while (i < values_.size()) {
+        size_t j = i;
+        while (j + 1 < values_.size() && values_[j] < kValueMax &&
+               values_[j + 1] == values_[j] + 1) {
+          ++j;
+        }
+        clip(values_[i], values_[j]);
+        i = j + 1;
+      }
+      break;
+    }
+  }
+}
+
+double Predicate::Selectivity(ValueInterval domain) const {
+  if (domain.Empty()) return 0;
+  std::vector<ValueInterval> intervals;
+  AppendIntervals(domain, &intervals);
+  double covered = 0;
+  for (const auto& iv : intervals) {
+    // A full-64-bit-span interval has Width() == 0 by wraparound.
+    covered += iv.Width() == 0 ? 0x1.0p64 : static_cast<double>(iv.Width());
+  }
+  const double width = domain.Width() == 0
+                           ? 0x1.0p64
+                           : static_cast<double>(domain.Width());
+  return covered / width;
+}
+
+std::string Predicate::ToString(const Catalog* catalog) const {
+  std::string attr_name = catalog != nullptr
+                              ? catalog->Name(attr_)
+                              : "attr" + std::to_string(attr_);
+  switch (op_) {
+    case Op::kBetween:
+      return StringPrintf("%s between [%lld, %lld]", attr_name.c_str(),
+                          static_cast<long long>(v1_),
+                          static_cast<long long>(v2_));
+    case Op::kIn: {
+      std::string s = attr_name + " in {";
+      for (size_t i = 0; i < values_.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += std::to_string(values_[i]);
+      }
+      return s + "}";
+    }
+    default:
+      return StringPrintf("%s %s %lld", attr_name.c_str(),
+                          std::string(OpToString(op_)).c_str(),
+                          static_cast<long long>(v1_));
+  }
+}
+
+size_t Predicate::Hash() const {
+  // FNV-1a over the logical content.
+  uint64_t h = 14695981039346656037ULL;
+  auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  mix(attr_);
+  mix(static_cast<uint64_t>(op_));
+  mix(static_cast<uint64_t>(v1_));
+  mix(static_cast<uint64_t>(v2_));
+  for (Value v : values_) mix(static_cast<uint64_t>(v));
+  return static_cast<size_t>(h);
+}
+
+}  // namespace apcm

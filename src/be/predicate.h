@@ -1,0 +1,111 @@
+#ifndef APCM_BE_PREDICATE_H_
+#define APCM_BE_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/macros.h"
+#include "src/be/value.h"
+
+namespace apcm {
+
+class Catalog;
+
+/// Comparison operator of a predicate.
+enum class Op : uint8_t {
+  kEq = 0,   ///< attr == v1
+  kNe,       ///< attr != v1
+  kLt,       ///< attr <  v1
+  kLe,       ///< attr <= v1
+  kGt,       ///< attr >  v1
+  kGe,       ///< attr >= v1
+  kBetween,  ///< v1 <= attr <= v2
+  kIn,       ///< attr ∈ values (sorted set)
+};
+
+/// Canonical lower-case token for an operator ("=", "!=", "between", ...).
+std::string_view OpToString(Op op);
+
+/// One atomic constraint `attribute op operand(s)`. Immutable after
+/// construction. Predicates are value types: equality and hashing consider
+/// the full operand, which is what predicate-dictionary compression dedupes
+/// on.
+class Predicate {
+ public:
+  /// Single-operand constructor for kEq/kNe/kLt/kLe/kGt/kGe.
+  Predicate(AttributeId attr, Op op, Value v);
+  /// Range constructor for kBetween; requires lo <= hi.
+  Predicate(AttributeId attr, Value lo, Value hi);
+  /// Set constructor for kIn; `values` is deduplicated and sorted. Requires a
+  /// non-empty set.
+  Predicate(AttributeId attr, std::vector<Value> values);
+
+  AttributeId attribute() const { return attr_; }
+  Op op() const { return op_; }
+  Value v1() const { return v1_; }
+  Value v2() const { return v2_; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// True iff `value` satisfies this predicate.
+  bool Eval(Value value) const {
+    switch (op_) {
+      case Op::kEq:
+        return value == v1_;
+      case Op::kNe:
+        return value != v1_;
+      case Op::kLt:
+        return value < v1_;
+      case Op::kLe:
+        return value <= v1_;
+      case Op::kGt:
+        return value > v1_;
+      case Op::kGe:
+        return value >= v1_;
+      case Op::kBetween:
+        return v1_ <= value && value <= v2_;
+      case Op::kIn:
+        return EvalIn(value);
+    }
+    return false;
+  }
+
+  /// Appends the decomposition of this predicate into disjoint closed
+  /// intervals, clipped to `domain`. kNe yields up to two intervals, kIn one
+  /// per (run of) value(s); every other operator yields at most one. Interval
+  /// indexes (counting, k-index) are built on this decomposition.
+  void AppendIntervals(ValueInterval domain,
+                       std::vector<ValueInterval>* out) const;
+
+  /// Fraction of `domain` satisfying the predicate, in [0, 1].
+  double Selectivity(ValueInterval domain) const;
+
+  /// "attr3 <= 42" (id-based) or "price <= 42" when a catalog is given.
+  std::string ToString(const Catalog* catalog = nullptr) const;
+
+  friend bool operator==(const Predicate& a, const Predicate& b) {
+    return a.attr_ == b.attr_ && a.op_ == b.op_ && a.v1_ == b.v1_ &&
+           a.v2_ == b.v2_ && a.values_ == b.values_;
+  }
+
+  /// Hash over (attribute, op, operands); consistent with operator==.
+  size_t Hash() const;
+
+ private:
+  bool EvalIn(Value value) const;
+
+  AttributeId attr_;
+  Op op_;
+  Value v1_ = 0;
+  Value v2_ = 0;
+  std::vector<Value> values_;  // sorted, only for kIn
+};
+
+/// std::hash adapter so predicates can key unordered containers.
+struct PredicateHash {
+  size_t operator()(const Predicate& p) const { return p.Hash(); }
+};
+
+}  // namespace apcm
+
+#endif  // APCM_BE_PREDICATE_H_

@@ -1,0 +1,68 @@
+#ifndef APCM_BE_STRING_DICTIONARY_H_
+#define APCM_BE_STRING_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/be/value.h"
+
+namespace apcm {
+
+/// Dictionary encoding for string-valued attributes. The matching model is
+/// integer-ordinal (DESIGN.md §1); categorical/string attributes are encoded
+/// upstream through this dictionary: every distinct string gets a dense
+/// Value id, predicates compare ids. Equality/membership semantics are
+/// preserved exactly; ordering over encoded strings is insertion order (so
+/// range predicates over encoded strings are meaningless — use =, !=, in).
+class StringDictionary {
+ public:
+  StringDictionary() = default;
+
+  /// Returns the id of `text`, encoding it if new.
+  Value Encode(std::string_view text) {
+    auto it = ids_.find(std::string(text));
+    if (it != ids_.end()) return it->second;
+    const Value id = static_cast<Value>(strings_.size());
+    ids_.emplace(std::string(text), id);
+    strings_.emplace_back(text);
+    return id;
+  }
+
+  /// Id of an already-encoded string, or NotFound.
+  StatusOr<Value> Find(std::string_view text) const {
+    auto it = ids_.find(std::string(text));
+    if (it == ids_.end()) {
+      return Status::NotFound("string '" + std::string(text) +
+                              "' is not in the dictionary");
+    }
+    return it->second;
+  }
+
+  /// The string for id; OutOfRange for unknown ids.
+  StatusOr<std::string> Decode(Value id) const {
+    if (id < 0 || static_cast<size_t>(id) >= strings_.size()) {
+      return Status::OutOfRange("no string with id " + std::to_string(id));
+    }
+    return strings_[static_cast<size_t>(id)];
+  }
+
+  /// Number of distinct strings encoded. Valid ids are [0, size()).
+  size_t size() const { return strings_.size(); }
+
+  /// The value domain to register for attributes encoded through this
+  /// dictionary, reserving headroom for strings encoded later.
+  ValueInterval Domain(Value headroom = 1'000'000) const {
+    return ValueInterval{0, static_cast<Value>(strings_.size()) + headroom};
+  }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, Value> ids_;
+};
+
+}  // namespace apcm
+
+#endif  // APCM_BE_STRING_DICTIONARY_H_

@@ -1,0 +1,46 @@
+#ifndef APCM_BE_VALUE_H_
+#define APCM_BE_VALUE_H_
+
+#include <cstdint>
+
+namespace apcm {
+
+/// Attribute identifier. Dense small integers assigned by the Catalog.
+using AttributeId = uint32_t;
+
+/// Attribute value. The matching model follows BE-Tree: every attribute
+/// ranges over a finite ordered integer domain (categorical attributes are
+/// dictionary-encoded upstream).
+using Value = int64_t;
+
+/// Subscription (Boolean expression) identifier.
+using SubscriptionId = uint32_t;
+
+/// Sentinel for "no subscription".
+inline constexpr SubscriptionId kInvalidSubscriptionId =
+    static_cast<SubscriptionId>(-1);
+
+/// Closed integer interval [lo, hi]; empty if lo > hi.
+struct ValueInterval {
+  Value lo;
+  Value hi;
+
+  bool Contains(Value v) const { return lo <= v && v <= hi; }
+  bool Empty() const { return lo > hi; }
+  /// Width as a count of integer points. 0 when empty — and, by uint64
+  /// wraparound, also 0 for the one non-empty interval spanning the entire
+  /// 64-bit space (2^64 points); callers treating 0 as "huge" must check
+  /// Empty() first. The subtraction is done in uint64 so extreme bounds
+  /// cannot overflow.
+  uint64_t Width() const {
+    if (Empty()) return 0;
+    return static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  }
+
+  friend bool operator==(const ValueInterval& a,
+                         const ValueInterval& b) = default;
+};
+
+}  // namespace apcm
+
+#endif  // APCM_BE_VALUE_H_

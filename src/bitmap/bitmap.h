@@ -1,0 +1,161 @@
+#ifndef APCM_BITMAP_BITMAP_H_
+#define APCM_BITMAP_BITMAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/bit_ops.h"
+#include "src/base/macros.h"
+
+namespace apcm {
+
+/// \file
+/// Word-parallel bitmap kernel. Compressed cluster matching spends almost all
+/// of its time in these loops, so the primitives are also exposed as free
+/// functions over raw word spans: cluster masks live in flat arenas (one
+/// allocation per cluster) rather than in individual Bitmap objects.
+
+/// Number of 64-bit words needed to hold `bits` bits.
+inline uint64_t WordsForBits(uint64_t bits) { return CeilDiv(bits, 64); }
+
+/// dst[i] &= ~src[i] over `words` words. The core compressed-matching step:
+/// clear the subscriptions that a failed predicate participates in.
+inline void AndNotWords(uint64_t* dst, const uint64_t* src, uint64_t words) {
+  for (uint64_t i = 0; i < words; ++i) dst[i] &= ~src[i];
+}
+
+/// dst[i] &= src[i] over `words` words.
+inline void AndWords(uint64_t* dst, const uint64_t* src, uint64_t words) {
+  for (uint64_t i = 0; i < words; ++i) dst[i] &= src[i];
+}
+
+/// dst[i] |= src[i] over `words` words.
+inline void OrWords(uint64_t* dst, const uint64_t* src, uint64_t words) {
+  for (uint64_t i = 0; i < words; ++i) dst[i] |= src[i];
+}
+
+/// True iff all `words` words are zero.
+inline bool IsZeroWords(const uint64_t* words_ptr, uint64_t words) {
+  uint64_t acc = 0;
+  for (uint64_t i = 0; i < words; ++i) acc |= words_ptr[i];
+  return acc == 0;
+}
+
+/// Total set bits across `words` words.
+inline uint64_t PopCountWords(const uint64_t* words_ptr, uint64_t words) {
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < words; ++i) {
+    total += static_cast<uint64_t>(PopCount(words_ptr[i]));
+  }
+  return total;
+}
+
+/// Invokes fn(bit_index) for every set bit, in increasing order. bit_index is
+/// relative to the start of the span.
+template <typename Fn>
+inline void ForEachSetBit(const uint64_t* words_ptr, uint64_t words, Fn fn) {
+  for (uint64_t w = 0; w < words; ++w) {
+    uint64_t word = words_ptr[w];
+    while (word != 0) {
+      const int bit = CountTrailingZeros(word);
+      fn(w * 64 + static_cast<uint64_t>(bit));
+      word &= word - 1;
+    }
+  }
+}
+
+/// Sets the first `bits` bits of the span to one and any tail bits of the
+/// last word to zero (callers rely on tail bits staying clear).
+inline void FillOnesWords(uint64_t* dst, uint64_t bits) {
+  const uint64_t words = WordsForBits(bits);
+  if (words == 0) return;
+  for (uint64_t i = 0; i + 1 < words; ++i) dst[i] = ~0ULL;
+  const uint64_t tail = bits % 64;
+  dst[words - 1] = tail == 0 ? ~0ULL : (~0ULL >> (64 - tail));
+}
+
+/// Growable owning bitmap. Bits beyond size() in the last word are kept zero.
+class Bitmap {
+ public:
+  /// Creates an all-zero bitmap with `bits` bits.
+  explicit Bitmap(uint64_t bits = 0)
+      : bits_(bits), words_(WordsForBits(bits), 0) {}
+
+  uint64_t size() const { return bits_; }
+  uint64_t num_words() const { return words_.size(); }
+  const uint64_t* data() const { return words_.data(); }
+  uint64_t* data() { return words_.data(); }
+
+  /// Resizes to `bits` bits; new bits are zero.
+  void Resize(uint64_t bits) {
+    bits_ = bits;
+    words_.assign(WordsForBits(bits), 0);
+  }
+
+  bool Test(uint64_t i) const {
+    APCM_DCHECK(i < bits_);
+    return (words_[i / 64] >> (i % 64)) & 1;
+  }
+  void Set(uint64_t i) {
+    APCM_DCHECK(i < bits_);
+    words_[i / 64] |= 1ULL << (i % 64);
+  }
+  void Clear(uint64_t i) {
+    APCM_DCHECK(i < bits_);
+    words_[i / 64] &= ~(1ULL << (i % 64));
+  }
+
+  /// Sets all bits to one.
+  void FillOnes() { FillOnesWords(words_.data(), bits_); }
+  /// Sets all bits to zero.
+  void FillZeros() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// this &= ~other. Sizes must match.
+  void AndNot(const Bitmap& other) {
+    APCM_DCHECK(bits_ == other.bits_);
+    AndNotWords(words_.data(), other.words_.data(), words_.size());
+  }
+  /// this &= other. Sizes must match.
+  void And(const Bitmap& other) {
+    APCM_DCHECK(bits_ == other.bits_);
+    AndWords(words_.data(), other.words_.data(), words_.size());
+  }
+  /// this |= other. Sizes must match.
+  void Or(const Bitmap& other) {
+    APCM_DCHECK(bits_ == other.bits_);
+    OrWords(words_.data(), other.words_.data(), words_.size());
+  }
+
+  bool IsZero() const { return IsZeroWords(words_.data(), words_.size()); }
+  uint64_t Count() const { return PopCountWords(words_.data(), words_.size()); }
+
+  /// Indices of set bits in increasing order.
+  std::vector<uint64_t> ToIndices() const {
+    std::vector<uint64_t> indices;
+    indices.reserve(Count());
+    ForEachSetBit(words_.data(), words_.size(),
+                  [&](uint64_t i) { indices.push_back(i); });
+    return indices;
+  }
+
+  /// "0101..." string, LSB first; for tests and debugging.
+  std::string ToString() const {
+    std::string s;
+    s.reserve(bits_);
+    for (uint64_t i = 0; i < bits_; ++i) s += Test(i) ? '1' : '0';
+    return s;
+  }
+
+  friend bool operator==(const Bitmap& a, const Bitmap& b) {
+    return a.bits_ == b.bits_ && a.words_ == b.words_;
+  }
+
+ private:
+  uint64_t bits_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace apcm
+
+#endif  // APCM_BITMAP_BITMAP_H_

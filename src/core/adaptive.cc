@@ -1,0 +1,15 @@
+#include "src/core/adaptive.h"
+
+namespace apcm::core {
+
+const char* EvalModeName(EvalMode mode) {
+  switch (mode) {
+    case EvalMode::kCompressed:
+      return "compressed";
+    case EvalMode::kLazy:
+      return "lazy";
+  }
+  return "?";
+}
+
+}  // namespace apcm::core

@@ -1,0 +1,218 @@
+#include <istream>
+#include <ostream>
+
+#include "src/bitmap/bitmap.h"
+#include "src/core/cluster.h"
+
+// Binary (de)serialization of CompressedCluster — the persistence half of
+// PcmMatcher::SaveIndex/LoadIndex. Little-endian, validated on load so a
+// corrupted or mismatched file surfaces as a Status, never as an
+// out-of-bounds access at match time.
+
+namespace apcm::core {
+namespace {
+
+template <typename T>
+void WritePod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return in.good();
+}
+
+template <typename T>
+void WriteVector(std::ostream& out, const std::vector<T>& data) {
+  WritePod<uint64_t>(out, data.size());
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(T)));
+}
+
+template <typename T>
+bool ReadVector(std::istream& in, std::vector<T>* data, uint64_t max_count) {
+  uint64_t count = 0;
+  if (!ReadPod(in, &count) || count > max_count) return false;
+  data->resize(count);
+  in.read(reinterpret_cast<char*>(data->data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  return in.good() || (count == 0 && !in.bad());
+}
+
+/// Caps for ReadVector: far above any real cluster, low enough that a
+/// corrupted count cannot trigger a huge allocation.
+constexpr uint64_t kMaxElements = 1ULL << 28;
+
+Status Corrupt(const char* what) {
+  return Status::InvalidArgument(std::string("corrupt cluster image: ") +
+                                 what);
+}
+
+}  // namespace
+
+Status CompressedCluster::Serialize(std::ostream& out) const {
+  WritePod<uint32_t>(out, num_subs_);
+  WritePod<uint64_t>(out, total_predicates_);
+  WriteVector(out, sub_ids_);
+  WritePod<uint64_t>(out, groups_.size());
+  for (const Group& group : groups_) {
+    WritePod<uint32_t>(out, group.attr);
+    WritePod<uint32_t>(out, group.pred_begin);
+    WritePod<uint32_t>(out, group.pred_end);
+    WritePod<uint32_t>(out, group.attr_slots_begin);
+    WritePod<uint32_t>(out, group.attr_slots_end);
+  }
+  WriteVector(out, required_attrs_);
+  WritePod<uint64_t>(out, preds_.size());
+  for (const Predicate& pred : preds_) {
+    WritePod<uint32_t>(out, pred.attribute());
+    WritePod<uint8_t>(out, static_cast<uint8_t>(pred.op()));
+    WritePod<int64_t>(out, pred.v1());
+    WritePod<int64_t>(out, pred.v2());
+    WriteVector(out, pred.values());
+  }
+  WritePod<uint64_t>(out, pred_slots_.size());
+  for (const SlotSet& set : pred_slots_) {
+    WritePod<uint32_t>(out, set.offset);
+    WritePod<int32_t>(out, set.sparse_count);
+  }
+  WriteVector(out, mask_words_);
+  WriteVector(out, sparse_slots_);
+  WriteVector(out, attr_slot_arena_);
+  WriteVector(out, attr_counts_);
+  WriteVector(out, always_alive_);
+  if (!out) return Status::IOError("cluster serialization write failed");
+  return Status::OK();
+}
+
+StatusOr<CompressedCluster> CompressedCluster::Deserialize(
+    std::istream& in,
+    const std::unordered_map<SubscriptionId, const BooleanExpression*>&
+        subs_by_id) {
+  CompressedCluster cluster;
+  if (!ReadPod(in, &cluster.num_subs_)) return Corrupt("header");
+  if (!ReadPod(in, &cluster.total_predicates_)) return Corrupt("header");
+  cluster.words_ = WordsForBits(cluster.num_subs_);
+  if (!ReadVector(in, &cluster.sub_ids_, kMaxElements)) {
+    return Corrupt("sub ids");
+  }
+  if (cluster.sub_ids_.size() != cluster.num_subs_) {
+    return Corrupt("sub id count");
+  }
+  // Resolve the lazy-path expression pointers and validate ids.
+  cluster.subs_.reserve(cluster.num_subs_);
+  for (SubscriptionId id : cluster.sub_ids_) {
+    auto it = subs_by_id.find(id);
+    if (it == subs_by_id.end()) {
+      return Status::FailedPrecondition(
+          "index references subscription " + std::to_string(id) +
+          " that is not in the provided subscription set");
+    }
+    cluster.subs_.push_back(it->second);
+  }
+
+  uint64_t group_count = 0;
+  if (!ReadPod(in, &group_count) || group_count > kMaxElements) {
+    return Corrupt("group count");
+  }
+  cluster.groups_.resize(group_count);
+  for (Group& group : cluster.groups_) {
+    if (!ReadPod(in, &group.attr) || !ReadPod(in, &group.pred_begin) ||
+        !ReadPod(in, &group.pred_end) ||
+        !ReadPod(in, &group.attr_slots_begin) ||
+        !ReadPod(in, &group.attr_slots_end)) {
+      return Corrupt("group");
+    }
+  }
+  if (!ReadVector(in, &cluster.required_attrs_, kMaxElements)) {
+    return Corrupt("required attrs");
+  }
+
+  uint64_t pred_count = 0;
+  if (!ReadPod(in, &pred_count) || pred_count > kMaxElements) {
+    return Corrupt("predicate count");
+  }
+  cluster.preds_.reserve(pred_count);
+  for (uint64_t i = 0; i < pred_count; ++i) {
+    uint32_t attr = 0;
+    uint8_t op = 0;
+    int64_t v1 = 0;
+    int64_t v2 = 0;
+    std::vector<Value> values;
+    if (!ReadPod(in, &attr) || !ReadPod(in, &op) || !ReadPod(in, &v1) ||
+        !ReadPod(in, &v2) || !ReadVector(in, &values, kMaxElements)) {
+      return Corrupt("predicate");
+    }
+    if (op > static_cast<uint8_t>(Op::kIn)) return Corrupt("operator");
+    const Op op_enum = static_cast<Op>(op);
+    if (op_enum == Op::kIn) {
+      if (values.empty()) return Corrupt("empty in-set");
+      cluster.preds_.emplace_back(attr, std::move(values));
+    } else if (op_enum == Op::kBetween) {
+      if (v1 > v2) return Corrupt("inverted between");
+      cluster.preds_.emplace_back(attr, v1, v2);
+    } else {
+      cluster.preds_.emplace_back(attr, op_enum, v1);
+    }
+  }
+
+  uint64_t slot_set_count = 0;
+  if (!ReadPod(in, &slot_set_count) || slot_set_count != pred_count) {
+    return Corrupt("slot set count");
+  }
+  cluster.pred_slots_.resize(slot_set_count);
+  for (SlotSet& set : cluster.pred_slots_) {
+    if (!ReadPod(in, &set.offset) || !ReadPod(in, &set.sparse_count)) {
+      return Corrupt("slot set");
+    }
+  }
+  if (!ReadVector(in, &cluster.mask_words_, kMaxElements) ||
+      !ReadVector(in, &cluster.sparse_slots_, kMaxElements) ||
+      !ReadVector(in, &cluster.attr_slot_arena_, kMaxElements) ||
+      !ReadVector(in, &cluster.attr_counts_, kMaxElements) ||
+      !ReadVector(in, &cluster.always_alive_, kMaxElements)) {
+    return Corrupt("arena");
+  }
+
+  // Structural validation: every stored offset/index must stay in bounds so
+  // matching can trust the image.
+  if (cluster.attr_counts_.size() != cluster.num_subs_) {
+    return Corrupt("attr count table size");
+  }
+  for (const Group& group : cluster.groups_) {
+    if (group.pred_begin > group.pred_end ||
+        group.pred_end > cluster.preds_.size() ||
+        group.attr_slots_begin > group.attr_slots_end ||
+        group.attr_slots_end > cluster.attr_slot_arena_.size()) {
+      return Corrupt("group bounds");
+    }
+  }
+  for (size_t i = 1; i < cluster.groups_.size(); ++i) {
+    if (cluster.groups_[i - 1].attr >= cluster.groups_[i].attr) {
+      return Corrupt("group order");
+    }
+  }
+  for (const SlotSet& set : cluster.pred_slots_) {
+    if (set.sparse_count >= 0) {
+      if (set.offset + static_cast<uint64_t>(set.sparse_count) >
+          cluster.sparse_slots_.size()) {
+        return Corrupt("sparse slot bounds");
+      }
+    } else if (set.offset + cluster.words_ > cluster.mask_words_.size()) {
+      return Corrupt("mask bounds");
+    }
+  }
+  for (uint32_t slot : cluster.sparse_slots_) {
+    if (slot >= cluster.num_subs_) return Corrupt("sparse slot index");
+  }
+  for (uint32_t slot : cluster.attr_slot_arena_) {
+    if (slot >= cluster.num_subs_) return Corrupt("attr slot index");
+  }
+  for (uint32_t slot : cluster.always_alive_) {
+    if (slot >= cluster.num_subs_) return Corrupt("always-alive index");
+  }
+  return cluster;
+}
+
+}  // namespace apcm::core

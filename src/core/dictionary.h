@@ -1,0 +1,65 @@
+#ifndef APCM_CORE_DICTIONARY_H_
+#define APCM_CORE_DICTIONARY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/macros.h"
+#include "src/be/predicate.h"
+
+namespace apcm::core {
+
+/// Deduplicating store of predicates: the heart of subscription compression.
+/// Interning the predicates of a cluster's subscriptions collapses every
+/// syntactically identical predicate `(attribute, op, operands)` to a single
+/// dense id; compressed matching then evaluates each distinct predicate once
+/// per event instead of once per subscription that contains it.
+class PredicateDictionary {
+ public:
+  /// Returns the dense id of `predicate`, interning it if new. Ids are
+  /// assigned consecutively from 0 in first-seen order.
+  uint32_t Intern(const Predicate& predicate) {
+    auto [it, inserted] =
+        ids_.try_emplace(predicate, static_cast<uint32_t>(predicates_.size()));
+    if (inserted) predicates_.push_back(predicate);
+    return it->second;
+  }
+
+  /// The predicate with dense id `id`. Requires id < size().
+  const Predicate& Get(uint32_t id) const {
+    APCM_DCHECK(id < predicates_.size());
+    return predicates_[id];
+  }
+
+  /// Number of distinct predicates interned.
+  size_t size() const { return predicates_.size(); }
+
+  /// All interned predicates in id order.
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+
+  /// Releases the hash index, keeping only the id-ordered predicate vector;
+  /// call after the build phase to shed memory.
+  void ShrinkToRead() {
+    ids_.clear();
+    ids_.rehash(0);
+  }
+
+  /// Approximate heap bytes.
+  uint64_t MemoryBytes() const {
+    uint64_t bytes = predicates_.capacity() * sizeof(Predicate);
+    for (const Predicate& p : predicates_) {
+      bytes += p.values().capacity() * sizeof(Value);
+    }
+    bytes += ids_.size() * (sizeof(Predicate) + sizeof(uint32_t) + 16);
+    return bytes;
+  }
+
+ private:
+  std::vector<Predicate> predicates_;
+  std::unordered_map<Predicate, uint32_t, PredicateHash> ids_;
+};
+
+}  // namespace apcm::core
+
+#endif  // APCM_CORE_DICTIONARY_H_

@@ -1,0 +1,69 @@
+#include "src/core/osr.h"
+
+#include <algorithm>
+
+#include "src/base/macros.h"
+
+namespace apcm::core {
+
+bool EventSimilarityLess(const Event& a, const Event& b) {
+  const auto& ea = a.entries();
+  const auto& eb = b.entries();
+  const size_t n = std::min(ea.size(), eb.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (ea[i].attr != eb[i].attr) return ea[i].attr < eb[i].attr;
+  }
+  if (ea.size() != eb.size()) return ea.size() < eb.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (ea[i].value != eb[i].value) return ea[i].value < eb[i].value;
+  }
+  return false;
+}
+
+std::vector<uint32_t> ComputeWindowOrder(const std::vector<Event>& events,
+                                         size_t begin, size_t end) {
+  APCM_CHECK(begin <= end && end <= events.size());
+  std::vector<uint32_t> order;
+  order.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    order.push_back(static_cast<uint32_t>(i));
+  }
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return EventSimilarityLess(events[a], events[b]);
+  });
+  return order;
+}
+
+std::vector<uint32_t> ReorderStream(const std::vector<Event>& events,
+                                    const OsrOptions& options) {
+  std::vector<uint32_t> order;
+  order.reserve(events.size());
+  if (options.window_size <= 1) {
+    for (size_t i = 0; i < events.size(); ++i) {
+      order.push_back(static_cast<uint32_t>(i));
+    }
+    return order;
+  }
+  for (size_t begin = 0; begin < events.size();
+       begin += options.window_size) {
+    const size_t end =
+        std::min(events.size(), begin + size_t{options.window_size});
+    std::vector<uint32_t> window = ComputeWindowOrder(events, begin, end);
+    order.insert(order.end(), window.begin(), window.end());
+  }
+  return order;
+}
+
+std::vector<Event> ApplyOrder(const std::vector<Event>& events,
+                              const std::vector<uint32_t>& order) {
+  APCM_CHECK(order.size() == events.size());
+  std::vector<Event> reordered;
+  reordered.reserve(events.size());
+  for (uint32_t index : order) {
+    APCM_CHECK(index < events.size());
+    reordered.push_back(events[index]);
+  }
+  return reordered;
+}
+
+}  // namespace apcm::core

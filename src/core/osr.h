@@ -1,0 +1,52 @@
+#ifndef APCM_CORE_OSR_H_
+#define APCM_CORE_OSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/be/event.h"
+
+namespace apcm::core {
+
+/// Online Stream Re-ordering (OSR).
+///
+/// Event matching is insensitive to the order events are processed in, as
+/// long as each result is delivered with its original event id. OSR buffers
+/// a window of the incoming stream and re-orders it so events with similar
+/// attribute sets become adjacent. Two payoffs inside PCM batch matching:
+///  * cache locality — consecutive events exercise the same cluster groups
+///    and masks;
+///  * phase sharing — events with *identical* attribute signatures reuse the
+///    absence phase outright (PcmOptions::share_absence_phase).
+///
+/// The window bounds the added latency: an event is delayed by at most
+/// window_size - 1 positions.
+struct OsrOptions {
+  /// Events per re-ordering window; 0 or 1 disables re-ordering.
+  uint32_t window_size = 1024;
+};
+
+/// Compares two events by attribute-set similarity: lexicographically by
+/// attribute sequence, then by value sequence (so identical events are
+/// adjacent), with ties broken deterministically by the caller.
+bool EventSimilarityLess(const Event& a, const Event& b);
+
+/// Returns the processing order of events[begin, end) (absolute indices,
+/// each exactly once), sorted by similarity. Stable: equal events keep
+/// stream order.
+std::vector<uint32_t> ComputeWindowOrder(const std::vector<Event>& events,
+                                         size_t begin, size_t end);
+
+/// Applies OSR over the whole stream, window by window: the result is a
+/// permutation of [0, events.size()) where each window_size-aligned block is
+/// similarity-sorted. window_size <= 1 yields the identity permutation.
+std::vector<uint32_t> ReorderStream(const std::vector<Event>& events,
+                                    const OsrOptions& options);
+
+/// Convenience for benchmarks: materializes `events` in permuted order.
+std::vector<Event> ApplyOrder(const std::vector<Event>& events,
+                              const std::vector<uint32_t>& order);
+
+}  // namespace apcm::core
+
+#endif  // APCM_CORE_OSR_H_

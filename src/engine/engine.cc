@@ -1,0 +1,296 @@
+#include "src/engine/engine.h"
+
+#include <algorithm>
+
+#include "src/base/macros.h"
+#include "src/base/timer.h"
+#include "src/core/pcm.h"
+#include "src/workload/trace.h"
+
+namespace apcm::engine {
+
+StreamEngine::StreamEngine(EngineOptions options, MatchCallback callback)
+    : options_(std::move(options)), callback_(std::move(callback)) {
+  APCM_CHECK(options_.batch_size >= 1);
+  APCM_CHECK(callback_ != nullptr);
+  // A window must fit in the buffer or it could never fill.
+  options_.buffer_capacity =
+      std::max({options_.buffer_capacity, options_.osr.window_size,
+                options_.batch_size});
+  buffer_.reserve(options_.buffer_capacity);
+  buffer_ids_.reserve(options_.buffer_capacity);
+}
+
+StatusOr<SubscriptionId> StreamEngine::AddSubscription(
+    std::vector<Predicate> predicates) {
+  const SubscriptionId id = next_sub_id_;
+  APCM_ASSIGN_OR_RETURN(
+      BooleanExpression expr,
+      BooleanExpression::Create(id, std::move(predicates)));
+  ++next_sub_id_;
+  subscriptions_.push_back(std::move(expr));
+  pending_adds_.push_back(id);
+  return id;
+}
+
+StatusOr<SubscriptionId> StreamEngine::AddDisjunctiveSubscription(
+    std::vector<std::vector<Predicate>> disjuncts) {
+  if (disjuncts.empty()) {
+    return Status::InvalidArgument("a DNF subscription needs >= 1 disjunct");
+  }
+  // Validate every disjunct before registering any, so failure is atomic.
+  for (const auto& disjunct : disjuncts) {
+    APCM_RETURN_NOT_OK(
+        BooleanExpression::Create(0, disjunct).status());
+  }
+  SubscriptionId external = kInvalidSubscriptionId;
+  std::vector<SubscriptionId> internals;
+  for (auto& disjunct : disjuncts) {
+    APCM_ASSIGN_OR_RETURN(const SubscriptionId internal,
+                          AddSubscription(std::move(disjunct)));
+    internals.push_back(internal);
+    if (external == kInvalidSubscriptionId) {
+      external = internal;
+    } else {
+      dnf_alias_.emplace(internal, external);
+    }
+  }
+  if (internals.size() > 1) {
+    dnf_groups_.emplace(external, std::move(internals));
+  }
+  return external;
+}
+
+Status StreamEngine::RemoveSubscription(SubscriptionId id) {
+  if (auto alias = dnf_alias_.find(id); alias != dnf_alias_.end()) {
+    return Status::NotFound(
+        "id " + std::to_string(id) +
+        " is an internal disjunct; remove the subscription id " +
+        std::to_string(alias->second));
+  }
+  if (auto group = dnf_groups_.find(id); group != dnf_groups_.end()) {
+    // Remove every disjunct of the DNF group.
+    const std::vector<SubscriptionId> internals = std::move(group->second);
+    dnf_groups_.erase(group);
+    for (SubscriptionId internal : internals) {
+      dnf_alias_.erase(internal);
+      tombstones_.insert(internal);
+      pending_removes_.push_back(internal);
+    }
+    priorities_.erase(id);
+    return Status::OK();
+  }
+  if (id >= next_sub_id_ || tombstones_.contains(id)) {
+    return Status::NotFound("subscription " + std::to_string(id) +
+                            " is not registered");
+  }
+  const bool exists = std::any_of(
+      subscriptions_.begin(), subscriptions_.end(),
+      [id](const BooleanExpression& sub) { return sub.id() == id; });
+  if (!exists) {
+    return Status::NotFound("subscription " + std::to_string(id) +
+                            " was already removed");
+  }
+  tombstones_.insert(id);
+  pending_removes_.push_back(id);
+  priorities_.erase(id);
+  return Status::OK();
+}
+
+Status StreamEngine::SaveSubscriptions(const std::string& path) const {
+  workload::Workload snapshot;
+  AttributeId max_attr = 0;
+  bool any_attr = false;
+  for (const BooleanExpression& sub : subscriptions_) {
+    if (tombstones_.contains(sub.id())) continue;
+    snapshot.subscriptions.push_back(sub);
+    for (const Predicate& pred : sub.predicates()) {
+      max_attr = std::max(max_attr, pred.attribute());
+      any_attr = true;
+    }
+  }
+  if (any_attr) {
+    for (AttributeId a = 0; a <= max_attr; ++a) {
+      APCM_RETURN_NOT_OK(snapshot.catalog
+                             .AddAttribute("a" + std::to_string(a),
+                                           options_.matcher.domain.lo,
+                                           options_.matcher.domain.hi)
+                             .status());
+    }
+  }
+  if (path.size() > 4 && path.compare(path.size() - 4, 4, ".txt") == 0) {
+    return workload::SaveText(snapshot, path);
+  }
+  return workload::SaveBinary(snapshot, path);
+}
+
+StatusOr<size_t> StreamEngine::LoadSubscriptions(const std::string& path) {
+  auto loaded = path.size() > 4 &&
+                        path.compare(path.size() - 4, 4, ".txt") == 0
+                    ? workload::LoadText(path)
+                    : workload::LoadBinary(path);
+  APCM_RETURN_NOT_OK(loaded.status());
+  // The trace loader already validated every expression; registration
+  // cannot fail below, keeping the bulk load atomic.
+  for (const BooleanExpression& sub : loaded->subscriptions) {
+    auto added = AddSubscription(sub.predicates());
+    APCM_CHECK(added.ok());
+  }
+  return loaded->subscriptions.size();
+}
+
+Status StreamEngine::SetPriority(SubscriptionId id, double priority) {
+  if (id >= next_sub_id_ || tombstones_.contains(id)) {
+    return Status::NotFound("subscription " + std::to_string(id) +
+                            " is not registered");
+  }
+  if (priority == 0) {
+    priorities_.erase(id);
+  } else {
+    priorities_[id] = priority;
+  }
+  return Status::OK();
+}
+
+uint64_t StreamEngine::Publish(Event event) {
+  const uint64_t id = next_event_id_++;
+  buffer_.push_back(std::move(event));
+  buffer_ids_.push_back(id);
+  stats_.events_published++;
+  if (buffer_.size() >= options_.buffer_capacity) {
+    ProcessBuffered();
+  }
+  return id;
+}
+
+void StreamEngine::Flush() { ProcessBuffered(); }
+
+void StreamEngine::RebuildIfNeeded() {
+  if (matcher_ != nullptr && pending_adds_.empty() &&
+      pending_removes_.empty()) {
+    return;
+  }
+
+  // Fast path for PCM-family matchers: absorb changes through the delta
+  // structures, folding them into the main clusters (Compact) once the
+  // delta fraction crosses the threshold. The index is only ever rebuilt
+  // from scratch for other matcher kinds or when the threshold is 0.
+  if (matcher_ != nullptr && options_.incremental_rebuild_threshold > 0) {
+    auto* pcm = dynamic_cast<core::PcmMatcher*>(matcher_.get());
+    if (pcm != nullptr) {
+      for (SubscriptionId id : pending_adds_) {
+        // subscriptions_ is id-sorted (ids are monotone and compaction
+        // preserves order).
+        auto it = std::lower_bound(
+            subscriptions_.begin(), subscriptions_.end(), id,
+            [](const BooleanExpression& sub, SubscriptionId target) {
+              return sub.id() < target;
+            });
+        APCM_CHECK(it != subscriptions_.end() && it->id() == id);
+        pcm->AddIncremental(*it);
+        stats_.incremental_updates++;
+      }
+      for (SubscriptionId id : pending_removes_) {
+        APCM_CHECK(pcm->RemoveIncremental(id).ok());
+        stats_.incremental_updates++;
+      }
+      pending_adds_.clear();
+      pending_removes_.clear();
+      if (pcm->DeltaFraction() > options_.incremental_rebuild_threshold) {
+        pcm->Compact();
+        stats_.compactions++;
+        // Mirror the matcher: drop tombstoned subscriptions from the
+        // master list (built_subs_ stays untouched — surviving clusters
+        // still reference it).
+        std::erase_if(subscriptions_, [this](const BooleanExpression& sub) {
+          return tombstones_.contains(sub.id());
+        });
+        tombstones_.clear();
+      }
+      return;
+    }
+  }
+
+  // Full rebuild: compact the live subscriptions; ids are preserved (never
+  // reused), so id-indexed matcher arrays simply keep gaps for removed
+  // subscriptions.
+  std::vector<BooleanExpression> live;
+  live.reserve(subscriptions_.size() - tombstones_.size());
+  for (const BooleanExpression& sub : subscriptions_) {
+    if (!tombstones_.contains(sub.id())) live.push_back(sub);
+  }
+  subscriptions_ = std::move(live);
+  tombstones_.clear();
+  pending_adds_.clear();
+  pending_removes_.clear();
+  built_subs_ = subscriptions_;  // stable storage the matcher may reference
+  matcher_ = CreateMatcher(options_.kind, options_.matcher);
+  APCM_CHECK(matcher_ != nullptr);
+  matcher_->Build(built_subs_);
+  stats_.rebuilds++;
+}
+
+void StreamEngine::ProcessBuffered() {
+  if (buffer_.empty()) return;
+  RebuildIfNeeded();
+
+  const std::vector<uint32_t> order = core::ReorderStream(buffer_, options_.osr);
+  std::vector<std::vector<SubscriptionId>> results_by_buffer_index(
+      buffer_.size());
+
+  std::vector<Event> batch;
+  std::vector<std::vector<SubscriptionId>> batch_results;
+  for (size_t pos = 0; pos < order.size(); pos += options_.batch_size) {
+    const size_t end =
+        std::min(order.size(), pos + size_t{options_.batch_size});
+    batch.clear();
+    for (size_t i = pos; i < end; ++i) batch.push_back(buffer_[order[i]]);
+    WallTimer timer;
+    matcher_->MatchBatch(batch, &batch_results);
+    stats_.batch_latency_ns.Record(timer.ElapsedNanos());
+    stats_.batches_processed++;
+    for (size_t i = pos; i < end; ++i) {
+      results_by_buffer_index[order[i]] = std::move(batch_results[i - pos]);
+    }
+  }
+
+  // Deliver in ascending event-id order (== buffer order). DNF disjunct ids
+  // are translated to their external subscription id and deduplicated.
+  for (size_t i = 0; i < buffer_.size(); ++i) {
+    auto& matches = results_by_buffer_index[i];
+    if (!dnf_alias_.empty() && !matches.empty()) {
+      for (SubscriptionId& id : matches) {
+        auto it = dnf_alias_.find(id);
+        if (it != dnf_alias_.end()) id = it->second;
+      }
+      std::sort(matches.begin(), matches.end());
+      matches.erase(std::unique(matches.begin(), matches.end()),
+                    matches.end());
+    }
+    if (options_.top_k > 0 && matches.size() > options_.top_k) {
+      // Keep the top_k highest-priority matches; within the prefix, restore
+      // ascending-id order so the delivery contract stays uniform.
+      auto priority_of = [this](SubscriptionId id) {
+        auto it = priorities_.find(id);
+        return it == priorities_.end() ? 0.0 : it->second;
+      };
+      std::partial_sort(
+          matches.begin(), matches.begin() + options_.top_k, matches.end(),
+          [&](SubscriptionId a, SubscriptionId b) {
+            const double pa = priority_of(a);
+            const double pb = priority_of(b);
+            if (pa != pb) return pa > pb;
+            return a < b;
+          });
+      matches.resize(options_.top_k);
+      std::sort(matches.begin(), matches.end());
+    }
+    stats_.events_processed++;
+    stats_.matches_delivered += matches.size();
+    callback_(buffer_ids_[i], matches);
+  }
+  buffer_.clear();
+  buffer_ids_.clear();
+}
+
+}  // namespace apcm::engine

@@ -1,0 +1,157 @@
+#ifndef APCM_ENGINE_ENGINE_H_
+#define APCM_ENGINE_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/base/histogram.h"
+#include "src/base/status.h"
+#include "src/core/osr.h"
+#include "src/engine/matcher_factory.h"
+
+namespace apcm::engine {
+
+/// Engine-level counters (matcher-internal counters live in MatcherStats).
+struct EngineStats {
+  uint64_t events_published = 0;
+  uint64_t events_processed = 0;
+  uint64_t matches_delivered = 0;
+  uint64_t batches_processed = 0;
+  uint64_t rebuilds = 0;
+  /// Subscription changes absorbed without a rebuild (PCM delta path).
+  uint64_t incremental_updates = 0;
+  /// Delta-folding compactions triggered by the rebuild threshold.
+  uint64_t compactions = 0;
+  /// Wall time per processed batch, nanoseconds.
+  Histogram batch_latency_ns;
+};
+
+struct EngineOptions {
+  MatcherKind kind = MatcherKind::kAPcm;
+  MatcherConfig matcher;
+  /// Events handed to the matcher per MatchBatch call.
+  uint32_t batch_size = 256;
+  /// OSR window; 0/1 disables re-ordering. The window is an integer multiple
+  /// of batches in practice (a window is flushed as consecutive batches).
+  core::OsrOptions osr;
+  /// Publish() triggers processing once this many events are buffered (at
+  /// least the OSR window). Flush() processes any remainder.
+  uint32_t buffer_capacity = 1024;
+  /// For PCM-family matchers, subscription changes are applied via the
+  /// matcher's incremental delta path, and folded into the main clusters
+  /// (Compact) once the delta fraction exceeds this threshold. 0 forces
+  /// full rebuilds on every change (and is the only behavior for non-PCM
+  /// matchers).
+  double incremental_rebuild_threshold = 0.25;
+  /// When > 0, each delivery is truncated to the `top_k` matches with the
+  /// highest priority (ties broken by lower id first). Priorities default
+  /// to 0 and are set per subscription with SetPriority — e.g. campaign
+  /// bids in ad serving. 0 delivers every match.
+  uint32_t top_k = 0;
+};
+
+/// End-to-end streaming facade over the matchers: manages the subscription
+/// set (with incremental add/remove via lazy rebuilds), buffers and
+/// re-orders the event stream (OSR), batches it through the configured
+/// matcher, and delivers results through a callback.
+///
+/// Delivery contract: for every published event, the callback fires exactly
+/// once with the event's id and its sorted match list. Within one processing
+/// round, callbacks fire in ascending event-id order regardless of the OSR
+/// processing order. Removed subscriptions stop matching at the Remove call
+/// (tombstoned immediately, physically dropped at the next rebuild).
+///
+/// Thread-compatibility: the engine is single-caller (confine calls to one
+/// thread); the matcher may parallelize internally.
+class StreamEngine {
+ public:
+  using MatchCallback = std::function<void(
+      uint64_t event_id, const std::vector<SubscriptionId>& matches)>;
+
+  StreamEngine(EngineOptions options, MatchCallback callback);
+
+  /// Registers a subscription built from `predicates`; returns its engine-
+  /// assigned id. Triggers a lazy matcher rebuild before the next batch.
+  /// Fails if two predicates share an attribute.
+  StatusOr<SubscriptionId> AddSubscription(std::vector<Predicate> predicates);
+
+  /// Registers a subscription in disjunctive normal form: it matches an
+  /// event iff any of `disjuncts` (each a conjunction) matches. Internally
+  /// each disjunct is a separate conjunction; deliveries report the single
+  /// returned id, deduplicated. Fails on an empty disjunct list or an
+  /// invalid disjunct (nothing is registered on failure).
+  StatusOr<SubscriptionId> AddDisjunctiveSubscription(
+      std::vector<std::vector<Predicate>> disjuncts);
+
+  /// Unregisters `id`. NotFound if the id was never assigned or was already
+  /// removed.
+  Status RemoveSubscription(SubscriptionId id);
+
+  /// Sets the delivery priority of `id` (see EngineOptions::top_k). May be
+  /// called any time; takes effect from the next processed batch. NotFound
+  /// for unknown/removed ids.
+  Status SetPriority(SubscriptionId id, double priority);
+
+  /// Enqueues `event`; returns its id (dense, starting at 0). May process
+  /// buffered events (invoking callbacks) when the buffer fills.
+  uint64_t Publish(Event event);
+
+  /// Processes all buffered events.
+  void Flush();
+
+  /// Persists the live subscription set to a trace file ("*.txt" = text
+  /// format, otherwise binary). Attribute names are synthesized as
+  /// "a<id>" with the engine's configured domain (the engine itself is
+  /// id-based). DNF groups are flattened into their disjuncts.
+  Status SaveSubscriptions(const std::string& path) const;
+
+  /// Bulk-registers every subscription from a trace file; engine ids are
+  /// newly assigned (the trace's ids are not preserved). Returns how many
+  /// were added. Partially applied on mid-file errors is prevented by
+  /// validating the full file first.
+  StatusOr<size_t> LoadSubscriptions(const std::string& path);
+
+  /// Number of live (non-removed) subscriptions.
+  size_t num_subscriptions() const {
+    return subscriptions_.size() - tombstones_.size();
+  }
+
+  const EngineStats& stats() const { return stats_; }
+  /// The underlying matcher's counters (valid after the first batch).
+  const MatcherStats* matcher_stats() const {
+    return matcher_ ? &matcher_->stats() : nullptr;
+  }
+
+ private:
+  void RebuildIfNeeded();
+  void ProcessBuffered();
+
+  EngineOptions options_;
+  MatchCallback callback_;
+  std::vector<BooleanExpression> subscriptions_;  // includes tombstoned slots
+  std::vector<BooleanExpression> built_subs_;     // snapshot the matcher uses
+  std::unordered_set<SubscriptionId> tombstones_;
+  /// Changes not yet reflected in matcher_.
+  std::vector<SubscriptionId> pending_adds_;
+  std::vector<SubscriptionId> pending_removes_;
+  /// DNF bookkeeping: internal disjunct id -> external id (only non-identity
+  /// entries stored), and external id -> all its internal ids.
+  std::unordered_map<SubscriptionId, SubscriptionId> dnf_alias_;
+  std::unordered_map<SubscriptionId, std::vector<SubscriptionId>> dnf_groups_;
+  /// Non-zero delivery priorities (sparse; see EngineOptions::top_k).
+  std::unordered_map<SubscriptionId, double> priorities_;
+  SubscriptionId next_sub_id_ = 0;
+  std::unique_ptr<Matcher> matcher_;
+
+  std::vector<Event> buffer_;
+  std::vector<uint64_t> buffer_ids_;
+  uint64_t next_event_id_ = 0;
+  EngineStats stats_;
+};
+
+}  // namespace apcm::engine
+
+#endif  // APCM_ENGINE_ENGINE_H_

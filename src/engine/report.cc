@@ -1,0 +1,46 @@
+#include "src/engine/report.h"
+
+#include "src/base/string_util.h"
+
+namespace apcm::engine {
+
+std::string RenderMatcherStats(const MatcherStats& stats) {
+  return StringPrintf(
+      "events=%s predicate_evals=%s bitmap_words=%s candidates=%s "
+      "matches=%s",
+      FormatWithCommas(stats.events_matched).c_str(),
+      FormatWithCommas(stats.predicate_evals).c_str(),
+      FormatWithCommas(stats.bitmap_words).c_str(),
+      FormatWithCommas(stats.candidates_checked).c_str(),
+      FormatWithCommas(stats.matches_emitted).c_str());
+}
+
+std::string RenderReport(const StreamEngine& engine) {
+  const EngineStats& stats = engine.stats();
+  std::string report;
+  report += "subscriptions (live): " +
+            FormatWithCommas(engine.num_subscriptions()) + "\n";
+  report += "events published:     " +
+            FormatWithCommas(stats.events_published) + "\n";
+  report += "events processed:     " +
+            FormatWithCommas(stats.events_processed) + "\n";
+  report += "matches delivered:    " +
+            FormatWithCommas(stats.matches_delivered) + "\n";
+  report += "batches processed:    " +
+            FormatWithCommas(stats.batches_processed) + "\n";
+  report += "index rebuilds:       " + FormatWithCommas(stats.rebuilds) +
+            "\n";
+  report += "incremental updates:  " +
+            FormatWithCommas(stats.incremental_updates) + "\n";
+  report += "compactions:          " + FormatWithCommas(stats.compactions) +
+            "\n";
+  report +=
+      "batch latency (ns):   " + stats.batch_latency_ns.Summary() + "\n";
+  if (const MatcherStats* matcher_stats = engine.matcher_stats()) {
+    report += "matcher counters:     " + RenderMatcherStats(*matcher_stats) +
+              "\n";
+  }
+  return report;
+}
+
+}  // namespace apcm::engine

@@ -1,0 +1,22 @@
+#ifndef APCM_ENGINE_REPORT_H_
+#define APCM_ENGINE_REPORT_H_
+
+#include <string>
+
+#include "src/engine/engine.h"
+
+namespace apcm::engine {
+
+/// Renders a multi-line human-readable operations report for an engine:
+/// subscription counts, stream counters, rebuild/compaction activity, batch
+/// latency percentiles, and the underlying matcher's work counters. Intended
+/// for logs and admin endpoints; every line is "key: value".
+std::string RenderReport(const StreamEngine& engine);
+
+/// Renders just the matcher counters ("events=... predicate_evals=..."),
+/// usable for any Matcher.
+std::string RenderMatcherStats(const MatcherStats& stats);
+
+}  // namespace apcm::engine
+
+#endif  // APCM_ENGINE_REPORT_H_

@@ -1,0 +1,171 @@
+#ifndef APCM_INDEX_INTERVAL_INDEX_H_
+#define APCM_INDEX_INTERVAL_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/macros.h"
+#include "src/be/value.h"
+
+namespace apcm::index {
+
+/// Static point-stabbing index over closed integer intervals on a single
+/// attribute: given a value v, report the payloads of all intervals
+/// containing v. Hybrid layout:
+///  * point intervals (lo == hi, i.e. equality predicates) go to a hash
+///    table — O(1) per stab regardless of how many distinct constants exist;
+///  * proper intervals go to a centered interval tree — O(log n + k) stabs.
+///
+/// Build protocol: Add(...) any number of entries, then Build() once, then
+/// Stab(...) freely. Payloads are caller-defined 32-bit handles (the counting
+/// matcher uses dense predicate-instance ids).
+class IntervalIndex {
+ public:
+  /// Registers `interval` with `payload`. Empty intervals are ignored.
+  void Add(ValueInterval interval, uint32_t payload) {
+    APCM_DCHECK(!built_);
+    if (interval.Empty()) return;
+    ++size_;
+    if (interval.lo == interval.hi) {
+      points_[interval.lo].push_back(payload);
+    } else {
+      spans_.push_back(Entry{interval, payload});
+    }
+  }
+
+  /// Finalizes the structure. Must be called exactly once before Stab.
+  void Build() {
+    APCM_DCHECK(!built_);
+    built_ = true;
+    if (!spans_.empty()) {
+      root_ = BuildNode(spans_.begin(), spans_.end());
+      spans_.clear();
+      spans_.shrink_to_fit();
+    }
+  }
+
+  /// Invokes fn(payload) for every interval containing `value`. Order is
+  /// unspecified; each containing interval is reported exactly once.
+  template <typename Fn>
+  void Stab(Value value, Fn fn) const {
+    APCM_DCHECK(built_);
+    auto it = points_.find(value);
+    if (it != points_.end()) {
+      for (uint32_t payload : it->second) fn(payload);
+    }
+    int32_t node_index = root_;
+    while (node_index >= 0) {
+      const Node& node = nodes_[static_cast<size_t>(node_index)];
+      if (value < node.center) {
+        // Intervals at this node all contain center > value; those with
+        // lo <= value contain value. by_lo is sorted ascending by lo.
+        for (const Entry& entry : node.by_lo) {
+          if (entry.interval.lo > value) break;
+          fn(entry.payload);
+        }
+        node_index = node.left;
+      } else if (value > node.center) {
+        // by_hi is sorted descending by hi.
+        for (const Entry& entry : node.by_hi) {
+          if (entry.interval.hi < value) break;
+          fn(entry.payload);
+        }
+        node_index = node.right;
+      } else {
+        for (const Entry& entry : node.by_lo) fn(entry.payload);
+        break;  // no interval in either subtree contains the center
+      }
+    }
+  }
+
+  /// Number of indexed intervals (points + spans).
+  size_t size() const { return size_; }
+
+  /// Approximate heap bytes.
+  uint64_t MemoryBytes() const {
+    uint64_t bytes = nodes_.capacity() * sizeof(Node);
+    for (const Node& node : nodes_) {
+      bytes += (node.by_lo.capacity() + node.by_hi.capacity()) * sizeof(Entry);
+    }
+    bytes += points_.size() *
+             (sizeof(Value) + sizeof(std::vector<uint32_t>) + 16);
+    for (const auto& [value, payloads] : points_) {
+      bytes += payloads.capacity() * sizeof(uint32_t);
+    }
+    return bytes;
+  }
+
+ private:
+  struct Entry {
+    ValueInterval interval;
+    uint32_t payload;
+  };
+
+  struct Node {
+    Value center = 0;
+    int32_t left = -1;
+    int32_t right = -1;
+    std::vector<Entry> by_lo;  // intervals containing center, ascending lo
+    std::vector<Entry> by_hi;  // same intervals, descending hi
+  };
+
+  using EntryIter = std::vector<Entry>::iterator;
+
+  /// Recursively builds the subtree over [begin, end); returns node index or
+  /// -1 when empty. Center = median of interval midpoints, which keeps the
+  /// tree balanced for both clustered and spread-out workloads.
+  int32_t BuildNode(EntryIter begin, EntryIter end) {
+    if (begin == end) return -1;
+    auto mid = begin + (end - begin) / 2;
+    std::nth_element(begin, mid, end, [](const Entry& a, const Entry& b) {
+      // Compare by midpoint without overflow.
+      return a.interval.lo / 2 + a.interval.hi / 2 <
+             b.interval.lo / 2 + b.interval.hi / 2;
+    });
+    const Value center = mid->interval.lo / 2 + mid->interval.hi / 2;
+
+    auto left_end = std::partition(begin, end, [center](const Entry& e) {
+      return e.interval.hi < center;
+    });
+    auto here_end = std::partition(left_end, end, [center](const Entry& e) {
+      return e.interval.lo <= center;  // hi >= center already
+    });
+
+    const auto index = static_cast<int32_t>(nodes_.size());
+    nodes_.push_back(Node{});
+    {
+      Node& node = nodes_[static_cast<size_t>(index)];
+      node.center = center;
+      node.by_lo.assign(left_end, here_end);
+      std::sort(node.by_lo.begin(), node.by_lo.end(),
+                [](const Entry& a, const Entry& b) {
+                  return a.interval.lo < b.interval.lo;
+                });
+      node.by_hi.assign(left_end, here_end);
+      std::sort(node.by_hi.begin(), node.by_hi.end(),
+                [](const Entry& a, const Entry& b) {
+                  return a.interval.hi > b.interval.hi;
+                });
+    }
+    // Children are built after the node is placed; store indices afterwards
+    // because nodes_ may reallocate during recursion.
+    const int32_t left = BuildNode(begin, left_end);
+    const int32_t right = BuildNode(here_end, end);
+    nodes_[static_cast<size_t>(index)].left = left;
+    nodes_[static_cast<size_t>(index)].right = right;
+    return index;
+  }
+
+  std::unordered_map<Value, std::vector<uint32_t>> points_;
+  std::vector<Entry> spans_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  size_t size_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace apcm::index
+
+#endif  // APCM_INDEX_INTERVAL_INDEX_H_

@@ -1,0 +1,84 @@
+#ifndef APCM_INDEX_MATCHER_H_
+#define APCM_INDEX_MATCHER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/be/event.h"
+#include "src/be/expression.h"
+
+namespace apcm {
+
+/// Instrumentation counters every matcher maintains. These drive the
+/// adaptive cost model, the multi-core work model (DESIGN.md §4), and the
+/// benchmark reports. Counters are cumulative; callers snapshot/diff.
+struct MatcherStats {
+  uint64_t events_matched = 0;     ///< events processed
+  uint64_t predicate_evals = 0;    ///< individual predicate evaluations
+  uint64_t bitmap_words = 0;       ///< 64-bit bitmap words touched
+  uint64_t candidates_checked = 0; ///< expressions examined (full or partial)
+  uint64_t matches_emitted = 0;    ///< total (event, subscription) matches
+
+  MatcherStats& operator+=(const MatcherStats& other) {
+    events_matched += other.events_matched;
+    predicate_evals += other.predicate_evals;
+    bitmap_words += other.bitmap_words;
+    candidates_checked += other.candidates_checked;
+    matches_emitted += other.matches_emitted;
+    return *this;
+  }
+
+  /// Abstract work units consumed, the currency of the cost model: one
+  /// predicate evaluation ≈ one unit, one bitmap word ≈ 1/4 unit (a masked
+  /// and-not is far cheaper than a predicate compare+branch).
+  double WorkUnits() const {
+    return static_cast<double>(predicate_evals) +
+           0.25 * static_cast<double>(bitmap_words);
+  }
+};
+
+/// Common interface of every matching algorithm in this repository — the
+/// baselines (SCAN, Counting, k-index, BE-Tree) and the contributions
+/// (PCM / A-PCM). A matcher is built once over a subscription set and then
+/// serves read-only Match calls. Match results are subscription ids in
+/// ascending order.
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  /// Algorithm name for reports, e.g. "scan", "be-tree", "a-pcm".
+  virtual std::string Name() const = 0;
+
+  /// Builds the index over `subscriptions`. Called exactly once, before any
+  /// Match call. Implementations may keep references into the vector; the
+  /// caller keeps it alive for the matcher's lifetime.
+  virtual void Build(const std::vector<BooleanExpression>& subscriptions) = 0;
+
+  /// Appends the ids of all subscriptions matching `event` to `*matches`
+  /// in ascending order (matches is cleared first).
+  virtual void Match(const Event& event,
+                     std::vector<SubscriptionId>* matches) = 0;
+
+  /// Matches a batch of events; result i corresponds to events[i]. The
+  /// default loops over Match; batch-aware matchers (PCM/A-PCM) override to
+  /// exploit cluster-major processing.
+  virtual void MatchBatch(const std::vector<Event>& events,
+                          std::vector<std::vector<SubscriptionId>>* results) {
+    results->assign(events.size(), {});
+    for (size_t i = 0; i < events.size(); ++i) {
+      Match(events[i], &(*results)[i]);
+    }
+  }
+
+  /// Cumulative instrumentation since Build.
+  virtual const MatcherStats& stats() const = 0;
+
+  /// Approximate heap footprint of the index structures in bytes
+  /// (excluding the subscription vector owned by the caller).
+  virtual uint64_t MemoryBytes() const = 0;
+};
+
+}  // namespace apcm
+
+#endif  // APCM_INDEX_MATCHER_H_

@@ -1,0 +1,76 @@
+#include "src/sim/core_model.h"
+
+#include <algorithm>
+
+#include "src/base/macros.h"
+
+namespace apcm::sim {
+
+BatchProfile ProfileClusterWork(const core::PcmMatcher& matcher,
+                                const std::vector<Event>& events) {
+  BatchProfile profile;
+  const auto& clusters = matcher.clusters();
+  profile.cluster_work.reserve(clusters.size());
+  std::vector<uint64_t> result;
+  std::vector<SubscriptionId> matches;
+  for (const core::CompressedCluster& cluster : clusters) {
+    result.assign(cluster.words(), 0);
+    MatcherStats stats;
+    for (const Event& event : events) {
+      if (cluster.MatchCompressed(event, result.data(), &stats)) {
+        matches.clear();
+        cluster.CollectMatches(result.data(), &matches);
+        profile.total_matches += static_cast<double>(matches.size());
+      }
+    }
+    profile.cluster_work.push_back(stats.WorkUnits());
+  }
+  return profile;
+}
+
+void MultiCoreModel::Calibrate(double measured_seconds) {
+  double total_work = 0;
+  for (double work : profile_.cluster_work) total_work += work;
+  APCM_CHECK(total_work > 0);
+  // Subtract the modeled non-work components of the measured single-thread
+  // run so kappa reflects pure matching work; clamp for tiny batches.
+  const double overhead = options_.barrier_seconds +
+                          options_.merge_seconds_per_match *
+                              profile_.total_matches;
+  kappa_ = std::max(measured_seconds - overhead, measured_seconds * 0.1) /
+           total_work;
+}
+
+double MultiCoreModel::PredictSeconds(int threads) const {
+  APCM_CHECK(threads >= 1);
+  APCM_CHECK(kappa_ > 0);
+  const size_t n = profile_.cluster_work.size();
+  // Replay PcmMatcher's strided cluster assignment: thread t owns clusters
+  // {t, t+T, ...}.
+  const auto stripes = static_cast<size_t>(threads);
+  double max_stripe_work = 0;
+  for (size_t stripe = 0; stripe < stripes; ++stripe) {
+    double stripe_work = 0;
+    for (size_t c = stripe; c < n; c += stripes) {
+      stripe_work += profile_.cluster_work[c];
+    }
+    max_stripe_work = std::max(max_stripe_work, stripe_work);
+  }
+  return kappa_ * max_stripe_work +
+         options_.merge_seconds_per_match * profile_.total_matches +
+         options_.barrier_seconds * static_cast<double>(threads);
+}
+
+std::vector<SpeedupPoint> MultiCoreModel::Sweep(
+    const std::vector<int>& thread_counts) const {
+  std::vector<SpeedupPoint> points;
+  points.reserve(thread_counts.size());
+  const double t1 = PredictSeconds(1);
+  for (int threads : thread_counts) {
+    const double tn = PredictSeconds(threads);
+    points.push_back(SpeedupPoint{threads, tn, t1 / tn});
+  }
+  return points;
+}
+
+}  // namespace apcm::sim

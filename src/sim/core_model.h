@@ -1,0 +1,86 @@
+#ifndef APCM_SIM_CORE_MODEL_H_
+#define APCM_SIM_CORE_MODEL_H_
+
+#include <vector>
+
+#include "src/be/event.h"
+#include "src/core/pcm.h"
+
+namespace apcm::sim {
+
+/// Deterministic multi-core performance model — the substitute for the
+/// paper's multi-core evaluation server (DESIGN.md §4).
+///
+/// The real PcmMatcher::MatchBatch partitions clusters into contiguous
+/// shards, one per thread, with a barrier and a per-event merge at the end.
+/// Its wall time on N cores is therefore
+///
+///   T(N) = kappa * max_shard(sum of cluster work in shard)
+///        + merge_per_match * total_matches
+///        + barrier * N
+///
+/// where cluster work is measured in abstract work units (predicate
+/// evaluations + weighted bitmap words — MatcherStats::WorkUnits) and kappa
+/// (seconds per work unit) is calibrated from one *real* measured
+/// single-thread run on the host. The model replays the exact partitioning
+/// arithmetic of ThreadPool::ParallelFor, so its N=1 prediction reproduces
+/// the measured run by construction and its N>1 predictions reflect the
+/// algorithm's true work imbalance, merge volume, and synchronization —
+/// everything except host-specific memory-bandwidth contention.
+struct CoreModelOptions {
+  /// Fixed synchronization cost charged per thread per batch.
+  double barrier_seconds = 2e-6;
+  /// Cost of funneling one match through the merge phase.
+  double merge_seconds_per_match = 5e-9;
+};
+
+/// Measured inputs of one batch: per-cluster work and the match volume.
+struct BatchProfile {
+  std::vector<double> cluster_work;  ///< work units per cluster, batch total
+  double total_matches = 0;          ///< (event, subscription) pairs emitted
+};
+
+/// Profiles `matcher`'s clusters against `events`: runs compressed
+/// evaluation per cluster with local instrumentation and returns the
+/// per-cluster work units. Does not disturb the matcher's own stats.
+BatchProfile ProfileClusterWork(const core::PcmMatcher& matcher,
+                                const std::vector<Event>& events);
+
+/// One point of a scalability sweep.
+struct SpeedupPoint {
+  int threads;
+  double seconds;  ///< predicted batch wall time
+  double speedup;  ///< T(1) / T(N)
+};
+
+class MultiCoreModel {
+ public:
+  explicit MultiCoreModel(CoreModelOptions options = {})
+      : options_(options) {}
+
+  /// Installs the measured batch profile.
+  void SetProfile(BatchProfile profile) { profile_ = std::move(profile); }
+
+  /// Calibrates kappa from a real single-thread measurement of the same
+  /// batch: `measured_seconds` of wall time for the profiled work.
+  void Calibrate(double measured_seconds);
+
+  /// Seconds per work unit after calibration.
+  double kappa() const { return kappa_; }
+
+  /// Predicted batch wall time on `threads` cores. Requires a profile and a
+  /// calibration.
+  double PredictSeconds(int threads) const;
+
+  /// Predicted T(1)/T(N) for each entry of `thread_counts`.
+  std::vector<SpeedupPoint> Sweep(const std::vector<int>& thread_counts) const;
+
+ private:
+  CoreModelOptions options_;
+  BatchProfile profile_;
+  double kappa_ = 0;
+};
+
+}  // namespace apcm::sim
+
+#endif  // APCM_SIM_CORE_MODEL_H_

@@ -1,0 +1,291 @@
+#include "src/workload/generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/base/macros.h"
+#include "src/base/rng.h"
+#include "src/base/zipf.h"
+
+namespace apcm::workload {
+namespace {
+
+// Sub-seeds so that subscriptions are identical whether or not events are
+// generated, and vice versa.
+constexpr uint64_t kSubscriptionStream = 0x5AB5C81BE5ULL;
+constexpr uint64_t kEventStream = 0xE7E475ULL;
+
+/// Draws `count` distinct attribute ids from [0, universe) with the given
+/// popularity distribution. Falls back to filling with the smallest unused
+/// ids if skew makes rejection sampling slow (can only happen when count is
+/// close to the effective support of the distribution).
+void SampleDistinctAttrs(uint32_t count, [[maybe_unused]] uint32_t universe,
+                         const ZipfDistribution& zipf, Rng& rng,
+                         std::vector<AttributeId>* out) {
+  out->clear();
+  APCM_DCHECK(count <= universe);
+  std::unordered_set<AttributeId> seen;
+  seen.reserve(count * 2);
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = 50ULL * count + 100;
+  while (seen.size() < count && attempts < max_attempts) {
+    ++attempts;
+    const auto attr = static_cast<AttributeId>(zipf.Sample(rng));
+    if (seen.insert(attr).second) out->push_back(attr);
+  }
+  for (AttributeId a = 0; out->size() < count; ++a) {
+    APCM_DCHECK(a < universe);
+    if (seen.insert(a).second) out->push_back(a);
+  }
+  std::sort(out->begin(), out->end());
+}
+
+class GeneratorImpl {
+ public:
+  explicit GeneratorImpl(const WorkloadSpec& spec)
+      : spec_(spec),
+        domain_{spec.domain_min, spec.domain_max},
+        attr_zipf_(spec.num_attributes, spec.attribute_zipf),
+        value_zipf_(domain_.Width(), spec.value_zipf),
+        grid_step_(spec.operand_grid > 0
+                       ? std::max<Value>(
+                             1, static_cast<Value>(
+                                    spec.operand_grid *
+                                    static_cast<double>(domain_.Width())))
+                       : 1) {}
+
+  std::vector<BooleanExpression> GenerateSubscriptions() {
+    Rng rng(spec_.seed ^ kSubscriptionStream);
+    std::vector<BooleanExpression> subs;
+    subs.reserve(spec_.num_subscriptions);
+    std::vector<AttributeId> attrs;
+    for (uint32_t i = 0; i < spec_.num_subscriptions; ++i) {
+      const auto k = static_cast<uint32_t>(
+          rng.UniformInt(spec_.min_predicates, spec_.max_predicates));
+      SampleDistinctAttrs(k, spec_.num_attributes, attr_zipf_, rng, &attrs);
+      std::vector<Predicate> predicates;
+      predicates.reserve(k);
+      for (AttributeId attr : attrs) {
+        predicates.push_back(MakePredicate(attr, rng));
+      }
+      subs.push_back(BooleanExpression::FromSorted(
+          static_cast<SubscriptionId>(i), std::move(predicates)));
+    }
+    return subs;
+  }
+
+  std::vector<Event> GenerateEvents(
+      const std::vector<BooleanExpression>& subs) {
+    Rng rng(spec_.seed ^ kEventStream);
+    std::vector<Event> events;
+    events.reserve(spec_.num_events);
+    std::vector<AttributeId> template_attrs;  // last event's attribute set
+    std::vector<AttributeId> attrs;
+    for (uint32_t j = 0; j < spec_.num_events; ++j) {
+      std::vector<Event::Entry> entries;
+      const bool reuse_template = !template_attrs.empty() &&
+                                  rng.Bernoulli(spec_.event_locality);
+      if (reuse_template) {
+        entries.reserve(template_attrs.size());
+        for (AttributeId attr : template_attrs) {
+          entries.push_back(Event::Entry{attr, SampleValue(rng)});
+        }
+      } else if (!subs.empty() && rng.Bernoulli(spec_.seeded_event_fraction)) {
+        entries = SeededEntries(subs[rng.Uniform(subs.size())], rng);
+      } else {
+        const auto m = static_cast<uint32_t>(
+            rng.UniformInt(spec_.min_event_attrs, spec_.max_event_attrs));
+        SampleDistinctAttrs(m, spec_.num_attributes, attr_zipf_, rng, &attrs);
+        entries.reserve(m);
+        for (AttributeId attr : attrs) {
+          entries.push_back(Event::Entry{attr, SampleValue(rng)});
+        }
+      }
+      template_attrs.clear();
+      template_attrs.reserve(entries.size());
+      for (const auto& e : entries) template_attrs.push_back(e.attr);
+      events.push_back(Event::FromSorted(std::move(entries)));
+    }
+    return events;
+  }
+
+ private:
+  Value SampleValue(Rng& rng) {
+    if (spec_.value_zipf == 0) {
+      return rng.UniformInt(domain_.lo, domain_.hi);
+    }
+    return domain_.lo + static_cast<Value>(value_zipf_.Sample(rng));
+  }
+
+  /// Snaps a predicate operand to the canonical grid (see operand_grid).
+  Value QuantizeOperand(Value v) {
+    if (grid_step_ <= 1) return v;
+    const Value offset = v - domain_.lo;
+    return std::min(domain_.lo + (offset / grid_step_) * grid_step_,
+                    domain_.hi);
+  }
+
+  /// Width of a range-style predicate in domain points: the spec's relative
+  /// width jittered by ±50% (snapped to the grid), at least 1.
+  Value SampleWidth(Rng& rng) {
+    const double frac = spec_.predicate_width * (0.5 + rng.UniformDouble());
+    const auto domain_width = static_cast<double>(domain_.Width());
+    auto w = static_cast<Value>(frac * domain_width + 0.5);
+    if (grid_step_ > 1) w = std::max<Value>((w / grid_step_) * grid_step_, 1);
+    return std::clamp<Value>(w, 1, static_cast<Value>(domain_.Width()));
+  }
+
+  Predicate MakePredicate(AttributeId attr, Rng& rng) {
+    const double r = rng.UniformDouble();
+    double acc = spec_.equality_fraction;
+    if (r < acc) {
+      return Predicate(attr, Op::kEq, QuantizeOperand(SampleValue(rng)));
+    }
+    acc += spec_.in_fraction;
+    if (r < acc) {
+      std::vector<Value> values;
+      values.reserve(spec_.in_set_size);
+      for (uint32_t i = 0; i < spec_.in_set_size; ++i) {
+        values.push_back(QuantizeOperand(SampleValue(rng)));
+      }
+      return Predicate(attr, std::move(values));  // ctor sorts + dedupes
+    }
+    acc += spec_.ne_fraction;
+    if (r < acc) {
+      return Predicate(attr, Op::kNe, QuantizeOperand(SampleValue(rng)));
+    }
+    acc += spec_.inequality_fraction;
+    if (r < acc) {
+      // One-sided range whose satisfied width is SampleWidth() points.
+      const Value w = SampleWidth(rng);
+      switch (rng.Uniform(4)) {
+        case 0:
+          return Predicate(attr, Op::kLe, domain_.lo + w - 1);
+        case 1:
+          return Predicate(attr, Op::kLt,
+                           std::min(domain_.lo + w, domain_.hi));
+        case 2:
+          return Predicate(attr, Op::kGe, domain_.hi - w + 1);
+        default:
+          return Predicate(attr, Op::kGt,
+                           std::max(domain_.hi - w, domain_.lo));
+      }
+    }
+    // kBetween: width-w interval placed uniformly inside the domain, start
+    // snapped to the grid.
+    const Value w = SampleWidth(rng);
+    const Value start =
+        QuantizeOperand(rng.UniformInt(domain_.lo, domain_.hi - w + 1));
+    return Predicate(attr, start, std::min(start + w - 1, domain_.hi));
+  }
+
+  /// A value satisfying `pred`, or the closest achievable if the predicate is
+  /// unsatisfiable within the domain (possible only for kNe on a 1-point
+  /// domain and for clipped inequalities).
+  Value SatisfyingValue(const Predicate& pred, Rng& rng) {
+    switch (pred.op()) {
+      case Op::kEq:
+        return pred.v1();
+      case Op::kNe: {
+        if (pred.v1() < domain_.hi) return rng.UniformInt(
+            pred.v1() + 1, domain_.hi);
+        if (pred.v1() > domain_.lo) return rng.UniformInt(
+            domain_.lo, pred.v1() - 1);
+        return pred.v1();
+      }
+      case Op::kLt:
+        return pred.v1() > domain_.lo ? rng.UniformInt(domain_.lo,
+                                                       pred.v1() - 1)
+                                      : domain_.lo;
+      case Op::kLe:
+        return rng.UniformInt(domain_.lo, std::min(pred.v1(), domain_.hi));
+      case Op::kGt:
+        return pred.v1() < domain_.hi ? rng.UniformInt(pred.v1() + 1,
+                                                       domain_.hi)
+                                      : domain_.hi;
+      case Op::kGe:
+        return rng.UniformInt(std::max(pred.v1(), domain_.lo), domain_.hi);
+      case Op::kBetween:
+        return rng.UniformInt(std::max(pred.v1(), domain_.lo),
+                              std::min(pred.v2(), domain_.hi));
+      case Op::kIn:
+        return pred.values()[rng.Uniform(pred.values().size())];
+    }
+    return domain_.lo;
+  }
+
+  /// Entries of an event constructed to satisfy every predicate of `sub`,
+  /// padded with extra random attributes up to the spec's event size.
+  std::vector<Event::Entry> SeededEntries(const BooleanExpression& sub,
+                                          Rng& rng) {
+    std::vector<Event::Entry> entries;
+    const auto target = static_cast<uint32_t>(
+        rng.UniformInt(spec_.min_event_attrs, spec_.max_event_attrs));
+    entries.reserve(std::max<size_t>(sub.size(), target));
+    std::unordered_set<AttributeId> used;
+    for (const Predicate& pred : sub.predicates()) {
+      entries.push_back(
+          Event::Entry{pred.attribute(), SatisfyingValue(pred, rng)});
+      used.insert(pred.attribute());
+    }
+    uint64_t attempts = 0;
+    while (entries.size() < target && used.size() < spec_.num_attributes &&
+           attempts < 50ULL * target) {
+      ++attempts;
+      const auto attr = static_cast<AttributeId>(attr_zipf_.Sample(rng));
+      if (used.insert(attr).second) {
+        entries.push_back(Event::Entry{attr, SampleValue(rng)});
+      }
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Event::Entry& a, const Event::Entry& b) {
+                return a.attr < b.attr;
+              });
+    return entries;
+  }
+
+  const WorkloadSpec& spec_;
+  const ValueInterval domain_;
+  ZipfDistribution attr_zipf_;
+  ZipfDistribution value_zipf_;
+  const Value grid_step_;
+};
+
+Catalog MakeCatalog(const WorkloadSpec& spec) {
+  Catalog catalog;
+  for (uint32_t i = 0; i < spec.num_attributes; ++i) {
+    auto added = catalog.AddAttribute("a" + std::to_string(i),
+                                      spec.domain_min, spec.domain_max);
+    APCM_CHECK(added.ok());
+  }
+  return catalog;
+}
+
+}  // namespace
+
+StatusOr<Workload> Generate(const WorkloadSpec& spec) {
+  APCM_RETURN_NOT_OK(spec.Validate());
+  Workload workload;
+  workload.spec = spec;
+  workload.catalog = MakeCatalog(spec);
+  GeneratorImpl generator(spec);
+  workload.subscriptions = generator.GenerateSubscriptions();
+  workload.events = generator.GenerateEvents(workload.subscriptions);
+  return workload;
+}
+
+StatusOr<std::vector<BooleanExpression>> GenerateSubscriptions(
+    const WorkloadSpec& spec) {
+  APCM_RETURN_NOT_OK(spec.Validate());
+  GeneratorImpl generator(spec);
+  return generator.GenerateSubscriptions();
+}
+
+void ShuffleEvents(std::vector<Event>* events, uint64_t seed) {
+  Rng rng(seed);
+  for (size_t i = events->size(); i > 1; --i) {
+    std::swap((*events)[i - 1], (*events)[rng.Uniform(i)]);
+  }
+}
+
+}  // namespace apcm::workload

@@ -1,0 +1,38 @@
+#ifndef APCM_WORKLOAD_GENERATOR_H_
+#define APCM_WORKLOAD_GENERATOR_H_
+
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/be/catalog.h"
+#include "src/be/event.h"
+#include "src/be/expression.h"
+#include "src/workload/spec.h"
+
+namespace apcm::workload {
+
+/// A fully materialized synthetic workload.
+struct Workload {
+  WorkloadSpec spec;
+  Catalog catalog;  ///< attributes "a0".."aN-1", all with the spec's domain
+  std::vector<BooleanExpression> subscriptions;
+  std::vector<Event> events;
+};
+
+/// Generates a workload deterministically from `spec` (same spec ⇒ same
+/// workload, bit for bit). Returns InvalidArgument if the spec fails
+/// validation.
+StatusOr<Workload> Generate(const WorkloadSpec& spec);
+
+/// Generates only the subscriptions of `spec` (events skipped); useful for
+/// build-cost and memory experiments.
+StatusOr<std::vector<BooleanExpression>> GenerateSubscriptions(
+    const WorkloadSpec& spec);
+
+/// Deterministically shuffles `events` in place with `seed` (used by the OSR
+/// experiments to destroy stream locality before re-ordering recovers it).
+void ShuffleEvents(std::vector<Event>* events, uint64_t seed);
+
+}  // namespace apcm::workload
+
+#endif  // APCM_WORKLOAD_GENERATOR_H_

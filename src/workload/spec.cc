@@ -1,0 +1,72 @@
+#include "src/workload/spec.h"
+
+#include "src/base/string_util.h"
+
+namespace apcm::workload {
+
+Status WorkloadSpec::Validate() const {
+  if (num_attributes == 0) {
+    return Status::InvalidArgument("num_attributes must be >= 1");
+  }
+  if (domain_min > domain_max) {
+    return Status::InvalidArgument("domain_min > domain_max");
+  }
+  if (ValueInterval{domain_min, domain_max}.Width() == 0) {
+    return Status::InvalidArgument(
+        "domain spans the full 64-bit space; use a bounded domain");
+  }
+  if (min_predicates > max_predicates) {
+    return Status::InvalidArgument("min_predicates > max_predicates");
+  }
+  if (max_predicates > num_attributes) {
+    return Status::InvalidArgument(
+        "max_predicates exceeds num_attributes (one predicate per attribute)");
+  }
+  if (min_event_attrs > max_event_attrs) {
+    return Status::InvalidArgument("min_event_attrs > max_event_attrs");
+  }
+  if (max_event_attrs > num_attributes) {
+    return Status::InvalidArgument("max_event_attrs exceeds num_attributes");
+  }
+  if (attribute_zipf < 0 || value_zipf < 0) {
+    return Status::InvalidArgument("zipf exponents must be >= 0");
+  }
+  const double op_sum =
+      equality_fraction + in_fraction + ne_fraction + inequality_fraction;
+  if (equality_fraction < 0 || in_fraction < 0 || ne_fraction < 0 ||
+      inequality_fraction < 0 || op_sum > 1.0 + 1e-9) {
+    return Status::InvalidArgument(
+        "operator fractions must be non-negative and sum to <= 1");
+  }
+  if (in_set_size == 0) {
+    return Status::InvalidArgument("in_set_size must be >= 1");
+  }
+  if (predicate_width <= 0 || predicate_width > 1) {
+    return Status::InvalidArgument("predicate_width must be in (0, 1]");
+  }
+  if (operand_grid < 0 || operand_grid > 1) {
+    return Status::InvalidArgument("operand_grid must be in [0, 1]");
+  }
+  if (seeded_event_fraction < 0 || seeded_event_fraction > 1) {
+    return Status::InvalidArgument("seeded_event_fraction must be in [0, 1]");
+  }
+  if (event_locality < 0 || event_locality > 1) {
+    return Status::InvalidArgument("event_locality must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+std::string WorkloadSpec::ToString() const {
+  return StringPrintf(
+      "subs=%s events=%u dims=%u domain=[%lld,%lld] preds=[%u,%u] "
+      "event_attrs=[%u,%u] attr_zipf=%.2f value_zipf=%.2f width=%.3f "
+      "grid=%.3f seeded=%.2f locality=%.2f seed=%llu",
+      FormatWithCommas(num_subscriptions).c_str(), num_events, num_attributes,
+      static_cast<long long>(domain_min), static_cast<long long>(domain_max),
+      min_predicates, max_predicates, min_event_attrs, max_event_attrs,
+      attribute_zipf, value_zipf, predicate_width, operand_grid,
+      seeded_event_fraction, event_locality,
+      static_cast<unsigned long long>(seed));
+}
+
+}  // namespace apcm::workload

@@ -1,0 +1,86 @@
+#ifndef APCM_WORKLOAD_SPEC_H_
+#define APCM_WORKLOAD_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/be/value.h"
+
+namespace apcm::workload {
+
+/// Parameters of a synthetic workload, mirroring the knobs of the BEGen
+/// generator used by the BE-Tree / A-PCM evaluations: dimensionality, domain
+/// size, predicates per expression, operator mix, skew, event size, and the
+/// match-probability controls.
+struct WorkloadSpec {
+  /// Master seed; the whole workload is a deterministic function of the spec.
+  uint64_t seed = 42;
+
+  /// Number of Boolean expressions (subscriptions).
+  uint32_t num_subscriptions = 100'000;
+  /// Number of events in the stream.
+  uint32_t num_events = 1'000;
+
+  /// Dimensionality: size of the attribute universe.
+  uint32_t num_attributes = 400;
+  /// Every attribute ranges over [domain_min, domain_max].
+  Value domain_min = 0;
+  Value domain_max = 10'000;
+
+  /// Predicates per subscription, uniform in [min, max].
+  uint32_t min_predicates = 5;
+  uint32_t max_predicates = 15;
+  /// Attributes per event, uniform in [min, max].
+  uint32_t min_event_attrs = 15;
+  uint32_t max_event_attrs = 35;
+
+  /// Zipf exponent of attribute popularity (0 = uniform). Both expressions
+  /// and events draw attributes from this distribution, which concentrates
+  /// predicates on popular attributes — the commonality that compression
+  /// exploits.
+  double attribute_zipf = 1.0;
+  /// Zipf exponent of value popularity within a domain (0 = uniform).
+  double value_zipf = 0.0;
+
+  /// Operator mix; fractions must sum to <= 1, the remainder is kBetween.
+  double equality_fraction = 0.25;
+  double in_fraction = 0.05;
+  double ne_fraction = 0.02;
+  double inequality_fraction = 0.18;  ///< split evenly among < <= > >=
+  /// Cardinality of kIn value sets.
+  uint32_t in_set_size = 5;
+
+  /// Relative width of range-style predicates as a fraction of the domain
+  /// (jittered by ±50% per predicate). Wider predicates are less selective.
+  double predicate_width = 0.10;
+
+  /// Operand quantization: when > 0, every generated predicate operand
+  /// (equality constants, range endpoints, widths) is snapped to a grid of
+  /// step `operand_grid * domain_width`. Real subscription books draw
+  /// operands from small canonical sets (bid floors, age brackets, category
+  /// ids); the grid reproduces that duplication — which is what the
+  /// predicate dictionary compresses. 0 disables quantization.
+  double operand_grid = 0.0;
+
+  /// Fraction of events that are *seeded*: generated to fully satisfy one
+  /// randomly chosen subscription (plus extra random attributes). This is the
+  /// primary match-probability control — unseeded events almost never match
+  /// a conjunctive expression by chance.
+  double seeded_event_fraction = 0.5;
+
+  /// Stream locality for the OSR experiments: probability that an event
+  /// reuses the previous event's attribute set (a "burst") instead of
+  /// drawing a fresh one. 0 = fully independent stream.
+  double event_locality = 0.0;
+
+  /// Validates ranges and fraction sums.
+  Status Validate() const;
+
+  /// One-line human-readable summary for benchmark headers.
+  std::string ToString() const;
+};
+
+}  // namespace apcm::workload
+
+#endif  // APCM_WORKLOAD_SPEC_H_

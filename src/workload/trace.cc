@@ -1,0 +1,323 @@
+#include "src/workload/trace.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+#include "src/base/string_util.h"
+#include "src/be/parser.h"
+
+namespace apcm::workload {
+namespace {
+
+constexpr char kTextMagic[] = "apcm-workload-text 1";
+// v2 embeds the full WorkloadSpec after the magic, so a binary trace is a
+// self-describing, regenerable experiment input.
+constexpr char kBinaryMagic[] = "APCMWL2";
+
+// --- binary primitives (little-endian; we only target little-endian hosts,
+// checked at build time below) ---
+static_assert(std::endian::native == std::endian::little,
+              "binary trace format assumes a little-endian host");
+
+template <typename T>
+void WritePod(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return in.good();
+}
+
+void WriteString(std::ofstream& out, const std::string& s) {
+  WritePod<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::ifstream& in, std::string* s) {
+  uint32_t len = 0;
+  if (!ReadPod(in, &len)) return false;
+  if (len > (1u << 20)) return false;  // sanity bound on name length
+  s->resize(len);
+  in.read(s->data(), len);
+  return in.good();
+}
+
+}  // namespace
+
+Status SaveText(const Workload& workload, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out << kTextMagic << "\n";
+  out << "# grammar: 'sub <id>: <pred> and <pred> ...' / 'event: a=1, b=2'\n";
+  out << "attributes " << workload.catalog.size() << "\n";
+  for (AttributeId a = 0; a < workload.catalog.size(); ++a) {
+    const ValueInterval domain = workload.catalog.Domain(a);
+    out << "attr " << workload.catalog.Name(a) << " " << domain.lo << " "
+        << domain.hi << "\n";
+  }
+  for (const auto& sub : workload.subscriptions) {
+    out << "sub " << sub.id() << ":";
+    if (sub.predicates().empty()) {
+      out << " <true>";
+    } else {
+      for (size_t i = 0; i < sub.predicates().size(); ++i) {
+        out << (i == 0 ? " " : " and ")
+            << sub.predicates()[i].ToString(&workload.catalog);
+      }
+    }
+    out << "\n";
+  }
+  for (const auto& event : workload.events) {
+    out << "event: " << event.ToString(&workload.catalog) << "\n";
+  }
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+StatusOr<Workload> LoadText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::string line;
+  if (!std::getline(in, line) || TrimWhitespace(line) != kTextMagic) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not an apcm text workload");
+  }
+  Workload workload;
+  Parser parser(&workload.catalog);
+  while (std::getline(in, line)) {
+    std::string_view text = TrimWhitespace(line);
+    if (text.empty() || text.front() == '#') continue;
+    if (StartsWith(text, "attributes ")) continue;  // informational count
+    if (StartsWith(text, "attr ")) {
+      std::istringstream fields{std::string(text.substr(5))};
+      std::string name;
+      Value lo = 0;
+      Value hi = 0;
+      if (!(fields >> name >> lo >> hi)) {
+        return Status::InvalidArgument("malformed attr line: " + line);
+      }
+      APCM_RETURN_NOT_OK(
+          workload.catalog.AddAttribute(name, lo, hi).status());
+      continue;
+    }
+    if (StartsWith(text, "sub ")) {
+      const size_t colon = text.find(':');
+      if (colon == std::string_view::npos) {
+        return Status::InvalidArgument("malformed sub line: " + line);
+      }
+      APCM_ASSIGN_OR_RETURN(int64_t id,
+                            ParseInt64(text.substr(4, colon - 4)));
+      APCM_ASSIGN_OR_RETURN(
+          BooleanExpression expr,
+          parser.ParseExpression(static_cast<SubscriptionId>(id),
+                                 text.substr(colon + 1)));
+      workload.subscriptions.push_back(std::move(expr));
+      continue;
+    }
+    if (StartsWith(text, "event:")) {
+      APCM_ASSIGN_OR_RETURN(Event event, parser.ParseEvent(text.substr(6)));
+      workload.events.push_back(std::move(event));
+      continue;
+    }
+    return Status::InvalidArgument("unrecognized line: " + line);
+  }
+  workload.spec.num_subscriptions =
+      static_cast<uint32_t>(workload.subscriptions.size());
+  workload.spec.num_events = static_cast<uint32_t>(workload.events.size());
+  workload.spec.num_attributes = static_cast<uint32_t>(workload.catalog.size());
+  return workload;
+}
+
+namespace {
+
+void WriteSpec(std::ofstream& out, const WorkloadSpec& spec) {
+  WritePod<uint64_t>(out, spec.seed);
+  WritePod<uint32_t>(out, spec.num_subscriptions);
+  WritePod<uint32_t>(out, spec.num_events);
+  WritePod<uint32_t>(out, spec.num_attributes);
+  WritePod<int64_t>(out, spec.domain_min);
+  WritePod<int64_t>(out, spec.domain_max);
+  WritePod<uint32_t>(out, spec.min_predicates);
+  WritePod<uint32_t>(out, spec.max_predicates);
+  WritePod<uint32_t>(out, spec.min_event_attrs);
+  WritePod<uint32_t>(out, spec.max_event_attrs);
+  WritePod<double>(out, spec.attribute_zipf);
+  WritePod<double>(out, spec.value_zipf);
+  WritePod<double>(out, spec.equality_fraction);
+  WritePod<double>(out, spec.in_fraction);
+  WritePod<double>(out, spec.ne_fraction);
+  WritePod<double>(out, spec.inequality_fraction);
+  WritePod<uint32_t>(out, spec.in_set_size);
+  WritePod<double>(out, spec.predicate_width);
+  WritePod<double>(out, spec.operand_grid);
+  WritePod<double>(out, spec.seeded_event_fraction);
+  WritePod<double>(out, spec.event_locality);
+}
+
+bool ReadSpec(std::ifstream& in, WorkloadSpec* spec) {
+  return ReadPod(in, &spec->seed) && ReadPod(in, &spec->num_subscriptions) &&
+         ReadPod(in, &spec->num_events) &&
+         ReadPod(in, &spec->num_attributes) &&
+         ReadPod(in, &spec->domain_min) && ReadPod(in, &spec->domain_max) &&
+         ReadPod(in, &spec->min_predicates) &&
+         ReadPod(in, &spec->max_predicates) &&
+         ReadPod(in, &spec->min_event_attrs) &&
+         ReadPod(in, &spec->max_event_attrs) &&
+         ReadPod(in, &spec->attribute_zipf) &&
+         ReadPod(in, &spec->value_zipf) &&
+         ReadPod(in, &spec->equality_fraction) &&
+         ReadPod(in, &spec->in_fraction) && ReadPod(in, &spec->ne_fraction) &&
+         ReadPod(in, &spec->inequality_fraction) &&
+         ReadPod(in, &spec->in_set_size) &&
+         ReadPod(in, &spec->predicate_width) &&
+         ReadPod(in, &spec->operand_grid) &&
+         ReadPod(in, &spec->seeded_event_fraction) &&
+         ReadPod(in, &spec->event_locality);
+}
+
+}  // namespace
+
+Status SaveBinary(const Workload& workload, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out.write(kBinaryMagic, sizeof(kBinaryMagic));
+  WriteSpec(out, workload.spec);
+  WritePod<uint32_t>(out, static_cast<uint32_t>(workload.catalog.size()));
+  for (AttributeId a = 0; a < workload.catalog.size(); ++a) {
+    WriteString(out, workload.catalog.Name(a));
+    const ValueInterval domain = workload.catalog.Domain(a);
+    WritePod<int64_t>(out, domain.lo);
+    WritePod<int64_t>(out, domain.hi);
+  }
+  WritePod<uint32_t>(out, static_cast<uint32_t>(workload.subscriptions.size()));
+  for (const auto& sub : workload.subscriptions) {
+    WritePod<uint32_t>(out, sub.id());
+    WritePod<uint16_t>(out, static_cast<uint16_t>(sub.predicates().size()));
+    for (const Predicate& pred : sub.predicates()) {
+      WritePod<uint32_t>(out, pred.attribute());
+      WritePod<uint8_t>(out, static_cast<uint8_t>(pred.op()));
+      WritePod<int64_t>(out, pred.v1());
+      WritePod<int64_t>(out, pred.v2());
+      WritePod<uint16_t>(out, static_cast<uint16_t>(pred.values().size()));
+      for (Value v : pred.values()) WritePod<int64_t>(out, v);
+    }
+  }
+  WritePod<uint32_t>(out, static_cast<uint32_t>(workload.events.size()));
+  for (const auto& event : workload.events) {
+    WritePod<uint16_t>(out, static_cast<uint16_t>(event.entries().size()));
+    for (const auto& entry : event.entries()) {
+      WritePod<uint32_t>(out, entry.attr);
+      WritePod<int64_t>(out, entry.value);
+    }
+  }
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+StatusOr<Workload> LoadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  char magic[sizeof(kBinaryMagic)] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::string_view(magic, sizeof(magic) - 1) != kBinaryMagic) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not an apcm binary workload");
+  }
+  const auto truncated = [&path] {
+    return Status::IOError("truncated binary workload '" + path + "'");
+  };
+  Workload workload;
+  if (!ReadSpec(in, &workload.spec)) return truncated();
+  uint32_t num_attrs = 0;
+  if (!ReadPod(in, &num_attrs)) return truncated();
+  for (uint32_t a = 0; a < num_attrs; ++a) {
+    std::string name;
+    int64_t lo = 0;
+    int64_t hi = 0;
+    if (!ReadString(in, &name) || !ReadPod(in, &lo) || !ReadPod(in, &hi)) {
+      return truncated();
+    }
+    APCM_RETURN_NOT_OK(workload.catalog.AddAttribute(name, lo, hi).status());
+  }
+  uint32_t num_subs = 0;
+  if (!ReadPod(in, &num_subs)) return truncated();
+  // Clamp speculative reservation: a corrupted count must not trigger a
+  // multi-gigabyte allocation before the per-record reads fail.
+  workload.subscriptions.reserve(std::min<uint32_t>(num_subs, 1u << 20));
+  for (uint32_t s = 0; s < num_subs; ++s) {
+    uint32_t id = 0;
+    uint16_t num_preds = 0;
+    if (!ReadPod(in, &id) || !ReadPod(in, &num_preds)) return truncated();
+    std::vector<Predicate> predicates;
+    predicates.reserve(num_preds);
+    for (uint16_t p = 0; p < num_preds; ++p) {
+      uint32_t attr = 0;
+      uint8_t op = 0;
+      int64_t v1 = 0;
+      int64_t v2 = 0;
+      uint16_t num_values = 0;
+      if (!ReadPod(in, &attr) || !ReadPod(in, &op) || !ReadPod(in, &v1) ||
+          !ReadPod(in, &v2) || !ReadPod(in, &num_values)) {
+        return truncated();
+      }
+      if (op > static_cast<uint8_t>(Op::kIn)) {
+        return Status::InvalidArgument("corrupt operator byte in '" + path +
+                                       "'");
+      }
+      // Validate operand invariants before construction: a corrupted file
+      // must surface as a Status, not a failed invariant check.
+      const Op op_enum = static_cast<Op>(op);
+      if (op_enum == Op::kIn) {
+        if (num_values == 0) {
+          return Status::InvalidArgument("empty 'in' set in '" + path + "'");
+        }
+        std::vector<Value> values(num_values);
+        for (auto& v : values) {
+          if (!ReadPod(in, &v)) return truncated();
+        }
+        predicates.emplace_back(attr, std::move(values));
+      } else if (op_enum == Op::kBetween) {
+        if (v1 > v2) {
+          return Status::InvalidArgument("inverted 'between' bounds in '" +
+                                         path + "'");
+        }
+        predicates.emplace_back(attr, v1, v2);
+      } else {
+        predicates.emplace_back(attr, op_enum, v1);
+      }
+    }
+    APCM_ASSIGN_OR_RETURN(
+        BooleanExpression expr,
+        BooleanExpression::Create(id, std::move(predicates)));
+    workload.subscriptions.push_back(std::move(expr));
+  }
+  uint32_t num_events = 0;
+  if (!ReadPod(in, &num_events)) return truncated();
+  workload.events.reserve(std::min<uint32_t>(num_events, 1u << 20));
+  for (uint32_t e = 0; e < num_events; ++e) {
+    uint16_t num_entries = 0;
+    if (!ReadPod(in, &num_entries)) return truncated();
+    std::vector<Event::Entry> entries;
+    entries.reserve(num_entries);
+    for (uint16_t i = 0; i < num_entries; ++i) {
+      uint32_t attr = 0;
+      int64_t value = 0;
+      if (!ReadPod(in, &attr) || !ReadPod(in, &value)) return truncated();
+      entries.push_back(Event::Entry{attr, value});
+    }
+    APCM_ASSIGN_OR_RETURN(Event event, Event::Create(std::move(entries)));
+    workload.events.push_back(std::move(event));
+  }
+  workload.spec.num_subscriptions =
+      static_cast<uint32_t>(workload.subscriptions.size());
+  workload.spec.num_events = static_cast<uint32_t>(workload.events.size());
+  workload.spec.num_attributes = static_cast<uint32_t>(workload.catalog.size());
+  return workload;
+}
+
+}  // namespace apcm::workload

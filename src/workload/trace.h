@@ -1,0 +1,34 @@
+#ifndef APCM_WORKLOAD_TRACE_H_
+#define APCM_WORKLOAD_TRACE_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/workload/generator.h"
+
+namespace apcm::workload {
+
+/// Persistence for workloads, so experiments can be re-run on the exact same
+/// inputs and users can feed hand-written subscription files to the engine.
+///
+/// Two formats:
+///  * Text (human-editable): the Parser grammar, one subscription or event
+///    per line. See file header comments written by SaveText.
+///  * Binary (fast, compact): little-endian tagged format "APCMWL1".
+
+/// Writes `workload` in the text format.
+Status SaveText(const Workload& workload, const std::string& path);
+
+/// Reads a text-format workload. The spec is reconstructed only partially
+/// (counts and domain); generator knobs are not stored in text form.
+StatusOr<Workload> LoadText(const std::string& path);
+
+/// Writes `workload` in the binary format.
+Status SaveBinary(const Workload& workload, const std::string& path);
+
+/// Reads a binary-format workload.
+StatusOr<Workload> LoadBinary(const std::string& path);
+
+}  // namespace apcm::workload
+
+#endif  // APCM_WORKLOAD_TRACE_H_

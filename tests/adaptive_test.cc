@@ -1,0 +1,77 @@
+#include "src/core/adaptive.h"
+
+#include <gtest/gtest.h>
+
+namespace apcm::core {
+namespace {
+
+TEST(AdaptiveTest, WarmupSamplesBothModesFirst) {
+  AdaptiveState state(0.1, 0.3);
+  Rng rng(1);
+  EXPECT_EQ(state.Choose(rng), EvalMode::kCompressed);
+  state.Record(EvalMode::kCompressed, 100);
+  EXPECT_EQ(state.Choose(rng), EvalMode::kLazy);
+  state.Record(EvalMode::kLazy, 10);
+}
+
+TEST(AdaptiveTest, ExploitsCheaperMode) {
+  AdaptiveState state(0.0, 0.3);  // no exploration
+  Rng rng(2);
+  state.Record(EvalMode::kCompressed, 100);
+  state.Record(EvalMode::kLazy, 10);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(state.Choose(rng), EvalMode::kLazy);
+  }
+  // Flip the costs via repeated observations; EWMA converges.
+  for (int i = 0; i < 50; ++i) state.Record(EvalMode::kLazy, 500);
+  EXPECT_EQ(state.Choose(rng), EvalMode::kCompressed);
+}
+
+TEST(AdaptiveTest, EpsilonExploresOccasionally) {
+  AdaptiveState state(0.2, 0.3);
+  Rng rng(3);
+  state.Record(EvalMode::kCompressed, 1);
+  state.Record(EvalMode::kLazy, 1000);
+  int lazy_choices = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) {
+    if (state.Choose(rng) == EvalMode::kLazy) ++lazy_choices;
+  }
+  EXPECT_NEAR(lazy_choices / static_cast<double>(trials), 0.2, 0.03);
+}
+
+TEST(AdaptiveTest, EwmaTracksDrift) {
+  AdaptiveState state(0.0, 0.5);
+  state.Record(EvalMode::kCompressed, 100);
+  EXPECT_DOUBLE_EQ(state.EstimatedCost(EvalMode::kCompressed), 100);
+  state.Record(EvalMode::kCompressed, 0);
+  EXPECT_DOUBLE_EQ(state.EstimatedCost(EvalMode::kCompressed), 50);
+  state.Record(EvalMode::kCompressed, 0);
+  EXPECT_DOUBLE_EQ(state.EstimatedCost(EvalMode::kCompressed), 25);
+}
+
+TEST(AdaptiveTest, ObservationCounts) {
+  AdaptiveState state(0.1, 0.3);
+  EXPECT_EQ(state.Observations(EvalMode::kCompressed), 0u);
+  state.Record(EvalMode::kCompressed, 5);
+  state.Record(EvalMode::kCompressed, 5);
+  state.Record(EvalMode::kLazy, 5);
+  EXPECT_EQ(state.Observations(EvalMode::kCompressed), 2u);
+  EXPECT_EQ(state.Observations(EvalMode::kLazy), 1u);
+}
+
+TEST(AdaptiveTest, TieBreaksTowardCompressed) {
+  AdaptiveState state(0.0, 0.3);
+  Rng rng(4);
+  state.Record(EvalMode::kCompressed, 10);
+  state.Record(EvalMode::kLazy, 10);
+  EXPECT_EQ(state.Choose(rng), EvalMode::kCompressed);
+}
+
+TEST(AdaptiveTest, ModeNames) {
+  EXPECT_STREQ(EvalModeName(EvalMode::kCompressed), "compressed");
+  EXPECT_STREQ(EvalModeName(EvalMode::kLazy), "lazy");
+}
+
+}  // namespace
+}  // namespace apcm::core

@@ -1,0 +1,122 @@
+#include "src/index/betree.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/matcher_test_util.h"
+
+namespace apcm {
+namespace {
+
+TEST(BETreeTest, HandWorkload) {
+  const workload::Workload workload = HandWorkload();
+  index::BETreeMatcher betree;
+  ExpectAgreesWithScan(betree, workload);
+}
+
+class BETreeRandomTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {};
+
+TEST_P(BETreeRandomTest, AgreesWithScanAcrossCapacities) {
+  const auto [seed, capacity] = GetParam();
+  const auto spec = GnarlySpec(seed);
+  const workload::Workload workload = workload::Generate(spec).value();
+  index::BETreeOptions options;
+  options.max_leaf_capacity = capacity;
+  options.min_partition_size = 2;
+  index::BETreeMatcher betree(options);
+  ExpectAgreesWithScan(betree, workload);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndCapacities, BETreeRandomTest,
+    ::testing::Combine(::testing::Values(51, 52, 53),
+                       // capacity 1 forces maximal splitting; 1000 never
+                       // splits (degenerates to scan of the root list).
+                       ::testing::Values(1u, 4u, 16u, 1000u)));
+
+TEST(BETreeTest, SplitsUnderPressure) {
+  workload::WorkloadSpec spec = GnarlySpec(61);
+  spec.num_subscriptions = 2000;
+  const workload::Workload workload = workload::Generate(spec).value();
+  index::BETreeOptions options;
+  options.max_leaf_capacity = 8;
+  index::BETreeMatcher betree(options);
+  betree.Build(workload.subscriptions);
+  const auto shape = betree.ComputeShape();
+  EXPECT_GT(shape.partition_nodes, 0u);
+  EXPECT_GT(shape.buckets, 0u);
+  EXPECT_GT(shape.cluster_nodes, 1u);
+  EXPECT_GT(betree.MemoryBytes(), 0u);
+}
+
+TEST(BETreeTest, IndexPrunesCandidates) {
+  workload::WorkloadSpec spec = GnarlySpec(62);
+  spec.num_subscriptions = 3000;
+  spec.num_events = 50;
+  const workload::Workload workload = workload::Generate(spec).value();
+
+  index::ScanMatcher scan;
+  RunMatcher(scan, workload);
+  index::BETreeMatcher betree;
+  RunMatcher(betree, workload);
+  // The whole point of the index: fewer candidates examined than scan.
+  EXPECT_LT(betree.stats().candidates_checked,
+            scan.stats().candidates_checked / 2);
+}
+
+TEST(BETreeTest, IdenticalExpressionsDoNotLoopSplitting) {
+  // 100 copies of the same single-predicate expression: after partitioning
+  // on that attribute they all land in the same bucket and no further cut is
+  // possible. Build must terminate and match correctly.
+  workload::Workload workload;
+  for (SubscriptionId i = 0; i < 100; ++i) {
+    workload.subscriptions.push_back(
+        BooleanExpression::Create(i, {Predicate(0, 10, 20)}).value());
+  }
+  workload.events.push_back(Event::Create({{0, 15}}).value());
+  workload.events.push_back(Event::Create({{0, 25}}).value());
+  index::BETreeOptions options;
+  options.max_leaf_capacity = 4;
+  index::BETreeMatcher betree(options);
+  const auto results = RunMatcher(betree, workload);
+  EXPECT_EQ(results[0].size(), 100u);
+  EXPECT_TRUE(results[1].empty());
+}
+
+TEST(BETreeTest, MatchAllExpressions) {
+  workload::Workload workload;
+  workload.subscriptions.push_back(BooleanExpression::Create(0, {}).value());
+  workload.events.push_back(Event());
+  workload.events.push_back(Event::Create({{3, 3}}).value());
+  index::BETreeMatcher betree;
+  const auto results = RunMatcher(betree, workload);
+  EXPECT_EQ(results[0], (std::vector<SubscriptionId>{0}));
+  EXPECT_EQ(results[1], (std::vector<SubscriptionId>{0}));
+}
+
+TEST(BETreeTest, EventValuesOutsideBuildDomain) {
+  // The tree derives its domain from subscriptions; event values outside it
+  // must be handled by clamping, not crash or miss.
+  workload::Workload workload;
+  workload.subscriptions.push_back(
+      BooleanExpression::Create(0, {Predicate(0, Op::kLe, 100)}).value());
+  workload.subscriptions.push_back(
+      BooleanExpression::Create(1, {Predicate(0, Op::kGe, 50)}).value());
+  workload.events.push_back(Event::Create({{0, -1'000'000}}).value());
+  workload.events.push_back(Event::Create({{0, 1'000'000}}).value());
+  index::BETreeMatcher betree;
+  const auto results = RunMatcher(betree, workload);
+  EXPECT_EQ(results[0], (std::vector<SubscriptionId>{0}));
+  EXPECT_EQ(results[1], (std::vector<SubscriptionId>{1}));
+}
+
+TEST(BETreeTest, EmptySubscriptionSet) {
+  workload::Workload workload;
+  workload.events.push_back(Event::Create({{0, 1}}).value());
+  index::BETreeMatcher betree;
+  const auto results = RunMatcher(betree, workload);
+  EXPECT_TRUE(results[0].empty());
+}
+
+}  // namespace
+}  // namespace apcm

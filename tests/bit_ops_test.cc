@@ -1,0 +1,56 @@
+#include "src/base/bit_ops.h"
+
+#include <gtest/gtest.h>
+
+namespace apcm {
+namespace {
+
+TEST(BitOpsTest, PopCount) {
+  EXPECT_EQ(PopCount(0), 0);
+  EXPECT_EQ(PopCount(1), 1);
+  EXPECT_EQ(PopCount(0xFF), 8);
+  EXPECT_EQ(PopCount(~0ULL), 64);
+  EXPECT_EQ(PopCount(0x8000000000000001ULL), 2);
+}
+
+TEST(BitOpsTest, CountTrailingZeros) {
+  EXPECT_EQ(CountTrailingZeros(1), 0);
+  EXPECT_EQ(CountTrailingZeros(2), 1);
+  EXPECT_EQ(CountTrailingZeros(0x8000000000000000ULL), 63);
+  EXPECT_EQ(CountTrailingZeros(0b101000), 3);
+}
+
+TEST(BitOpsTest, RoundUpPow2) {
+  EXPECT_EQ(RoundUpPow2(0, 8), 0u);
+  EXPECT_EQ(RoundUpPow2(1, 8), 8u);
+  EXPECT_EQ(RoundUpPow2(8, 8), 8u);
+  EXPECT_EQ(RoundUpPow2(9, 8), 16u);
+}
+
+TEST(BitOpsTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 64), 0u);
+  EXPECT_EQ(CeilDiv(1, 64), 1u);
+  EXPECT_EQ(CeilDiv(64, 64), 1u);
+  EXPECT_EQ(CeilDiv(65, 64), 2u);
+  EXPECT_EQ(CeilDiv(128, 64), 2u);
+}
+
+TEST(BitOpsTest, NextPow2) {
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(1000), 1024u);
+  EXPECT_EQ(NextPow2(1024), 1024u);
+}
+
+TEST(BitOpsTest, FloorLog2) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(1024), 10);
+  EXPECT_EQ(FloorLog2(1025), 10);
+  EXPECT_EQ(FloorLog2(~0ULL), 63);
+}
+
+}  // namespace
+}  // namespace apcm

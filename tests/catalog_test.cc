@@ -1,0 +1,60 @@
+#include "src/be/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace apcm {
+namespace {
+
+TEST(CatalogTest, AddAndLookup) {
+  Catalog catalog;
+  auto price = catalog.AddAttribute("price", 0, 10000);
+  ASSERT_TRUE(price.ok());
+  EXPECT_EQ(price.value(), 0u);
+  auto age = catalog.AddAttribute("age", 0, 120);
+  ASSERT_TRUE(age.ok());
+  EXPECT_EQ(age.value(), 1u);
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_EQ(catalog.Name(0), "price");
+  EXPECT_EQ(catalog.Name(1), "age");
+  EXPECT_EQ(catalog.Domain(1), (ValueInterval{0, 120}));
+  EXPECT_EQ(catalog.FindAttribute("price").value(), 0u);
+}
+
+TEST(CatalogTest, DuplicateNameRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddAttribute("x", 0, 1).ok());
+  auto dup = catalog.AddAttribute("x", 0, 5);
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.size(), 1u);
+}
+
+TEST(CatalogTest, InvalidDomainRejected) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.AddAttribute("x", 5, 4).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(catalog.AddAttribute("", 0, 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, FindUnknownIsNotFound) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.FindAttribute("nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, GetOrAddIsIdempotent) {
+  Catalog catalog;
+  const AttributeId a = catalog.GetOrAddAttribute("k");
+  const AttributeId b = catalog.GetOrAddAttribute("k");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(catalog.size(), 1u);
+}
+
+TEST(CatalogTest, GetOrAddUsesDefaultDomain) {
+  Catalog catalog;
+  const AttributeId a = catalog.GetOrAddAttribute("k", {5, 9});
+  EXPECT_EQ(catalog.Domain(a), (ValueInterval{5, 9}));
+}
+
+}  // namespace
+}  // namespace apcm

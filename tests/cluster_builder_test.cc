@@ -1,0 +1,145 @@
+#include "src/core/cluster_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tests/matcher_test_util.h"
+
+namespace apcm::core {
+namespace {
+
+TEST(ClusterBuilderTest, EverySubscriptionInExactlyOneCluster) {
+  const auto workload = workload::Generate(GnarlySpec(81)).value();
+  for (ClusterStrategy strategy :
+       {ClusterStrategy::kPivot, ClusterStrategy::kSignature,
+        ClusterStrategy::kInsertionOrder}) {
+    ClusterBuilderOptions options;
+    options.cluster_size = 64;
+    options.strategy = strategy;
+    const auto clusters = BuildClusters(workload.subscriptions, options);
+    std::set<SubscriptionId> seen;
+    size_t total = 0;
+    for (const auto& cluster : clusters) {
+      total += cluster.size();
+      EXPECT_LE(cluster.size(), 64u);
+      for (uint32_t slot = 0; slot < cluster.size(); ++slot) {
+        EXPECT_TRUE(seen.insert(cluster.SubIdAt(slot)).second)
+            << "duplicate subscription " << cluster.SubIdAt(slot);
+      }
+    }
+    EXPECT_EQ(total, workload.subscriptions.size());
+    EXPECT_EQ(seen.size(), workload.subscriptions.size());
+  }
+}
+
+TEST(ClusterBuilderTest, ClusterCountMatchesSizeForChunkedStrategies) {
+  const auto workload = workload::Generate(GnarlySpec(82)).value();
+  for (ClusterStrategy strategy :
+       {ClusterStrategy::kSignature, ClusterStrategy::kInsertionOrder}) {
+    ClusterBuilderOptions options;
+    options.cluster_size = 100;
+    options.strategy = strategy;
+    const auto clusters = BuildClusters(workload.subscriptions, options);
+    EXPECT_EQ(clusters.size(), (workload.subscriptions.size() + 99) / 100);
+  }
+}
+
+TEST(ClusterBuilderTest, PivotClustersShareARequiredAttribute) {
+  const auto workload = workload::Generate(GnarlySpec(85)).value();
+  ClusterBuilderOptions options;
+  options.cluster_size = 64;
+  options.strategy = ClusterStrategy::kPivot;
+  const auto clusters = BuildClusters(workload.subscriptions, options);
+  size_t total = 0;
+  for (const auto& cluster : clusters) {
+    total += cluster.size();
+    // Every subscription has predicates in this workload, so every cluster
+    // shares its pivot attribute and the prune is armed.
+    EXPECT_FALSE(cluster.required_attributes().empty());
+  }
+  EXPECT_EQ(total, workload.subscriptions.size());
+}
+
+TEST(ClusterBuilderTest, PivotGroupsMatchAllSubscriptionsTogether) {
+  std::vector<BooleanExpression> subs;
+  subs.push_back(BooleanExpression::Create(0, {}).value());
+  subs.push_back(
+      BooleanExpression::Create(1, {Predicate(3, Op::kGe, 0)}).value());
+  subs.push_back(BooleanExpression::Create(2, {}).value());
+  ClusterBuilderOptions options;
+  options.strategy = ClusterStrategy::kPivot;
+  options.cluster_size = 16;
+  const auto clusters = BuildClusters(subs, options);
+  // Two clusters: the pivot-3 group and the match-all group.
+  ASSERT_EQ(clusters.size(), 2u);
+  size_t match_all_clusters = 0;
+  for (const auto& cluster : clusters) {
+    if (cluster.required_attributes().empty()) {
+      ++match_all_clusters;
+      EXPECT_EQ(cluster.size(), 2u);
+    }
+  }
+  EXPECT_EQ(match_all_clusters, 1u);
+}
+
+TEST(ClusterBuilderTest, SignatureClusteringImprovesCompression) {
+  // Construct a workload with heavy sharing potential: few attribute-set
+  // templates, shared predicate constants.
+  workload::WorkloadSpec spec = GnarlySpec(83);
+  spec.num_subscriptions = 2000;
+  spec.num_attributes = 12;
+  spec.min_predicates = 3;
+  spec.max_predicates = 5;
+  spec.equality_fraction = 1.0;  // only equality on a tiny domain
+  spec.in_fraction = 0;
+  spec.ne_fraction = 0;
+  spec.inequality_fraction = 0;
+  spec.domain_max = spec.domain_min + 9;
+  const auto workload = workload::Generate(spec).value();
+
+  auto ratio = [&](ClusterStrategy strategy) {
+    ClusterBuilderOptions options;
+    options.cluster_size = 128;
+    options.strategy = strategy;
+    const auto clusters = BuildClusters(workload.subscriptions, options);
+    uint64_t total = 0;
+    uint64_t distinct = 0;
+    for (const auto& cluster : clusters) {
+      total += cluster.total_predicates();
+      distinct += cluster.distinct_predicates();
+    }
+    return static_cast<double>(total) / static_cast<double>(distinct);
+  };
+  const double sig = ratio(ClusterStrategy::kSignature);
+  const double ins = ratio(ClusterStrategy::kInsertionOrder);
+  EXPECT_GT(sig, 1.0);
+  // Signature clustering should compress at least as well as arbitrary
+  // grouping, typically much better.
+  EXPECT_GE(sig, ins * 0.99);
+}
+
+TEST(ClusterBuilderTest, EmptySubscriptions) {
+  ClusterBuilderOptions options;
+  const auto clusters = BuildClusters({}, options);
+  EXPECT_TRUE(clusters.empty());
+}
+
+TEST(ClusterBuilderTest, ClusterSizeOne) {
+  const auto workload = workload::Generate(GnarlySpec(84)).value();
+  ClusterBuilderOptions options;
+  options.cluster_size = 1;
+  const auto clusters = BuildClusters(workload.subscriptions, options);
+  EXPECT_EQ(clusters.size(), workload.subscriptions.size());
+  for (const auto& cluster : clusters) EXPECT_EQ(cluster.size(), 1u);
+}
+
+TEST(ClusterBuilderTest, StrategyNames) {
+  EXPECT_STREQ(ClusterStrategyName(ClusterStrategy::kPivot), "pivot");
+  EXPECT_STREQ(ClusterStrategyName(ClusterStrategy::kSignature), "signature");
+  EXPECT_STREQ(ClusterStrategyName(ClusterStrategy::kInsertionOrder),
+               "insertion-order");
+}
+
+}  // namespace
+}  // namespace apcm::core

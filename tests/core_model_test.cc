@@ -1,0 +1,124 @@
+#include "src/sim/core_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/timer.h"
+#include "tests/matcher_test_util.h"
+
+namespace apcm::sim {
+namespace {
+
+std::unique_ptr<core::PcmMatcher> BuiltMatcher(
+    const workload::Workload& workload) {
+  core::PcmOptions options;
+  options.mode = core::PcmMode::kCompressed;
+  options.clustering.cluster_size = 32;
+  auto matcher = std::make_unique<core::PcmMatcher>(options);
+  matcher->Build(workload.subscriptions);
+  return matcher;
+}
+
+TEST(CoreModelTest, ProfileCoversAllClusters) {
+  const auto workload = workload::Generate(GnarlySpec(111)).value();
+  auto matcher = BuiltMatcher(workload);
+  const BatchProfile profile = ProfileClusterWork(*matcher, workload.events);
+  EXPECT_EQ(profile.cluster_work.size(), matcher->clusters().size());
+  for (double work : profile.cluster_work) EXPECT_GT(work, 0.0);
+}
+
+TEST(CoreModelTest, ProfileMatchCountAgreesWithMatcher) {
+  const auto workload = workload::Generate(GnarlySpec(112)).value();
+  auto matcher = BuiltMatcher(workload);
+  const BatchProfile profile = ProfileClusterWork(*matcher, workload.events);
+  std::vector<std::vector<SubscriptionId>> results;
+  matcher->MatchBatch(workload.events, &results);
+  uint64_t total = 0;
+  for (const auto& r : results) total += r.size();
+  EXPECT_DOUBLE_EQ(profile.total_matches, static_cast<double>(total));
+}
+
+TEST(CoreModelTest, SpeedupPropertiesHold) {
+  const auto workload = workload::Generate(GnarlySpec(113)).value();
+  auto matcher = BuiltMatcher(workload);
+  MultiCoreModel model;
+  model.SetProfile(ProfileClusterWork(*matcher, workload.events));
+  model.Calibrate(/*measured_seconds=*/0.010);
+  EXPECT_GT(model.kappa(), 0.0);
+
+  const auto sweep = model.Sweep({1, 2, 4, 8, 16});
+  ASSERT_EQ(sweep.size(), 5u);
+  EXPECT_DOUBLE_EQ(sweep[0].speedup, 1.0);
+  for (size_t i = 1; i < sweep.size(); ++i) {
+    // Speedup never exceeds the thread count, and time never increases with
+    // more threads beyond barrier noise.
+    EXPECT_LE(sweep[i].speedup,
+              static_cast<double>(sweep[i].threads) + 1e-9);
+    EXPECT_GE(sweep[i].speedup, 0.9 * sweep[i - 1].speedup);
+  }
+  // With hundreds of similar clusters, parallelism should actually help.
+  EXPECT_GT(sweep.back().speedup, 2.0);
+}
+
+TEST(CoreModelTest, SingleClusterCannotSpeedUp) {
+  const auto workload = workload::Generate(GnarlySpec(114)).value();
+  core::PcmOptions options;
+  options.clustering.cluster_size = 1 << 20;  // everything in one cluster
+  // Pivot clustering breaks at pivot boundaries; insertion order does not.
+  options.clustering.strategy = core::ClusterStrategy::kInsertionOrder;
+  auto matcher = std::make_unique<core::PcmMatcher>(options);
+  matcher->Build(workload.subscriptions);
+  ASSERT_EQ(matcher->clusters().size(), 1u);
+  MultiCoreModel model;
+  model.SetProfile(ProfileClusterWork(*matcher, workload.events));
+  model.Calibrate(0.010);
+  // One indivisible shard: T(8) cannot beat T(1) (barrier makes it worse).
+  EXPECT_GE(model.PredictSeconds(8), model.PredictSeconds(1) * 0.99);
+}
+
+TEST(CoreModelTest, PredictionTracksMeasurementAtOneThread) {
+  // Calibrate on a real measured run, then check the 1-thread prediction
+  // reproduces the measurement to within the modeled overhead terms.
+  const auto workload = workload::Generate(GnarlySpec(115)).value();
+  auto matcher = BuiltMatcher(workload);
+  std::vector<std::vector<SubscriptionId>> results;
+  matcher->MatchBatch(workload.events, &results);  // warm caches
+  WallTimer timer;
+  matcher->MatchBatch(workload.events, &results);
+  const double measured = timer.ElapsedSeconds();
+
+  MultiCoreModel model;
+  model.SetProfile(ProfileClusterWork(*matcher, workload.events));
+  model.Calibrate(measured);
+  const double predicted = model.PredictSeconds(1);
+  EXPECT_NEAR(predicted, measured, measured * 0.5 + 1e-5);
+}
+
+TEST(CoreModelTest, BalancedWorkScalesNearLinearly) {
+  MultiCoreModel model(CoreModelOptions{.barrier_seconds = 0,
+                                        .merge_seconds_per_match = 0});
+  BatchProfile profile;
+  profile.cluster_work.assign(1024, 10.0);  // perfectly uniform
+  model.SetProfile(std::move(profile));
+  model.Calibrate(1.0);
+  const auto sweep = model.Sweep({1, 2, 4, 8});
+  EXPECT_NEAR(sweep[1].speedup, 2.0, 1e-9);
+  EXPECT_NEAR(sweep[2].speedup, 4.0, 1e-9);
+  EXPECT_NEAR(sweep[3].speedup, 8.0, 1e-9);
+}
+
+TEST(CoreModelTest, SkewedWorkLimitsSpeedup) {
+  MultiCoreModel model(CoreModelOptions{.barrier_seconds = 0,
+                                        .merge_seconds_per_match = 0});
+  BatchProfile profile;
+  profile.cluster_work.assign(16, 1.0);
+  profile.cluster_work[0] = 100.0;  // one hot cluster dominates
+  model.SetProfile(std::move(profile));
+  model.Calibrate(1.0);
+  // Amdahl: the shard holding the hot cluster bounds the speedup.
+  const double t16 = model.PredictSeconds(16);
+  const double t1 = model.PredictSeconds(1);
+  EXPECT_LT(t1 / t16, 1.2);
+}
+
+}  // namespace
+}  // namespace apcm::sim

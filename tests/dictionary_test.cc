@@ -1,0 +1,69 @@
+#include "src/core/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace apcm::core {
+namespace {
+
+TEST(DictionaryTest, InternAssignsDenseIdsInFirstSeenOrder) {
+  PredicateDictionary dict;
+  EXPECT_EQ(dict.Intern(Predicate(0, Op::kEq, 1)), 0u);
+  EXPECT_EQ(dict.Intern(Predicate(0, Op::kEq, 2)), 1u);
+  EXPECT_EQ(dict.Intern(Predicate(1, Op::kEq, 1)), 2u);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(DictionaryTest, DuplicatesReturnSameId) {
+  PredicateDictionary dict;
+  const uint32_t a = dict.Intern(Predicate(3, 10, 20));
+  const uint32_t b = dict.Intern(Predicate(3, 10, 20));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, DistinguishesOperandsAndOps) {
+  PredicateDictionary dict;
+  dict.Intern(Predicate(0, Op::kLt, 5));
+  dict.Intern(Predicate(0, Op::kLe, 5));
+  dict.Intern(Predicate(0, Op::kLt, 6));
+  dict.Intern(Predicate(1, Op::kLt, 5));
+  EXPECT_EQ(dict.size(), 4u);
+}
+
+TEST(DictionaryTest, InSetsCanonicalized) {
+  PredicateDictionary dict;
+  const uint32_t a = dict.Intern(Predicate(0, std::vector<Value>{3, 1, 2}));
+  const uint32_t b = dict.Intern(Predicate(0, std::vector<Value>{2, 3, 1}));
+  EXPECT_EQ(a, b);
+}
+
+TEST(DictionaryTest, GetReturnsInternedPredicate) {
+  PredicateDictionary dict;
+  const Predicate pred(7, Op::kGe, 42);
+  const uint32_t id = dict.Intern(pred);
+  EXPECT_EQ(dict.Get(id), pred);
+  EXPECT_EQ(dict.predicates().size(), 1u);
+}
+
+TEST(DictionaryTest, ShrinkToReadKeepsPredicates) {
+  PredicateDictionary dict;
+  const uint32_t id = dict.Intern(Predicate(1, Op::kEq, 9));
+  const uint64_t before = dict.MemoryBytes();
+  dict.ShrinkToRead();
+  EXPECT_EQ(dict.Get(id), Predicate(1, Op::kEq, 9));
+  EXPECT_LE(dict.MemoryBytes(), before);
+}
+
+TEST(DictionaryTest, CompressionAccounting) {
+  // 100 expressions sharing 5 distinct predicates: dictionary holds 5.
+  PredicateDictionary dict;
+  for (int i = 0; i < 100; ++i) {
+    for (Value v = 0; v < 5; ++v) {
+      dict.Intern(Predicate(0, Op::kEq, v));
+    }
+  }
+  EXPECT_EQ(dict.size(), 5u);
+}
+
+}  // namespace
+}  // namespace apcm::core

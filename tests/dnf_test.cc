@@ -1,0 +1,152 @@
+// Disjunction support: the parser's `or` connective and the engine's
+// DNF subscriptions (internal disjunct ids aliased to one external id).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/be/parser.h"
+#include "src/engine/engine.h"
+
+namespace apcm {
+namespace {
+
+TEST(ParserDnfTest, SplitsOnOr) {
+  Catalog catalog;
+  Parser parser(&catalog);
+  auto dnf = parser.ParseDisjunction("a = 1 and b = 2 or c = 3 or d < 4");
+  ASSERT_TRUE(dnf.ok()) << dnf.status().ToString();
+  ASSERT_EQ(dnf->size(), 3u);
+  EXPECT_EQ((*dnf)[0].size(), 2u);
+  EXPECT_EQ((*dnf)[1].size(), 1u);
+  EXPECT_EQ((*dnf)[2].size(), 1u);
+}
+
+TEST(ParserDnfTest, SingleConjunctionIsOneDisjunct) {
+  Catalog catalog;
+  Parser parser(&catalog);
+  auto dnf = parser.ParseDisjunction("a = 1 and b = 2");
+  ASSERT_TRUE(dnf.ok());
+  EXPECT_EQ(dnf->size(), 1u);
+}
+
+TEST(ParserDnfTest, AttributeNamesContainingOrAreSafe) {
+  Catalog catalog;
+  Parser parser(&catalog);
+  auto dnf = parser.ParseDisjunction("score = 1 and orientation = 2");
+  ASSERT_TRUE(dnf.ok()) << dnf.status().ToString();
+  EXPECT_EQ(dnf->size(), 1u);
+  EXPECT_EQ((*dnf)[0].size(), 2u);
+}
+
+TEST(ParserDnfTest, InvalidDisjunctRejected) {
+  Catalog catalog;
+  Parser parser(&catalog);
+  EXPECT_FALSE(parser.ParseDisjunction("a = 1 or b ~ 2").ok());
+  EXPECT_FALSE(parser.ParseDisjunction("a = 1 and a = 2 or b = 1").ok());
+}
+
+class EngineDnfTest : public ::testing::Test {
+ protected:
+  EngineDnfTest()
+      : engine_(
+            [] {
+              engine::EngineOptions options;
+              options.kind = engine::MatcherKind::kAPcm;
+              return options;
+            }(),
+            [this](uint64_t id, const std::vector<SubscriptionId>& matches) {
+              deliveries_[id] = matches;
+            }) {}
+
+  std::vector<SubscriptionId> MatchOne(const Event& event) {
+    const uint64_t id = engine_.Publish(event);
+    engine_.Flush();
+    return deliveries_.at(id);
+  }
+
+  Catalog catalog_;
+  Parser parser_{&catalog_};
+  std::map<uint64_t, std::vector<SubscriptionId>> deliveries_;
+  engine::StreamEngine engine_;
+};
+
+TEST_F(EngineDnfTest, AnyDisjunctMatches) {
+  auto dnf = parser_.ParseDisjunction("price < 10 or price > 100").value();
+  const SubscriptionId id =
+      engine_.AddDisjunctiveSubscription(std::move(dnf)).value();
+  EXPECT_EQ(MatchOne(parser_.ParseEvent("price = 5").value()),
+            (std::vector<SubscriptionId>{id}));
+  EXPECT_EQ(MatchOne(parser_.ParseEvent("price = 500").value()),
+            (std::vector<SubscriptionId>{id}));
+  EXPECT_TRUE(MatchOne(parser_.ParseEvent("price = 50").value()).empty());
+}
+
+TEST_F(EngineDnfTest, OverlappingDisjunctsDeliverOnce) {
+  auto dnf = parser_.ParseDisjunction("price < 100 or price > 10").value();
+  const SubscriptionId id =
+      engine_.AddDisjunctiveSubscription(std::move(dnf)).value();
+  // price = 50 satisfies BOTH disjuncts; the id must appear exactly once.
+  EXPECT_EQ(MatchOne(parser_.ParseEvent("price = 50").value()),
+            (std::vector<SubscriptionId>{id}));
+}
+
+TEST_F(EngineDnfTest, MixesWithPlainSubscriptions) {
+  const SubscriptionId plain =
+      engine_
+          .AddSubscription(
+              parser_.ParseExpression(0, "price >= 0").value().predicates())
+          .value();
+  const SubscriptionId dnf =
+      engine_
+          .AddDisjunctiveSubscription(
+              parser_.ParseDisjunction("price < 10 or category = 7").value())
+          .value();
+  const auto matches = MatchOne(
+      parser_.ParseEvent("price = 5, category = 7").value());
+  EXPECT_EQ(matches, (std::vector<SubscriptionId>{plain, dnf}));
+}
+
+TEST_F(EngineDnfTest, RemoveRemovesAllDisjuncts) {
+  const SubscriptionId id =
+      engine_
+          .AddDisjunctiveSubscription(
+              parser_.ParseDisjunction("price < 10 or price > 100").value())
+          .value();
+  ASSERT_TRUE(engine_.RemoveSubscription(id).ok());
+  EXPECT_TRUE(MatchOne(parser_.ParseEvent("price = 5").value()).empty());
+  EXPECT_TRUE(MatchOne(parser_.ParseEvent("price = 500").value()).empty());
+  EXPECT_EQ(engine_.RemoveSubscription(id).code(), StatusCode::kNotFound);
+}
+
+TEST_F(EngineDnfTest, InternalDisjunctIdCannotBeRemovedDirectly) {
+  const SubscriptionId id =
+      engine_
+          .AddDisjunctiveSubscription(
+              parser_.ParseDisjunction("price < 10 or price > 100").value())
+          .value();
+  // Internal ids are allocated sequentially after the external one.
+  const Status status = engine_.RemoveSubscription(id + 1);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  // The subscription still works.
+  EXPECT_EQ(MatchOne(parser_.ParseEvent("price = 500").value()),
+            (std::vector<SubscriptionId>{id}));
+}
+
+TEST_F(EngineDnfTest, EmptyDisjunctListRejected) {
+  EXPECT_EQ(engine_.AddDisjunctiveSubscription({}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineDnfTest, InvalidDisjunctIsAtomicFailure) {
+  // Second disjunct repeats an attribute: nothing must be registered.
+  std::vector<std::vector<Predicate>> disjuncts;
+  disjuncts.push_back({Predicate(0, Op::kLt, 10)});
+  disjuncts.push_back({Predicate(1, Op::kGt, 1), Predicate(1, Op::kLt, 9)});
+  EXPECT_FALSE(engine_.AddDisjunctiveSubscription(disjuncts).ok());
+  EXPECT_EQ(engine_.num_subscriptions(), 0u);
+  EXPECT_TRUE(MatchOne(Event::Create({{0, 5}}).value()).empty());
+}
+
+}  // namespace
+}  // namespace apcm

@@ -1,0 +1,75 @@
+#include "src/be/event.h"
+
+#include <gtest/gtest.h>
+
+#include "src/be/catalog.h"
+
+namespace apcm {
+namespace {
+
+TEST(EventTest, CreateSortsEntries) {
+  auto event = Event::Create({{5, 50}, {1, 10}, {3, 30}});
+  ASSERT_TRUE(event.ok());
+  ASSERT_EQ(event->size(), 3u);
+  EXPECT_EQ(event->entries()[0].attr, 1u);
+  EXPECT_EQ(event->entries()[1].attr, 3u);
+  EXPECT_EQ(event->entries()[2].attr, 5u);
+}
+
+TEST(EventTest, CreateRejectsDuplicates) {
+  auto event = Event::Create({{1, 10}, {1, 20}});
+  EXPECT_EQ(event.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EventTest, FindPresentAndAbsent) {
+  auto event = Event::Create({{2, 20}, {7, 70}}).value();
+  ASSERT_NE(event.Find(2), nullptr);
+  EXPECT_EQ(*event.Find(2), 20);
+  ASSERT_NE(event.Find(7), nullptr);
+  EXPECT_EQ(*event.Find(7), 70);
+  EXPECT_EQ(event.Find(1), nullptr);
+  EXPECT_EQ(event.Find(5), nullptr);
+  EXPECT_EQ(event.Find(100), nullptr);
+  EXPECT_TRUE(event.Has(2));
+  EXPECT_FALSE(event.Has(3));
+}
+
+TEST(EventTest, EmptyEvent) {
+  Event event;
+  EXPECT_TRUE(event.empty());
+  EXPECT_EQ(event.Find(0), nullptr);
+  auto created = Event::Create({});
+  ASSERT_TRUE(created.ok());
+  EXPECT_TRUE(created->empty());
+}
+
+TEST(EventTest, FromSortedFastPath) {
+  Event event = Event::FromSorted({{1, 10}, {4, 40}});
+  EXPECT_EQ(event.size(), 2u);
+  EXPECT_EQ(*event.Find(4), 40);
+}
+
+TEST(EventTest, EqualityIsStructural) {
+  const Event a = Event::Create({{1, 10}, {2, 20}}).value();
+  const Event b = Event::Create({{2, 20}, {1, 10}}).value();
+  const Event c = Event::Create({{1, 10}, {2, 21}}).value();
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(EventTest, ToStringWithAndWithoutCatalog) {
+  const Event event = Event::Create({{0, 5}, {1, -2}}).value();
+  EXPECT_EQ(event.ToString(), "attr0=5, attr1=-2");
+  Catalog catalog;
+  catalog.GetOrAddAttribute("price");
+  catalog.GetOrAddAttribute("delta");
+  EXPECT_EQ(event.ToString(&catalog), "price=5, delta=-2");
+}
+
+TEST(EventTest, NegativeValuesSupported) {
+  const Event event = Event::Create({{0, -1000}}).value();
+  EXPECT_EQ(*event.Find(0), -1000);
+}
+
+}  // namespace
+}  // namespace apcm

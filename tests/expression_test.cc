@@ -1,0 +1,96 @@
+#include "src/be/expression.h"
+
+#include <gtest/gtest.h>
+
+namespace apcm {
+namespace {
+
+Event MakeEvent(std::vector<Event::Entry> entries) {
+  return Event::Create(std::move(entries)).value();
+}
+
+TEST(ExpressionTest, CreateSortsByAttribute) {
+  auto expr = BooleanExpression::Create(
+      1, {Predicate(5, Op::kEq, 1), Predicate(2, Op::kEq, 1)});
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ(expr->predicates()[0].attribute(), 2u);
+  EXPECT_EQ(expr->predicates()[1].attribute(), 5u);
+  EXPECT_EQ(expr->id(), 1u);
+}
+
+TEST(ExpressionTest, CreateRejectsDuplicateAttributes) {
+  auto expr = BooleanExpression::Create(
+      1, {Predicate(2, Op::kGt, 1), Predicate(2, Op::kLt, 9)});
+  EXPECT_EQ(expr.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExpressionTest, MatchesConjunction) {
+  const auto expr = BooleanExpression::Create(
+      7, {Predicate(1, Op::kGe, 10), Predicate(3, 0, 5)}).value();
+  EXPECT_TRUE(expr.Matches(MakeEvent({{1, 10}, {3, 5}})));
+  EXPECT_TRUE(expr.Matches(MakeEvent({{1, 99}, {2, 0}, {3, 0}})));
+  EXPECT_FALSE(expr.Matches(MakeEvent({{1, 9}, {3, 5}})));   // pred fails
+  EXPECT_FALSE(expr.Matches(MakeEvent({{1, 10}, {3, 6}})));  // pred fails
+}
+
+TEST(ExpressionTest, AbsentAttributeFailsTheConjunction) {
+  const auto expr = BooleanExpression::Create(
+      7, {Predicate(1, Op::kGe, 10), Predicate(3, 0, 5)}).value();
+  EXPECT_FALSE(expr.Matches(MakeEvent({{1, 10}})));        // attr 3 missing
+  EXPECT_FALSE(expr.Matches(MakeEvent({{3, 3}})));         // attr 1 missing
+  EXPECT_FALSE(expr.Matches(MakeEvent({})));               // both missing
+  EXPECT_FALSE(expr.Matches(MakeEvent({{0, 1}, {2, 2}})));  // disjoint attrs
+}
+
+TEST(ExpressionTest, EmptyExpressionMatchesEverything) {
+  const auto expr = BooleanExpression::Create(0, {}).value();
+  EXPECT_TRUE(expr.Matches(MakeEvent({})));
+  EXPECT_TRUE(expr.Matches(MakeEvent({{1, 1}, {2, 2}})));
+}
+
+TEST(ExpressionTest, MatchesCountingCountsShortCircuit) {
+  const auto expr = BooleanExpression::Create(
+      0, {Predicate(1, Op::kEq, 1), Predicate(2, Op::kEq, 2),
+          Predicate(3, Op::kEq, 3)}).value();
+  uint64_t evals = 0;
+  // First predicate fails: exactly 1 evaluation.
+  EXPECT_FALSE(expr.MatchesCounting(MakeEvent({{1, 9}, {2, 2}, {3, 3}}),
+                                    &evals));
+  EXPECT_EQ(evals, 1u);
+  // All pass: 3 evaluations.
+  evals = 0;
+  EXPECT_TRUE(expr.MatchesCounting(MakeEvent({{1, 1}, {2, 2}, {3, 3}}),
+                                   &evals));
+  EXPECT_EQ(evals, 3u);
+}
+
+TEST(ExpressionTest, MatchesAgreesWithNaivePerPredicateCheck) {
+  const auto expr = BooleanExpression::Create(
+      0, {Predicate(2, Op::kNe, 4), Predicate(5, 10, 20),
+          Predicate(9, std::vector<Value>{1, 3})}).value();
+  const std::vector<Event> events = {
+      MakeEvent({{2, 5}, {5, 15}, {9, 3}}),
+      MakeEvent({{2, 4}, {5, 15}, {9, 3}}),
+      MakeEvent({{2, 5}, {5, 15}}),
+      MakeEvent({{0, 1}, {2, 5}, {5, 10}, {7, 7}, {9, 1}}),
+  };
+  for (const Event& event : events) {
+    bool expected = true;
+    for (const Predicate& pred : expr.predicates()) {
+      const Value* v = event.Find(pred.attribute());
+      if (v == nullptr || !pred.Eval(*v)) expected = false;
+    }
+    EXPECT_EQ(expr.Matches(event), expected) << event.ToString();
+  }
+}
+
+TEST(ExpressionTest, ToString) {
+  const auto expr = BooleanExpression::Create(
+      3, {Predicate(1, Op::kLe, 9), Predicate(0, Op::kGt, 2)}).value();
+  EXPECT_EQ(expr.ToString(), "id=3: attr0 > 2 and attr1 <= 9");
+  const auto empty = BooleanExpression::Create(9, {}).value();
+  EXPECT_EQ(empty.ToString(), "id=9: <true>");
+}
+
+}  // namespace
+}  // namespace apcm

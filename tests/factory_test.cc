@@ -1,0 +1,69 @@
+#include "src/engine/matcher_factory.h"
+
+#include <gtest/gtest.h>
+
+namespace apcm::engine {
+namespace {
+
+constexpr MatcherKind kAllKinds[] = {
+    MatcherKind::kScan,   MatcherKind::kCounting, MatcherKind::kKIndex,
+    MatcherKind::kBETree, MatcherKind::kPcm,      MatcherKind::kPcmLazy,
+    MatcherKind::kAPcm,
+};
+
+TEST(FactoryTest, NamesRoundTrip) {
+  for (MatcherKind kind : kAllKinds) {
+    const auto name = MatcherKindName(kind);
+    auto parsed = ParseMatcherKind(name);
+    ASSERT_TRUE(parsed.ok()) << name;
+    EXPECT_EQ(parsed.value(), kind) << name;
+  }
+}
+
+TEST(FactoryTest, UnknownNameRejected) {
+  EXPECT_EQ(ParseMatcherKind("quantum").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(ParseMatcherKind("").ok());
+  EXPECT_FALSE(ParseMatcherKind("PCM").ok());  // case-sensitive
+}
+
+TEST(FactoryTest, CreatedMatchersReportTheirKindName) {
+  MatcherConfig config;
+  for (MatcherKind kind : kAllKinds) {
+    auto matcher = CreateMatcher(kind, config);
+    ASSERT_NE(matcher, nullptr);
+    EXPECT_EQ(matcher->Name(), MatcherKindName(kind));
+  }
+}
+
+TEST(FactoryTest, PcmModeOverriddenByKind) {
+  MatcherConfig config;
+  config.pcm.mode = core::PcmMode::kLazy;  // should be overridden
+  auto pcm = CreateMatcher(MatcherKind::kPcm, config);
+  EXPECT_EQ(pcm->Name(), "pcm");
+  auto apcm = CreateMatcher(MatcherKind::kAPcm, config);
+  EXPECT_EQ(apcm->Name(), "a-pcm");
+}
+
+TEST(FactoryTest, CreatedMatchersAreFunctional) {
+  MatcherConfig config;
+  config.domain = {0, 100};
+  std::vector<BooleanExpression> subs;
+  subs.push_back(
+      BooleanExpression::Create(0, {Predicate(0, Op::kLe, 50)}).value());
+  const Event hit = Event::Create({{0, 10}}).value();
+  const Event miss = Event::Create({{0, 90}}).value();
+  for (MatcherKind kind : kAllKinds) {
+    auto matcher = CreateMatcher(kind, config);
+    matcher->Build(subs);
+    std::vector<SubscriptionId> matches;
+    matcher->Match(hit, &matches);
+    EXPECT_EQ(matches, (std::vector<SubscriptionId>{0}))
+        << MatcherKindName(kind);
+    matcher->Match(miss, &matches);
+    EXPECT_TRUE(matches.empty()) << MatcherKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace apcm::engine

@@ -1,0 +1,279 @@
+#include "src/workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace apcm::workload {
+namespace {
+
+WorkloadSpec SmallSpec() {
+  WorkloadSpec spec;
+  spec.seed = 7;
+  spec.num_subscriptions = 500;
+  spec.num_events = 200;
+  spec.num_attributes = 50;
+  spec.domain_min = 0;
+  spec.domain_max = 1000;
+  spec.min_predicates = 2;
+  spec.max_predicates = 6;
+  spec.min_event_attrs = 5;
+  spec.max_event_attrs = 15;
+  return spec;
+}
+
+TEST(GeneratorTest, RespectsCounts) {
+  const Workload workload = Generate(SmallSpec()).value();
+  EXPECT_EQ(workload.subscriptions.size(), 500u);
+  EXPECT_EQ(workload.events.size(), 200u);
+  EXPECT_EQ(workload.catalog.size(), 50u);
+}
+
+TEST(GeneratorTest, DeterministicForSameSpec) {
+  const Workload a = Generate(SmallSpec()).value();
+  const Workload b = Generate(SmallSpec()).value();
+  ASSERT_EQ(a.subscriptions.size(), b.subscriptions.size());
+  for (size_t i = 0; i < a.subscriptions.size(); ++i) {
+    EXPECT_EQ(a.subscriptions[i].ToString(), b.subscriptions[i].ToString());
+  }
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i], b.events[i]);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  WorkloadSpec spec_b = SmallSpec();
+  spec_b.seed = 8;
+  const Workload a = Generate(SmallSpec()).value();
+  const Workload b = Generate(spec_b).value();
+  int differing = 0;
+  for (size_t i = 0; i < a.subscriptions.size(); ++i) {
+    if (a.subscriptions[i].ToString() != b.subscriptions[i].ToString()) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 400);
+}
+
+TEST(GeneratorTest, SubscriptionsIndependentOfEventCount) {
+  WorkloadSpec spec_b = SmallSpec();
+  spec_b.num_events = 999;
+  const Workload a = Generate(SmallSpec()).value();
+  const Workload b = Generate(spec_b).value();
+  for (size_t i = 0; i < a.subscriptions.size(); ++i) {
+    EXPECT_EQ(a.subscriptions[i].ToString(), b.subscriptions[i].ToString());
+  }
+  const auto subs_only = GenerateSubscriptions(SmallSpec()).value();
+  for (size_t i = 0; i < a.subscriptions.size(); ++i) {
+    EXPECT_EQ(a.subscriptions[i].ToString(), subs_only[i].ToString());
+  }
+}
+
+TEST(GeneratorTest, PredicateAndEventSizesInBounds) {
+  const WorkloadSpec spec = SmallSpec();
+  const Workload workload = Generate(spec).value();
+  for (const auto& sub : workload.subscriptions) {
+    EXPECT_GE(sub.size(), spec.min_predicates);
+    EXPECT_LE(sub.size(), spec.max_predicates);
+    for (const auto& pred : sub.predicates()) {
+      EXPECT_LT(pred.attribute(), spec.num_attributes);
+    }
+  }
+  // Unseeded events respect [min, max] event attrs; seeded events can exceed
+  // only up to the seeding subscription's predicate count.
+  for (const auto& event : workload.events) {
+    EXPECT_LE(event.size(),
+              size_t{std::max(spec.max_event_attrs, spec.max_predicates)});
+    for (const auto& entry : event.entries()) {
+      EXPECT_LT(entry.attr, spec.num_attributes);
+      EXPECT_GE(entry.value, spec.domain_min);
+      EXPECT_LE(entry.value, spec.domain_max);
+    }
+  }
+}
+
+TEST(GeneratorTest, SubscriptionIdsAreDense) {
+  const Workload workload = Generate(SmallSpec()).value();
+  for (size_t i = 0; i < workload.subscriptions.size(); ++i) {
+    EXPECT_EQ(workload.subscriptions[i].id(), i);
+  }
+}
+
+TEST(GeneratorTest, SeededEventsProduceMatches) {
+  WorkloadSpec spec = SmallSpec();
+  spec.seeded_event_fraction = 1.0;
+  const Workload workload = Generate(spec).value();
+  // Every event was constructed to satisfy at least one subscription.
+  size_t events_with_match = 0;
+  for (const auto& event : workload.events) {
+    for (const auto& sub : workload.subscriptions) {
+      if (sub.Matches(event)) {
+        ++events_with_match;
+        break;
+      }
+    }
+  }
+  // A tiny number can fail when a predicate is unsatisfiable (kNe on a
+  // 1-point domain); with this spec that cannot happen, so all must match.
+  EXPECT_EQ(events_with_match, workload.events.size());
+}
+
+TEST(GeneratorTest, UnseededEventsRarelyMatch) {
+  WorkloadSpec spec = SmallSpec();
+  spec.seeded_event_fraction = 0.0;
+  const Workload workload = Generate(spec).value();
+  uint64_t matches = 0;
+  for (const auto& event : workload.events) {
+    for (const auto& sub : workload.subscriptions) {
+      if (sub.Matches(event)) ++matches;
+    }
+  }
+  // Conjunctions with >= 2 predicates over 50 attributes almost never match
+  // random events: the expected rate is far below one per event.
+  EXPECT_LT(matches, workload.events.size());
+}
+
+TEST(GeneratorTest, ZipfSkewConcentratesAttributes) {
+  WorkloadSpec skewed = SmallSpec();
+  skewed.attribute_zipf = 2.0;
+  WorkloadSpec uniform = SmallSpec();
+  uniform.attribute_zipf = 0.0;
+  auto count_attr0 = [](const Workload& w) {
+    uint64_t count = 0;
+    for (const auto& sub : w.subscriptions) {
+      for (const auto& pred : sub.predicates()) {
+        if (pred.attribute() == 0) ++count;
+      }
+    }
+    return count;
+  };
+  EXPECT_GT(count_attr0(Generate(skewed).value()),
+            2 * count_attr0(Generate(uniform).value()));
+}
+
+TEST(GeneratorTest, EventLocalityRepeatsAttributeSets) {
+  WorkloadSpec spec = SmallSpec();
+  spec.event_locality = 0.9;
+  spec.seeded_event_fraction = 0.0;
+  const Workload workload = Generate(spec).value();
+  uint64_t repeats = 0;
+  for (size_t i = 1; i < workload.events.size(); ++i) {
+    const auto& prev = workload.events[i - 1].entries();
+    const auto& cur = workload.events[i].entries();
+    if (prev.size() != cur.size()) continue;
+    bool same = true;
+    for (size_t j = 0; j < cur.size(); ++j) {
+      same &= prev[j].attr == cur[j].attr;
+    }
+    repeats += same;
+  }
+  // ~90% of events reuse the previous attribute set.
+  EXPECT_GT(repeats, workload.events.size() / 2);
+}
+
+TEST(GeneratorTest, OperandGridQuantizesOperands) {
+  WorkloadSpec spec = SmallSpec();
+  spec.operand_grid = 0.1;  // grid step = 100 over a [0, 1000] domain
+  const Workload workload = Generate(spec).value();
+  const Value step = 100;
+  uint64_t checked = 0;
+  for (const auto& sub : workload.subscriptions) {
+    for (const auto& pred : sub.predicates()) {
+      switch (pred.op()) {
+        case Op::kEq:
+        case Op::kNe:
+          EXPECT_EQ((pred.v1() - spec.domain_min) % step, 0)
+              << pred.ToString();
+          ++checked;
+          break;
+        case Op::kBetween:
+          EXPECT_EQ((pred.v1() - spec.domain_min) % step, 0)
+              << pred.ToString();
+          ++checked;
+          break;
+        case Op::kIn:
+          for (Value v : pred.values()) {
+            EXPECT_EQ((v - spec.domain_min) % step, 0) << pred.ToString();
+          }
+          ++checked;
+          break;
+        default:
+          break;  // inequality thresholds derive from quantized widths
+      }
+    }
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+TEST(GeneratorTest, OperandGridIncreasesDuplication) {
+  auto distinct_fraction = [](const Workload& w) {
+    std::set<std::string> distinct;
+    uint64_t total = 0;
+    for (const auto& sub : w.subscriptions) {
+      for (const auto& pred : sub.predicates()) {
+        distinct.insert(pred.ToString());
+        ++total;
+      }
+    }
+    return static_cast<double>(distinct.size()) /
+           static_cast<double>(total);
+  };
+  WorkloadSpec plain = SmallSpec();
+  WorkloadSpec gridded = SmallSpec();
+  gridded.operand_grid = 0.05;
+  EXPECT_LT(distinct_fraction(Generate(gridded).value()),
+            distinct_fraction(Generate(plain).value()));
+}
+
+TEST(GeneratorTest, InvalidSpecsRejected) {
+  WorkloadSpec spec = SmallSpec();
+  spec.min_predicates = 10;
+  spec.max_predicates = 5;
+  EXPECT_FALSE(Generate(spec).ok());
+
+  spec = SmallSpec();
+  spec.max_predicates = 100;  // exceeds 50 attributes
+  EXPECT_FALSE(Generate(spec).ok());
+
+  spec = SmallSpec();
+  spec.domain_min = 10;
+  spec.domain_max = 5;
+  EXPECT_FALSE(Generate(spec).ok());
+
+  spec = SmallSpec();
+  spec.equality_fraction = 0.9;
+  spec.in_fraction = 0.3;  // fractions sum > 1
+  EXPECT_FALSE(Generate(spec).ok());
+
+  spec = SmallSpec();
+  spec.predicate_width = 0;
+  EXPECT_FALSE(Generate(spec).ok());
+
+  spec = SmallSpec();
+  spec.seeded_event_fraction = 1.5;
+  EXPECT_FALSE(Generate(spec).ok());
+}
+
+TEST(GeneratorTest, ShuffleEventsIsDeterministicPermutation) {
+  const Workload workload = Generate(SmallSpec()).value();
+  std::vector<Event> shuffled = workload.events;
+  ShuffleEvents(&shuffled, 99);
+  ASSERT_EQ(shuffled.size(), workload.events.size());
+  // Same multiset of events.
+  auto key = [](const Event& e) { return e.ToString(); };
+  std::multiset<std::string> original;
+  std::multiset<std::string> after;
+  for (const auto& e : workload.events) original.insert(key(e));
+  for (const auto& e : shuffled) after.insert(key(e));
+  EXPECT_EQ(original, after);
+  // Deterministic.
+  std::vector<Event> shuffled2 = workload.events;
+  ShuffleEvents(&shuffled2, 99);
+  EXPECT_EQ(shuffled, shuffled2);
+  // Actually permutes.
+  EXPECT_FALSE(shuffled == workload.events);
+}
+
+}  // namespace
+}  // namespace apcm::workload

@@ -1,0 +1,123 @@
+#include "src/base/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+
+namespace apcm {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1000);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1000.0);
+  // Exponential bucketing has bounded relative error (~6%).
+  EXPECT_NEAR(static_cast<double>(h.ValueAtQuantile(0.5)), 1000.0, 70.0);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (int i = 0; i < 16; ++i) h.Record(i);
+  for (int i = 0; i < 16; ++i) {
+    // Quantile q covers the first ceil(q*16) samples.
+    EXPECT_EQ(h.ValueAtQuantile((i + 1) / 16.0), i);
+  }
+}
+
+TEST(HistogramTest, NegativeClampedToZero) {
+  Histogram h;
+  h.Record(-100);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramTest, QuantilesOrdered) {
+  Histogram h;
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    h.Record(static_cast<int64_t>(rng.Uniform(1'000'000)));
+  }
+  const int64_t p50 = h.ValueAtQuantile(0.50);
+  const int64_t p90 = h.ValueAtQuantile(0.90);
+  const int64_t p99 = h.ValueAtQuantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, h.max());
+  // Uniform distribution: p50 near 500k within bucket error.
+  EXPECT_NEAR(static_cast<double>(p50), 500'000, 500'000 * 0.10);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_DOUBLE_EQ(h.Mean(), 20.0);
+}
+
+TEST(HistogramTest, MergeCombinesSamples) {
+  Histogram a;
+  Histogram b;
+  for (int i = 0; i < 100; ++i) a.Record(100);
+  for (int i = 0; i < 100; ++i) b.Record(10'000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 100);
+  EXPECT_EQ(a.max(), 10'000);
+  EXPECT_DOUBLE_EQ(a.Mean(), 5050.0);
+  EXPECT_NEAR(static_cast<double>(a.ValueAtQuantile(0.25)), 100, 10);
+  EXPECT_NEAR(static_cast<double>(a.ValueAtQuantile(0.75)), 10'000, 700);
+}
+
+TEST(HistogramTest, MergeIntoEmpty) {
+  Histogram a;
+  Histogram b;
+  b.Record(42);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 42);
+  EXPECT_EQ(a.max(), 42);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Record(1);
+  h.Record(1'000'000);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.ValueAtQuantile(0.99), 0);
+}
+
+TEST(HistogramTest, LargeValues) {
+  Histogram h;
+  const int64_t big = 1LL << 50;
+  h.Record(big);
+  EXPECT_EQ(h.max(), big);
+  EXPECT_NEAR(static_cast<double>(h.ValueAtQuantile(1.0)),
+              static_cast<double>(big), static_cast<double>(big) * 0.07);
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Record(5);
+  const std::string summary = h.Summary();
+  EXPECT_NE(summary.find("count=1"), std::string::npos);
+  EXPECT_NE(summary.find("p99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace apcm

@@ -1,0 +1,185 @@
+// End-to-end differential test: a StreamEngine configured with everything at
+// once (A-PCM, OSR re-ordering, DNF subscriptions, top-k priorities,
+// incremental churn with compaction) against a naive reference engine that
+// re-evaluates every live subscription per event. Any divergence anywhere in
+// the stack surfaces here.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "src/base/rng.h"
+#include "src/engine/engine.h"
+#include "src/workload/generator.h"
+
+namespace apcm {
+namespace {
+
+/// The executable specification of the full engine contract.
+class ReferenceEngine {
+ public:
+  explicit ReferenceEngine(uint32_t top_k) : top_k_(top_k) {}
+
+  void Add(SubscriptionId external,
+           std::vector<std::vector<Predicate>> disjuncts) {
+    Entry entry;
+    for (auto& disjunct : disjuncts) {
+      entry.disjuncts.push_back(
+          BooleanExpression::Create(external, std::move(disjunct)).value());
+    }
+    subs_.emplace(external, std::move(entry));
+  }
+
+  void Remove(SubscriptionId external) { subs_.erase(external); }
+
+  void SetPriority(SubscriptionId external, double priority) {
+    subs_.at(external).priority = priority;
+  }
+
+  std::vector<SubscriptionId> Match(const Event& event) const {
+    std::vector<SubscriptionId> matches;
+    for (const auto& [id, entry] : subs_) {
+      for (const auto& disjunct : entry.disjuncts) {
+        if (disjunct.Matches(event)) {
+          matches.push_back(id);
+          break;
+        }
+      }
+    }
+    std::sort(matches.begin(), matches.end());
+    if (top_k_ > 0 && matches.size() > top_k_) {
+      std::stable_sort(matches.begin(), matches.end(),
+                       [&](SubscriptionId a, SubscriptionId b) {
+                         return subs_.at(a).priority > subs_.at(b).priority;
+                       });
+      matches.resize(top_k_);
+      std::sort(matches.begin(), matches.end());
+    }
+    return matches;
+  }
+
+  std::vector<SubscriptionId> LiveIds() const {
+    std::vector<SubscriptionId> ids;
+    for (const auto& [id, entry] : subs_) ids.push_back(id);
+    return ids;
+  }
+
+ private:
+  struct Entry {
+    std::vector<BooleanExpression> disjuncts;
+    double priority = 0;
+  };
+  std::map<SubscriptionId, Entry> subs_;
+  uint32_t top_k_;
+};
+
+class FullStackTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FullStackTest, EngineMatchesReferenceUnderChurn) {
+  const uint64_t seed = GetParam();
+  workload::WorkloadSpec spec;
+  spec.seed = seed;
+  spec.num_subscriptions = 250;
+  spec.num_events = 600;
+  spec.num_attributes = 20;
+  spec.domain_max = 200;
+  spec.min_predicates = 1;
+  spec.max_predicates = 4;
+  spec.min_event_attrs = 2;
+  spec.max_event_attrs = 8;
+  spec.seeded_event_fraction = 0.6;
+  spec.event_locality = 0.5;
+  const auto workload = workload::Generate(spec).value();
+
+  const uint32_t top_k = seed % 2 == 0 ? 3 : 0;
+  engine::EngineOptions options;
+  options.kind = engine::MatcherKind::kAPcm;
+  options.matcher.pcm.num_threads = 2;
+  options.matcher.pcm.clustering.cluster_size = 32;
+  options.batch_size = 32;
+  options.osr.window_size = 64;
+  options.buffer_capacity = 128;
+  options.incremental_rebuild_threshold = 0.15;
+  options.top_k = top_k;
+
+  std::map<uint64_t, std::vector<SubscriptionId>> deliveries;
+  engine::StreamEngine engine(
+      options, [&](uint64_t id, const std::vector<SubscriptionId>& matches) {
+        deliveries[id] = matches;
+      });
+  ReferenceEngine reference(top_k);
+
+  Rng rng(seed * 1000 + 3);
+  size_t next_sub = 0;
+  uint64_t next_event = 0;
+  // Expected match set per published event id, captured at publish time
+  // against the then-current subscription set (the engine's contract: a
+  // removal takes effect for events processed after the call; we only
+  // publish while in sync, then flush before churning again).
+  std::map<uint64_t, std::vector<SubscriptionId>> expected;
+
+  for (int round = 0; round < 10; ++round) {
+    // Churn phase: adds (plain or DNF), removes, priority changes.
+    for (int i = 0; i < 12 && next_sub < workload.subscriptions.size(); ++i) {
+      const auto& sub = workload.subscriptions[next_sub++];
+      if (rng.Bernoulli(0.25) &&
+          next_sub < workload.subscriptions.size()) {
+        const auto& second = workload.subscriptions[next_sub++];
+        std::vector<std::vector<Predicate>> disjuncts = {
+            sub.predicates(), second.predicates()};
+        const SubscriptionId id =
+            engine.AddDisjunctiveSubscription(disjuncts).value();
+        reference.Add(id, std::move(disjuncts));
+      } else {
+        const SubscriptionId id =
+            engine.AddSubscription(sub.predicates()).value();
+        reference.Add(id, {sub.predicates()});
+      }
+    }
+    const auto live = reference.LiveIds();
+    for (int i = 0; i < 3 && !live.empty(); ++i) {
+      const SubscriptionId victim = live[rng.Uniform(live.size())];
+      const Status engine_status = engine.RemoveSubscription(victim);
+      if (engine_status.ok()) {
+        reference.Remove(victim);
+      }
+    }
+    if (top_k > 0) {
+      for (const SubscriptionId id : reference.LiveIds()) {
+        if (rng.Bernoulli(0.3)) {
+          const double priority = static_cast<double>(rng.UniformInt(0, 50));
+          ASSERT_TRUE(engine.SetPriority(id, priority).ok());
+          reference.SetPriority(id, priority);
+        }
+      }
+    }
+
+    // Publish phase.
+    for (int i = 0; i < 55; ++i) {
+      const Event& event =
+          workload.events[next_event % workload.events.size()];
+      const uint64_t id = engine.Publish(event);
+      expected[id] = reference.Match(event);
+      ++next_event;
+    }
+    engine.Flush();
+  }
+
+  ASSERT_EQ(deliveries.size(), expected.size());
+  for (const auto& [id, matches] : expected) {
+    EXPECT_EQ(deliveries.at(id), matches) << "event " << id;
+  }
+  // With threshold 0.15 and this much churn, compactions must have fired
+  // and rebuilds must have stayed at the initial one.
+  EXPECT_EQ(engine.stats().rebuilds, 1u);
+  EXPECT_GT(engine.stats().compactions, 0u);
+  EXPECT_GT(engine.stats().incremental_updates, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FullStackTest,
+                         ::testing::Values(401, 402, 403, 404, 405));
+
+}  // namespace
+}  // namespace apcm

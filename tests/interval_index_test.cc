@@ -1,0 +1,134 @@
+#include "src/index/interval_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/base/rng.h"
+
+namespace apcm::index {
+namespace {
+
+std::vector<uint32_t> StabSorted(const IntervalIndex& index, Value v) {
+  std::vector<uint32_t> hits;
+  index.Stab(v, [&](uint32_t payload) { hits.push_back(payload); });
+  std::sort(hits.begin(), hits.end());
+  return hits;
+}
+
+TEST(IntervalIndexTest, EmptyIndex) {
+  IntervalIndex index;
+  index.Build();
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(StabSorted(index, 0).empty());
+}
+
+TEST(IntervalIndexTest, PointIntervals) {
+  IntervalIndex index;
+  index.Add({5, 5}, 1);
+  index.Add({5, 5}, 2);
+  index.Add({7, 7}, 3);
+  index.Build();
+  EXPECT_EQ(index.size(), 3u);
+  EXPECT_EQ(StabSorted(index, 5), (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(StabSorted(index, 7), (std::vector<uint32_t>{3}));
+  EXPECT_TRUE(StabSorted(index, 6).empty());
+}
+
+TEST(IntervalIndexTest, SpanIntervals) {
+  IntervalIndex index;
+  index.Add({0, 10}, 1);
+  index.Add({5, 15}, 2);
+  index.Add({20, 30}, 3);
+  index.Build();
+  EXPECT_EQ(StabSorted(index, 0), (std::vector<uint32_t>{1}));
+  EXPECT_EQ(StabSorted(index, 5), (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(StabSorted(index, 10), (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(StabSorted(index, 11), (std::vector<uint32_t>{2}));
+  EXPECT_EQ(StabSorted(index, 16), (std::vector<uint32_t>{}));
+  EXPECT_EQ(StabSorted(index, 25), (std::vector<uint32_t>{3}));
+}
+
+TEST(IntervalIndexTest, MixedPointsAndSpans) {
+  IntervalIndex index;
+  index.Add({10, 10}, 1);   // point inside span
+  index.Add({0, 20}, 2);
+  index.Build();
+  EXPECT_EQ(StabSorted(index, 10), (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(StabSorted(index, 11), (std::vector<uint32_t>{2}));
+}
+
+TEST(IntervalIndexTest, EmptyIntervalIgnored) {
+  IntervalIndex index;
+  index.Add({10, 5}, 1);
+  index.Build();
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(StabSorted(index, 7).empty());
+}
+
+TEST(IntervalIndexTest, NegativeValues) {
+  IntervalIndex index;
+  index.Add({-100, -50}, 1);
+  index.Add({-60, 10}, 2);
+  index.Build();
+  EXPECT_EQ(StabSorted(index, -55), (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(StabSorted(index, -70), (std::vector<uint32_t>{1}));
+  EXPECT_EQ(StabSorted(index, 0), (std::vector<uint32_t>{2}));
+}
+
+TEST(IntervalIndexTest, NestedAndIdenticalIntervals) {
+  IntervalIndex index;
+  for (uint32_t i = 0; i < 10; ++i) {
+    index.Add({Value{10} - i, Value{10} + i}, i);  // nested around 10
+  }
+  index.Add({5, 15}, 100);
+  index.Add({5, 15}, 101);  // identical twin
+  index.Build();
+  const auto at_center = StabSorted(index, 10);
+  EXPECT_EQ(at_center.size(), 12u);  // all nested + both twins
+  const auto at_5 = StabSorted(index, 5);
+  // Intervals {10-i, 10+i} with i >= 5 contain 5, plus the twins.
+  EXPECT_EQ(at_5.size(), 7u);
+}
+
+// Property test: random intervals vs. brute force over a sweep of values.
+class IntervalIndexRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalIndexRandomTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const int num_intervals = 200;
+  const Value domain = 500;
+  std::vector<ValueInterval> intervals;
+  IntervalIndex index;
+  for (int i = 0; i < num_intervals; ++i) {
+    Value lo = rng.UniformInt(0, domain);
+    Value hi = rng.Bernoulli(0.3) ? lo : rng.UniformInt(lo, domain);
+    intervals.push_back({lo, hi});
+    index.Add({lo, hi}, static_cast<uint32_t>(i));
+  }
+  index.Build();
+  for (Value v = -5; v <= domain + 5; ++v) {
+    std::vector<uint32_t> expected;
+    for (int i = 0; i < num_intervals; ++i) {
+      if (intervals[static_cast<size_t>(i)].Contains(v)) {
+        expected.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    EXPECT_EQ(StabSorted(index, v), expected) << "v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalIndexRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(IntervalIndexTest, MemoryBytesNonZeroAfterBuild) {
+  IntervalIndex index;
+  index.Add({0, 10}, 1);
+  index.Add({5, 5}, 2);
+  index.Build();
+  EXPECT_GT(index.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace apcm::index

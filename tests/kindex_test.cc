@@ -1,0 +1,101 @@
+#include "src/index/kindex.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/matcher_test_util.h"
+
+namespace apcm {
+namespace {
+
+TEST(KIndexTest, HandWorkload) {
+  const workload::Workload workload = HandWorkload();
+  index::KIndexMatcher kindex({0, 1'000'000});
+  ExpectAgreesWithScan(kindex, workload);
+}
+
+class KIndexRandomTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(KIndexRandomTest, AgreesWithScanAcrossDepths) {
+  const auto [seed, depth] = GetParam();
+  const auto spec = GnarlySpec(seed);
+  const workload::Workload workload = workload::Generate(spec).value();
+  index::KIndexMatcher kindex({spec.domain_min, spec.domain_max}, depth);
+  ExpectAgreesWithScan(kindex, workload);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndDepths, KIndexRandomTest,
+    ::testing::Combine(::testing::Values(31, 32, 33),
+                       // Shallow hierarchies force coarse cells and heavy
+                       // verification; deep ones approach exact cells.
+                       ::testing::Values(0, 2, 6, 12, 20)));
+
+TEST(KIndexTest, NePredicateNotDoubleCounted) {
+  // A != predicate decomposes into two intervals that can share a cell at
+  // coarse depth; the posting coalescing must prevent a double hit that
+  // would fake a second satisfied predicate.
+  workload::Workload workload;
+  workload.subscriptions.push_back(
+      BooleanExpression::Create(
+          0, {Predicate(0, Op::kNe, 50), Predicate(1, Op::kEq, 1)})
+          .value());
+  // attr0 satisfied, attr1 MISSING: must not match even though the ne
+  // predicate could hit twice at depth 0.
+  workload.events.push_back(Event::Create({{0, 10}}).value());
+  // Both satisfied: must match.
+  workload.events.push_back(Event::Create({{0, 10}, {1, 1}}).value());
+  index::KIndexMatcher kindex({0, 100}, /*max_depth=*/0);
+  const auto results = RunMatcher(kindex, workload);
+  EXPECT_TRUE(results[0].empty());
+  EXPECT_EQ(results[1], (std::vector<SubscriptionId>{0}));
+}
+
+TEST(KIndexTest, SinglePointDomain) {
+  workload::Workload workload;
+  workload.subscriptions.push_back(
+      BooleanExpression::Create(0, {Predicate(0, Op::kEq, 5)}).value());
+  workload.events.push_back(Event::Create({{0, 5}}).value());
+  index::KIndexMatcher kindex({5, 5});
+  const auto results = RunMatcher(kindex, workload);
+  EXPECT_EQ(results[0], (std::vector<SubscriptionId>{0}));
+}
+
+TEST(KIndexTest, ValuesOutsideDomainAreClamped) {
+  workload::Workload workload;
+  workload.subscriptions.push_back(
+      BooleanExpression::Create(0, {Predicate(0, Op::kLe, 10)}).value());
+  // Event value below domain: satisfies the predicate; clamping must still
+  // find the posting (verification uses the true value).
+  workload.events.push_back(Event::Create({{0, -50}}).value());
+  index::KIndexMatcher kindex({0, 100});
+  const auto results = RunMatcher(kindex, workload);
+  EXPECT_EQ(results[0], (std::vector<SubscriptionId>{0}));
+}
+
+TEST(KIndexTest, MatchAllAndEmptyEvents) {
+  workload::Workload workload;
+  workload.subscriptions.push_back(BooleanExpression::Create(0, {}).value());
+  workload.subscriptions.push_back(
+      BooleanExpression::Create(1, {Predicate(0, Op::kGe, 0)}).value());
+  workload.events.push_back(Event());
+  index::KIndexMatcher kindex({0, 100});
+  const auto results = RunMatcher(kindex, workload);
+  EXPECT_EQ(results[0], (std::vector<SubscriptionId>{0}));
+}
+
+TEST(KIndexTest, MemoryGrowsWithSubscriptions) {
+  const auto spec_small = GnarlySpec(41);
+  auto spec_large = GnarlySpec(41);
+  spec_large.num_subscriptions = spec_small.num_subscriptions * 4;
+  index::KIndexMatcher small({spec_small.domain_min, spec_small.domain_max});
+  index::KIndexMatcher large({spec_large.domain_min, spec_large.domain_max});
+  const auto w_small = workload::Generate(spec_small).value();
+  const auto w_large = workload::Generate(spec_large).value();
+  small.Build(w_small.subscriptions);
+  large.Build(w_large.subscriptions);
+  EXPECT_GT(large.MemoryBytes(), small.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace apcm

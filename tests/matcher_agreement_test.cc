@@ -1,0 +1,171 @@
+// The keystone property test of the repository: every matching algorithm —
+// the four baselines and every PCM configuration — must produce *identical*
+// match sets on randomized workloads sweeping all generator knobs. SCAN is
+// the executable specification.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/engine/matcher_factory.h"
+#include "tests/matcher_test_util.h"
+
+namespace apcm {
+namespace {
+
+using engine::CreateMatcher;
+using engine::MatcherConfig;
+using engine::MatcherKind;
+
+struct AgreementCase {
+  const char* name;
+  workload::WorkloadSpec spec;
+};
+
+workload::WorkloadSpec BaseSpec(uint64_t seed) {
+  workload::WorkloadSpec spec;
+  spec.seed = seed;
+  spec.num_subscriptions = 300;
+  spec.num_events = 100;
+  spec.num_attributes = 25;
+  spec.domain_min = 0;
+  spec.domain_max = 1000;
+  spec.min_predicates = 1;
+  spec.max_predicates = 6;
+  spec.min_event_attrs = 2;
+  spec.max_event_attrs = 10;
+  spec.seeded_event_fraction = 0.5;
+  return spec;
+}
+
+std::vector<AgreementCase> MakeCases() {
+  std::vector<AgreementCase> cases;
+  cases.push_back({"default", BaseSpec(1)});
+
+  auto spec = BaseSpec(2);
+  spec.equality_fraction = 1.0;
+  spec.in_fraction = spec.ne_fraction = spec.inequality_fraction = 0;
+  cases.push_back({"equality_only", spec});
+
+  spec = BaseSpec(3);
+  spec.equality_fraction = 0;
+  spec.in_fraction = 0;
+  spec.ne_fraction = 0;
+  spec.inequality_fraction = 0;  // all between
+  cases.push_back({"ranges_only", spec});
+
+  spec = BaseSpec(4);
+  spec.ne_fraction = 0.5;
+  spec.in_fraction = 0.3;
+  spec.equality_fraction = 0.1;
+  spec.inequality_fraction = 0.1;
+  cases.push_back({"ne_and_in_heavy", spec});
+
+  spec = BaseSpec(5);
+  spec.attribute_zipf = 2.0;
+  cases.push_back({"zipf_attributes", spec});
+
+  spec = BaseSpec(6);
+  spec.value_zipf = 1.2;
+  cases.push_back({"zipf_values", spec});
+
+  spec = BaseSpec(7);
+  spec.domain_min = -500;
+  spec.domain_max = 500;
+  cases.push_back({"negative_domain", spec});
+
+  spec = BaseSpec(8);
+  spec.domain_min = 0;
+  spec.domain_max = 1;  // tiny domain: heavy predicate collisions
+  spec.equality_fraction = 0.6;
+  spec.in_fraction = 0;
+  cases.push_back({"binary_domain", spec});
+
+  spec = BaseSpec(9);
+  spec.seeded_event_fraction = 1.0;  // high match probability
+  cases.push_back({"all_seeded", spec});
+
+  spec = BaseSpec(10);
+  spec.seeded_event_fraction = 0.0;  // near-zero match probability
+  cases.push_back({"none_seeded", spec});
+
+  spec = BaseSpec(11);
+  spec.min_predicates = 1;
+  spec.max_predicates = 1;  // single-predicate subscriptions
+  cases.push_back({"single_predicate", spec});
+
+  spec = BaseSpec(12);
+  spec.num_attributes = 8;
+  spec.min_predicates = 6;
+  spec.max_predicates = 8;
+  spec.min_event_attrs = 6;
+  spec.max_event_attrs = 8;  // dense: most attrs in both
+  cases.push_back({"dense_overlap", spec});
+
+  spec = BaseSpec(13);
+  spec.event_locality = 0.9;  // bursty stream (exercises phase sharing)
+  cases.push_back({"bursty_stream", spec});
+
+  spec = BaseSpec(14);
+  spec.predicate_width = 0.9;  // very wide predicates, many matches
+  cases.push_back({"wide_predicates", spec});
+
+  return cases;
+}
+
+class AgreementTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AgreementTest, AllMatchersAgree) {
+  const AgreementCase test_case = MakeCases()[GetParam()];
+  SCOPED_TRACE(test_case.name);
+  const auto workload = workload::Generate(test_case.spec).value();
+
+  MatcherConfig config;
+  config.domain = {test_case.spec.domain_min, test_case.spec.domain_max};
+  config.pcm.clustering.cluster_size = 64;
+  config.pcm.num_threads = 2;
+
+  index::ScanMatcher scan;
+  const auto expected = RunMatcher(scan, workload);
+
+  for (MatcherKind kind :
+       {MatcherKind::kCounting, MatcherKind::kKIndex, MatcherKind::kBETree,
+        MatcherKind::kPcm, MatcherKind::kPcmLazy, MatcherKind::kAPcm}) {
+    std::unique_ptr<Matcher> matcher = CreateMatcher(kind, config);
+    const auto actual = RunMatcher(*matcher, workload);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(actual[i], expected[i])
+          << matcher->Name() << " disagrees with scan on event " << i
+          << " of case '" << test_case.name
+          << "': " << workload.events[i].ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AgreementTest, ::testing::Range<size_t>(0, MakeCases().size()),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+      return MakeCases()[info.param].name;
+    });
+
+// Batch-API agreement for the PCM family, which overrides MatchBatch.
+TEST(AgreementBatchTest, BatchEqualsSingleForAllPcmKinds) {
+  const auto workload = workload::Generate(BaseSpec(42)).value();
+  MatcherConfig config;
+  config.pcm.clustering.cluster_size = 32;
+  for (MatcherKind kind :
+       {MatcherKind::kPcm, MatcherKind::kPcmLazy, MatcherKind::kAPcm}) {
+    auto batch_matcher = CreateMatcher(kind, config);
+    batch_matcher->Build(workload.subscriptions);
+    std::vector<std::vector<SubscriptionId>> batch_results;
+    batch_matcher->MatchBatch(workload.events, &batch_results);
+
+    auto single_matcher = CreateMatcher(kind, config);
+    const auto single_results = RunMatcher(*single_matcher, workload);
+    EXPECT_EQ(batch_results, single_results) << MatcherKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace apcm

@@ -1,0 +1,153 @@
+#include "src/core/osr.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/workload/generator.h"
+
+namespace apcm::core {
+namespace {
+
+Event E(std::vector<Event::Entry> entries) {
+  return Event::Create(std::move(entries)).value();
+}
+
+TEST(OsrTest, SimilarityLessOrdersByAttributesFirst) {
+  EXPECT_TRUE(EventSimilarityLess(E({{1, 9}}), E({{2, 0}})));
+  EXPECT_FALSE(EventSimilarityLess(E({{2, 0}}), E({{1, 9}})));
+  // Same attrs: shorter first.
+  EXPECT_TRUE(EventSimilarityLess(E({{1, 1}}), E({{1, 1}, {2, 2}})));
+  // Same attrs and sizes: values break the tie.
+  EXPECT_TRUE(EventSimilarityLess(E({{1, 1}}), E({{1, 2}})));
+  // Identical events: neither is less.
+  EXPECT_FALSE(EventSimilarityLess(E({{1, 1}}), E({{1, 1}})));
+}
+
+TEST(OsrTest, WindowOrderIsPermutation) {
+  workload::WorkloadSpec spec;
+  spec.seed = 5;
+  spec.num_subscriptions = 10;
+  spec.num_events = 300;
+  spec.num_attributes = 20;
+  spec.max_predicates = 3;
+  spec.min_predicates = 1;
+  spec.min_event_attrs = 2;
+  spec.max_event_attrs = 6;
+  auto workload = workload::Generate(spec).value();
+  for (uint32_t window : {0u, 1u, 7u, 64u, 300u, 1000u}) {
+    OsrOptions options;
+    options.window_size = window;
+    const auto order = ReorderStream(workload.events, options);
+    ASSERT_EQ(order.size(), workload.events.size()) << "window " << window;
+    std::set<uint32_t> seen(order.begin(), order.end());
+    EXPECT_EQ(seen.size(), order.size()) << "window " << window;
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), order.size() - 1);
+  }
+}
+
+TEST(OsrTest, WindowOneIsIdentity) {
+  std::vector<Event> events = {E({{2, 1}}), E({{1, 1}}), E({{0, 1}})};
+  OsrOptions options;
+  options.window_size = 1;
+  EXPECT_EQ(ReorderStream(events, options),
+            (std::vector<uint32_t>{0, 1, 2}));
+  options.window_size = 0;
+  EXPECT_EQ(ReorderStream(events, options),
+            (std::vector<uint32_t>{0, 1, 2}));
+}
+
+TEST(OsrTest, ReorderingStaysWithinWindows) {
+  // 4 events, window 2: element 0/1 can only swap with each other.
+  std::vector<Event> events = {E({{5, 0}}), E({{1, 0}}), E({{9, 0}}),
+                               E({{2, 0}})};
+  OsrOptions options;
+  options.window_size = 2;
+  const auto order = ReorderStream(events, options);
+  EXPECT_EQ(order, (std::vector<uint32_t>{1, 0, 3, 2}));
+}
+
+TEST(OsrTest, IdenticalAttributeSetsBecomeAdjacent) {
+  // Interleaved stream over two attribute-set templates.
+  std::vector<Event> events;
+  for (int i = 0; i < 10; ++i) {
+    events.push_back(E({{1, i}, {2, i}}));
+    events.push_back(E({{7, i}, {8, i}}));
+  }
+  OsrOptions options;
+  options.window_size = 20;
+  const auto order = ReorderStream(events, options);
+  // After re-ordering, the first 10 positions all hold template-A events.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)] % 2, 0u) << i;
+  }
+  for (int i = 10; i < 20; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)] % 2, 1u) << i;
+  }
+}
+
+TEST(OsrTest, StableForEqualEvents) {
+  std::vector<Event> events = {E({{1, 5}}), E({{1, 5}}), E({{0, 0}})};
+  OsrOptions options;
+  options.window_size = 3;
+  // Equal events keep their stream order: 2 (smaller attrs) then 0, 1.
+  EXPECT_EQ(ReorderStream(events, options),
+            (std::vector<uint32_t>{2, 0, 1}));
+}
+
+TEST(OsrTest, ApplyOrderMaterializes) {
+  std::vector<Event> events = {E({{3, 3}}), E({{1, 1}}), E({{2, 2}})};
+  const std::vector<uint32_t> order = {1, 2, 0};
+  const auto reordered = ApplyOrder(events, order);
+  EXPECT_EQ(reordered[0], events[1]);
+  EXPECT_EQ(reordered[1], events[2]);
+  EXPECT_EQ(reordered[2], events[0]);
+}
+
+TEST(OsrTest, EmptyStream) {
+  OsrOptions options;
+  EXPECT_TRUE(ReorderStream({}, options).empty());
+}
+
+TEST(OsrTest, RecoversShuffledLocality) {
+  // A bursty stream destroyed by shuffling: OSR with a full window restores
+  // adjacency of equal attribute sets.
+  workload::WorkloadSpec spec;
+  spec.seed = 6;
+  spec.num_subscriptions = 10;
+  spec.num_events = 200;
+  spec.num_attributes = 30;
+  spec.min_predicates = 1;
+  spec.max_predicates = 3;
+  spec.min_event_attrs = 3;
+  spec.max_event_attrs = 6;
+  spec.event_locality = 0.95;
+  spec.seeded_event_fraction = 0;
+  auto workload = workload::Generate(spec).value();
+  auto signature = [](const Event& e) {
+    std::string s;
+    for (const auto& entry : e.entries()) {
+      s += std::to_string(entry.attr) + ",";
+    }
+    return s;
+  };
+  auto count_signature_runs = [&](const std::vector<Event>& events) {
+    int runs = events.empty() ? 0 : 1;
+    for (size_t i = 1; i < events.size(); ++i) {
+      if (signature(events[i]) != signature(events[i - 1])) ++runs;
+    }
+    return runs;
+  };
+  std::vector<Event> shuffled = workload.events;
+  workload::ShuffleEvents(&shuffled, 17);
+  OsrOptions options;
+  options.window_size = static_cast<uint32_t>(shuffled.size());
+  const auto reordered = ApplyOrder(shuffled, ReorderStream(shuffled, options));
+  EXPECT_LT(count_signature_runs(reordered),
+            count_signature_runs(shuffled) / 2);
+}
+
+}  // namespace
+}  // namespace apcm::core

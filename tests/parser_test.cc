@@ -1,0 +1,135 @@
+#include "src/be/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace apcm {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+  Parser parser_{&catalog_};
+};
+
+TEST_F(ParserTest, ParsesComparisonPredicates) {
+  struct Case {
+    const char* text;
+    Op op;
+    Value v;
+  };
+  const Case cases[] = {
+      {"price = 10", Op::kEq, 10},  {"price != 10", Op::kNe, 10},
+      {"price < 10", Op::kLt, 10},  {"price <= 10", Op::kLe, 10},
+      {"price > 10", Op::kGt, 10},  {"price >= 10", Op::kGe, 10},
+      {"price=-5", Op::kEq, -5},
+  };
+  for (const Case& c : cases) {
+    auto pred = parser_.ParsePredicate(c.text);
+    ASSERT_TRUE(pred.ok()) << c.text << ": " << pred.status().ToString();
+    EXPECT_EQ(pred->op(), c.op) << c.text;
+    EXPECT_EQ(pred->v1(), c.v) << c.text;
+    EXPECT_EQ(pred->attribute(), catalog_.FindAttribute("price").value());
+  }
+}
+
+TEST_F(ParserTest, ParsesBetween) {
+  auto pred = parser_.ParsePredicate("age between [20, 30]");
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(pred->op(), Op::kBetween);
+  EXPECT_EQ(pred->v1(), 20);
+  EXPECT_EQ(pred->v2(), 30);
+}
+
+TEST_F(ParserTest, ParsesInSet) {
+  auto pred = parser_.ParsePredicate("category in {9, 1, 5}");
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(pred->op(), Op::kIn);
+  EXPECT_EQ(pred->values(), (std::vector<Value>{1, 5, 9}));
+}
+
+TEST_F(ParserTest, PredicateErrors) {
+  EXPECT_FALSE(parser_.ParsePredicate("").ok());
+  EXPECT_FALSE(parser_.ParsePredicate("price").ok());
+  EXPECT_FALSE(parser_.ParsePredicate("price ~ 5").ok());
+  EXPECT_FALSE(parser_.ParsePredicate("price = abc").ok());
+  EXPECT_FALSE(parser_.ParsePredicate("price between [30, 20]").ok());
+  EXPECT_FALSE(parser_.ParsePredicate("price between [1]").ok());
+  EXPECT_FALSE(parser_.ParsePredicate("price in {}").ok());
+  EXPECT_FALSE(parser_.ParsePredicate("9price = 5").ok());
+}
+
+TEST_F(ParserTest, ParsesConjunction) {
+  auto expr = parser_.ParseExpression(
+      4, "price <= 100 and category in {1, 2} and age between [20, 30]");
+  ASSERT_TRUE(expr.ok()) << expr.status().ToString();
+  EXPECT_EQ(expr->id(), 4u);
+  EXPECT_EQ(expr->size(), 3u);
+}
+
+TEST_F(ParserTest, AttributeNamesContainingAndAreSafe) {
+  auto expr = parser_.ParseExpression(0, "brand = 5 and android >= 2");
+  ASSERT_TRUE(expr.ok()) << expr.status().ToString();
+  EXPECT_EQ(expr->size(), 2u);
+  EXPECT_TRUE(catalog_.FindAttribute("brand").ok());
+  EXPECT_TRUE(catalog_.FindAttribute("android").ok());
+}
+
+TEST_F(ParserTest, EmptyExpressionIsMatchAll) {
+  auto expr = parser_.ParseExpression(1, "");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ(expr->size(), 0u);
+  auto expr2 = parser_.ParseExpression(2, " <true> ");
+  ASSERT_TRUE(expr2.ok());
+  EXPECT_EQ(expr2->size(), 0u);
+}
+
+TEST_F(ParserTest, DuplicateAttributeInConjunctionRejected) {
+  auto expr = parser_.ParseExpression(0, "x > 1 and x < 9");
+  EXPECT_EQ(expr.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ParserTest, ParsesEvent) {
+  auto event = parser_.ParseEvent("price = 50, category = 2");
+  ASSERT_TRUE(event.ok());
+  EXPECT_EQ(event->size(), 2u);
+  const AttributeId price = catalog_.FindAttribute("price").value();
+  EXPECT_EQ(*event->Find(price), 50);
+}
+
+TEST_F(ParserTest, EventErrors) {
+  EXPECT_FALSE(parser_.ParseEvent("price 50").ok());
+  EXPECT_FALSE(parser_.ParseEvent("price = x").ok());
+  EXPECT_FALSE(parser_.ParseEvent("price = 1, price = 2").ok());
+}
+
+TEST_F(ParserTest, EmptyEventIsValid) {
+  auto event = parser_.ParseEvent("");
+  ASSERT_TRUE(event.ok());
+  EXPECT_TRUE(event->empty());
+}
+
+TEST_F(ParserTest, RoundTripThroughToString) {
+  const char* texts[] = {
+      "price <= 100 and category in {1, 2} and age between [20, 30]",
+      "x != 5",
+      "a = 1 and b > 2 and c < 3 and d >= 4 and e <= 5",
+  };
+  for (const char* text : texts) {
+    auto expr = parser_.ParseExpression(0, text);
+    ASSERT_TRUE(expr.ok()) << text;
+    std::string printed;
+    for (size_t i = 0; i < expr->predicates().size(); ++i) {
+      if (i > 0) printed += " and ";
+      printed += expr->predicates()[i].ToString(&catalog_);
+    }
+    auto reparsed = parser_.ParseExpression(0, printed);
+    ASSERT_TRUE(reparsed.ok()) << printed;
+    ASSERT_EQ(reparsed->size(), expr->size());
+    for (size_t i = 0; i < expr->predicates().size(); ++i) {
+      EXPECT_EQ(reparsed->predicates()[i], expr->predicates()[i]) << printed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace apcm

@@ -1,0 +1,171 @@
+#include "src/be/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/be/catalog.h"
+
+namespace apcm {
+namespace {
+
+constexpr ValueInterval kDomain{0, 100};
+
+TEST(PredicateTest, EvalComparisonOperators) {
+  EXPECT_TRUE(Predicate(0, Op::kEq, 5).Eval(5));
+  EXPECT_FALSE(Predicate(0, Op::kEq, 5).Eval(6));
+
+  EXPECT_TRUE(Predicate(0, Op::kNe, 5).Eval(6));
+  EXPECT_FALSE(Predicate(0, Op::kNe, 5).Eval(5));
+
+  EXPECT_TRUE(Predicate(0, Op::kLt, 5).Eval(4));
+  EXPECT_FALSE(Predicate(0, Op::kLt, 5).Eval(5));
+
+  EXPECT_TRUE(Predicate(0, Op::kLe, 5).Eval(5));
+  EXPECT_FALSE(Predicate(0, Op::kLe, 5).Eval(6));
+
+  EXPECT_TRUE(Predicate(0, Op::kGt, 5).Eval(6));
+  EXPECT_FALSE(Predicate(0, Op::kGt, 5).Eval(5));
+
+  EXPECT_TRUE(Predicate(0, Op::kGe, 5).Eval(5));
+  EXPECT_FALSE(Predicate(0, Op::kGe, 5).Eval(4));
+}
+
+TEST(PredicateTest, EvalBetweenInclusive) {
+  const Predicate p(0, 10, 20);
+  EXPECT_TRUE(p.Eval(10));
+  EXPECT_TRUE(p.Eval(15));
+  EXPECT_TRUE(p.Eval(20));
+  EXPECT_FALSE(p.Eval(9));
+  EXPECT_FALSE(p.Eval(21));
+}
+
+TEST(PredicateTest, EvalInSet) {
+  const Predicate p(0, std::vector<Value>{7, 3, 11});
+  EXPECT_TRUE(p.Eval(3));
+  EXPECT_TRUE(p.Eval(7));
+  EXPECT_TRUE(p.Eval(11));
+  EXPECT_FALSE(p.Eval(5));
+  // Constructor sorts and dedupes.
+  EXPECT_EQ(p.values(), (std::vector<Value>{3, 7, 11}));
+  const Predicate dup(0, std::vector<Value>{4, 4, 4});
+  EXPECT_EQ(dup.values(), (std::vector<Value>{4}));
+}
+
+TEST(PredicateTest, IntervalsForComparisons) {
+  std::vector<ValueInterval> out;
+  Predicate(0, Op::kEq, 5).AppendIntervals(kDomain, &out);
+  EXPECT_EQ(out, (std::vector<ValueInterval>{{5, 5}}));
+
+  out.clear();
+  Predicate(0, Op::kLt, 5).AppendIntervals(kDomain, &out);
+  EXPECT_EQ(out, (std::vector<ValueInterval>{{0, 4}}));
+
+  out.clear();
+  Predicate(0, Op::kLe, 5).AppendIntervals(kDomain, &out);
+  EXPECT_EQ(out, (std::vector<ValueInterval>{{0, 5}}));
+
+  out.clear();
+  Predicate(0, Op::kGt, 5).AppendIntervals(kDomain, &out);
+  EXPECT_EQ(out, (std::vector<ValueInterval>{{6, 100}}));
+
+  out.clear();
+  Predicate(0, Op::kGe, 5).AppendIntervals(kDomain, &out);
+  EXPECT_EQ(out, (std::vector<ValueInterval>{{5, 100}}));
+}
+
+TEST(PredicateTest, IntervalsForNe) {
+  std::vector<ValueInterval> out;
+  Predicate(0, Op::kNe, 5).AppendIntervals(kDomain, &out);
+  EXPECT_EQ(out, (std::vector<ValueInterval>{{0, 4}, {6, 100}}));
+
+  // At the domain boundary only one side survives.
+  out.clear();
+  Predicate(0, Op::kNe, 0).AppendIntervals(kDomain, &out);
+  EXPECT_EQ(out, (std::vector<ValueInterval>{{1, 100}}));
+
+  out.clear();
+  Predicate(0, Op::kNe, 100).AppendIntervals(kDomain, &out);
+  EXPECT_EQ(out, (std::vector<ValueInterval>{{0, 99}}));
+
+  // ne outside the domain is always true within it.
+  out.clear();
+  Predicate(0, Op::kNe, 500).AppendIntervals(kDomain, &out);
+  EXPECT_EQ(out, (std::vector<ValueInterval>{{0, 100}}));
+}
+
+TEST(PredicateTest, IntervalsForInCoalescesRuns) {
+  std::vector<ValueInterval> out;
+  Predicate(0, std::vector<Value>{1, 2, 3, 7, 9, 10}).AppendIntervals(
+      kDomain, &out);
+  EXPECT_EQ(out,
+            (std::vector<ValueInterval>{{1, 3}, {7, 7}, {9, 10}}));
+}
+
+TEST(PredicateTest, IntervalsClippedToDomain) {
+  std::vector<ValueInterval> out;
+  Predicate(0, Op::kGe, -50).AppendIntervals(kDomain, &out);
+  EXPECT_EQ(out, (std::vector<ValueInterval>{{0, 100}}));
+
+  out.clear();
+  Predicate(0, Op::kEq, 200).AppendIntervals(kDomain, &out);
+  EXPECT_TRUE(out.empty());  // unsatisfiable in-domain
+}
+
+TEST(PredicateTest, IntervalsCoverExactlySatisfyingValues) {
+  // Property: for every predicate kind, the decomposition covers value v iff
+  // Eval(v) is true, for every v in the domain.
+  const std::vector<Predicate> predicates = {
+      Predicate(0, Op::kEq, 42),     Predicate(0, Op::kNe, 42),
+      Predicate(0, Op::kLt, 42),     Predicate(0, Op::kLe, 42),
+      Predicate(0, Op::kGt, 42),     Predicate(0, Op::kGe, 42),
+      Predicate(0, 30, 60),          Predicate(0, std::vector<Value>{1, 50, 99}),
+  };
+  for (const Predicate& pred : predicates) {
+    std::vector<ValueInterval> intervals;
+    pred.AppendIntervals(kDomain, &intervals);
+    for (Value v = kDomain.lo; v <= kDomain.hi; ++v) {
+      bool covered = false;
+      for (const auto& iv : intervals) covered |= iv.Contains(v);
+      EXPECT_EQ(covered, pred.Eval(v))
+          << pred.ToString() << " at v=" << v;
+    }
+  }
+}
+
+TEST(PredicateTest, Selectivity) {
+  EXPECT_DOUBLE_EQ(Predicate(0, Op::kEq, 50).Selectivity(kDomain),
+                   1.0 / 101);
+  EXPECT_DOUBLE_EQ(Predicate(0, Op::kNe, 50).Selectivity(kDomain),
+                   100.0 / 101);
+  EXPECT_DOUBLE_EQ(Predicate(0, 0, 100).Selectivity(kDomain), 1.0);
+  EXPECT_DOUBLE_EQ(Predicate(0, Op::kEq, 500).Selectivity(kDomain), 0.0);
+}
+
+TEST(PredicateTest, EqualityAndHash) {
+  const Predicate a(3, Op::kLe, 10);
+  const Predicate b(3, Op::kLe, 10);
+  const Predicate c(3, Op::kLt, 10);
+  const Predicate d(4, Op::kLe, 10);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+  const Predicate s1(0, std::vector<Value>{1, 2});
+  const Predicate s2(0, std::vector<Value>{2, 1});
+  EXPECT_EQ(s1, s2);  // set order canonicalized
+  EXPECT_EQ(s1.Hash(), s2.Hash());
+}
+
+TEST(PredicateTest, ToStringForms) {
+  EXPECT_EQ(Predicate(3, Op::kLe, 10).ToString(), "attr3 <= 10");
+  EXPECT_EQ(Predicate(1, 2, 8).ToString(), "attr1 between [2, 8]");
+  EXPECT_EQ(Predicate(0, std::vector<Value>{5, 1}).ToString(),
+            "attr0 in {1, 5}");
+  Catalog catalog;
+  catalog.GetOrAddAttribute("price");
+  EXPECT_EQ(Predicate(0, Op::kGt, 7).ToString(&catalog), "price > 7");
+}
+
+}  // namespace
+}  // namespace apcm

@@ -1,0 +1,139 @@
+// Top-k priority delivery and the engine's operations report.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/engine/engine.h"
+#include "src/engine/report.h"
+
+namespace apcm::engine {
+namespace {
+
+struct Delivery {
+  std::map<uint64_t, std::vector<SubscriptionId>> by_event;
+  StreamEngine::MatchCallback Callback() {
+    return [this](uint64_t id, const std::vector<SubscriptionId>& matches) {
+      by_event[id] = matches;
+    };
+  }
+};
+
+EngineOptions TopKOptions(uint32_t k) {
+  EngineOptions options;
+  options.kind = MatcherKind::kAPcm;
+  options.top_k = k;
+  return options;
+}
+
+TEST(PriorityTest, TopKKeepsHighestPriorityMatches) {
+  Delivery delivery;
+  StreamEngine engine(TopKOptions(2), delivery.Callback());
+  // Five subscriptions all matching "0 >= 0"; priorities pick the winners.
+  std::vector<SubscriptionId> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(
+        engine.AddSubscription({Predicate(0, Op::kGe, 0)}).value());
+  }
+  ASSERT_TRUE(engine.SetPriority(ids[3], 10.0).ok());
+  ASSERT_TRUE(engine.SetPriority(ids[1], 5.0).ok());
+  ASSERT_TRUE(engine.SetPriority(ids[4], -1.0).ok());
+  const uint64_t e = engine.Publish(Event::Create({{0, 1}}).value());
+  engine.Flush();
+  // Winners: ids[3] (10) and ids[1] (5); delivered in ascending id order.
+  EXPECT_EQ(delivery.by_event.at(e),
+            (std::vector<SubscriptionId>{ids[1], ids[3]}));
+}
+
+TEST(PriorityTest, TiesBreakTowardLowerIds) {
+  Delivery delivery;
+  StreamEngine engine(TopKOptions(2), delivery.Callback());
+  std::vector<SubscriptionId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(
+        engine.AddSubscription({Predicate(0, Op::kGe, 0)}).value());
+  }
+  // All priority 0: the two lowest ids win.
+  const uint64_t e = engine.Publish(Event::Create({{0, 1}}).value());
+  engine.Flush();
+  EXPECT_EQ(delivery.by_event.at(e),
+            (std::vector<SubscriptionId>{ids[0], ids[1]}));
+}
+
+TEST(PriorityTest, FewerMatchesThanKDeliveredAsIs) {
+  Delivery delivery;
+  StreamEngine engine(TopKOptions(10), delivery.Callback());
+  const SubscriptionId id =
+      engine.AddSubscription({Predicate(0, Op::kGe, 0)}).value();
+  const uint64_t e = engine.Publish(Event::Create({{0, 1}}).value());
+  engine.Flush();
+  EXPECT_EQ(delivery.by_event.at(e), (std::vector<SubscriptionId>{id}));
+}
+
+TEST(PriorityTest, ZeroKDeliversEverything) {
+  Delivery delivery;
+  StreamEngine engine(TopKOptions(0), delivery.Callback());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(engine.AddSubscription({Predicate(0, Op::kGe, 0)}).ok());
+  }
+  const uint64_t e = engine.Publish(Event::Create({{0, 1}}).value());
+  engine.Flush();
+  EXPECT_EQ(delivery.by_event.at(e).size(), 5u);
+}
+
+TEST(PriorityTest, SetPriorityErrors) {
+  Delivery delivery;
+  StreamEngine engine(TopKOptions(1), delivery.Callback());
+  EXPECT_EQ(engine.SetPriority(7, 1.0).code(), StatusCode::kNotFound);
+  const SubscriptionId id =
+      engine.AddSubscription({Predicate(0, Op::kGe, 0)}).value();
+  EXPECT_TRUE(engine.SetPriority(id, 1.0).ok());
+  ASSERT_TRUE(engine.RemoveSubscription(id).ok());
+  EXPECT_EQ(engine.SetPriority(id, 2.0).code(), StatusCode::kNotFound);
+}
+
+TEST(PriorityTest, PriorityUpdateTakesEffect) {
+  Delivery delivery;
+  StreamEngine engine(TopKOptions(1), delivery.Callback());
+  const SubscriptionId a =
+      engine.AddSubscription({Predicate(0, Op::kGe, 0)}).value();
+  const SubscriptionId b =
+      engine.AddSubscription({Predicate(0, Op::kGe, 0)}).value();
+  ASSERT_TRUE(engine.SetPriority(b, 1.0).ok());
+  const uint64_t e1 = engine.Publish(Event::Create({{0, 1}}).value());
+  engine.Flush();
+  EXPECT_EQ(delivery.by_event.at(e1), (std::vector<SubscriptionId>{b}));
+  ASSERT_TRUE(engine.SetPriority(a, 2.0).ok());
+  const uint64_t e2 = engine.Publish(Event::Create({{0, 1}}).value());
+  engine.Flush();
+  EXPECT_EQ(delivery.by_event.at(e2), (std::vector<SubscriptionId>{a}));
+}
+
+TEST(ReportTest, RendersAllSections) {
+  Delivery delivery;
+  StreamEngine engine(TopKOptions(0), delivery.Callback());
+  ASSERT_TRUE(engine.AddSubscription({Predicate(0, Op::kGe, 0)}).ok());
+  engine.Publish(Event::Create({{0, 1}}).value());
+  engine.Flush();
+  const std::string report = RenderReport(engine);
+  for (const char* needle :
+       {"subscriptions (live): 1", "events published:     1",
+        "matches delivered:    1", "index rebuilds:       1",
+        "batch latency", "matcher counters"}) {
+    EXPECT_NE(report.find(needle), std::string::npos)
+        << "missing '" << needle << "' in:\n"
+        << report;
+  }
+}
+
+TEST(ReportTest, MatcherStatsFormat) {
+  MatcherStats stats;
+  stats.events_matched = 1234;
+  stats.predicate_evals = 5678;
+  const std::string line = RenderMatcherStats(stats);
+  EXPECT_NE(line.find("events=1,234"), std::string::npos);
+  EXPECT_NE(line.find("predicate_evals=5,678"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace apcm::engine

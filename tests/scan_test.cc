@@ -1,0 +1,64 @@
+#include "src/index/scan.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/matcher_test_util.h"
+
+namespace apcm {
+namespace {
+
+TEST(ScanTest, HandWorkloadSemantics) {
+  const workload::Workload workload = HandWorkload();
+  index::ScanMatcher scan;
+  const auto results = RunMatcher(scan, workload);
+  // Event 0: price=80, category=2, stock=5, brand=1.
+  //   sub0 (price<=100 & cat=2): yes. sub1 (price>100): no.
+  //   sub2 (cat in {1,2,3} & stock>=1): yes.
+  //   sub3 (price in [50,150] & brand!=7): yes. sub4 (match-all): yes.
+  EXPECT_EQ(results[0], (std::vector<SubscriptionId>{0, 2, 3, 4}));
+  // Event 1: price=200, category=2 → sub1 and match-all; sub2 lacks stock,
+  // sub3's brand is absent.
+  EXPECT_EQ(results[1], (std::vector<SubscriptionId>{1, 4}));
+  // Event 2: price=100, category=9, stock=0, brand=7 → only match-all
+  // (sub0 cat, sub1 price, sub2 stock, sub3 brand all fail).
+  EXPECT_EQ(results[2], (std::vector<SubscriptionId>{4}));
+  // Event 3: stock=3, category=1 → sub2 and match-all.
+  EXPECT_EQ(results[3], (std::vector<SubscriptionId>{2, 4}));
+  // Event 4: empty → only match-all.
+  EXPECT_EQ(results[4], (std::vector<SubscriptionId>{4}));
+}
+
+TEST(ScanTest, StatsAreCounted) {
+  const workload::Workload workload = HandWorkload();
+  index::ScanMatcher scan;
+  RunMatcher(scan, workload);
+  const MatcherStats& stats = scan.stats();
+  EXPECT_EQ(stats.events_matched, workload.events.size());
+  EXPECT_EQ(stats.candidates_checked,
+            workload.events.size() * workload.subscriptions.size());
+  EXPECT_GT(stats.predicate_evals, 0u);
+  EXPECT_EQ(stats.matches_emitted, 4u + 2u + 1u + 2u + 1u);
+}
+
+TEST(ScanTest, EmptySubscriptionSet) {
+  workload::Workload workload;
+  workload.events.push_back(Event::Create({{1, 1}}).value());
+  index::ScanMatcher scan;
+  const auto results = RunMatcher(scan, workload);
+  EXPECT_TRUE(results[0].empty());
+}
+
+TEST(ScanTest, DefaultBatchMatchesLoop) {
+  const workload::Workload workload =
+      workload::Generate(GnarlySpec(5)).value();
+  index::ScanMatcher scan;
+  scan.Build(workload.subscriptions);
+  std::vector<std::vector<SubscriptionId>> batch_results;
+  scan.MatchBatch(workload.events, &batch_results);
+  index::ScanMatcher scan2;
+  const auto loop_results = RunMatcher(scan2, workload);
+  EXPECT_EQ(batch_results, loop_results);
+}
+
+}  // namespace
+}  // namespace apcm

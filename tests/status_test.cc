@@ -1,0 +1,100 @@
+#include "src/base/status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace apcm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad input");
+  EXPECT_EQ(status.ToString(), "invalid_argument: bad input");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "not_found");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kAlreadyExists), "already_exists");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "out_of_range");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+            "failed_precondition");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "unimplemented");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "internal");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIOError), "io_error");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = Status::NotFound("missing");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> value = std::move(result).value();
+  EXPECT_EQ(*value, 7);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status CheckBoth(int a, int b) {
+  APCM_RETURN_NOT_OK(FailIfNegative(a));
+  APCM_RETURN_NOT_OK(FailIfNegative(b));
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(CheckBoth(1, 2).ok());
+  EXPECT_EQ(CheckBoth(-1, 2).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(CheckBoth(1, -2).code(), StatusCode::kOutOfRange);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+StatusOr<int> DoubleIt(int x) {
+  APCM_ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  return value * 2;
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagates) {
+  StatusOr<int> good = DoubleIt(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  EXPECT_EQ(DoubleIt(0).status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace apcm

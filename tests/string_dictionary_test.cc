@@ -1,0 +1,107 @@
+#include "src/be/string_dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include "src/be/parser.h"
+#include "src/index/scan.h"
+
+namespace apcm {
+namespace {
+
+TEST(StringDictionaryTest, EncodeAssignsDenseIds) {
+  StringDictionary dict;
+  EXPECT_EQ(dict.Encode("US"), 0);
+  EXPECT_EQ(dict.Encode("DE"), 1);
+  EXPECT_EQ(dict.Encode("US"), 0);  // idempotent
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(StringDictionaryTest, FindAndDecode) {
+  StringDictionary dict;
+  const Value us = dict.Encode("US");
+  EXPECT_EQ(dict.Find("US").value(), us);
+  EXPECT_EQ(dict.Find("JP").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(dict.Decode(us).value(), "US");
+  EXPECT_EQ(dict.Decode(99).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(dict.Decode(-1).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StringDictionaryTest, EmptyStringEncodable) {
+  StringDictionary dict;
+  const Value id = dict.Encode("");
+  EXPECT_EQ(dict.Decode(id).value(), "");
+}
+
+TEST(StringDictionaryTest, DomainCoversEncodedIds) {
+  StringDictionary dict;
+  dict.Encode("a");
+  dict.Encode("b");
+  const ValueInterval domain = dict.Domain(10);
+  EXPECT_LE(domain.lo, 0);
+  EXPECT_GE(domain.hi, 1);
+}
+
+TEST(ParserStringsTest, QuotedOperandsEncode) {
+  Catalog catalog;
+  StringDictionary strings;
+  Parser parser(&catalog, &strings);
+  auto pred = parser.ParsePredicate("country = \"US\"");
+  ASSERT_TRUE(pred.ok()) << pred.status().ToString();
+  EXPECT_EQ(pred->op(), Op::kEq);
+  EXPECT_EQ(pred->v1(), strings.Find("US").value());
+
+  auto set = parser.ParsePredicate("tier in {\"gold\", \"silver\"}");
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  EXPECT_EQ(set->values().size(), 2u);
+}
+
+TEST(ParserStringsTest, QuotedEventValues) {
+  Catalog catalog;
+  StringDictionary strings;
+  Parser parser(&catalog, &strings);
+  auto event = parser.ParseEvent("country = \"US\", price = 10");
+  ASSERT_TRUE(event.ok()) << event.status().ToString();
+  const AttributeId country = catalog.FindAttribute("country").value();
+  EXPECT_EQ(*event->Find(country), strings.Find("US").value());
+}
+
+TEST(ParserStringsTest, StringsWithoutDictionaryRejected) {
+  Catalog catalog;
+  Parser parser(&catalog);  // no dictionary
+  EXPECT_FALSE(parser.ParsePredicate("country = \"US\"").ok());
+  EXPECT_FALSE(parser.ParseEvent("country = \"US\"").ok());
+}
+
+TEST(ParserStringsTest, UnterminatedStringRejected) {
+  Catalog catalog;
+  StringDictionary strings;
+  Parser parser(&catalog, &strings);
+  EXPECT_FALSE(parser.ParsePredicate("country = \"US").ok());
+  EXPECT_FALSE(parser.ParsePredicate("country = \"").ok());
+}
+
+TEST(ParserStringsTest, EndToEndStringMatching) {
+  Catalog catalog;
+  StringDictionary strings;
+  Parser parser(&catalog, &strings);
+  std::vector<BooleanExpression> subs;
+  subs.push_back(parser
+                     .ParseExpression(
+                         0, "country = \"US\" and tier in {\"gold\"}")
+                     .value());
+  subs.push_back(
+      parser.ParseExpression(1, "country != \"US\"").value());
+
+  index::ScanMatcher scan;
+  scan.Build(subs);
+  std::vector<SubscriptionId> matches;
+  scan.Match(parser.ParseEvent("country = \"US\", tier = \"gold\"").value(),
+             &matches);
+  EXPECT_EQ(matches, (std::vector<SubscriptionId>{0}));
+  scan.Match(parser.ParseEvent("country = \"DE\", tier = \"gold\"").value(),
+             &matches);
+  EXPECT_EQ(matches, (std::vector<SubscriptionId>{1}));
+}
+
+}  // namespace
+}  // namespace apcm

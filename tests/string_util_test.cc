@@ -1,0 +1,89 @@
+#include "src/base/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace apcm {
+namespace {
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  hello  "), "hello");
+  EXPECT_EQ(TrimWhitespace("hello"), "hello");
+  EXPECT_EQ(TrimWhitespace("\t\n x \r "), "x");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+}
+
+TEST(StringUtilTest, SplitAndTrim) {
+  const auto pieces = SplitAndTrim("a, b , c", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(StringUtilTest, SplitDropsEmptyPieces) {
+  const auto pieces = SplitAndTrim(",a,,b,", ',');
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+}
+
+TEST(StringUtilTest, SplitEmptyInput) {
+  EXPECT_TRUE(SplitAndTrim("", ',').empty());
+  EXPECT_TRUE(SplitAndTrim("  ", ',').empty());
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, ParseInt64Valid) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-17").value(), -17);
+  EXPECT_EQ(ParseInt64("  99 ").value(), 99);
+  EXPECT_EQ(ParseInt64("0").value(), 0);
+  EXPECT_EQ(ParseInt64("9223372036854775807").value(),
+            9223372036854775807LL);
+}
+
+TEST(StringUtilTest, ParseInt64Invalid) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("abc").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+  EXPECT_EQ(ParseInt64("99999999999999999999999").status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("between [1,2]", "between"));
+  EXPECT_FALSE(StartsWith("bet", "between"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(StringUtilTest, FormatWithCommas) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(FormatWithCommas(1000000000), "1,000,000,000");
+}
+
+TEST(StringUtilTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KiB");
+  EXPECT_EQ(FormatBytes(3ULL * 1024 * 1024 + 200 * 1024), "3.2 MiB");
+}
+
+TEST(StringUtilTest, StringPrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%.2f", 3.14159), "3.14");
+  // Long output exceeding any small inline buffer.
+  const std::string long_out = StringPrintf("%0512d", 1);
+  EXPECT_EQ(long_out.size(), 512u);
+}
+
+}  // namespace
+}  // namespace apcm

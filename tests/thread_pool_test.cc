@@ -1,0 +1,123 @@
+#include "src/base/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace apcm {
+namespace {
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> touched(100, 0);
+  pool.ParallelFor(100, [&](uint64_t begin, uint64_t end, int worker) {
+    EXPECT_EQ(worker, 0);
+    for (uint64_t i = begin; i < end; ++i) touched[i]++;
+  });
+  for (int t : touched) EXPECT_EQ(t, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  for (int threads : {1, 2, 3, 4, 8}) {
+    ThreadPool pool(threads);
+    for (uint64_t n : {0ULL, 1ULL, 7ULL, 64ULL, 1000ULL}) {
+      std::vector<std::atomic<int>> touched(n);
+      pool.ParallelFor(n, [&](uint64_t begin, uint64_t end, int) {
+        for (uint64_t i = begin; i < end; ++i) {
+          touched[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+      for (uint64_t i = 0; i < n; ++i) {
+        EXPECT_EQ(touched[i].load(), 1)
+            << "n=" << n << " threads=" << threads << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForShardsAreContiguousAndOrdered) {
+  ThreadPool pool(4);
+  std::vector<std::pair<uint64_t, uint64_t>> shards(4, {0, 0});
+  pool.ParallelFor(103, [&](uint64_t begin, uint64_t end, int worker) {
+    shards[static_cast<size_t>(worker)] = {begin, end};
+  });
+  uint64_t expected_begin = 0;
+  for (const auto& [begin, end] : shards) {
+    EXPECT_EQ(begin, expected_begin);
+    EXPECT_GE(end, begin);
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, 103u);
+}
+
+TEST(ThreadPoolTest, WorkerIndicesAreDistinct) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> seen(4);
+  pool.ParallelFor(4, [&](uint64_t begin, uint64_t end, int worker) {
+    for (uint64_t i = begin; i < end; ++i) {
+      seen[static_cast<size_t>(worker)].fetch_add(1);
+    }
+  });
+  int total = 0;
+  for (auto& s : seen) total += s.load();
+  EXPECT_EQ(total, 4);
+}
+
+TEST(ThreadPoolTest, SubmitAndWait) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitWaitOnSingleThreadPool) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSequential) {
+  ThreadPool pool(4);
+  std::vector<int64_t> data(10000);
+  std::iota(data.begin(), data.end(), 1);
+  std::vector<int64_t> partial(4, 0);
+  pool.ParallelFor(data.size(), [&](uint64_t begin, uint64_t end, int w) {
+    int64_t sum = 0;
+    for (uint64_t i = begin; i < end; ++i) sum += data[i];
+    partial[static_cast<size_t>(w)] += sum;
+  });
+  const int64_t total = std::accumulate(partial.begin(), partial.end(), 0LL);
+  EXPECT_EQ(total, 10000LL * 10001 / 2);
+}
+
+TEST(ThreadPoolTest, RepeatedParallelForReusesWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 100; ++round) {
+    pool.ParallelFor(10, [&](uint64_t begin, uint64_t end, int) {
+      total.fetch_add(static_cast<int>(end - begin));
+    });
+  }
+  EXPECT_EQ(total.load(), 1000);
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanWork) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.ParallelFor(3, [&](uint64_t begin, uint64_t end, int) {
+    count.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(count.load(), 3);
+}
+
+}  // namespace
+}  // namespace apcm

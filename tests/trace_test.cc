@@ -1,0 +1,147 @@
+#include "src/workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "src/workload/generator.h"
+
+namespace apcm::workload {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("apcm_trace_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+Workload SmallWorkload(uint64_t seed = 3) {
+  WorkloadSpec spec;
+  spec.seed = seed;
+  spec.num_subscriptions = 100;
+  spec.num_events = 50;
+  spec.num_attributes = 20;
+  spec.domain_max = 500;
+  spec.min_predicates = 1;
+  spec.max_predicates = 5;
+  spec.min_event_attrs = 3;
+  spec.max_event_attrs = 8;
+  spec.in_fraction = 0.2;
+  spec.ne_fraction = 0.1;
+  return Generate(spec).value();
+}
+
+void ExpectWorkloadsEqual(const Workload& a, const Workload& b) {
+  ASSERT_EQ(a.catalog.size(), b.catalog.size());
+  for (AttributeId i = 0; i < a.catalog.size(); ++i) {
+    EXPECT_EQ(a.catalog.Name(i), b.catalog.Name(i));
+    EXPECT_EQ(a.catalog.Domain(i), b.catalog.Domain(i));
+  }
+  ASSERT_EQ(a.subscriptions.size(), b.subscriptions.size());
+  for (size_t i = 0; i < a.subscriptions.size(); ++i) {
+    EXPECT_EQ(a.subscriptions[i].id(), b.subscriptions[i].id());
+    ASSERT_EQ(a.subscriptions[i].size(), b.subscriptions[i].size());
+    for (size_t p = 0; p < a.subscriptions[i].size(); ++p) {
+      EXPECT_EQ(a.subscriptions[i].predicates()[p],
+                b.subscriptions[i].predicates()[p])
+          << "sub " << i << " pred " << p;
+    }
+  }
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i], b.events[i]) << "event " << i;
+  }
+}
+
+TEST_F(TraceTest, BinaryRoundTrip) {
+  const Workload original = SmallWorkload();
+  ASSERT_TRUE(SaveBinary(original, Path("w.bin")).ok());
+  auto loaded = LoadBinary(Path("w.bin"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectWorkloadsEqual(original, *loaded);
+}
+
+TEST_F(TraceTest, BinaryPreservesSpecForRegeneration) {
+  const Workload original = SmallWorkload(11);
+  ASSERT_TRUE(SaveBinary(original, Path("spec.bin")).ok());
+  auto loaded = LoadBinary(Path("spec.bin"));
+  ASSERT_TRUE(loaded.ok());
+  const WorkloadSpec& spec = loaded->spec;
+  EXPECT_EQ(spec.seed, original.spec.seed);
+  EXPECT_EQ(spec.num_attributes, original.spec.num_attributes);
+  EXPECT_EQ(spec.domain_max, original.spec.domain_max);
+  EXPECT_DOUBLE_EQ(spec.attribute_zipf, original.spec.attribute_zipf);
+  EXPECT_DOUBLE_EQ(spec.in_fraction, original.spec.in_fraction);
+  EXPECT_DOUBLE_EQ(spec.seeded_event_fraction,
+                   original.spec.seeded_event_fraction);
+  // The stored spec regenerates the identical workload.
+  const Workload regenerated = Generate(spec).value();
+  ASSERT_EQ(regenerated.subscriptions.size(), original.subscriptions.size());
+  for (size_t i = 0; i < original.subscriptions.size(); ++i) {
+    EXPECT_EQ(regenerated.subscriptions[i].ToString(),
+              original.subscriptions[i].ToString());
+  }
+}
+
+TEST_F(TraceTest, TextRoundTrip) {
+  const Workload original = SmallWorkload();
+  ASSERT_TRUE(SaveText(original, Path("w.txt")).ok());
+  auto loaded = LoadText(Path("w.txt"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectWorkloadsEqual(original, *loaded);
+}
+
+TEST_F(TraceTest, EmptyWorkloadRoundTrips) {
+  Workload empty;
+  ASSERT_TRUE(SaveBinary(empty, Path("e.bin")).ok());
+  auto bin = LoadBinary(Path("e.bin"));
+  ASSERT_TRUE(bin.ok());
+  EXPECT_TRUE(bin->subscriptions.empty());
+  EXPECT_TRUE(bin->events.empty());
+  ASSERT_TRUE(SaveText(empty, Path("e.txt")).ok());
+  auto text = LoadText(Path("e.txt"));
+  ASSERT_TRUE(text.ok());
+  EXPECT_TRUE(text->subscriptions.empty());
+}
+
+TEST_F(TraceTest, MissingFileIsIOError) {
+  EXPECT_EQ(LoadBinary(Path("nope.bin")).status().code(),
+            StatusCode::kIOError);
+  EXPECT_EQ(LoadText(Path("nope.txt")).status().code(), StatusCode::kIOError);
+}
+
+TEST_F(TraceTest, WrongMagicRejected) {
+  {
+    std::FILE* f = std::fopen(Path("junk").c_str(), "w");
+    std::fputs("this is not a workload file at all, not even close\n", f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(LoadBinary(Path("junk")).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(LoadText(Path("junk")).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(TraceTest, TruncatedBinaryRejected) {
+  const Workload original = SmallWorkload();
+  ASSERT_TRUE(SaveBinary(original, Path("full.bin")).ok());
+  // Truncate to half size.
+  const auto full_size = std::filesystem::file_size(Path("full.bin"));
+  std::filesystem::copy_file(Path("full.bin"), Path("half.bin"));
+  std::filesystem::resize_file(Path("half.bin"), full_size / 2);
+  EXPECT_FALSE(LoadBinary(Path("half.bin")).ok());
+}
+
+}  // namespace
+}  // namespace apcm::workload

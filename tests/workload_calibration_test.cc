@@ -1,0 +1,161 @@
+// Statistical calibration of the workload generator: the knobs must actually
+// control the distributions they claim to (operator mix, selectivity, event
+// match rates), since every experiment's interpretation depends on it.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+
+#include "src/workload/generator.h"
+
+namespace apcm::workload {
+namespace {
+
+WorkloadSpec CalibrationSpec(uint64_t seed) {
+  WorkloadSpec spec;
+  spec.seed = seed;
+  spec.num_subscriptions = 4000;
+  spec.num_events = 500;
+  spec.num_attributes = 60;
+  spec.domain_min = 0;
+  spec.domain_max = 10'000;
+  spec.min_predicates = 4;
+  spec.max_predicates = 10;
+  spec.min_event_attrs = 8;
+  spec.max_event_attrs = 20;
+  return spec;
+}
+
+std::map<Op, double> OperatorMix(const Workload& workload) {
+  std::map<Op, double> counts;
+  double total = 0;
+  for (const auto& sub : workload.subscriptions) {
+    for (const auto& pred : sub.predicates()) {
+      counts[pred.op()] += 1;
+      total += 1;
+    }
+  }
+  for (auto& [op, count] : counts) count /= total;
+  return counts;
+}
+
+TEST(CalibrationTest, OperatorMixMatchesFractions) {
+  WorkloadSpec spec = CalibrationSpec(1);
+  spec.equality_fraction = 0.30;
+  spec.in_fraction = 0.10;
+  spec.ne_fraction = 0.05;
+  spec.inequality_fraction = 0.20;  // remainder 0.35 -> between
+  const auto workload = Generate(spec).value();
+  const auto mix = OperatorMix(workload);
+  EXPECT_NEAR(mix.at(Op::kEq), 0.30, 0.02);
+  EXPECT_NEAR(mix.at(Op::kIn), 0.10, 0.02);
+  EXPECT_NEAR(mix.at(Op::kNe), 0.05, 0.02);
+  const double inequality = mix.count(Op::kLt) ? mix.at(Op::kLt) : 0;
+  const double le = mix.count(Op::kLe) ? mix.at(Op::kLe) : 0;
+  const double gt = mix.count(Op::kGt) ? mix.at(Op::kGt) : 0;
+  const double ge = mix.count(Op::kGe) ? mix.at(Op::kGe) : 0;
+  EXPECT_NEAR(inequality + le + gt + ge, 0.20, 0.02);
+  EXPECT_NEAR(mix.at(Op::kBetween), 0.35, 0.02);
+}
+
+TEST(CalibrationTest, AllBetweenWhenFractionsZero) {
+  WorkloadSpec spec = CalibrationSpec(2);
+  spec.equality_fraction = 0;
+  spec.in_fraction = 0;
+  spec.ne_fraction = 0;
+  spec.inequality_fraction = 0;
+  const auto workload = Generate(spec).value();
+  const auto mix = OperatorMix(workload);
+  EXPECT_DOUBLE_EQ(mix.at(Op::kBetween), 1.0);
+}
+
+TEST(CalibrationTest, PredicateWidthControlsSelectivity) {
+  for (const double width : {0.05, 0.20, 0.50}) {
+    WorkloadSpec spec = CalibrationSpec(3);
+    spec.equality_fraction = 0;
+    spec.in_fraction = 0;
+    spec.ne_fraction = 0;
+    spec.inequality_fraction = 0;  // between only
+    spec.predicate_width = width;
+    const auto workload = Generate(spec).value();
+    const ValueInterval domain{spec.domain_min, spec.domain_max};
+    double total_selectivity = 0;
+    uint64_t count = 0;
+    for (const auto& sub : workload.subscriptions) {
+      for (const auto& pred : sub.predicates()) {
+        total_selectivity += pred.Selectivity(domain);
+        ++count;
+      }
+    }
+    // Width is jittered ±50% uniformly, so the mean equals the knob.
+    EXPECT_NEAR(total_selectivity / static_cast<double>(count), width,
+                width * 0.1)
+        << "width " << width;
+  }
+}
+
+TEST(CalibrationTest, SeededFractionControlsMatchRate) {
+  // Measured matches/event must grow monotonically in the seeded fraction
+  // and be ~0 when unseeded.
+  double last_rate = -1;
+  for (const double seeded : {0.0, 0.3, 0.7, 1.0}) {
+    WorkloadSpec spec = CalibrationSpec(4);
+    spec.seeded_event_fraction = seeded;
+    const auto workload = Generate(spec).value();
+    uint64_t matches = 0;
+    for (const auto& event : workload.events) {
+      for (const auto& sub : workload.subscriptions) {
+        if (sub.Matches(event)) ++matches;
+      }
+    }
+    const double rate =
+        static_cast<double>(matches) / static_cast<double>(spec.num_events);
+    if (seeded == 0.0) {
+      EXPECT_LT(rate, 0.05);
+    } else {
+      EXPECT_GT(rate, last_rate);
+      EXPECT_GE(rate, seeded * 0.9);  // each seeded event matches >= its seed
+    }
+    last_rate = rate;
+  }
+}
+
+TEST(CalibrationTest, EventSizeDistributionUniform) {
+  const WorkloadSpec spec = CalibrationSpec(5);
+  WorkloadSpec unseeded = spec;
+  unseeded.seeded_event_fraction = 0;
+  const auto workload = Generate(unseeded).value();
+  std::map<size_t, int> sizes;
+  for (const auto& event : workload.events) sizes[event.size()]++;
+  for (const auto& [size, count] : sizes) {
+    EXPECT_GE(size, spec.min_event_attrs);
+    EXPECT_LE(size, spec.max_event_attrs);
+  }
+  // Roughly uniform: every size in range appears.
+  EXPECT_EQ(sizes.size(),
+            spec.max_event_attrs - spec.min_event_attrs + 1);
+}
+
+TEST(CalibrationTest, ValueZipfSkewsEqualityOperands) {
+  WorkloadSpec skewed = CalibrationSpec(6);
+  skewed.equality_fraction = 1.0;
+  skewed.in_fraction = skewed.ne_fraction = skewed.inequality_fraction = 0;
+  skewed.value_zipf = 1.5;
+  const auto workload = Generate(skewed).value();
+  uint64_t low_values = 0;
+  uint64_t total = 0;
+  for (const auto& sub : workload.subscriptions) {
+    for (const auto& pred : sub.predicates()) {
+      low_values += pred.v1() < skewed.domain_min + 100;
+      ++total;
+    }
+  }
+  // Zipf(1.5) over 10k values concentrates far more than 1% of mass in the
+  // first 100 ranks (uniform would put exactly ~1% there).
+  EXPECT_GT(static_cast<double>(low_values) / static_cast<double>(total),
+            0.30);
+}
+
+}  // namespace
+}  // namespace apcm::workload

@@ -1,0 +1,96 @@
+#include "src/base/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace apcm {
+namespace {
+
+std::vector<double> EmpiricalPmf(const ZipfDistribution& dist, uint64_t n,
+                                 int samples, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> pmf(n, 0);
+  for (int i = 0; i < samples; ++i) {
+    const uint64_t rank = dist.Sample(rng);
+    EXPECT_LT(rank, n);
+    pmf[rank] += 1.0 / samples;
+  }
+  return pmf;
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  const uint64_t n = 20;
+  ZipfDistribution dist(n, 0.0);
+  const auto pmf = EmpiricalPmf(dist, n, 200000, 1);
+  for (uint64_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(pmf[k], 1.0 / n, 0.01) << "rank " << k;
+  }
+}
+
+TEST(ZipfTest, SamplesStayInRange) {
+  for (double theta : {0.0, 0.5, 0.99, 1.0, 1.5, 3.0}) {
+    ZipfDistribution dist(100, theta);
+    Rng rng(42);
+    for (int i = 0; i < 10000; ++i) {
+      EXPECT_LT(dist.Sample(rng), 100u) << "theta " << theta;
+    }
+  }
+}
+
+TEST(ZipfTest, EmpiricalMatchesPmf) {
+  for (double theta : {0.5, 1.0, 1.5}) {
+    const uint64_t n = 50;
+    ZipfDistribution dist(n, theta);
+    const auto pmf = EmpiricalPmf(dist, n, 300000, 7);
+    // Check the head ranks, where mass is concentrated.
+    for (uint64_t k = 0; k < 5; ++k) {
+      EXPECT_NEAR(pmf[k], dist.Pmf(k), 0.01)
+          << "theta " << theta << " rank " << k;
+    }
+  }
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  for (double theta : {0.0, 0.7, 1.0, 2.0}) {
+    ZipfDistribution dist(200, theta);
+    double sum = 0;
+    for (uint64_t k = 0; k < 200; ++k) sum += dist.Pmf(k);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "theta " << theta;
+  }
+}
+
+TEST(ZipfTest, HigherThetaMoreSkewed) {
+  const uint64_t n = 100;
+  ZipfDistribution mild(n, 0.5);
+  ZipfDistribution steep(n, 1.5);
+  const auto pmf_mild = EmpiricalPmf(mild, n, 100000, 3);
+  const auto pmf_steep = EmpiricalPmf(steep, n, 100000, 3);
+  EXPECT_GT(pmf_steep[0], pmf_mild[0]);
+}
+
+TEST(ZipfTest, SingleElementDomain) {
+  ZipfDistribution dist(1, 1.0);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(dist.Sample(rng), 0u);
+  }
+  EXPECT_DOUBLE_EQ(dist.Pmf(0), 1.0);
+}
+
+TEST(ZipfTest, LargeDomainConstantTimeSampling) {
+  // Rejection-inversion must handle huge n without per-sample O(n) work;
+  // this would time out if sampling degenerated.
+  ZipfDistribution dist(1ULL << 40, 1.2);
+  Rng rng(9);
+  uint64_t max_rank = 0;
+  for (int i = 0; i < 100000; ++i) {
+    max_rank = std::max(max_rank, dist.Sample(rng));
+  }
+  EXPECT_LT(max_rank, 1ULL << 40);
+  EXPECT_GT(max_rank, 100u);  // tail is actually reachable
+}
+
+}  // namespace
+}  // namespace apcm

@@ -1,10 +1,46 @@
 #!/usr/bin/env bash
 # Full verification: configure, build, run every test, smoke every example,
-# and run each benchmark briefly. This is what CI would run.
+# and run each benchmark briefly. This is what CI runs.
+#
+# Modes:
+#   scripts/check.sh          full release check (build + ctest + smokes)
+#   scripts/check.sh --tsan   ThreadSanitizer check: rebuild the concurrency
+#                             surface under -fsanitize=thread and repeat the
+#                             engine/thread-pool tests (APCM_TSAN_REPEAT
+#                             iterations, default 50) with halt_on_error.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
+# Prefer Ninja when present; otherwise fall back to CMake's default
+# generator (Unix Makefiles) instead of failing on a missing tool.
+GENERATOR=()
+if command -v ninja > /dev/null 2>&1; then
+  GENERATOR=(-G Ninja)
+fi
+
+run_tsan() {
+  local build_dir=build-tsan
+  cmake -B "${build_dir}" "${GENERATOR[@]}" \
+    -DAPCM_SANITIZE=thread \
+    -DAPCM_BUILD_BENCHMARKS=OFF \
+    -DAPCM_BUILD_EXAMPLES=OFF
+  cmake --build "${build_dir}" --target engine_concurrent_test thread_pool_test
+  local repeat="${APCM_TSAN_REPEAT:-50}"
+  TSAN_OPTIONS="halt_on_error=1" \
+    "./${build_dir}/tests/engine_concurrent_test" \
+    --gtest_repeat="${repeat}" --gtest_brief=1
+  TSAN_OPTIONS="halt_on_error=1" \
+    "./${build_dir}/tests/thread_pool_test" \
+    --gtest_repeat="${repeat}" --gtest_brief=1
+  echo "TSAN CHECKS PASSED (${repeat} iterations)"
+}
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  run_tsan
+  exit 0
+fi
+
+cmake -B build "${GENERATOR[@]}"
 cmake --build build
 ctest --test-dir build --output-on-failure
 

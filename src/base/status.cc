@@ -22,6 +22,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "internal";
     case StatusCode::kIOError:
       return "io_error";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
   }
   return "unknown";
 }

@@ -21,6 +21,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kIOError,
+  kResourceExhausted,
 };
 
 /// Returns the canonical lower-case name of a status code ("ok",
@@ -68,6 +69,9 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -52,6 +52,16 @@ void ThreadPool::Submit(std::function<void()> fn) {
   task_available_.notify_one();
 }
 
+std::future<void> ThreadPool::SubmitWithFuture(std::function<void()> fn) {
+  auto done = std::make_shared<std::promise<void>>();
+  std::future<void> future = done->get_future();
+  Submit([fn = std::move(fn), done = std::move(done)] {
+    fn();
+    done->set_value();
+  });
+  return future;
+}
+
 void ThreadPool::Wait() {
   // With no spawned workers the caller must drain the queue itself.
   if (num_threads_ == 1) {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -43,6 +44,13 @@ class ThreadPool {
 
   /// Enqueues `fn` to run on some worker thread. Use Wait() to join.
   void Submit(std::function<void()> fn);
+
+  /// Like Submit, but returns a future that becomes ready when `fn` has
+  /// completed — the per-task completion signal for background work (e.g.
+  /// the engine's snapshot rebuilds). With num_threads() == 1 the pool has
+  /// no OS workers and queued tasks only run inside Wait(); do not block on
+  /// the future from the submitting thread in that configuration.
+  std::future<void> SubmitWithFuture(std::function<void()> fn);
 
   /// Blocks until all Submit()ed tasks have completed.
   void Wait();

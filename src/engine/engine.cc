@@ -1,6 +1,7 @@
 #include "src/engine/engine.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/base/macros.h"
 #include "src/base/timer.h"
@@ -9,19 +10,42 @@
 
 namespace apcm::engine {
 
-StreamEngine::StreamEngine(EngineOptions options, MatchCallback callback)
-    : options_(std::move(options)), callback_(std::move(callback)) {
-  APCM_CHECK(options_.batch_size >= 1);
-  APCM_CHECK(callback_ != nullptr);
+namespace {
+
+EngineOptions NormalizeOptions(EngineOptions options) {
+  APCM_CHECK(options.batch_size >= 1);
   // A window must fit in the buffer or it could never fill.
-  options_.buffer_capacity =
-      std::max({options_.buffer_capacity, options_.osr.window_size,
-                options_.batch_size});
-  buffer_.reserve(options_.buffer_capacity);
-  buffer_ids_.reserve(options_.buffer_capacity);
+  options.buffer_capacity = std::max(
+      {options.buffer_capacity, options.osr.window_size, options.batch_size});
+  if (options.queue_capacity == 0) {
+    options.queue_capacity = 2 * options.buffer_capacity;
+  }
+  return options;
+}
+
+}  // namespace
+
+StreamEngine::StreamEngine(EngineOptions options, MatchCallback callback)
+    : options_(NormalizeOptions(std::move(options))),
+      callback_(std::move(callback)),
+      queue_(options_.queue_capacity) {
+  APCM_CHECK(callback_ != nullptr);
+  round_events_.reserve(options_.buffer_capacity);
+  round_ids_.reserve(options_.buffer_capacity);
+}
+
+StreamEngine::~StreamEngine() {
+  // rebuild_pool_ is destroyed first (declared last) and drains any queued
+  // build, which still touches snapshot_/state/stats_ — all alive here.
 }
 
 StatusOr<SubscriptionId> StreamEngine::AddSubscription(
+    std::vector<Predicate> predicates) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return AddSubscriptionLocked(std::move(predicates));
+}
+
+StatusOr<SubscriptionId> StreamEngine::AddSubscriptionLocked(
     std::vector<Predicate> predicates) {
   const SubscriptionId id = next_sub_id_;
   APCM_ASSIGN_OR_RETURN(
@@ -29,7 +53,7 @@ StatusOr<SubscriptionId> StreamEngine::AddSubscription(
       BooleanExpression::Create(id, std::move(predicates)));
   ++next_sub_id_;
   subscriptions_.push_back(std::move(expr));
-  pending_adds_.push_back(id);
+  change_log_.push_back({++change_seq_, SubChange::kAdd, id});
   return id;
 }
 
@@ -38,6 +62,7 @@ StatusOr<SubscriptionId> StreamEngine::AddDisjunctiveSubscription(
   if (disjuncts.empty()) {
     return Status::InvalidArgument("a DNF subscription needs >= 1 disjunct");
   }
+  std::lock_guard<std::mutex> lock(state_mu_);
   // Validate every disjunct before registering any, so failure is atomic.
   for (const auto& disjunct : disjuncts) {
     APCM_RETURN_NOT_OK(
@@ -47,7 +72,7 @@ StatusOr<SubscriptionId> StreamEngine::AddDisjunctiveSubscription(
   std::vector<SubscriptionId> internals;
   for (auto& disjunct : disjuncts) {
     APCM_ASSIGN_OR_RETURN(const SubscriptionId internal,
-                          AddSubscription(std::move(disjunct)));
+                          AddSubscriptionLocked(std::move(disjunct)));
     internals.push_back(internal);
     if (external == kInvalidSubscriptionId) {
       external = internal;
@@ -62,6 +87,7 @@ StatusOr<SubscriptionId> StreamEngine::AddDisjunctiveSubscription(
 }
 
 Status StreamEngine::RemoveSubscription(SubscriptionId id) {
+  std::lock_guard<std::mutex> lock(state_mu_);
   if (auto alias = dnf_alias_.find(id); alias != dnf_alias_.end()) {
     return Status::NotFound(
         "id " + std::to_string(id) +
@@ -74,8 +100,8 @@ Status StreamEngine::RemoveSubscription(SubscriptionId id) {
     dnf_groups_.erase(group);
     for (SubscriptionId internal : internals) {
       dnf_alias_.erase(internal);
-      tombstones_.insert(internal);
-      pending_removes_.push_back(internal);
+      tombstones_.emplace(internal, ++change_seq_);
+      change_log_.push_back({change_seq_, SubChange::kRemove, internal});
     }
     priorities_.erase(id);
     return Status::OK();
@@ -84,29 +110,42 @@ Status StreamEngine::RemoveSubscription(SubscriptionId id) {
     return Status::NotFound("subscription " + std::to_string(id) +
                             " is not registered");
   }
-  const bool exists = std::any_of(
-      subscriptions_.begin(), subscriptions_.end(),
-      [id](const BooleanExpression& sub) { return sub.id() == id; });
-  if (!exists) {
+  if (FindSubscriptionLocked(id) == nullptr) {
     return Status::NotFound("subscription " + std::to_string(id) +
                             " was already removed");
   }
-  tombstones_.insert(id);
-  pending_removes_.push_back(id);
+  tombstones_.emplace(id, ++change_seq_);
+  change_log_.push_back({change_seq_, SubChange::kRemove, id});
   priorities_.erase(id);
   return Status::OK();
+}
+
+const BooleanExpression* StreamEngine::FindSubscriptionLocked(
+    SubscriptionId id) const {
+  // subscriptions_ is id-sorted (ids are monotone and pruning preserves
+  // order).
+  auto it = std::lower_bound(
+      subscriptions_.begin(), subscriptions_.end(), id,
+      [](const BooleanExpression& sub, SubscriptionId target) {
+        return sub.id() < target;
+      });
+  if (it == subscriptions_.end() || it->id() != id) return nullptr;
+  return &*it;
 }
 
 Status StreamEngine::SaveSubscriptions(const std::string& path) const {
   workload::Workload snapshot;
   AttributeId max_attr = 0;
   bool any_attr = false;
-  for (const BooleanExpression& sub : subscriptions_) {
-    if (tombstones_.contains(sub.id())) continue;
-    snapshot.subscriptions.push_back(sub);
-    for (const Predicate& pred : sub.predicates()) {
-      max_attr = std::max(max_attr, pred.attribute());
-      any_attr = true;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    for (const BooleanExpression& sub : subscriptions_) {
+      if (tombstones_.contains(sub.id())) continue;
+      snapshot.subscriptions.push_back(sub);
+      for (const Predicate& pred : sub.predicates()) {
+        max_attr = std::max(max_attr, pred.attribute());
+        any_attr = true;
+      }
     }
   }
   if (any_attr) {
@@ -132,14 +171,16 @@ StatusOr<size_t> StreamEngine::LoadSubscriptions(const std::string& path) {
   APCM_RETURN_NOT_OK(loaded.status());
   // The trace loader already validated every expression; registration
   // cannot fail below, keeping the bulk load atomic.
+  std::lock_guard<std::mutex> lock(state_mu_);
   for (const BooleanExpression& sub : loaded->subscriptions) {
-    auto added = AddSubscription(sub.predicates());
+    auto added = AddSubscriptionLocked(sub.predicates());
     APCM_CHECK(added.ok());
   }
   return loaded->subscriptions.size();
 }
 
 Status StreamEngine::SetPriority(SubscriptionId id, double priority) {
+  std::lock_guard<std::mutex> lock(state_mu_);
   if (id >= next_sub_id_ || tombstones_.contains(id)) {
     return Status::NotFound("subscription " + std::to_string(id) +
                             " is not registered");
@@ -152,91 +193,218 @@ Status StreamEngine::SetPriority(SubscriptionId id, double priority) {
   return Status::OK();
 }
 
-uint64_t StreamEngine::Publish(Event event) {
-  const uint64_t id = next_event_id_++;
-  buffer_.push_back(std::move(event));
-  buffer_ids_.push_back(id);
-  stats_.events_published++;
-  if (buffer_.size() >= options_.buffer_capacity) {
-    ProcessBuffered();
-  }
-  return id;
+size_t StreamEngine::num_subscriptions() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  // Every tombstone still occupies a master slot until a covering snapshot
+  // publishes and prunes both together, so the difference is exact.
+  return subscriptions_.size() - tombstones_.size();
 }
 
-void StreamEngine::Flush() { ProcessBuffered(); }
+const MatcherStats* StreamEngine::matcher_stats() const {
+  std::shared_ptr<EngineSnapshot> snap = snapshot_.Load();
+  return snap == nullptr ? nullptr : &snap->matcher->stats();
+}
 
-void StreamEngine::RebuildIfNeeded() {
-  if (matcher_ != nullptr && pending_adds_.empty() &&
-      pending_removes_.empty()) {
-    return;
-  }
+uint64_t StreamEngine::Publish(Event event) {
+  StatusOr<uint64_t> id = TryPublish(std::move(event));
+  APCM_CHECK(id.ok());  // kReject callers must use TryPublish
+  return *id;
+}
 
-  // Fast path for PCM-family matchers: absorb changes through the delta
-  // structures, folding them into the main clusters (Compact) once the
-  // delta fraction crosses the threshold. The index is only ever rebuilt
-  // from scratch for other matcher kinds or when the threshold is 0.
-  if (matcher_ != nullptr && options_.incremental_rebuild_threshold > 0) {
-    auto* pcm = dynamic_cast<core::PcmMatcher*>(matcher_.get());
-    if (pcm != nullptr) {
-      for (SubscriptionId id : pending_adds_) {
-        // subscriptions_ is id-sorted (ids are monotone and compaction
-        // preserves order).
-        auto it = std::lower_bound(
-            subscriptions_.begin(), subscriptions_.end(), id,
-            [](const BooleanExpression& sub, SubscriptionId target) {
-              return sub.id() < target;
-            });
-        APCM_CHECK(it != subscriptions_.end() && it->id() == id);
-        pcm->AddIncremental(*it);
-        stats_.incremental_updates++;
+StatusOr<uint64_t> StreamEngine::TryPublish(Event event) {
+  for (;;) {
+    if (std::optional<BoundedEventQueue::PushResult> pushed =
+            queue_.TryPush(std::move(event))) {
+      stats_.events_published.fetch_add(1, std::memory_order_relaxed);
+      if (pushed->depth >= options_.buffer_capacity) {
+        // This publish filled the buffer: become the processor, unless a
+        // round is already running (the backlog stays bounded by the queue
+        // capacity and the next trigger picks it up).
+        if (process_mu_.try_lock()) {
+          ProcessLocked();
+          process_mu_.unlock();
+        }
       }
-      for (SubscriptionId id : pending_removes_) {
-        APCM_CHECK(pcm->RemoveIncremental(id).ok());
-        stats_.incremental_updates++;
-      }
-      pending_adds_.clear();
-      pending_removes_.clear();
-      if (pcm->DeltaFraction() > options_.incremental_rebuild_threshold) {
-        pcm->Compact();
-        stats_.compactions++;
-        // Mirror the matcher: drop tombstoned subscriptions from the
-        // master list (built_subs_ stays untouched — surviving clusters
-        // still reference it).
-        std::erase_if(subscriptions_, [this](const BooleanExpression& sub) {
-          return tombstones_.contains(sub.id());
-        });
-        tombstones_.clear();
-      }
-      return;
+      return pushed->id;
+    }
+    // Queue full. TryPush left `event` untouched, so it survives the retry
+    // loop.
+    if (options_.backpressure == BackpressurePolicy::kReject) {
+      stats_.publishes_rejected.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "publish queue is full (" + std::to_string(queue_.capacity()) +
+          " events); Flush or retry later");
+    }
+    stats_.publishes_blocked.fetch_add(1, std::memory_order_relaxed);
+    // Block by helping: wait for the in-flight round (if any) and then
+    // drain the queue ourselves. Each loop iteration frees a full queue's
+    // worth of space, so progress is guaranteed.
+    {
+      std::lock_guard<std::mutex> lock(process_mu_);
+      ProcessLocked();
     }
   }
-
-  // Full rebuild: compact the live subscriptions; ids are preserved (never
-  // reused), so id-indexed matcher arrays simply keep gaps for removed
-  // subscriptions.
-  std::vector<BooleanExpression> live;
-  live.reserve(subscriptions_.size() - tombstones_.size());
-  for (const BooleanExpression& sub : subscriptions_) {
-    if (!tombstones_.contains(sub.id())) live.push_back(sub);
-  }
-  subscriptions_ = std::move(live);
-  tombstones_.clear();
-  pending_adds_.clear();
-  pending_removes_.clear();
-  built_subs_ = subscriptions_;  // stable storage the matcher may reference
-  matcher_ = CreateMatcher(options_.kind, options_.matcher);
-  APCM_CHECK(matcher_ != nullptr);
-  matcher_->Build(built_subs_);
-  stats_.rebuilds++;
 }
 
-void StreamEngine::ProcessBuffered() {
-  if (buffer_.empty()) return;
-  RebuildIfNeeded();
+void StreamEngine::Flush() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(process_mu_);
+      ProcessLocked();
+    }
+    // Quiesce background maintenance so post-Flush state (stats, snapshot)
+    // is deterministic for single-caller flows.
+    std::shared_future<void> pending;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      if (rebuild_inflight_) pending = rebuild_done_;
+    }
+    if (pending.valid()) {
+      pending.wait();
+      continue;  // the publish may have raced a concurrent round; re-check
+    }
+    if (queue_.depth() == 0) return;
+  }
+}
 
-  const std::vector<uint32_t> order = core::ReorderStream(buffer_, options_.osr);
+void StreamEngine::ScheduleRebuildLocked(bool compaction) {
+  if (rebuild_inflight_) return;
+  rebuild_inflight_ = true;
+  // Copy the live subscription set now, under state_mu_: the build runs on
+  // the maintenance worker against this immutable copy while writers keep
+  // mutating the master list.
+  auto built = std::make_shared<std::vector<BooleanExpression>>();
+  built->reserve(subscriptions_.size() - tombstones_.size());
+  for (const BooleanExpression& sub : subscriptions_) {
+    if (!tombstones_.contains(sub.id())) built->push_back(sub);
+  }
+  const uint64_t version = change_seq_;
+  rebuild_done_ =
+      rebuild_pool_
+          .SubmitWithFuture([this, built, version, compaction] {
+            WallTimer timer;
+            auto next = std::make_shared<EngineSnapshot>();
+            next->built_subs = built;
+            next->matcher = CreateMatcher(options_.kind, options_.matcher);
+            APCM_CHECK(next->matcher != nullptr);
+            next->matcher->Build(*built);
+            next->covered_seq = version;
+            next->applied_seq = version;
+            PublishSnapshot(std::move(next), compaction,
+                            timer.ElapsedNanos());
+          })
+          .share();
+}
+
+void StreamEngine::PublishSnapshot(std::shared_ptr<EngineSnapshot> next,
+                                   bool compaction, int64_t build_ns) {
+  const uint64_t version = next->covered_seq;
+  snapshot_.Store(std::move(next));
+  std::lock_guard<std::mutex> lock(state_mu_);
+  // Prune everything the published build covered: log entries, tombstoned
+  // master slots, and the tombstone records themselves. Later entries stay
+  // until a future snapshot covers them.
+  while (!change_log_.empty() && change_log_.front().seq <= version) {
+    change_log_.pop_front();
+  }
+  std::erase_if(subscriptions_, [&](const BooleanExpression& sub) {
+    auto it = tombstones_.find(sub.id());
+    return it != tombstones_.end() && it->second <= version;
+  });
+  std::erase_if(tombstones_,
+                [&](const auto& entry) { return entry.second <= version; });
+  rebuild_inflight_ = false;
+  if (compaction) {
+    stats_.compactions.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stats_.rebuilds.fetch_add(1, std::memory_order_relaxed);
+  }
+  stats_.rebuild_latency_ns.Record(build_ns);
+}
+
+std::shared_ptr<EngineSnapshot> StreamEngine::SyncSnapshotLocked() {
+  for (;;) {
+    std::shared_ptr<EngineSnapshot> snap = snapshot_.Load();
+    std::vector<SubChange> changes;
+    std::vector<BooleanExpression> add_exprs;
+    std::shared_future<void> build_done;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      const uint64_t base = snap == nullptr ? 0 : snap->applied_seq;
+      if (snap != nullptr && base == change_seq_) return snap;
+      const bool incremental =
+          snap != nullptr && options_.incremental_rebuild_threshold > 0 &&
+          dynamic_cast<core::PcmMatcher*>(snap->matcher.get()) != nullptr;
+      if (!incremental) {
+        // First build, non-PCM matcher, or threshold 0: the round needs a
+        // full rebuild covering every change up to now. Schedule (if not
+        // already in flight) and wait outside the lock.
+        ScheduleRebuildLocked(/*compaction=*/false);
+        build_done = rebuild_done_;
+      } else {
+        // PCM delta handoff: collect the changes this snapshot has not
+        // seen, in change order, with copies of the added expressions.
+        for (const SubChange& change : change_log_) {
+          if (change.seq <= base) continue;
+          changes.push_back(change);
+          if (change.kind == SubChange::kAdd) {
+            const BooleanExpression* sub = FindSubscriptionLocked(change.id);
+            APCM_CHECK(sub != nullptr);
+            add_exprs.push_back(*sub);
+          }
+        }
+      }
+    }
+    if (build_done.valid()) {
+      build_done.wait();
+      continue;  // reload; more changes may have landed during the build
+    }
+    // Apply the deltas to the snapshot matcher. Serialized by process_mu_;
+    // the background builder never touches a published snapshot.
+    auto* pcm = static_cast<core::PcmMatcher*>(snap->matcher.get());
+    size_t next_add = 0;
+    for (const SubChange& change : changes) {
+      if (change.kind == SubChange::kAdd) {
+        pcm->AddIncremental(std::move(add_exprs[next_add++]));
+      } else {
+        APCM_CHECK(pcm->RemoveIncremental(change.id).ok());
+      }
+      snap->applied_seq = change.seq;
+    }
+    stats_.incremental_updates.fetch_add(changes.size(),
+                                         std::memory_order_relaxed);
+    if (!changes.empty() &&
+        pcm->DeltaFraction() > options_.incremental_rebuild_threshold) {
+      // Too much delta state: fold it into a fresh snapshot off the hot
+      // path. Rounds keep matching against the delta-laden snapshot until
+      // the compacted one publishes.
+      std::lock_guard<std::mutex> lock(state_mu_);
+      ScheduleRebuildLocked(/*compaction=*/true);
+    }
+    return snap;
+  }
+}
+
+void StreamEngine::ProcessLocked() {
+  queue_.DrainAll(&round_events_, &round_ids_);
+  if (round_events_.empty()) return;
+  stats_.queue_depth.Record(static_cast<int64_t>(round_events_.size()));
+  std::shared_ptr<EngineSnapshot> snap = SyncSnapshotLocked();
+
+  // Copy the delivery-time maps once per round so mutator threads can keep
+  // churning aliases/priorities while this round delivers.
+  std::unordered_map<SubscriptionId, SubscriptionId> alias;
+  std::unordered_map<SubscriptionId, double> priorities;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    alias = dnf_alias_;
+    if (options_.top_k > 0) priorities = priorities_;
+  }
+
+  const std::vector<uint32_t> order =
+      core::ReorderStream(round_events_, options_.osr);
   std::vector<std::vector<SubscriptionId>> results_by_buffer_index(
-      buffer_.size());
+      round_events_.size());
 
   std::vector<Event> batch;
   std::vector<std::vector<SubscriptionId>> batch_results;
@@ -244,24 +412,24 @@ void StreamEngine::ProcessBuffered() {
     const size_t end =
         std::min(order.size(), pos + size_t{options_.batch_size});
     batch.clear();
-    for (size_t i = pos; i < end; ++i) batch.push_back(buffer_[order[i]]);
+    for (size_t i = pos; i < end; ++i) batch.push_back(round_events_[order[i]]);
     WallTimer timer;
-    matcher_->MatchBatch(batch, &batch_results);
+    snap->matcher->MatchBatch(batch, &batch_results);
     stats_.batch_latency_ns.Record(timer.ElapsedNanos());
-    stats_.batches_processed++;
+    stats_.batches_processed.fetch_add(1, std::memory_order_relaxed);
     for (size_t i = pos; i < end; ++i) {
       results_by_buffer_index[order[i]] = std::move(batch_results[i - pos]);
     }
   }
 
-  // Deliver in ascending event-id order (== buffer order). DNF disjunct ids
+  // Deliver in ascending event-id order (== drain order). DNF disjunct ids
   // are translated to their external subscription id and deduplicated.
-  for (size_t i = 0; i < buffer_.size(); ++i) {
+  for (size_t i = 0; i < round_events_.size(); ++i) {
     auto& matches = results_by_buffer_index[i];
-    if (!dnf_alias_.empty() && !matches.empty()) {
+    if (!alias.empty() && !matches.empty()) {
       for (SubscriptionId& id : matches) {
-        auto it = dnf_alias_.find(id);
-        if (it != dnf_alias_.end()) id = it->second;
+        auto it = alias.find(id);
+        if (it != alias.end()) id = it->second;
       }
       std::sort(matches.begin(), matches.end());
       matches.erase(std::unique(matches.begin(), matches.end()),
@@ -270,9 +438,9 @@ void StreamEngine::ProcessBuffered() {
     if (options_.top_k > 0 && matches.size() > options_.top_k) {
       // Keep the top_k highest-priority matches; within the prefix, restore
       // ascending-id order so the delivery contract stays uniform.
-      auto priority_of = [this](SubscriptionId id) {
-        auto it = priorities_.find(id);
-        return it == priorities_.end() ? 0.0 : it->second;
+      auto priority_of = [&priorities](SubscriptionId id) {
+        auto it = priorities.find(id);
+        return it == priorities.end() ? 0.0 : it->second;
       };
       std::partial_sort(
           matches.begin(), matches.begin() + options_.top_k, matches.end(),
@@ -285,12 +453,13 @@ void StreamEngine::ProcessBuffered() {
       matches.resize(options_.top_k);
       std::sort(matches.begin(), matches.end());
     }
-    stats_.events_processed++;
-    stats_.matches_delivered += matches.size();
-    callback_(buffer_ids_[i], matches);
+    stats_.events_processed.fetch_add(1, std::memory_order_relaxed);
+    stats_.matches_delivered.fetch_add(matches.size(),
+                                       std::memory_order_relaxed);
+    callback_(round_ids_[i], matches);
   }
-  buffer_.clear();
-  buffer_ids_.clear();
+  round_events_.clear();
+  round_ids_.clear();
 }
 
 }  // namespace apcm::engine

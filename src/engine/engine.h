@@ -1,32 +1,64 @@
 #ifndef APCM_ENGINE_ENGINE_H_
 #define APCM_ENGINE_ENGINE_H_
 
+#include <atomic>
+#include <deque>
 #include <functional>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "src/base/histogram.h"
 #include "src/base/status.h"
+#include "src/base/thread_pool.h"
 #include "src/core/osr.h"
+#include "src/engine/event_queue.h"
 #include "src/engine/matcher_factory.h"
+#include "src/engine/snapshot.h"
 
 namespace apcm::engine {
 
 /// Engine-level counters (matcher-internal counters live in MatcherStats).
+/// Scalar counters are atomics and may be read at any time; the histograms
+/// are updated under the engine's internal locks without further
+/// synchronization, so read them only from a quiesced engine (after Flush,
+/// with no publisher threads running).
 struct EngineStats {
-  uint64_t events_published = 0;
-  uint64_t events_processed = 0;
-  uint64_t matches_delivered = 0;
-  uint64_t batches_processed = 0;
-  uint64_t rebuilds = 0;
+  std::atomic<uint64_t> events_published{0};
+  std::atomic<uint64_t> events_processed{0};
+  std::atomic<uint64_t> matches_delivered{0};
+  std::atomic<uint64_t> batches_processed{0};
+  std::atomic<uint64_t> rebuilds{0};
   /// Subscription changes absorbed without a rebuild (PCM delta path).
-  uint64_t incremental_updates = 0;
-  /// Delta-folding compactions triggered by the rebuild threshold.
-  uint64_t compactions = 0;
+  std::atomic<uint64_t> incremental_updates{0};
+  /// Snapshot rebuilds triggered by the delta-fraction threshold.
+  std::atomic<uint64_t> compactions{0};
+  /// Publishes rejected by BackpressurePolicy::kReject (queue full).
+  std::atomic<uint64_t> publishes_rejected{0};
+  /// Publishes that found the queue full under BackpressurePolicy::kBlock
+  /// and had to run/wait on a processing round before enqueueing.
+  std::atomic<uint64_t> publishes_blocked{0};
   /// Wall time per processed batch, nanoseconds.
   Histogram batch_latency_ns;
+  /// Publish-queue depth sampled at the start of every processing round.
+  Histogram queue_depth;
+  /// Wall time of each background snapshot build (rebuild or compaction),
+  /// nanoseconds from schedule-execution to publish.
+  Histogram rebuild_latency_ns;
+};
+
+/// What Publish does when the bounded publish queue is full.
+enum class BackpressurePolicy {
+  /// The publishing thread helps drain: it runs (or waits for) a processing
+  /// round and retries. Publish never fails; latency absorbs the pressure.
+  kBlock,
+  /// TryPublish returns kResourceExhausted and leaves the event with the
+  /// caller (shed load / retry upstream). Publish must not be used with
+  /// this policy — it CHECK-fails on rejection.
+  kReject,
 };
 
 struct EngineOptions {
@@ -37,14 +69,22 @@ struct EngineOptions {
   /// OSR window; 0/1 disables re-ordering. The window is an integer multiple
   /// of batches in practice (a window is flushed as consecutive batches).
   core::OsrOptions osr;
-  /// Publish() triggers processing once this many events are buffered (at
-  /// least the OSR window). Flush() processes any remainder.
+  /// A publish that brings the queue to this many buffered events triggers
+  /// a processing round (at least the OSR window). Flush() processes any
+  /// remainder.
   uint32_t buffer_capacity = 1024;
+  /// Hard bound of the publish queue; 0 sizes it at 2 * buffer_capacity.
+  /// Publishing into a full queue applies `backpressure`. Configure it
+  /// >= buffer_capacity unless you want purely manual (Flush-driven) flow
+  /// control.
+  uint32_t queue_capacity = 0;
+  /// Behavior of Publish/TryPublish on a full queue.
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
   /// For PCM-family matchers, subscription changes are applied via the
-  /// matcher's incremental delta path, and folded into the main clusters
-  /// (Compact) once the delta fraction exceeds this threshold. 0 forces
-  /// full rebuilds on every change (and is the only behavior for non-PCM
-  /// matchers).
+  /// matcher's incremental delta path, and a replacement snapshot is built
+  /// in the background once the delta fraction exceeds this threshold. 0
+  /// forces full (background) rebuilds on every change (and is the only
+  /// behavior for non-PCM matchers).
   double incremental_rebuild_threshold = 0.25;
   /// When > 0, each delivery is truncated to the `top_k` matches with the
   /// highest priority (ties broken by lower id first). Priorities default
@@ -54,28 +94,50 @@ struct EngineOptions {
 };
 
 /// End-to-end streaming facade over the matchers: manages the subscription
-/// set (with incremental add/remove via lazy rebuilds), buffers and
-/// re-orders the event stream (OSR), batches it through the configured
-/// matcher, and delivers results through a callback.
+/// set (with incremental add/remove and background snapshot rebuilds),
+/// buffers and re-orders the event stream (OSR), batches it through the
+/// configured matcher, and delivers results through a callback.
 ///
 /// Delivery contract: for every published event, the callback fires exactly
 /// once with the event's id and its sorted match list. Within one processing
 /// round, callbacks fire in ascending event-id order regardless of the OSR
-/// processing order. Removed subscriptions stop matching at the Remove call
-/// (tombstoned immediately, physically dropped at the next rebuild).
+/// processing order, and rounds are serialized (the callback is never
+/// invoked concurrently with itself). A subscription change is reflected in
+/// every round that starts after the call returns; in particular, removed
+/// subscriptions stop matching from the next round.
 ///
-/// Thread-compatibility: the engine is single-caller (confine calls to one
-/// thread); the matcher may parallelize internally.
+/// Threading model (see DESIGN.md §3.5): the engine is safe for concurrent
+/// use from any number of threads. Publishers enqueue into a bounded MPSC
+/// queue; whichever thread fills the queue to `buffer_capacity` (or calls
+/// Flush) becomes the processor for that round, matching against an
+/// immutable reference-counted snapshot of the index. Subscription
+/// mutations update the master state immediately, reach the live snapshot
+/// through the PCM delta path at the next round start, and trigger
+/// compaction/rebuild as a background task that publishes a fresh snapshot
+/// when ready — subscription churn never stops the world.
+///
+/// Blocking behavior: Publish may block (policy kBlock) when the queue is
+/// full, and may run a full processing round inline (invoking callbacks)
+/// when its push reaches `buffer_capacity`. Flush blocks until every queued
+/// event is delivered and background maintenance has quiesced.
+/// AddSubscription / RemoveSubscription / SetPriority only take short
+/// internal locks and never wait on matching or rebuilds. The callback runs
+/// inside the processing round and must not call Publish or Flush on the
+/// same engine (subscription mutations are fine).
 class StreamEngine {
  public:
   using MatchCallback = std::function<void(
       uint64_t event_id, const std::vector<SubscriptionId>& matches)>;
 
   StreamEngine(EngineOptions options, MatchCallback callback);
+  ~StreamEngine();
+
+  StreamEngine(const StreamEngine&) = delete;
+  StreamEngine& operator=(const StreamEngine&) = delete;
 
   /// Registers a subscription built from `predicates`; returns its engine-
-  /// assigned id. Triggers a lazy matcher rebuild before the next batch.
-  /// Fails if two predicates share an attribute.
+  /// assigned id. The change reaches the matcher before the next processed
+  /// round. Fails if two predicates share an attribute.
   StatusOr<SubscriptionId> AddSubscription(std::vector<Predicate> predicates);
 
   /// Registers a subscription in disjunctive normal form: it matches an
@@ -91,15 +153,24 @@ class StreamEngine {
   Status RemoveSubscription(SubscriptionId id);
 
   /// Sets the delivery priority of `id` (see EngineOptions::top_k). May be
-  /// called any time; takes effect from the next processed batch. NotFound
+  /// called any time; takes effect from the next processed round. NotFound
   /// for unknown/removed ids.
   Status SetPriority(SubscriptionId id, double priority);
 
   /// Enqueues `event`; returns its id (dense, starting at 0). May process
-  /// buffered events (invoking callbacks) when the buffer fills.
+  /// buffered events (invoking callbacks) when the buffer fills, and may
+  /// block while the queue is full (BackpressurePolicy::kBlock). With
+  /// kReject, use TryPublish instead — Publish CHECK-fails on rejection.
   uint64_t Publish(Event event);
 
-  /// Processes all buffered events.
+  /// Like Publish, but surfaces backpressure: returns kResourceExhausted —
+  /// leaving nothing enqueued — when the queue is full under
+  /// BackpressurePolicy::kReject.
+  StatusOr<uint64_t> TryPublish(Event event);
+
+  /// Processes all buffered events and waits for background snapshot
+  /// rebuilds to quiesce. After Flush returns (and absent concurrent
+  /// publishers), every published event has been delivered.
   void Flush();
 
   /// Persists the live subscription set to a trace file ("*.txt" = text
@@ -115,28 +186,61 @@ class StreamEngine {
   StatusOr<size_t> LoadSubscriptions(const std::string& path);
 
   /// Number of live (non-removed) subscriptions.
-  size_t num_subscriptions() const {
-    return subscriptions_.size() - tombstones_.size();
-  }
+  size_t num_subscriptions() const;
 
+  /// Counters. Scalar fields are atomics (readable any time); histograms
+  /// are only safe to read from a quiesced engine (see EngineStats).
   const EngineStats& stats() const { return stats_; }
-  /// The underlying matcher's counters (valid after the first batch).
-  const MatcherStats* matcher_stats() const {
-    return matcher_ ? &matcher_->stats() : nullptr;
-  }
+
+  /// The current snapshot's matcher counters (null before the first round).
+  /// The pointer is valid until the next snapshot rebuild publishes — read
+  /// it from a quiesced engine.
+  const MatcherStats* matcher_stats() const;
 
  private:
-  void RebuildIfNeeded();
-  void ProcessBuffered();
+  /// One subscription mutation, identified by its position in the engine's
+  /// total change order. The log holds every change newer than the oldest
+  /// snapshot still catching up; entries covered by a published snapshot
+  /// are pruned.
+  struct SubChange {
+    enum Kind : uint8_t { kAdd, kRemove };
+    uint64_t seq;
+    Kind kind;
+    SubscriptionId id;
+  };
+
+  StatusOr<SubscriptionId> AddSubscriptionLocked(
+      std::vector<Predicate> predicates);
+  /// Master-list lookup by id (the list is id-sorted; ids are monotone).
+  const BooleanExpression* FindSubscriptionLocked(SubscriptionId id) const;
+  /// Schedules a background snapshot build over the live subscription set,
+  /// unless one is already in flight. `compaction` selects which stats
+  /// counter the publish increments.
+  void ScheduleRebuildLocked(bool compaction);
+  /// Installs `next` as the current snapshot and prunes master state the
+  /// build covered. Runs on the maintenance pool.
+  void PublishSnapshot(std::shared_ptr<EngineSnapshot> next, bool compaction,
+                       int64_t build_ns);
+  /// Returns a snapshot with every change up to the call applied: hands
+  /// outstanding deltas to a PCM snapshot, or schedules a full rebuild and
+  /// waits for it. Requires process_mu_.
+  std::shared_ptr<EngineSnapshot> SyncSnapshotLocked();
+  /// Drains the queue and matches + delivers one round. Requires
+  /// process_mu_.
+  void ProcessLocked();
 
   EngineOptions options_;
   MatchCallback callback_;
-  std::vector<BooleanExpression> subscriptions_;  // includes tombstoned slots
-  std::vector<BooleanExpression> built_subs_;     // snapshot the matcher uses
-  std::unordered_set<SubscriptionId> tombstones_;
-  /// Changes not yet reflected in matcher_.
-  std::vector<SubscriptionId> pending_adds_;
-  std::vector<SubscriptionId> pending_removes_;
+
+  /// Write-side master state, guarded by state_mu_. Mutations are short and
+  /// never wait on matching or building.
+  mutable std::mutex state_mu_;
+  std::vector<BooleanExpression> subscriptions_;  // id-sorted; incl. tombstoned
+  /// Removed id -> change seq of the removal. Entries (and their master-
+  /// list slots) are erased once a snapshot covering the removal publishes.
+  std::unordered_map<SubscriptionId, uint64_t> tombstones_;
+  std::deque<SubChange> change_log_;
+  uint64_t change_seq_ = 0;
   /// DNF bookkeeping: internal disjunct id -> external id (only non-identity
   /// entries stored), and external id -> all its internal ids.
   std::unordered_map<SubscriptionId, SubscriptionId> dnf_alias_;
@@ -144,12 +248,27 @@ class StreamEngine {
   /// Non-zero delivery priorities (sparse; see EngineOptions::top_k).
   std::unordered_map<SubscriptionId, double> priorities_;
   SubscriptionId next_sub_id_ = 0;
-  std::unique_ptr<Matcher> matcher_;
+  bool rebuild_inflight_ = false;
+  std::shared_future<void> rebuild_done_;
 
-  std::vector<Event> buffer_;
-  std::vector<uint64_t> buffer_ids_;
-  uint64_t next_event_id_ = 0;
+  /// Current index generation (RCU-style swap; see SnapshotHolder).
+  SnapshotHolder snapshot_;
+
+  /// Publish side: bounded MPSC queue with its own internal lock.
+  BoundedEventQueue queue_;
+
+  /// Processing side: at most one round at a time. Guards the round scratch
+  /// below, all matcher use, and callback invocation.
+  std::mutex process_mu_;
+  std::vector<Event> round_events_;
+  std::vector<uint64_t> round_ids_;
+
   EngineStats stats_;
+
+  /// Maintenance pool: one OS worker executing background snapshot builds.
+  /// Declared last so its destructor (which drains queued tasks) runs while
+  /// every other member is still alive.
+  ThreadPool rebuild_pool_{2};
 };
 
 }  // namespace apcm::engine

@@ -1,0 +1,41 @@
+#include "src/engine/event_queue.h"
+
+#include <utility>
+
+#include "src/base/macros.h"
+
+namespace apcm::engine {
+
+BoundedEventQueue::BoundedEventQueue(size_t capacity) : capacity_(capacity) {
+  APCM_CHECK(capacity_ >= 1);
+  events_.reserve(capacity_);
+  ids_.reserve(capacity_);
+}
+
+std::optional<BoundedEventQueue::PushResult> BoundedEventQueue::TryPush(
+    Event&& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) return std::nullopt;
+  const uint64_t id = next_id_++;
+  events_.push_back(std::move(event));
+  ids_.push_back(id);
+  return PushResult{id, events_.size()};
+}
+
+void BoundedEventQueue::DrainAll(std::vector<Event>* events,
+                                 std::vector<uint64_t>* ids) {
+  events->clear();
+  ids->clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  events->swap(events_);
+  ids->swap(ids_);
+  events_.reserve(capacity_);
+  ids_.reserve(capacity_);
+}
+
+size_t BoundedEventQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+}  // namespace apcm::engine

@@ -1,0 +1,62 @@
+#ifndef APCM_ENGINE_EVENT_QUEUE_H_
+#define APCM_ENGINE_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "src/be/event.h"
+
+namespace apcm::engine {
+
+/// Bounded multi-producer publish queue of the StreamEngine.
+///
+/// Producers (any number of publisher threads) push events; the single
+/// consumer — whichever thread holds the engine's processing lock — drains
+/// the entire content of the queue at the start of a round (MPSC). Event ids
+/// are assigned at push time under the queue mutex, so drain order is both
+/// arrival order and ascending event-id order, which is what the engine's
+/// delivery contract needs.
+///
+/// The queue never blocks: a full queue makes TryPush fail and leaves the
+/// event untouched, and the engine decides what backpressure to apply
+/// (process a round itself, or surface kResourceExhausted to the caller).
+class BoundedEventQueue {
+ public:
+  explicit BoundedEventQueue(size_t capacity);
+
+  BoundedEventQueue(const BoundedEventQueue&) = delete;
+  BoundedEventQueue& operator=(const BoundedEventQueue&) = delete;
+
+  struct PushResult {
+    uint64_t id;   ///< dense event id assigned to the pushed event
+    size_t depth;  ///< queue depth immediately after the push
+  };
+
+  /// Enqueues `event` and assigns it the next dense event id (starting at
+  /// 0). Returns nullopt — without moving from `event` — when the queue
+  /// holds `capacity()` events.
+  std::optional<PushResult> TryPush(Event&& event);
+
+  /// Moves every queued event (and its id) into `*events` / `*ids`,
+  /// clearing the outputs first. Events come out in push order, i.e. in
+  /// ascending event-id order.
+  void DrainAll(std::vector<Event>* events, std::vector<uint64_t>* ids);
+
+  /// Current number of queued events.
+  size_t depth() const;
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 0;
+  std::vector<Event> events_;
+  std::vector<uint64_t> ids_;
+};
+
+}  // namespace apcm::engine
+
+#endif  // APCM_ENGINE_EVENT_QUEUE_H_

@@ -34,8 +34,15 @@ std::string RenderReport(const StreamEngine& engine) {
             FormatWithCommas(stats.incremental_updates) + "\n";
   report += "compactions:          " + FormatWithCommas(stats.compactions) +
             "\n";
+  report += "publishes blocked:    " +
+            FormatWithCommas(stats.publishes_blocked) + "\n";
+  report += "publishes rejected:   " +
+            FormatWithCommas(stats.publishes_rejected) + "\n";
   report +=
       "batch latency (ns):   " + stats.batch_latency_ns.Summary() + "\n";
+  report += "queue depth:          " + stats.queue_depth.Summary() + "\n";
+  report +=
+      "rebuild latency (ns): " + stats.rebuild_latency_ns.Summary() + "\n";
   if (const MatcherStats* matcher_stats = engine.matcher_stats()) {
     report += "matcher counters:     " + RenderMatcherStats(*matcher_stats) +
               "\n";

@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <memory>
 
+#include "src/engine/engine.h"
 #include "src/engine/matcher_factory.h"
 #include "tests/matcher_test_util.h"
 
@@ -148,6 +151,107 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<size_t>& info) {
       return MakeCases()[info.param].name;
     });
+
+// The engine facade (batched processing + OSR reordering + top-k delivery)
+// must agree with the plain single-event matchers on the same randomized
+// workloads. Subscriptions are added in workload order, so engine-assigned
+// subscription ids and event ids coincide with workload indices.
+class EngineAgreementTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EngineAgreementTest, EngineFacadeAgreesWithPlainMatchers) {
+  const AgreementCase test_case = MakeCases()[GetParam()];
+  SCOPED_TRACE(test_case.name);
+  const auto workload = workload::Generate(test_case.spec).value();
+
+  index::ScanMatcher scan;
+  const auto expected = RunMatcher(scan, workload);
+
+  for (MatcherKind kind :
+       {MatcherKind::kCounting, MatcherKind::kBETree, MatcherKind::kAPcm}) {
+    engine::EngineOptions options;
+    options.kind = kind;
+    options.matcher.domain = {test_case.spec.domain_min,
+                              test_case.spec.domain_max};
+    options.matcher.pcm.clustering.cluster_size = 64;
+    options.batch_size = 16;
+    options.osr.window_size = 32;
+    options.buffer_capacity = 48;
+
+    std::map<uint64_t, std::vector<SubscriptionId>> by_event;
+    engine::StreamEngine engine(
+        options, [&](uint64_t event_id,
+                     const std::vector<SubscriptionId>& matches) {
+          by_event[event_id] = matches;
+        });
+    for (const auto& sub : workload.subscriptions) {
+      ASSERT_TRUE(engine.AddSubscription(sub.predicates()).ok());
+    }
+    for (const Event& event : workload.events) engine.Publish(event);
+    engine.Flush();
+
+    ASSERT_EQ(by_event.size(), workload.events.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(by_event.at(i), expected[i])
+          << MatcherKindName(kind) << " engine disagrees with scan on event "
+          << i << " of case '" << test_case.name << "'";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, EngineAgreementTest,
+    ::testing::Range<size_t>(0, MakeCases().size()),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+      return MakeCases()[info.param].name;
+    });
+
+// Top-k truncation through the engine must equal truncating the scan ground
+// truth by (priority desc, id asc) — on a workload with real priorities.
+TEST(EngineAgreementTest, TopKDeliveryEqualsTruncatedGroundTruth) {
+  const auto workload = workload::Generate(BaseSpec(77)).value();
+  index::ScanMatcher scan;
+  const auto expected = RunMatcher(scan, workload);
+
+  engine::EngineOptions options;
+  options.kind = engine::MatcherKind::kAPcm;
+  options.matcher.pcm.clustering.cluster_size = 64;
+  options.batch_size = 16;
+  options.osr.window_size = 32;
+  options.buffer_capacity = 48;
+  options.top_k = 3;
+
+  std::map<uint64_t, std::vector<SubscriptionId>> by_event;
+  engine::StreamEngine engine(
+      options,
+      [&](uint64_t event_id, const std::vector<SubscriptionId>& matches) {
+        by_event[event_id] = matches;
+      });
+  std::vector<double> priorities(workload.subscriptions.size(), 0.0);
+  for (size_t s = 0; s < workload.subscriptions.size(); ++s) {
+    ASSERT_TRUE(
+        engine.AddSubscription(workload.subscriptions[s].predicates()).ok());
+    priorities[s] = static_cast<double>((s * 7) % 11);
+    ASSERT_TRUE(engine.SetPriority(s, priorities[s]).ok());
+  }
+  for (const Event& event : workload.events) engine.Publish(event);
+  engine.Flush();
+
+  for (size_t i = 0; i < expected.size(); ++i) {
+    std::vector<SubscriptionId> want = expected[i];
+    std::stable_sort(want.begin(), want.end(),
+                     [&](SubscriptionId a, SubscriptionId b) {
+                       if (priorities[a] != priorities[b]) {
+                         return priorities[a] > priorities[b];
+                       }
+                       return a < b;
+                     });
+    if (want.size() > 3) want.resize(3);
+    std::sort(want.begin(), want.end());
+    std::vector<SubscriptionId> got = by_event.at(i);
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, want) << "event " << i;
+  }
+}
 
 // Batch-API agreement for the PCM family, which overrides MatchBatch.
 TEST(AgreementBatchTest, BatchEqualsSingleForAllPcmKinds) {

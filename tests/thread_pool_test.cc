@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <numeric>
 #include <vector>
 
@@ -83,6 +85,34 @@ TEST(ThreadPoolTest, SubmitWaitOnSingleThreadPool) {
   }
   pool.Wait();
   EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, SubmitWithFutureSignalsCompletion) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.SubmitWithFuture(
+        [&] { counter.fetch_add(1, std::memory_order_relaxed); }));
+  }
+  for (auto& f : futures) f.wait();
+  // Every future resolving implies every task body has completed.
+  EXPECT_EQ(counter.load(), 20);
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, SubmitWithFutureOnSingleThreadPoolResolvesInWait) {
+  // ThreadPool(1) has no workers: tasks (and their futures) only resolve
+  // once Wait() drains the queue on the calling thread.
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  auto future = pool.SubmitWithFuture([&] { counter.fetch_add(1); });
+  EXPECT_EQ(future.wait_for(std::chrono::milliseconds(0)),
+            std::future_status::timeout);
+  pool.Wait();
+  EXPECT_EQ(future.wait_for(std::chrono::milliseconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(counter.load(), 1);
 }
 
 TEST(ThreadPoolTest, ParallelSumMatchesSequential) {

@@ -28,6 +28,8 @@ struct ConcurrentResult {
   uint64_t events = 0;
   uint64_t blocked = 0;
   uint64_t compactions = 0;
+  double p50_ns = 0;  ///< per-round batch latency from the engine histogram
+  double p99_ns = 0;
 };
 
 ConcurrentResult MeasurePublishers(const workload::Workload& workload,
@@ -103,10 +105,13 @@ ConcurrentResult MeasurePublishers(const workload::Workload& workload,
   result.events_per_second = static_cast<double>(result.events) / seconds;
   result.blocked = engine.stats().publishes_blocked;
   result.compactions = engine.stats().compactions;
+  const Histogram latency = engine.stats().batch_latency_ns.Snapshot();
+  result.p50_ns = static_cast<double>(latency.ValueAtQuantile(0.5));
+  result.p99_ns = static_cast<double>(latency.ValueAtQuantile(0.99));
   return result;
 }
 
-void Run() {
+void Run(BenchJsonWriter& json) {
   workload::WorkloadSpec spec = DefaultSpec();
   spec.num_subscriptions = FullScale() ? 100'000 : 5'000;
   spec.num_events = 4'000;
@@ -124,6 +129,23 @@ void Run() {
     const ConcurrentResult churn =
         MeasurePublishers(workload, publishers, /*mutate=*/true);
     if (publishers == 1) base = quiet.events_per_second;
+    const auto add_json = [&](const char* mode, const ConcurrentResult& r) {
+      BenchJsonWriter::Record record;
+      record.bench = "bench_concurrent";
+      record.config =
+          "publishers=" + std::to_string(publishers) + " mode=" + mode;
+      record.throughput = r.events_per_second;
+      record.p50_ns = r.p50_ns;
+      record.p99_ns = r.p99_ns;
+      record.metrics = {
+          {"events", static_cast<double>(r.events)},
+          {"blocked", static_cast<double>(r.blocked)},
+          {"compactions", static_cast<double>(r.compactions)},
+      };
+      json.Add(std::move(record));
+    };
+    add_json("quiet", quiet);
+    add_json("churn", churn);
     table.AddRow({std::to_string(publishers), Rate(quiet.events_per_second),
                   Fixed(quiet.events_per_second / base, 2) + "x",
                   std::to_string(quiet.blocked),
@@ -143,7 +165,9 @@ void Run() {
 }  // namespace
 }  // namespace apcm::bench
 
-int main() {
-  apcm::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  apcm::bench::BenchJsonWriter json =
+      apcm::bench::BenchJsonWriter::FromArgs(argc, argv);
+  apcm::bench::Run(json);
+  return json.Finish() ? 0 : 1;
 }

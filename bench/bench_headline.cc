@@ -15,7 +15,7 @@
 namespace apcm::bench {
 namespace {
 
-void Run() {
+void Run(BenchJsonWriter& json) {
   workload::WorkloadSpec spec = DefaultSpec();
   PrintBanner("T2", "headline throughput, all matchers", spec);
   std::printf("generating workload...\n");
@@ -29,6 +29,7 @@ void Run() {
     auto matcher = MakeContender(contender, spec);
     const ThroughputResult result =
         MeasureThroughput(*matcher, workload, /*batch_size=*/256);
+    json.AddThroughput("bench_headline", contender.label, result);
     if (contender.label == "scan") scan_rate = result.events_per_second;
     if (contender.label == "a-pcm") apcm_rate = result.events_per_second;
     table.AddRow({contender.label, Fixed(result.build_seconds, 2),
@@ -55,6 +56,13 @@ void Run() {
   for (int cores : {8, 16, 32}) {
     const double seconds = model.PredictSeconds(cores);
     const double rate = static_cast<double>(workload.events.size()) / seconds;
+    BenchJsonWriter::Record modeled;
+    modeled.bench = "bench_headline";
+    modeled.config = StringPrintf("a-pcm-%d-core-model", cores);
+    modeled.throughput = rate;
+    modeled.metrics = {{"cores", static_cast<double>(cores)},
+                       {"matches_per_event", one_thread.matches_per_event}};
+    json.Add(std::move(modeled));
     table.AddRow(
         {StringPrintf("a-pcm (%d-core model)", cores), "-", "-", Rate(rate),
          Fixed(one_thread.matches_per_event, 2),
@@ -72,7 +80,9 @@ void Run() {
 }  // namespace
 }  // namespace apcm::bench
 
-int main() {
-  apcm::bench::Run();
-  return 0;
+int main(int argc, char** argv) {
+  apcm::bench::BenchJsonWriter json =
+      apcm::bench::BenchJsonWriter::FromArgs(argc, argv);
+  apcm::bench::Run(json);
+  return json.Finish() ? 0 : 1;
 }

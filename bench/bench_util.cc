@@ -2,9 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "src/base/string_util.h"
 #include "src/base/timer.h"
+#include "src/engine/exposition.h"
 
 namespace apcm::bench {
 
@@ -63,13 +65,16 @@ ThroughputResult Measure(Matcher& matcher, const workload::Workload& workload,
   uint64_t matches = 0;
   size_t cursor = 0;
   WallTimer timer;
+  WallTimer batch_timer;
   do {
     batch.clear();
     for (uint32_t i = 0; i < batch_size; ++i) {
       batch.push_back(events[cursor]);
       cursor = (cursor + 1) % events.size();
     }
+    batch_timer.Reset();
     matcher.MatchBatch(batch, &batch_results);
+    result.batch_latency_ns.Record(batch_timer.ElapsedNanos());
     for (const auto& r : batch_results) matches += r.size();
     result.events_processed += batch.size();
   } while (timer.ElapsedSeconds() < budget);
@@ -187,6 +192,98 @@ std::unique_ptr<Matcher> MakeContender(const Contender& contender,
   config.domain = {spec.domain_min, spec.domain_max};
   config.pcm.num_threads = contender.threads;
   return engine::CreateMatcher(contender.kind, config);
+}
+
+namespace {
+
+// %.17g round-trips doubles and renders integers without an exponent for
+// the magnitudes benchmarks produce; trim to %g-style readability.
+std::string JsonNumber(double value) {
+  std::string s = StringPrintf("%.10g", value);
+  // NaN/inf are not valid JSON; report them as null.
+  if (s.find("nan") != std::string::npos ||
+      s.find("inf") != std::string::npos) {
+    return "null";
+  }
+  return s;
+}
+
+}  // namespace
+
+BenchJsonWriter BenchJsonWriter::FromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json requires a path argument\n");
+        std::exit(2);
+      }
+      return BenchJsonWriter(argv[i + 1]);
+    }
+  }
+  return BenchJsonWriter();
+}
+
+void BenchJsonWriter::Add(Record record) {
+  if (!enabled()) return;
+  records_.push_back(std::move(record));
+}
+
+void BenchJsonWriter::AddThroughput(const std::string& bench,
+                                    const std::string& config,
+                                    const ThroughputResult& result) {
+  if (!enabled()) return;
+  Record record;
+  record.bench = bench;
+  record.config = config;
+  record.throughput = result.events_per_second;
+  record.p50_ns =
+      static_cast<double>(result.batch_latency_ns.ValueAtQuantile(0.5));
+  record.p99_ns =
+      static_cast<double>(result.batch_latency_ns.ValueAtQuantile(0.99));
+  record.metrics = {
+      {"events_processed", static_cast<double>(result.events_processed)},
+      {"seconds", result.seconds},
+      {"build_seconds", result.build_seconds},
+      {"memory_bytes", static_cast<double>(result.memory_bytes)},
+      {"matches_per_event", result.matches_per_event},
+      {"predicate_evals", static_cast<double>(result.stats.predicate_evals)},
+      {"candidates_checked",
+       static_cast<double>(result.stats.candidates_checked)},
+  };
+  records_.push_back(std::move(record));
+}
+
+bool BenchJsonWriter::Finish() const {
+  if (!enabled()) return true;
+  std::string out = "[\n";
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const Record& r = records_[i];
+    out += "  {\"bench\": \"" + engine::JsonEscape(r.bench) + "\"";
+    out += ", \"config\": \"" + engine::JsonEscape(r.config) + "\"";
+    out += ", \"throughput\": " + JsonNumber(r.throughput);
+    out += ", \"p50\": " + JsonNumber(r.p50_ns);
+    out += ", \"p99\": " + JsonNumber(r.p99_ns);
+    out += ", \"metrics\": {";
+    for (size_t m = 0; m < r.metrics.size(); ++m) {
+      if (m > 0) out += ", ";
+      out += "\"" + engine::JsonEscape(r.metrics[m].first) +
+             "\": " + JsonNumber(r.metrics[m].second);
+    }
+    out += "}}";
+    out += i + 1 < records_.size() ? ",\n" : "\n";
+  }
+  out += "]\n";
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path_.c_str());
+    return false;
+  }
+  const bool wrote = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+  const bool ok = std::fclose(f) == 0 && wrote;
+  if (!ok) std::fprintf(stderr, "short write to %s\n", path_.c_str());
+  std::printf("wrote JSON results: %s (%zu records)\n", path_.c_str(),
+              records_.size());
+  return ok;
 }
 
 }  // namespace apcm::bench

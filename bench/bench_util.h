@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/base/histogram.h"
 #include "src/engine/matcher_factory.h"
 #include "src/index/matcher.h"
 #include "src/workload/generator.h"
@@ -35,6 +37,9 @@ struct ThroughputResult {
   double build_seconds = 0;
   uint64_t memory_bytes = 0;
   MatcherStats stats;  ///< matcher counter deltas for the measured window
+  /// Wall time per MatchBatch call in nanoseconds — the p50/p99 that the
+  /// machine-readable results report.
+  Histogram batch_latency_ns;
 };
 
 /// Builds `matcher` over the workload's subscriptions, then streams the
@@ -86,6 +91,49 @@ std::vector<Contender> DefaultContenders();
 /// Instantiates a contender for the given workload spec.
 std::unique_ptr<Matcher> MakeContender(const Contender& contender,
                                        const workload::WorkloadSpec& spec);
+
+/// Machine-readable benchmark output, enabled by `--json <path>` on a bench
+/// binary's command line. Each Add() buffers one result record; Finish()
+/// writes the whole run as a JSON array of
+///   {"bench": ..., "config": ..., "throughput": ..., "p50": ..., "p99": ...,
+///    "metrics": {...}}
+/// so CI can diff runs without scraping the human tables. A writer
+/// constructed without a path swallows records and writes nothing.
+class BenchJsonWriter {
+ public:
+  /// Parses `--json <path>` out of argv. Unknown flags are ignored (the bench
+  /// binaries take no other arguments); a missing path after --json is fatal.
+  static BenchJsonWriter FromArgs(int argc, char** argv);
+
+  BenchJsonWriter() = default;
+  explicit BenchJsonWriter(std::string path) : path_(std::move(path)) {}
+
+  struct Record {
+    std::string bench;   ///< binary name, e.g. "bench_headline"
+    std::string config;  ///< row label, e.g. "a-pcm" or "publishers=4"
+    double throughput = 0;  ///< events per second
+    double p50_ns = 0;      ///< median per-batch latency (0 if not measured)
+    double p99_ns = 0;
+    /// Extra numeric facts (build seconds, memory bytes, matcher counters...).
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  void Add(Record record);
+  /// Adds a record derived from a throughput measurement, folding the
+  /// standard fields (latency percentiles, build time, memory, matcher
+  /// counters) into place.
+  void AddThroughput(const std::string& bench, const std::string& config,
+                     const ThroughputResult& result);
+
+  bool enabled() const { return !path_.empty(); }
+  /// Writes all buffered records to the path. Returns false and prints to
+  /// stderr on I/O failure. No-op (true) when disabled.
+  bool Finish() const;
+
+ private:
+  std::string path_;
+  std::vector<Record> records_;
+};
 
 }  // namespace apcm::bench
 

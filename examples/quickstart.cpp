@@ -6,8 +6,17 @@
 //  4. Do the same through the StreamEngine facade (batching + OSR).
 //
 // Build & run:  ./build/examples/quickstart
+//
+// Observability demo: APCM_ADMIN_PORT=<port> enables the engine's embedded
+// admin endpoint (use -1 for a kernel-assigned port), and APCM_ADMIN_SECONDS
+// keeps the process alive that long after the run so you can
+// `curl localhost:<port>/metrics` against it. CI's smoke job does exactly
+// that.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 
 #include "src/be/parser.h"
 #include "src/engine/engine.h"
@@ -62,6 +71,9 @@ int main() {
   options.kind = apcm::engine::MatcherKind::kAPcm;
   options.batch_size = 64;
   options.osr.window_size = 128;  // re-order within 128-event windows
+  if (const char* admin_port = std::getenv("APCM_ADMIN_PORT")) {
+    options.admin_port = std::atoi(admin_port);
+  }
   uint64_t delivered = 0;
   apcm::engine::StreamEngine engine(
       options, [&](uint64_t event_id,
@@ -89,5 +101,17 @@ int main() {
               static_cast<unsigned long long>(engine.stats().batches_processed),
               static_cast<unsigned long long>(
                   engine.stats().matches_delivered));
+
+  // --- 5. optional: keep the admin endpoint up for scraping -----------
+  if (engine.admin_port() > 0) {
+    int seconds = 0;
+    if (const char* env = std::getenv("APCM_ADMIN_SECONDS")) {
+      seconds = std::atoi(env);
+    }
+    std::printf("admin endpoint: http://127.0.0.1:%d/metrics (up for %ds)\n",
+                engine.admin_port(), seconds);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  }
   return delivered == 500 ? 0 : 1;
 }

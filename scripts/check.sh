@@ -24,13 +24,17 @@ run_tsan() {
     -DAPCM_SANITIZE=thread \
     -DAPCM_BUILD_BENCHMARKS=OFF \
     -DAPCM_BUILD_EXAMPLES=OFF
-  cmake --build "${build_dir}" --target engine_concurrent_test thread_pool_test
+  cmake --build "${build_dir}" --target \
+    engine_concurrent_test thread_pool_test metrics_test
   local repeat="${APCM_TSAN_REPEAT:-50}"
   TSAN_OPTIONS="halt_on_error=1" \
     "./${build_dir}/tests/engine_concurrent_test" \
     --gtest_repeat="${repeat}" --gtest_brief=1
   TSAN_OPTIONS="halt_on_error=1" \
     "./${build_dir}/tests/thread_pool_test" \
+    --gtest_repeat="${repeat}" --gtest_brief=1
+  TSAN_OPTIONS="halt_on_error=1" \
+    "./${build_dir}/tests/metrics_test" \
     --gtest_repeat="${repeat}" --gtest_brief=1
   echo "TSAN CHECKS PASSED (${repeat} iterations)"
 }

@@ -27,6 +27,9 @@ class Histogram {
   int64_t max() const { return max_; }
   /// Mean of recorded samples (0 if empty).
   double Mean() const;
+  /// Sum of recorded samples (exact as a double; 0 if empty). Prometheus
+  /// exposition needs the running sum alongside the quantiles.
+  double sum() const { return sum_; }
 
   /// Value at quantile q in [0, 1] (e.g. 0.99 for p99); returns an upper
   /// bound of the containing bucket. 0 if empty.

@@ -2,11 +2,23 @@
 
 #include <atomic>
 #include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "src/base/string_util.h"
 
 namespace apcm {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+std::mutex g_sink_mu;
+std::shared_ptr<LogSink> g_sink;  // null = stderr
+
+std::shared_ptr<LogSink> CurrentSink() {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  return g_sink;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,7 +34,50 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+bool NeedsQuoting(std::string_view value) {
+  if (value.empty()) return true;
+  for (char c : value) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' || c == '\n') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Emit(LogLevel level, const std::string& line) {
+  if (std::shared_ptr<LogSink> sink = CurrentSink()) {
+    (*sink)(level, line);
+    return;
+  }
+  std::string with_newline = line;
+  with_newline += '\n';
+  std::fwrite(with_newline.data(), 1, with_newline.size(), stderr);
+}
+
 }  // namespace
+
+LogField::LogField(std::string_view key, std::string_view value) : key(key) {
+  if (!NeedsQuoting(value)) {
+    this->value = value;
+    return;
+  }
+  this->value.reserve(value.size() + 2);
+  this->value += '"';
+  for (char c : value) {
+    if (c == '"' || c == '\\') {
+      this->value += '\\';
+      this->value += c;
+    } else if (c == '\n') {
+      this->value += "\\n";
+    } else {
+      this->value += c;
+    }
+  }
+  this->value += '"';
+}
+
+LogField::LogField(std::string_view key, double value)
+    : key(key), value(StringPrintf("%g", value)) {}
 
 void SetLogLevel(LogLevel level) {
   g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
@@ -32,17 +87,34 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = sink ? std::make_shared<LogSink>(std::move(sink)) : nullptr;
+}
+
 void Log(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) <
-      g_min_level.load(std::memory_order_relaxed)) {
-    return;
-  }
+  if (!LogEnabled(level)) return;
   std::string line = "[";
   line += LevelName(level);
   line += "] ";
   line += message;
-  line += "\n";
-  std::fwrite(line.data(), 1, line.size(), stderr);
+  Emit(level, line);
+}
+
+void Log(LogLevel level, const std::string& message,
+         std::initializer_list<LogField> fields) {
+  if (!LogEnabled(level)) return;
+  std::string line = "[";
+  line += LevelName(level);
+  line += "] ";
+  line += message;
+  for (const LogField& field : fields) {
+    line += ' ';
+    line += field.key;
+    line += '=';
+    line += field.value;
+  }
+  Emit(level, line);
 }
 
 }  // namespace apcm

@@ -1,7 +1,12 @@
 #ifndef APCM_BASE_LOGGING_H_
 #define APCM_BASE_LOGGING_H_
 
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
 #include <string>
+#include <string_view>
+#include <type_traits>
 
 namespace apcm {
 
@@ -14,9 +19,55 @@ void SetLogLevel(LogLevel level);
 /// Current minimum severity.
 LogLevel GetLogLevel();
 
-/// Writes one line to stderr as "[LEVEL] message" if `level` is at or above
-/// the configured minimum. Thread-safe (single write call per line).
+/// True when a line at `level` would be emitted. Use to guard log calls
+/// whose arguments are expensive to build (structured fields are formatted
+/// before Log is entered).
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(GetLogLevel());
+}
+
+/// One key=value pair of a structured log line. Values are formatted at
+/// construction; strings containing spaces, quotes, or '=' are quoted and
+/// backslash-escaped so lines stay machine-parsable.
+struct LogField {
+  LogField(std::string_view key, std::string_view value);
+  LogField(std::string_view key, const char* value)
+      : LogField(key, std::string_view(value)) {}
+  LogField(std::string_view key, const std::string& value)
+      : LogField(key, std::string_view(value)) {}
+  LogField(std::string_view key, double value);
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && std::is_signed_v<T>,
+                             int> = 0>
+  LogField(std::string_view key, T value)
+      : key(key), value(std::to_string(static_cast<int64_t>(value))) {}
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && std::is_unsigned_v<T>,
+                             int> = 0>
+  LogField(std::string_view key, T value)
+      : key(key), value(std::to_string(static_cast<uint64_t>(value))) {}
+
+  std::string key;
+  std::string value;
+};
+
+/// Destination for formatted log lines (without trailing newline). Replaces
+/// stderr while installed — the hook tests and embedders use to capture
+/// output. Must be callable from any thread.
+using LogSink = std::function<void(LogLevel level, const std::string& line)>;
+
+/// Installs `sink` as the log destination; nullptr restores stderr.
+void SetLogSink(LogSink sink);
+
+/// Writes one line as "[LEVEL] message" if `level` is at or above the
+/// configured minimum. Thread-safe (single write call per line).
 void Log(LogLevel level, const std::string& message);
+
+/// Structured variant: appends " key=value" for each field, e.g.
+/// `Log(kInfo, "round", {{"round", id}, {"events", n}})` emits
+/// "[INFO] round round=7 events=256".
+void Log(LogLevel level, const std::string& message,
+         std::initializer_list<LogField> fields);
 
 /// Convenience wrappers.
 inline void LogDebug(const std::string& message) {
@@ -30,6 +81,22 @@ inline void LogWarning(const std::string& message) {
 }
 inline void LogError(const std::string& message) {
   Log(LogLevel::kError, message);
+}
+inline void LogDebug(const std::string& message,
+                     std::initializer_list<LogField> fields) {
+  Log(LogLevel::kDebug, message, fields);
+}
+inline void LogInfo(const std::string& message,
+                    std::initializer_list<LogField> fields) {
+  Log(LogLevel::kInfo, message, fields);
+}
+inline void LogWarning(const std::string& message,
+                       std::initializer_list<LogField> fields) {
+  Log(LogLevel::kWarning, message, fields);
+}
+inline void LogError(const std::string& message,
+                     std::initializer_list<LogField> fields) {
+  Log(LogLevel::kError, message, fields);
 }
 
 }  // namespace apcm

@@ -1,0 +1,166 @@
+#include "src/base/metrics.h"
+
+#include <utility>
+
+#include "src/base/macros.h"
+
+namespace apcm {
+
+namespace {
+
+/// Round-robin shard index per OS thread: cheaper and better distributed
+/// than hashing std::thread::id, and shared across every ShardedHistogram
+/// (it only decides striping, not identity).
+int ThisThreadShardIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local int index =
+      static_cast<int>(next.fetch_add(1, std::memory_order_relaxed));
+  return index;
+}
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ShardedHistogram::ShardedHistogram() : shards_(kShards) {}
+
+ShardedHistogram::Shard& ShardedHistogram::ShardForThisThread() {
+  return shards_[static_cast<size_t>(ThisThreadShardIndex() % kShards)];
+}
+
+void ShardedHistogram::Record(int64_t value) {
+  Shard& shard = ShardForThisThread();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.histogram.Record(value);
+}
+
+Histogram ShardedHistogram::Snapshot() const {
+  Histogram merged;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    merged.Merge(shard.histogram);
+  }
+  return merged;
+}
+
+void ShardedHistogram::Reset() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.histogram.Reset();
+  }
+}
+
+MetricsRegistry::Entry* MetricsRegistry::AddEntry(std::string name,
+                                                  std::string help,
+                                                  MetricSample::Type type) {
+  APCM_CHECK(ValidMetricName(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : entries_) {
+    APCM_CHECK(entry->name != name);  // duplicate metric name
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::move(name);
+  entry->help = std::move(help);
+  entry->type = type;
+  entries_.push_back(std::move(entry));
+  return entries_.back().get();
+}
+
+Counter* MetricsRegistry::AddCounter(std::string name, std::string help) {
+  Entry* entry =
+      AddEntry(std::move(name), std::move(help), MetricSample::Type::kCounter);
+  entry->counter = std::make_unique<Counter>();
+  return entry->counter.get();
+}
+
+Gauge* MetricsRegistry::AddGauge(std::string name, std::string help) {
+  Entry* entry =
+      AddEntry(std::move(name), std::move(help), MetricSample::Type::kGauge);
+  entry->gauge = std::make_unique<Gauge>();
+  return entry->gauge.get();
+}
+
+ShardedHistogram* MetricsRegistry::AddHistogram(std::string name,
+                                                std::string help) {
+  Entry* entry = AddEntry(std::move(name), std::move(help),
+                          MetricSample::Type::kHistogram);
+  entry->histogram = std::make_unique<ShardedHistogram>();
+  return entry->histogram.get();
+}
+
+void MetricsRegistry::AddCounterFn(std::string name, std::string help,
+                                   std::function<uint64_t()> fn) {
+  APCM_CHECK(fn != nullptr);
+  Entry* entry =
+      AddEntry(std::move(name), std::move(help), MetricSample::Type::kCounter);
+  entry->counter_fn = std::move(fn);
+}
+
+void MetricsRegistry::AddGaugeFn(std::string name, std::string help,
+                                 std::function<int64_t()> fn) {
+  APCM_CHECK(fn != nullptr);
+  Entry* entry =
+      AddEntry(std::move(name), std::move(help), MetricSample::Type::kGauge);
+  entry->gauge_fn = std::move(fn);
+}
+
+void MetricsRegistry::AddHistogramFn(std::string name, std::string help,
+                                     std::function<Histogram()> fn) {
+  APCM_CHECK(fn != nullptr);
+  Entry* entry = AddEntry(std::move(name), std::move(help),
+                          MetricSample::Type::kHistogram);
+  entry->histogram_fn = std::move(fn);
+}
+
+std::vector<MetricSample> MetricsRegistry::Collect() const {
+  // Entries are append-only with stable addresses, so sampling (which may
+  // invoke user callbacks that take their own locks) runs outside mu_.
+  std::vector<const Entry*> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries.reserve(entries_.size());
+    for (const auto& entry : entries_) entries.push_back(entry.get());
+  }
+  std::vector<MetricSample> samples;
+  samples.reserve(entries.size());
+  for (const Entry* entry : entries) {
+    MetricSample sample;
+    sample.name = entry->name;
+    sample.help = entry->help;
+    sample.type = entry->type;
+    switch (entry->type) {
+      case MetricSample::Type::kCounter:
+        sample.counter_value =
+            entry->counter ? entry->counter->Value() : entry->counter_fn();
+        break;
+      case MetricSample::Type::kGauge:
+        sample.gauge_value =
+            entry->gauge ? entry->gauge->Value() : entry->gauge_fn();
+        break;
+      case MetricSample::Type::kHistogram:
+        sample.histogram = entry->histogram ? entry->histogram->Snapshot()
+                                            : entry->histogram_fn();
+        break;
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace apcm

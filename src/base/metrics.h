@@ -1,0 +1,183 @@
+#ifndef APCM_BASE_METRICS_H_
+#define APCM_BASE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/base/histogram.h"
+
+namespace apcm {
+
+/// Monotonically increasing event count. All operations are lock-free and
+/// safe from any thread at any time.
+class Counter {
+ public:
+  Counter() = default;
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  /// Adds `n` (default 1) to the counter.
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Current total.
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous level that can go up and down (queue depth, in-flight
+/// work). Lock-free; safe from any thread at any time.
+class Gauge {
+ public:
+  Gauge() = default;
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n = 1) { value_.fetch_sub(n, std::memory_order_relaxed); }
+
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A Histogram that is safe to record into from any number of threads while
+/// other threads concurrently read merged snapshots — the always-readable
+/// replacement for the quiesce-only plain Histogram in hot engine paths.
+///
+/// Samples land in one of `kShards` shard histograms selected by the
+/// recording thread's id, each behind its own light mutex, so concurrent
+/// recorders rarely contend and a recorder never blocks behind a reader for
+/// longer than one shard merge. Snapshot() locks the shards one at a time
+/// and merges them into a plain Histogram; a snapshot taken while recorders
+/// are live is a consistent histogram of some interleaving-dependent subset
+/// of the samples (each sample is either fully in or fully absent — counts,
+/// sum, and percentiles always agree with each other per shard).
+class ShardedHistogram {
+ public:
+  ShardedHistogram();
+
+  ShardedHistogram(const ShardedHistogram&) = delete;
+  ShardedHistogram& operator=(const ShardedHistogram&) = delete;
+
+  /// Records one sample into the calling thread's shard. Negative samples
+  /// are clamped to zero (see Histogram::Record).
+  void Record(int64_t value);
+
+  /// Merged copy of every shard. Safe to call at any time, including while
+  /// other threads Record concurrently.
+  Histogram Snapshot() const;
+
+  /// Total recorded samples across all shards (merges on the fly).
+  uint64_t count() const { return Snapshot().count(); }
+
+  /// One-line count/mean/percentile summary of a merged snapshot.
+  std::string Summary() const { return Snapshot().Summary(); }
+
+  /// Clears every shard.
+  void Reset();
+
+ private:
+  static constexpr int kShards = 16;
+
+  /// Padded to a cache line so shards striped across recording threads do
+  /// not false-share.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    Histogram histogram;
+  };
+
+  Shard& ShardForThisThread();
+
+  std::vector<Shard> shards_;
+};
+
+/// One metric observed by MetricsRegistry::Collect.
+struct MetricSample {
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  std::string help;
+  Type type = Type::kCounter;
+  uint64_t counter_value = 0;  ///< kCounter
+  int64_t gauge_value = 0;     ///< kGauge
+  Histogram histogram;         ///< kHistogram (merged snapshot)
+};
+
+/// Registry of named metrics, the scrape surface of a live system.
+///
+/// Two registration styles:
+///  * owned instruments (AddCounter/AddGauge/AddHistogram) return a stable
+///    pointer the instrumented code updates directly on its hot path;
+///  * callback metrics (AddCounterFn/AddGaugeFn/AddHistogramFn) are read
+///    lazily at Collect time — the bridge for values that already live
+///    elsewhere (an atomic in an existing stats struct, a queue's depth()).
+///
+/// Registration is expected at setup time but is safe concurrently with
+/// Collect. Metric names must match Prometheus conventions
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*) and be unique per registry; violations
+/// CHECK-fail. Callbacks must themselves be safe to invoke from any thread
+/// at any time — the registry calls them outside its own lock.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* AddCounter(std::string name, std::string help);
+  Gauge* AddGauge(std::string name, std::string help);
+  ShardedHistogram* AddHistogram(std::string name, std::string help);
+
+  void AddCounterFn(std::string name, std::string help,
+                    std::function<uint64_t()> fn);
+  void AddGaugeFn(std::string name, std::string help,
+                  std::function<int64_t()> fn);
+  void AddHistogramFn(std::string name, std::string help,
+                      std::function<Histogram()> fn);
+
+  /// Samples every registered metric, in registration order. Safe from any
+  /// thread at any time.
+  std::vector<MetricSample> Collect() const;
+
+  /// Number of registered metrics.
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricSample::Type type;
+    // Owned instruments (at most one non-null) — unique_ptr keeps addresses
+    // stable across registry growth.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<ShardedHistogram> histogram;
+    // Callback forms.
+    std::function<uint64_t()> counter_fn;
+    std::function<int64_t()> gauge_fn;
+    std::function<Histogram()> histogram_fn;
+  };
+
+  Entry* AddEntry(std::string name, std::string help,
+                  MetricSample::Type type);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace apcm
+
+#endif  // APCM_BASE_METRICS_H_

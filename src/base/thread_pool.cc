@@ -96,23 +96,26 @@ void ThreadPool::ParallelFor(
     return std::pair<uint64_t, uint64_t>(begin, end);
   };
 
-  std::atomic<int> remaining{num_threads_ - 1};
+  // The rendezvous state lives on this stack frame, so the decrement and
+  // notify happen under done_mu: once the waiter observes remaining == 0
+  // (also under done_mu), every worker has released the mutex and will not
+  // touch the condition variable again, making it safe to return (and
+  // destroy the state).
+  int remaining = num_threads_ - 1;
   std::mutex done_mu;
   std::condition_variable done_cv;
   for (int s = 1; s < num_threads_; ++s) {
     const auto [begin, end] = shard_bounds(static_cast<uint64_t>(s));
     Submit([&, begin, end, s] {
       if (begin < end) fn(begin, end, s);
-      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(done_mu);
-        done_cv.notify_one();
-      }
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (--remaining == 0) done_cv.notify_one();
     });
   }
   const auto [begin0, end0] = shard_bounds(0);
   if (begin0 < end0) fn(begin0, end0, 0);
   std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  done_cv.wait(lock, [&] { return remaining == 0; });
 }
 
 }  // namespace apcm

@@ -1,0 +1,183 @@
+#include "src/engine/admin_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/base/logging.h"
+#include "src/base/string_util.h"
+
+namespace apcm::engine {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 4096;
+constexpr int kPollIntervalMs = 100;
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Error";
+  }
+}
+
+/// Writes the whole buffer, retrying short writes; best-effort (the peer
+/// may close early — that is its problem, not ours).
+void WriteAll(int fd, const std::string& data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + written, data.size() - written, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    written += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+AdminServer::AdminServer() = default;
+
+AdminServer::~AdminServer() { Stop(); }
+
+void AdminServer::Handle(std::string path, Handler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+Status AdminServer::Start(int port) {
+  if (started_) {
+    return Status::InvalidArgument("admin server already started");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // localhost only
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("bind 127.0.0.1:" + std::to_string(port) + ": " +
+                            error);
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("listen: " + error);
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  // Non-blocking listen socket + poll timeout lets the acceptor observe
+  // stopping_ without racing a close() against a blocked accept().
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+
+  listen_fd_ = fd;
+  started_ = true;
+  stopping_.store(false, std::memory_order_relaxed);
+  pool_.Submit([this] { AcceptLoop(); });
+  LogInfo("admin server listening",
+          {{"addr", "127.0.0.1"}, {"port", port_}});
+  return Status::OK();
+}
+
+void AdminServer::Stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  pool_.Wait();  // joins the acceptor (it exits within one poll interval)
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  started_ = false;
+  port_ = 0;
+}
+
+void AdminServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stopping_
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    // Bound every read so a silent client cannot wedge the acceptor.
+    timeval timeout{};
+    timeout.tv_sec = 2;
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    ServeConnection(conn);
+    ::close(conn);
+  }
+}
+
+void AdminServer::ServeConnection(int fd) {
+  std::string request;
+  char buf[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  AdminResponse response;
+  const size_t line_end = request.find("\r\n");
+  const std::string_view first_line =
+      std::string_view(request).substr(0, line_end == std::string::npos
+                                              ? request.find('\n')
+                                              : line_end);
+  const size_t method_end = first_line.find(' ');
+  const size_t path_end = first_line.rfind(' ');
+  if (method_end == std::string_view::npos || path_end <= method_end) {
+    response = {400, "text/plain; charset=utf-8", "bad request\n"};
+  } else if (first_line.substr(0, method_end) != "GET") {
+    response = {405, "text/plain; charset=utf-8", "only GET is supported\n"};
+  } else {
+    std::string_view path =
+        first_line.substr(method_end + 1, path_end - method_end - 1);
+    if (const size_t query = path.find('?'); query != std::string_view::npos) {
+      path = path.substr(0, query);
+    }
+    auto it = handlers_.find(path);
+    if (it == handlers_.end()) {
+      response = {404, "text/plain; charset=utf-8",
+                  "no such endpoint: " + std::string(path) + "\n"};
+    } else {
+      response = it->second();
+    }
+    if (LogEnabled(LogLevel::kDebug)) {
+      LogDebug("admin request",
+               {{"path", std::string(path)}, {"status", response.status}});
+    }
+  }
+
+  std::string reply = StringPrintf(
+      "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      response.status, StatusText(response.status),
+      response.content_type.c_str(), response.body.size());
+  reply += response.body;
+  WriteAll(fd, reply);
+}
+
+}  // namespace apcm::engine

@@ -1,0 +1,73 @@
+#ifndef APCM_ENGINE_ADMIN_SERVER_H_
+#define APCM_ENGINE_ADMIN_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/base/thread_pool.h"
+
+namespace apcm::engine {
+
+/// Response of one admin handler.
+struct AdminResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Minimal embedded HTTP admin server: blocking TCP bound to localhost,
+/// one acceptor thread running on an internal ThreadPool, requests handled
+/// sequentially on that thread. Built for low-rate operational traffic
+/// (metric scrapes, health probes, report dumps) — not a general web
+/// server: only `GET`, no keep-alive, 4 KiB request cap, exact-path
+/// routing with query strings stripped.
+///
+/// Lifecycle: register handlers, Start(port), Stop() (idempotent; the
+/// destructor also stops). Handlers run on the acceptor thread and must be
+/// safe to call from it at any time between Start and Stop.
+class AdminServer {
+ public:
+  using Handler = std::function<AdminResponse()>;
+
+  AdminServer();
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Registers `handler` for exact path `path` (e.g. "/metrics"). Must be
+  /// called before Start.
+  void Handle(std::string path, Handler handler);
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port; see
+  /// port()) and launches the acceptor. InvalidArgument if already started,
+  /// Internal on socket errors (address in use, permission).
+  Status Start(int port);
+
+  /// Stops accepting, closes the listening socket, and joins the acceptor.
+  /// Safe to call twice; in-flight requests finish first.
+  void Stop();
+
+  /// The bound port once Start succeeded (resolves port 0), else 0.
+  int port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  std::map<std::string, Handler, std::less<>> handlers_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  /// 2 logical workers = 1 OS thread, which runs the accept loop.
+  ThreadPool pool_{2};
+};
+
+}  // namespace apcm::engine
+
+#endif  // APCM_ENGINE_ADMIN_SERVER_H_

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/base/logging.h"
 #include "src/base/macros.h"
 #include "src/base/timer.h"
 #include "src/core/pcm.h"
+#include "src/engine/exposition.h"
+#include "src/engine/report.h"
 #include "src/workload/trace.h"
 
 namespace apcm::engine {
@@ -28,15 +31,132 @@ EngineOptions NormalizeOptions(EngineOptions options) {
 StreamEngine::StreamEngine(EngineOptions options, MatchCallback callback)
     : options_(NormalizeOptions(std::move(options))),
       callback_(std::move(callback)),
-      queue_(options_.queue_capacity) {
+      queue_(options_.queue_capacity),
+      trace_(options_.trace_capacity) {
   APCM_CHECK(callback_ != nullptr);
   round_events_.reserve(options_.buffer_capacity);
   round_ids_.reserve(options_.buffer_capacity);
+  RegisterMetrics();
+  StartAdminServer();
 }
 
 StreamEngine::~StreamEngine() {
-  // rebuild_pool_ is destroyed first (declared last) and drains any queued
-  // build, which still touches snapshot_/state/stats_ — all alive here.
+  // The admin server stops first (declared last): its handlers read every
+  // other member. Then rebuild_pool_ drains any queued build, which still
+  // touches snapshot_/state/stats_ — all alive at that point.
+  if (admin_ != nullptr) admin_->Stop();
+}
+
+void StreamEngine::RegisterMetrics() {
+  auto counter = [this](const char* name, const char* help,
+                        const std::atomic<uint64_t>& value) {
+    metrics_.AddCounterFn(name, help, [&value] {
+      return value.load(std::memory_order_relaxed);
+    });
+  };
+  counter("apcm_events_published_total",
+          "Events accepted by Publish/TryPublish.",
+          stats_.events_published);
+  counter("apcm_events_processed_total",
+          "Events matched and delivered through the callback.",
+          stats_.events_processed);
+  counter("apcm_matches_delivered_total",
+          "Total (event, subscription) matches delivered.",
+          stats_.matches_delivered);
+  counter("apcm_batches_processed_total",
+          "Matcher batches executed.", stats_.batches_processed);
+  counter("apcm_rebuilds_total",
+          "Full background snapshot rebuilds published.", stats_.rebuilds);
+  counter("apcm_incremental_updates_total",
+          "Subscription changes absorbed via the PCM delta path.",
+          stats_.incremental_updates);
+  counter("apcm_compactions_total",
+          "Delta-threshold-triggered snapshot compactions published.",
+          stats_.compactions);
+  counter("apcm_publishes_blocked_total",
+          "Publishes that hit a full queue and helped drain a round.",
+          stats_.publishes_blocked);
+  counter("apcm_publishes_rejected_total",
+          "Publishes rejected with ResourceExhausted (kReject policy).",
+          stats_.publishes_rejected);
+  counter("apcm_matcher_predicate_evals_total",
+          "Individual predicate evaluations (per-round matcher deltas).",
+          stats_.matcher_predicate_evals);
+  counter("apcm_matcher_bitmap_words_total",
+          "64-bit bitmap words touched (per-round matcher deltas).",
+          stats_.matcher_bitmap_words);
+  counter("apcm_matcher_candidates_checked_total",
+          "Candidate expressions examined (per-round matcher deltas).",
+          stats_.matcher_candidates_checked);
+  counter("apcm_matcher_matches_emitted_total",
+          "Matches emitted by the matcher (per-round deltas).",
+          stats_.matcher_matches_emitted);
+  metrics_.AddCounterFn("apcm_trace_spans_total",
+                        "Spans appended to the round trace ring.",
+                        [this] { return trace_.total_recorded(); });
+  metrics_.AddGaugeFn(
+      "apcm_subscriptions_live", "Live (non-removed) subscriptions.",
+      [this] { return static_cast<int64_t>(num_subscriptions()); });
+  metrics_.AddGaugeFn(
+      "apcm_queue_depth", "Events buffered in the publish queue.",
+      [this] { return static_cast<int64_t>(queue_.depth()); });
+  metrics_.AddGaugeFn(
+      "apcm_rebuild_inflight",
+      "1 while a background snapshot build is in flight.",
+      [this] { return static_cast<int64_t>(rebuild_inflight() ? 1 : 0); });
+  auto histogram = [this](const char* name, const char* help,
+                          const ShardedHistogram& value) {
+    metrics_.AddHistogramFn(name, help,
+                            [&value] { return value.Snapshot(); });
+  };
+  histogram("apcm_batch_latency_ns",
+            "Wall time per processed batch, nanoseconds.",
+            stats_.batch_latency_ns);
+  histogram("apcm_round_queue_depth",
+            "Publish-queue depth drained at the start of each round.",
+            stats_.queue_depth);
+  histogram("apcm_rebuild_latency_ns",
+            "Background snapshot build wall time, nanoseconds.",
+            stats_.rebuild_latency_ns);
+}
+
+void StreamEngine::StartAdminServer() {
+  if (options_.admin_port == 0) return;
+  admin_ = std::make_unique<AdminServer>();
+  admin_->Handle("/metrics", [this] {
+    return AdminResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                         RenderPrometheus(metrics_)};
+  });
+  admin_->Handle("/metrics.json", [this] {
+    return AdminResponse{200, "application/json",
+                         RenderMetricsJson(metrics_)};
+  });
+  admin_->Handle("/report", [this] {
+    return AdminResponse{200, "text/plain; charset=utf-8",
+                         RenderReport(*this)};
+  });
+  admin_->Handle("/trace", [this] {
+    return AdminResponse{200, "application/json", trace_.ToJson()};
+  });
+  admin_->Handle("/healthz", [] {
+    return AdminResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  });
+  const Status started =
+      admin_->Start(options_.admin_port < 0 ? 0 : options_.admin_port);
+  if (!started.ok()) {
+    LogWarning("admin server failed to start; continuing without it",
+               {{"error", started.ToString()}});
+    admin_.reset();
+  }
+}
+
+bool StreamEngine::rebuild_inflight() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return rebuild_inflight_;
+}
+
+int StreamEngine::admin_port() const {
+  return admin_ == nullptr ? 0 : admin_->port();
 }
 
 StatusOr<SubscriptionId> StreamEngine::AddSubscription(
@@ -231,11 +351,13 @@ StatusOr<uint64_t> StreamEngine::TryPublish(Event event) {
     // loop.
     if (options_.backpressure == BackpressurePolicy::kReject) {
       stats_.publishes_rejected.fetch_add(1, std::memory_order_relaxed);
+      trace_.Record(TraceRing::Kind::kBackpressureReject, queue_.depth());
       return Status::ResourceExhausted(
           "publish queue is full (" + std::to_string(queue_.capacity()) +
           " events); Flush or retry later");
     }
     stats_.publishes_blocked.fetch_add(1, std::memory_order_relaxed);
+    trace_.Record(TraceRing::Kind::kBackpressureBlock, queue_.depth());
     // Block by helping: wait for the in-flight round (if any) and then
     // drain the queue ourselves. Each loop iteration frees a full queue's
     // worth of space, so progress is guaranteed.
@@ -263,7 +385,12 @@ void StreamEngine::Flush() {
       pending.wait();
       continue;  // the publish may have raced a concurrent round; re-check
     }
-    if (queue_.depth() == 0) return;
+    if (queue_.depth() == 0) break;
+  }
+  // Flush is the natural quiesce point: at debug level, dump the flight
+  // recorder so post-mortems of a drained engine need no admin endpoint.
+  if (LogEnabled(LogLevel::kDebug)) {
+    LogDebug("engine trace at flush: " + trace_.ToJson());
   }
 }
 
@@ -279,6 +406,13 @@ void StreamEngine::ScheduleRebuildLocked(bool compaction) {
     if (!tombstones_.contains(sub.id())) built->push_back(sub);
   }
   const uint64_t version = change_seq_;
+  trace_.Record(TraceRing::Kind::kRebuildSchedule, built->size(),
+                compaction ? 1 : 0);
+  if (LogEnabled(LogLevel::kDebug)) {
+    LogDebug("snapshot build scheduled", {{"live_subs", built->size()},
+                                          {"compaction", compaction},
+                                          {"covers_seq", version}});
+  }
   rebuild_done_ =
       rebuild_pool_
           .SubmitWithFuture([this, built, version, compaction] {
@@ -320,6 +454,13 @@ void StreamEngine::PublishSnapshot(std::shared_ptr<EngineSnapshot> next,
     stats_.rebuilds.fetch_add(1, std::memory_order_relaxed);
   }
   stats_.rebuild_latency_ns.Record(build_ns);
+  trace_.Record(TraceRing::Kind::kRebuildPublish,
+                static_cast<uint64_t>(build_ns), compaction ? 1 : 0);
+  if (LogEnabled(LogLevel::kDebug)) {
+    LogDebug("snapshot published", {{"build_ns", build_ns},
+                                    {"compaction", compaction},
+                                    {"covered_seq", version}});
+  }
 }
 
 std::shared_ptr<EngineSnapshot> StreamEngine::SyncSnapshotLocked() {
@@ -389,7 +530,11 @@ void StreamEngine::ProcessLocked() {
   queue_.DrainAll(&round_events_, &round_ids_);
   if (round_events_.empty()) return;
   stats_.queue_depth.Record(static_cast<int64_t>(round_events_.size()));
+  trace_.Record(TraceRing::Kind::kRoundStart, round_events_.size());
   std::shared_ptr<EngineSnapshot> snap = SyncSnapshotLocked();
+  // Matcher counters mutate throughout the round; the per-round delta is
+  // folded into stats_ afterwards so scrapers never touch the live object.
+  const MatcherStats matcher_before = snap->matcher->stats();
 
   // Copy the delivery-time maps once per round so mutator threads can keep
   // churning aliases/priorities while this round delivers.
@@ -424,6 +569,7 @@ void StreamEngine::ProcessLocked() {
 
   // Deliver in ascending event-id order (== drain order). DNF disjunct ids
   // are translated to their external subscription id and deduplicated.
+  uint64_t round_matches = 0;
   for (size_t i = 0; i < round_events_.size(); ++i) {
     auto& matches = results_by_buffer_index[i];
     if (!alias.empty() && !matches.empty()) {
@@ -456,7 +602,29 @@ void StreamEngine::ProcessLocked() {
     stats_.events_processed.fetch_add(1, std::memory_order_relaxed);
     stats_.matches_delivered.fetch_add(matches.size(),
                                        std::memory_order_relaxed);
+    round_matches += matches.size();
     callback_(round_ids_[i], matches);
+  }
+
+  const MatcherStats& matcher_after = snap->matcher->stats();
+  stats_.matcher_predicate_evals.fetch_add(
+      matcher_after.predicate_evals - matcher_before.predicate_evals,
+      std::memory_order_relaxed);
+  stats_.matcher_bitmap_words.fetch_add(
+      matcher_after.bitmap_words - matcher_before.bitmap_words,
+      std::memory_order_relaxed);
+  stats_.matcher_candidates_checked.fetch_add(
+      matcher_after.candidates_checked - matcher_before.candidates_checked,
+      std::memory_order_relaxed);
+  stats_.matcher_matches_emitted.fetch_add(
+      matcher_after.matches_emitted - matcher_before.matches_emitted,
+      std::memory_order_relaxed);
+
+  trace_.Record(TraceRing::Kind::kRoundEnd, round_events_.size(),
+                round_matches);
+  if (LogEnabled(LogLevel::kDebug)) {
+    LogDebug("round delivered", {{"events", round_events_.size()},
+                                 {"matches", round_matches}});
   }
   round_events_.clear();
   round_ids_.clear();

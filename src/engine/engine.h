@@ -11,21 +11,23 @@
 #include <unordered_set>
 #include <vector>
 
-#include "src/base/histogram.h"
+#include "src/base/metrics.h"
 #include "src/base/status.h"
 #include "src/base/thread_pool.h"
 #include "src/core/osr.h"
+#include "src/engine/admin_server.h"
 #include "src/engine/event_queue.h"
 #include "src/engine/matcher_factory.h"
 #include "src/engine/snapshot.h"
+#include "src/engine/trace_ring.h"
 
 namespace apcm::engine {
 
-/// Engine-level counters (matcher-internal counters live in MatcherStats).
-/// Scalar counters are atomics and may be read at any time; the histograms
-/// are updated under the engine's internal locks without further
-/// synchronization, so read them only from a quiesced engine (after Flush,
-/// with no publisher threads running).
+/// Engine-level counters. Every field is safe to read at any time from any
+/// thread, live or quiesced: scalar counters are relaxed atomics and the
+/// latency/depth distributions are ShardedHistograms (striped recording,
+/// merge-on-read — see src/base/metrics.h and DESIGN.md §3.5). The same
+/// values are exported through the engine's MetricsRegistry for scraping.
 struct EngineStats {
   std::atomic<uint64_t> events_published{0};
   std::atomic<uint64_t> events_processed{0};
@@ -41,13 +43,20 @@ struct EngineStats {
   /// Publishes that found the queue full under BackpressurePolicy::kBlock
   /// and had to run/wait on a processing round before enqueueing.
   std::atomic<uint64_t> publishes_blocked{0};
+  /// Matcher work counters (MatcherStats deltas), accumulated once per
+  /// round under the processing lock so they are readable while the live
+  /// matcher keeps mutating its own counters mid-round.
+  std::atomic<uint64_t> matcher_predicate_evals{0};
+  std::atomic<uint64_t> matcher_bitmap_words{0};
+  std::atomic<uint64_t> matcher_candidates_checked{0};
+  std::atomic<uint64_t> matcher_matches_emitted{0};
   /// Wall time per processed batch, nanoseconds.
-  Histogram batch_latency_ns;
+  ShardedHistogram batch_latency_ns;
   /// Publish-queue depth sampled at the start of every processing round.
-  Histogram queue_depth;
+  ShardedHistogram queue_depth;
   /// Wall time of each background snapshot build (rebuild or compaction),
   /// nanoseconds from schedule-execution to publish.
-  Histogram rebuild_latency_ns;
+  ShardedHistogram rebuild_latency_ns;
 };
 
 /// What Publish does when the bounded publish queue is full.
@@ -91,6 +100,16 @@ struct EngineOptions {
   /// to 0 and are set per subscription with SetPriority — e.g. campaign
   /// bids in ad serving. 0 delivers every match.
   uint32_t top_k = 0;
+  /// Embedded admin HTTP server on 127.0.0.1 serving GET /metrics
+  /// (Prometheus), /metrics.json, /report, /trace, and /healthz.
+  /// 0 (default) = disabled, > 0 = fixed port, -1 = kernel-assigned
+  /// ephemeral port (read it back with StreamEngine::admin_port(); meant
+  /// for tests). A failed bind logs a warning and leaves the engine
+  /// running without the server.
+  int admin_port = 0;
+  /// Capacity of the round-level trace ring (rounded up to a power of two;
+  /// the ring keeps the most recent spans). 0 disables tracing.
+  uint32_t trace_capacity = 4096;
 };
 
 /// End-to-end streaming facade over the matchers: manages the subscription
@@ -106,7 +125,7 @@ struct EngineOptions {
 /// every round that starts after the call returns; in particular, removed
 /// subscriptions stop matching from the next round.
 ///
-/// Threading model (see DESIGN.md §3.5): the engine is safe for concurrent
+/// Threading model (see DESIGN.md §3.4): the engine is safe for concurrent
 /// use from any number of threads. Publishers enqueue into a bounded MPSC
 /// queue; whichever thread fills the queue to `buffer_capacity` (or calls
 /// Flush) becomes the processor for that round, matching against an
@@ -188,13 +207,38 @@ class StreamEngine {
   /// Number of live (non-removed) subscriptions.
   size_t num_subscriptions() const;
 
-  /// Counters. Scalar fields are atomics (readable any time); histograms
-  /// are only safe to read from a quiesced engine (see EngineStats).
+  /// Counters. Every field — scalars and histograms — is safe to read at
+  /// any time from any thread (see EngineStats).
   const EngineStats& stats() const { return stats_; }
 
+  /// The engine's live metrics: every EngineStats counter, the queue-depth
+  /// / rebuild-in-flight / subscription gauges, and the latency histograms,
+  /// under stable "apcm_*" names. Safe to Collect()/render from any thread
+  /// at any time; the admin server's /metrics endpoint scrapes exactly
+  /// this registry.
+  const MetricsRegistry& metrics_registry() const { return metrics_; }
+  MetricsRegistry& metrics_registry() { return metrics_; }
+
+  /// Round-level flight recorder: round start/end, snapshot rebuild
+  /// schedule/publish, and backpressure events (see TraceRing). Always
+  /// safe to Snapshot()/ToJson() concurrently with live traffic.
+  const TraceRing& trace() const { return trace_; }
+
+  /// Current publish-queue depth (events buffered, not yet drained).
+  size_t queue_depth() const { return queue_.depth(); }
+
+  /// True while a background snapshot build is in flight.
+  bool rebuild_inflight() const;
+
+  /// Bound port of the embedded admin server, or 0 when disabled (see
+  /// EngineOptions::admin_port).
+  int admin_port() const;
+
   /// The current snapshot's matcher counters (null before the first round).
-  /// The pointer is valid until the next snapshot rebuild publishes — read
-  /// it from a quiesced engine.
+  /// The pointer is valid until the next snapshot rebuild publishes, and
+  /// the counters mutate during rounds — read it from a quiesced engine.
+  /// For live scraping use the accumulated `matcher_*` counters in stats()
+  /// / the registry instead.
   const MatcherStats* matcher_stats() const;
 
  private:
@@ -228,6 +272,12 @@ class StreamEngine {
   /// Drains the queue and matches + delivers one round. Requires
   /// process_mu_.
   void ProcessLocked();
+  /// Registers every engine metric (counter bridges onto stats_, gauges,
+  /// histogram snapshots) into metrics_. Constructor-only.
+  void RegisterMetrics();
+  /// Builds and starts the admin server when options_.admin_port != 0.
+  /// Constructor-only.
+  void StartAdminServer();
 
   EngineOptions options_;
   MatchCallback callback_;
@@ -265,10 +315,21 @@ class StreamEngine {
 
   EngineStats stats_;
 
+  /// Scrape surface (see metrics_registry()); populated in the constructor
+  /// with bridges onto stats_ / queue_ / state, never mutated afterwards.
+  MetricsRegistry metrics_;
+
+  /// Round-level flight recorder (lock-free; see trace()).
+  TraceRing trace_;
+
   /// Maintenance pool: one OS worker executing background snapshot builds.
-  /// Declared last so its destructor (which drains queued tasks) runs while
-  /// every other member is still alive.
+  /// Declared after every member its queued builds touch (snapshot_, state,
+  /// stats_) so those are still alive while its destructor drains.
   ThreadPool rebuild_pool_{2};
+
+  /// Embedded admin endpoint (null when disabled). Declared last — its
+  /// handlers read every other member, so it must stop first.
+  std::unique_ptr<AdminServer> admin_;
 };
 
 }  // namespace apcm::engine

@@ -1,0 +1,139 @@
+#include "src/engine/exposition.h"
+
+#include "src/base/string_util.h"
+
+namespace apcm::engine {
+
+namespace {
+
+/// Prometheus HELP text escaping: backslash and newline only.
+std::string PrometheusEscape(std::string_view text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      escaped += "\\\\";
+    } else if (c == '\n') {
+      escaped += "\\n";
+    } else {
+      escaped += c;
+    }
+  }
+  return escaped;
+}
+
+void AppendPrometheusHistogram(const std::string& name,
+                               const Histogram& histogram,
+                               std::string* out) {
+  for (double q : {0.5, 0.9, 0.99}) {
+    *out += StringPrintf("%s{quantile=\"%g\"} %lld\n", name.c_str(), q,
+                         static_cast<long long>(
+                             histogram.ValueAtQuantile(q)));
+  }
+  *out += StringPrintf("%s_sum %.0f\n", name.c_str(), histogram.sum());
+  *out += StringPrintf("%s_count %llu\n", name.c_str(),
+                       static_cast<unsigned long long>(histogram.count()));
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      case '\r':
+        escaped += "\\r";
+        break;
+      case '\t':
+        escaped += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          escaped += StringPrintf("\\u%04x", c);
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  return escaped;
+}
+
+std::string RenderPrometheus(const MetricsRegistry& registry) {
+  std::string out;
+  for (const MetricSample& sample : registry.Collect()) {
+    if (!sample.help.empty()) {
+      out += "# HELP " + sample.name + " " + PrometheusEscape(sample.help) +
+             "\n";
+    }
+    switch (sample.type) {
+      case MetricSample::Type::kCounter:
+        out += "# TYPE " + sample.name + " counter\n";
+        out += StringPrintf(
+            "%s %llu\n", sample.name.c_str(),
+            static_cast<unsigned long long>(sample.counter_value));
+        break;
+      case MetricSample::Type::kGauge:
+        out += "# TYPE " + sample.name + " gauge\n";
+        out += StringPrintf("%s %lld\n", sample.name.c_str(),
+                            static_cast<long long>(sample.gauge_value));
+        break;
+      case MetricSample::Type::kHistogram:
+        out += "# TYPE " + sample.name + " summary\n";
+        AppendPrometheusHistogram(sample.name, sample.histogram, &out);
+        break;
+    }
+  }
+  return out;
+}
+
+std::string RenderMetricsJson(const MetricsRegistry& registry) {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const MetricSample& sample : registry.Collect()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(sample.name) + "\"";
+    if (!sample.help.empty()) {
+      out += ",\"help\":\"" + JsonEscape(sample.help) + "\"";
+    }
+    switch (sample.type) {
+      case MetricSample::Type::kCounter:
+        out += StringPrintf(
+            ",\"type\":\"counter\",\"value\":%llu",
+            static_cast<unsigned long long>(sample.counter_value));
+        break;
+      case MetricSample::Type::kGauge:
+        out += StringPrintf(",\"type\":\"gauge\",\"value\":%lld",
+                            static_cast<long long>(sample.gauge_value));
+        break;
+      case MetricSample::Type::kHistogram: {
+        const Histogram& h = sample.histogram;
+        out += StringPrintf(
+            ",\"type\":\"histogram\",\"count\":%llu,\"sum\":%.0f,"
+            "\"mean\":%.1f,\"min\":%lld,\"max\":%lld,\"p50\":%lld,"
+            "\"p90\":%lld,\"p99\":%lld",
+            static_cast<unsigned long long>(h.count()), h.sum(), h.Mean(),
+            static_cast<long long>(h.min()), static_cast<long long>(h.max()),
+            static_cast<long long>(h.ValueAtQuantile(0.5)),
+            static_cast<long long>(h.ValueAtQuantile(0.9)),
+            static_cast<long long>(h.ValueAtQuantile(0.99)));
+        break;
+      }
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace apcm::engine

@@ -1,0 +1,29 @@
+#ifndef APCM_ENGINE_EXPOSITION_H_
+#define APCM_ENGINE_EXPOSITION_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/base/metrics.h"
+
+namespace apcm::engine {
+
+/// Escapes `text` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(std::string_view text);
+
+/// Renders every metric of `registry` in the Prometheus text exposition
+/// format (text/plain; version=0.0.4): counters and gauges as single
+/// samples, histograms as summaries with quantile labels plus `_sum` and
+/// `_count` series. Safe to call from any thread on a live system.
+std::string RenderPrometheus(const MetricsRegistry& registry);
+
+/// Renders every metric of `registry` as one JSON object:
+/// {"metrics":[{"name":...,"type":"counter","value":N}, ...]} with
+/// histograms carrying count/sum/mean/min/max/p50/p90/p99. Safe to call
+/// from any thread on a live system.
+std::string RenderMetricsJson(const MetricsRegistry& registry);
+
+}  // namespace apcm::engine
+
+#endif  // APCM_ENGINE_EXPOSITION_H_

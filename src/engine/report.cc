@@ -16,36 +16,28 @@ std::string RenderMatcherStats(const MatcherStats& stats) {
 }
 
 std::string RenderReport(const StreamEngine& engine) {
-  const EngineStats& stats = engine.stats();
+  // Everything below is pulled from the engine's metrics registry, which is
+  // safe to collect while publishers, mutators, and background rebuilds are
+  // live — the report needs no quiesce.
   std::string report;
-  report += "subscriptions (live): " +
-            FormatWithCommas(engine.num_subscriptions()) + "\n";
-  report += "events published:     " +
-            FormatWithCommas(stats.events_published) + "\n";
-  report += "events processed:     " +
-            FormatWithCommas(stats.events_processed) + "\n";
-  report += "matches delivered:    " +
-            FormatWithCommas(stats.matches_delivered) + "\n";
-  report += "batches processed:    " +
-            FormatWithCommas(stats.batches_processed) + "\n";
-  report += "index rebuilds:       " + FormatWithCommas(stats.rebuilds) +
-            "\n";
-  report += "incremental updates:  " +
-            FormatWithCommas(stats.incremental_updates) + "\n";
-  report += "compactions:          " + FormatWithCommas(stats.compactions) +
-            "\n";
-  report += "publishes blocked:    " +
-            FormatWithCommas(stats.publishes_blocked) + "\n";
-  report += "publishes rejected:   " +
-            FormatWithCommas(stats.publishes_rejected) + "\n";
-  report +=
-      "batch latency (ns):   " + stats.batch_latency_ns.Summary() + "\n";
-  report += "queue depth:          " + stats.queue_depth.Summary() + "\n";
-  report +=
-      "rebuild latency (ns): " + stats.rebuild_latency_ns.Summary() + "\n";
-  if (const MatcherStats* matcher_stats = engine.matcher_stats()) {
-    report += "matcher counters:     " + RenderMatcherStats(*matcher_stats) +
-              "\n";
+  auto line = [&report](const std::string& key, const std::string& value) {
+    report += StringPrintf("%-37s %s\n", (key + ":").c_str(), value.c_str());
+  };
+  line("subscriptions (live)",
+       FormatWithCommas(engine.num_subscriptions()));
+  for (const MetricSample& sample : engine.metrics_registry().Collect()) {
+    switch (sample.type) {
+      case MetricSample::Type::kCounter:
+        line(sample.name, FormatWithCommas(sample.counter_value));
+        break;
+      case MetricSample::Type::kGauge:
+        line(sample.name, StringPrintf("%lld", static_cast<long long>(
+                                                   sample.gauge_value)));
+        break;
+      case MetricSample::Type::kHistogram:
+        line(sample.name, sample.histogram.Summary());
+        break;
+    }
   }
   return report;
 }

@@ -7,10 +7,12 @@
 
 namespace apcm::engine {
 
-/// Renders a multi-line human-readable operations report for an engine:
-/// subscription counts, stream counters, rebuild/compaction activity, batch
-/// latency percentiles, and the underlying matcher's work counters. Intended
-/// for logs and admin endpoints; every line is "key: value".
+/// Renders a multi-line human-readable operations report for an engine,
+/// pulled from its live metrics registry: subscription counts, stream
+/// counters, queue-depth and rebuild-in-flight gauges, batch/rebuild
+/// latency percentiles, and accumulated matcher work counters. Safe to call
+/// at any time on a live, concurrent engine (no quiesce needed); served by
+/// the admin endpoint at GET /report. Every line is "key: value".
 std::string RenderReport(const StreamEngine& engine);
 
 /// Renders just the matcher counters ("events=... predicate_evals=..."),

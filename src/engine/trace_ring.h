@@ -1,0 +1,99 @@
+#ifndef APCM_ENGINE_TRACE_RING_H_
+#define APCM_ENGINE_TRACE_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/timer.h"
+
+namespace apcm::engine {
+
+/// Fixed-size lock-free ring buffer of structured span records — the
+/// engine's flight recorder. Writers (publisher threads, the processing
+/// thread, the background builder) append with one relaxed fetch_add plus a
+/// handful of relaxed atomic stores; readers take a consistent snapshot at
+/// any time without stopping writers. When the ring is full the oldest
+/// records are overwritten, so the ring always holds the most recent
+/// `capacity()` spans.
+///
+/// Each slot is a miniature seqlock: the writer invalidates the slot's
+/// stamp, writes the payload, then publishes the stamp (sequence + 1) with
+/// release order. A reader accepts a slot only if the stamp reads the same
+/// committed value before and after copying the payload; slots mid-rewrite
+/// are skipped. All fields are atomics, so concurrent access is data-race
+/// free (TSan-clean) by construction.
+class TraceRing {
+ public:
+  /// What a span records; `a`/`b` carry kind-specific values (see
+  /// FieldNames).
+  enum class Kind : uint8_t {
+    kRoundStart = 0,        ///< a = events drained into the round
+    kRoundEnd,              ///< a = events delivered, b = matches delivered
+    kRebuildSchedule,       ///< a = live subscriptions, b = 1 if compaction
+    kRebuildPublish,        ///< a = build wall time ns, b = 1 if compaction
+    kBackpressureBlock,     ///< a = queue depth at the block
+    kBackpressureReject,    ///< a = queue depth at the reject
+  };
+
+  /// One committed record, as returned by Snapshot().
+  struct Span {
+    uint64_t seq = 0;   ///< global append order, starting at 0
+    int64_t t_ns = 0;   ///< nanoseconds since ring construction (monotonic)
+    Kind kind = Kind::kRoundStart;
+    uint64_t a = 0;
+    uint64_t b = 0;
+  };
+
+  /// `capacity` is rounded up to a power of two; 0 disables recording
+  /// entirely (Record becomes a no-op, Snapshot returns empty).
+  explicit TraceRing(size_t capacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Appends one span. Safe from any thread; never blocks.
+  void Record(Kind kind, uint64_t a = 0, uint64_t b = 0);
+
+  /// Copies the committed spans, oldest first. Spans being overwritten
+  /// during the copy are skipped, so a snapshot under heavy write load may
+  /// hold slightly fewer than capacity() records.
+  std::vector<Span> Snapshot() const;
+
+  /// Renders Snapshot() as a JSON object:
+  /// {"spans":[{"seq":0,"t_ns":12,"kind":"round_start","events":256}, ...]}
+  /// with kind-specific field names for a/b.
+  std::string ToJson() const;
+
+  /// Canonical lower_snake_case name of `kind` ("round_start", ...).
+  static std::string_view KindName(Kind kind);
+
+  /// Slot count after rounding (0 when disabled).
+  size_t capacity() const { return slots_.size(); }
+
+  /// Total spans ever recorded (may exceed capacity()).
+  uint64_t total_recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    /// 0 = never written; odd = write in progress; 2 * (seq + 1) = committed.
+    std::atomic<uint64_t> stamp{0};
+    std::atomic<int64_t> t_ns{0};
+    std::atomic<uint64_t> a{0};
+    std::atomic<uint64_t> b{0};
+    std::atomic<uint8_t> kind{0};
+  };
+
+  WallTimer timer_;
+  std::atomic<uint64_t> next_{0};
+  std::vector<Slot> slots_;  // size is a power of two (or 0)
+  size_t mask_ = 0;
+};
+
+}  // namespace apcm::engine
+
+#endif  // APCM_ENGINE_TRACE_RING_H_

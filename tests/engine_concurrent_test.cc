@@ -10,11 +10,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/engine/exposition.h"
+#include "src/engine/report.h"
 #include "src/workload/generator.h"
 #include "tests/matcher_test_util.h"
 
@@ -244,6 +247,67 @@ TEST(EngineConcurrentTest, RejectPolicyReturnsResourceExhausted) {
   engine.Flush();
   EXPECT_EQ(delivery.by_event.size(), 9u);
   EXPECT_EQ(delivery.duplicates, 0u);
+}
+
+// The observability acceptance test: 4 publisher threads drive a live engine
+// while a scraper thread continuously renders Prometheus text, the JSON
+// exposition, the operations report, the trace dump, and reads stats() —
+// exactly what a monitoring agent hitting /metrics does. Under
+// scripts/check.sh --tsan this must be race-free.
+TEST(EngineConcurrentTest, ScraperRacesPublishersCleanly) {
+  const auto workload = workload::Generate(ConcurrentSpec(8, 400)).value();
+  constexpr size_t kPublishers = 4;
+  ConcurrentDelivery delivery;
+  StreamEngine engine(ConcurrentOptions(), delivery.Callback());
+  for (size_t i = 0; i < 60; ++i) {
+    ASSERT_TRUE(
+        engine.AddSubscription(workload.subscriptions[i].predicates()).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<uint64_t> ids(workload.events.size());
+  std::vector<std::thread> threads;
+  const size_t slice = workload.events.size() / kPublishers;
+  for (size_t p = 0; p < kPublishers; ++p) {
+    threads.emplace_back(PublishSlice, &engine, std::cref(workload.events),
+                         p * slice, (p + 1) * slice, &ids);
+  }
+  std::thread scraper([&] {
+    uint64_t scrapes = 0;
+    uint64_t last_published = 0;
+    while (!stop.load(std::memory_order_acquire) || scrapes == 0) {
+      const std::string text = RenderPrometheus(engine.metrics_registry());
+      EXPECT_NE(text.find("apcm_events_published_total"), std::string::npos);
+      const std::string json = RenderMetricsJson(engine.metrics_registry());
+      EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+      const std::string report = RenderReport(engine);
+      EXPECT_NE(report.find("subscriptions (live)"), std::string::npos);
+      (void)engine.trace().ToJson();
+      // Live stats reads: atomics and sharded-histogram snapshots.
+      const EngineStats& stats = engine.stats();
+      const uint64_t published = stats.events_published;
+      EXPECT_GE(published, last_published);  // counters are monotonic
+      last_published = published;
+      (void)stats.batch_latency_ns.Snapshot();
+      (void)engine.queue_depth();
+      (void)engine.rebuild_inflight();
+      ++scrapes;
+    }
+    EXPECT_GT(scrapes, 0u);
+  });
+  for (auto& t : threads) t.join();
+  stop.store(true, std::memory_order_release);
+  scraper.join();
+  engine.Flush();
+
+  EXPECT_EQ(delivery.duplicates, 0u);
+  EXPECT_EQ(delivery.by_event.size(), workload.events.size());
+  // Post-quiesce, registry counters agree with stats().
+  const std::string text = RenderPrometheus(engine.metrics_registry());
+  EXPECT_NE(text.find("apcm_events_published_total " +
+                      std::to_string(workload.events.size())),
+            std::string::npos)
+      << text;
 }
 
 // The rebuild-and-wait path (non-PCM matchers rebuild on every change) under

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <mutex>
+#include <thread>
+#include <vector>
+
 #include "src/base/timer.h"
 
 namespace apcm {
@@ -9,7 +13,30 @@ namespace {
 
 class LoggingTest : public ::testing::Test {
  protected:
-  void TearDown() override { SetLogLevel(LogLevel::kInfo); }
+  void TearDown() override {
+    SetLogLevel(LogLevel::kInfo);
+    SetLogSink(nullptr);
+  }
+};
+
+/// Captures formatted lines for assertions; safe for concurrent emitters.
+class CaptureSink {
+ public:
+  void Install() {
+    SetLogSink([this](LogLevel level, const std::string& line) {
+      std::lock_guard<std::mutex> lock(mu_);
+      lines_.emplace_back(level, line);
+    });
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> lines() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lines_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<LogLevel, std::string>> lines_;
 };
 
 TEST_F(LoggingTest, LevelRoundTrips) {
@@ -34,6 +61,86 @@ TEST_F(LoggingTest, EmitsWithoutCrashing) {
   LogError("visible during tests (expected)");
   SetLogLevel(LogLevel::kDebug);
   LogDebug("visible during tests (expected)");
+}
+
+TEST_F(LoggingTest, SinkCapturesLines) {
+  CaptureSink sink;
+  sink.Install();
+  LogInfo("hello");
+  LogWarning("careful");
+  const auto lines = sink.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].first, LogLevel::kInfo);
+  EXPECT_EQ(lines[0].second, "[INFO] hello");
+  EXPECT_EQ(lines[1].second, "[WARN] careful");
+}
+
+TEST_F(LoggingTest, SinkRespectsLevel) {
+  CaptureSink sink;
+  sink.Install();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+  LogInfo("suppressed");
+  LogError("kept");
+  const auto lines = sink.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].second, "[ERROR] kept");
+}
+
+TEST_F(LoggingTest, StructuredFieldsAppendKeyValues) {
+  CaptureSink sink;
+  sink.Install();
+  LogInfo("round done", {{"round", 7},
+                         {"events", uint64_t{256}},
+                         {"rate", 12.5},
+                         {"matcher", "a-pcm"}});
+  const auto lines = sink.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].second,
+            "[INFO] round done round=7 events=256 rate=12.5 matcher=a-pcm");
+}
+
+TEST_F(LoggingTest, StructuredValuesWithSpacesAreQuoted) {
+  CaptureSink sink;
+  sink.Install();
+  LogInfo("state", {{"phase", "rebuild pending"}, {"path", "a=b"}});
+  const auto lines = sink.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].second,
+            "[INFO] state phase=\"rebuild pending\" path=\"a=b\"");
+}
+
+TEST_F(LoggingTest, QuotesAndBackslashesAreEscaped) {
+  CaptureSink sink;
+  sink.Install();
+  LogInfo("esc", {{"v", "say \"hi\" \\now"}});
+  const auto lines = sink.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].second, "[INFO] esc v=\"say \\\"hi\\\" \\\\now\"");
+}
+
+TEST_F(LoggingTest, ConcurrentEmittersAreSafe) {
+  CaptureSink sink;
+  sink.Install();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 100; ++i) {
+        LogInfo("tick", {{"thread", t}, {"i", i}});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(sink.lines().size(), 400u);
+}
+
+TEST_F(LoggingTest, ResettingSinkRestoresStderr) {
+  CaptureSink sink;
+  sink.Install();
+  SetLogSink(nullptr);
+  LogInfo("goes to stderr, not the sink");
+  EXPECT_TRUE(sink.lines().empty());
 }
 
 TEST(TimerTest, MeasuresElapsedTime) {

@@ -117,9 +117,9 @@ TEST(ReportTest, RendersAllSections) {
   engine.Flush();
   const std::string report = RenderReport(engine);
   for (const char* needle :
-       {"subscriptions (live): 1", "events published:     1",
-        "matches delivered:    1", "index rebuilds:       1",
-        "batch latency", "matcher counters"}) {
+       {"subscriptions (live)", "apcm_events_published_total",
+        "apcm_matches_delivered_total", "apcm_rebuilds_total",
+        "apcm_batch_latency_ns", "apcm_matcher_predicate_evals_total"}) {
     EXPECT_NE(report.find(needle), std::string::npos)
         << "missing '" << needle << "' in:\n"
         << report;

@@ -25,7 +25,8 @@ run_tsan() {
     -DAPCM_BUILD_BENCHMARKS=OFF \
     -DAPCM_BUILD_EXAMPLES=OFF
   cmake --build "${build_dir}" --target \
-    engine_concurrent_test thread_pool_test metrics_test
+    engine_concurrent_test thread_pool_test metrics_test \
+    matcher_agreement_test
   local repeat="${APCM_TSAN_REPEAT:-50}"
   TSAN_OPTIONS="halt_on_error=1" \
     "./${build_dir}/tests/engine_concurrent_test" \
@@ -36,6 +37,12 @@ run_tsan() {
   TSAN_OPTIONS="halt_on_error=1" \
     "./${build_dir}/tests/metrics_test" \
     --gtest_repeat="${repeat}" --gtest_brief=1
+  # Sharded fan-out/merge under TSan: the agreement suite drives the
+  # ShardedMatcher (num_shards up to 16, 2 fan-out threads) through the scan
+  # oracle. One pass of the full differential set is plenty under TSan.
+  TSAN_OPTIONS="halt_on_error=1" \
+    "./${build_dir}/tests/matcher_agreement_test" \
+    --gtest_filter='*Sharded*' --gtest_repeat=2 --gtest_brief=1
   echo "TSAN CHECKS PASSED (${repeat} iterations)"
 }
 

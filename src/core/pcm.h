@@ -68,7 +68,7 @@ struct PcmOptions {
 /// range of clusters and streams the whole batch through each cluster while
 /// its masks are cache-resident. With PcmMode::kAdaptive, every cluster
 /// chooses compressed vs. lazy evaluation per batch via its AdaptiveState.
-class PcmMatcher : public Matcher {
+class PcmMatcher : public IncrementalMatcher {
  public:
   explicit PcmMatcher(PcmOptions options = {});
   ~PcmMatcher() override;
@@ -84,15 +84,15 @@ class PcmMatcher : public Matcher {
   /// are short-circuit scanned). Removals tombstone the id; tombstoned
   /// subscriptions stop matching immediately and are physically dropped at
   /// the next Build. Ids must not collide with live subscriptions.
-  void AddIncremental(BooleanExpression subscription);
+  void AddIncremental(BooleanExpression subscription) override;
 
   /// Tombstones `id` (base or incremental). NotFound if the id is unknown
   /// or already removed.
-  Status RemoveIncremental(SubscriptionId id);
+  Status RemoveIncremental(SubscriptionId id) override;
 
   /// Fraction of the index that is delta state (incremental adds +
   /// tombstones vs. total); engines rebuild above a threshold.
-  double DeltaFraction() const;
+  double DeltaFraction() const override;
 
   /// True when the matcher holds un-compacted delta state (incremental adds
   /// or tombstones). Such state is folded by Compact and dropped by Build.

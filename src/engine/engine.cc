@@ -17,6 +17,7 @@ namespace {
 
 EngineOptions NormalizeOptions(EngineOptions options) {
   APCM_CHECK(options.batch_size >= 1);
+  options.num_shards = std::max(1u, options.num_shards);
   // A window must fit in the buffer or it could never fill.
   options.buffer_capacity = std::max(
       {options.buffer_capacity, options.osr.window_size, options.batch_size});
@@ -73,6 +74,12 @@ void StreamEngine::RegisterMetrics() {
   counter("apcm_compactions_total",
           "Delta-threshold-triggered snapshot compactions published.",
           stats_.compactions);
+  counter("apcm_shard_rebuilds_total",
+          "Individual shard (re)builds executed by snapshot builds.",
+          stats_.shard_rebuilds);
+  counter("apcm_shard_rebuilds_skipped_total",
+          "Clean shards carried into a new generation without re-indexing.",
+          stats_.shard_rebuilds_skipped);
   counter("apcm_publishes_blocked_total",
           "Publishes that hit a full queue and helped drain a round.",
           stats_.publishes_blocked);
@@ -101,6 +108,9 @@ void StreamEngine::RegisterMetrics() {
       "apcm_queue_depth", "Events buffered in the publish queue.",
       [this] { return static_cast<int64_t>(queue_.depth()); });
   metrics_.AddGaugeFn(
+      "apcm_shards", "Configured matcher shards (1 = unsharded).",
+      [this] { return static_cast<int64_t>(options_.num_shards); });
+  metrics_.AddGaugeFn(
       "apcm_rebuild_inflight",
       "1 while a background snapshot build is in flight.",
       [this] { return static_cast<int64_t>(rebuild_inflight() ? 1 : 0); });
@@ -118,6 +128,12 @@ void StreamEngine::RegisterMetrics() {
   histogram("apcm_rebuild_latency_ns",
             "Background snapshot build wall time, nanoseconds.",
             stats_.rebuild_latency_ns);
+  histogram("apcm_shard_batch_latency_ns",
+            "Wall time per (shard, dispatch) matcher call, nanoseconds.",
+            stats_.shard_batch_latency_ns);
+  histogram("apcm_shard_batch_matches",
+            "Matches emitted per (shard, dispatch).",
+            stats_.shard_batch_matches);
 }
 
 void StreamEngine::StartAdminServer() {
@@ -394,8 +410,37 @@ void StreamEngine::Flush() {
   }
 }
 
+std::unique_ptr<Matcher> StreamEngine::CreateEngineMatcher() {
+  if (options_.num_shards <= 1) {
+    return CreateMatcher(options_.kind, options_.matcher);
+  }
+  index::ShardedOptions sharded;
+  sharded.num_shards = options_.num_shards;
+  sharded.num_threads = options_.shard_threads;
+  // The sink histograms live in stats_, which outlives every snapshot
+  // build (rebuild_pool_ is declared after stats_ and drains first).
+  sharded.shard_latency_ns = &stats_.shard_batch_latency_ns;
+  sharded.shard_matches = &stats_.shard_batch_matches;
+  return CreateShardedMatcher(options_.kind, options_.matcher, sharded);
+}
+
 void StreamEngine::ScheduleRebuildLocked(bool compaction) {
   if (rebuild_inflight_) return;
+  if (options_.num_shards > 1) {
+    // With a published sharded generation, rebuild per-shard: only dirty
+    // shards are re-indexed. The first build (no snapshot yet) falls
+    // through to the full path below.
+    std::shared_ptr<EngineSnapshot> prev = snapshot_.Load();
+    auto* prev_sharded =
+        prev == nullptr
+            ? nullptr
+            : dynamic_cast<index::ShardedMatcher*>(prev->matcher.get());
+    if (prev_sharded != nullptr &&
+        prev_sharded->num_shards() == options_.num_shards) {
+      ScheduleShardRebuildLocked(std::move(prev), prev_sharded, compaction);
+      return;
+    }
+  }
   rebuild_inflight_ = true;
   // Copy the live subscription set now, under state_mu_: the build runs on
   // the maintenance worker against this immutable copy while writers keep
@@ -418,10 +463,107 @@ void StreamEngine::ScheduleRebuildLocked(bool compaction) {
           .SubmitWithFuture([this, built, version, compaction] {
             WallTimer timer;
             auto next = std::make_shared<EngineSnapshot>();
-            next->built_subs = built;
-            next->matcher = CreateMatcher(options_.kind, options_.matcher);
+            next->matcher = CreateEngineMatcher();
             APCM_CHECK(next->matcher != nullptr);
             next->matcher->Build(*built);
+            if (auto* sharded = dynamic_cast<index::ShardedMatcher*>(
+                    next->matcher.get())) {
+              // Shards own their subscription copies, so the snapshot-level
+              // storage is not needed; stamp every shard's watermark at the
+              // build version so later generations can tell applied deltas
+              // apart.
+              for (uint32_t s = 0; s < sharded->num_shards(); ++s) {
+                sharded->set_shard_applied_seq(s, version);
+              }
+              stats_.shard_rebuilds.fetch_add(sharded->num_shards(),
+                                              std::memory_order_relaxed);
+            } else {
+              next->built_subs = built;
+            }
+            next->covered_seq = version;
+            next->applied_seq = version;
+            PublishSnapshot(std::move(next), compaction,
+                            timer.ElapsedNanos());
+          })
+          .share();
+}
+
+void StreamEngine::ScheduleShardRebuildLocked(
+    std::shared_ptr<EngineSnapshot> prev,
+    index::ShardedMatcher* prev_sharded, bool compaction) {
+  rebuild_inflight_ = true;
+  const uint32_t num_shards = options_.num_shards;
+  // A shard is dirty when it has change-log entries its watermark has not
+  // absorbed (non-incremental matchers, threshold 0, or a lost race), or
+  // when its own delta fraction crossed the compaction threshold. Reading
+  // the live matcher here is safe: the caller holds process_mu_.
+  std::vector<char> dirty(num_shards, 0);
+  for (const SubChange& change : change_log_) {
+    const uint32_t s = index::ShardedMatcher::ShardOf(change.id, num_shards);
+    if (change.seq > prev_sharded->shard_applied_seq(s)) dirty[s] = 1;
+  }
+  if (options_.incremental_rebuild_threshold > 0) {
+    for (uint32_t s = 0; s < num_shards; ++s) {
+      if (prev_sharded->ShardDeltaFraction(s) >
+          options_.incremental_rebuild_threshold) {
+        dirty[s] = 1;
+      }
+    }
+  }
+  // Capture the dirty shards' live subscriptions under state_mu_; clean
+  // shards are carried over by reference and never copied or re-indexed.
+  std::vector<std::shared_ptr<std::vector<BooleanExpression>>> shard_subs(
+      num_shards);
+  uint32_t num_dirty = 0;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    if (dirty[s]) {
+      shard_subs[s] = std::make_shared<std::vector<BooleanExpression>>();
+      ++num_dirty;
+    }
+  }
+  size_t captured = 0;
+  for (const BooleanExpression& sub : subscriptions_) {
+    if (tombstones_.contains(sub.id())) continue;
+    const uint32_t s = index::ShardedMatcher::ShardOf(sub.id(), num_shards);
+    if (dirty[s]) {
+      shard_subs[s]->push_back(sub);
+      ++captured;
+    }
+  }
+  const uint64_t version = change_seq_;
+  trace_.Record(TraceRing::Kind::kRebuildSchedule, captured,
+                compaction ? 1 : 0);
+  if (LogEnabled(LogLevel::kDebug)) {
+    LogDebug("per-shard snapshot build scheduled",
+             {{"dirty_shards", num_dirty},
+              {"captured_subs", captured},
+              {"compaction", compaction},
+              {"covers_seq", version}});
+  }
+  rebuild_done_ =
+      rebuild_pool_
+          .SubmitWithFuture([this, prev = std::move(prev), prev_sharded,
+                             shard_subs = std::move(shard_subs), num_dirty,
+                             num_shards, version, compaction] {
+            WallTimer timer;
+            // The successor generation shares every clean shard with `prev`
+            // (alive via the captured shared_ptr) — those keep absorbing
+            // deltas through the live snapshot while this build runs, and
+            // their watermarks travel with them. Only dirty shards are
+            // re-indexed, from the captured master copies.
+            std::unique_ptr<index::ShardedMatcher> gen =
+                prev_sharded->NewGeneration();
+            for (uint32_t s = 0; s < num_shards; ++s) {
+              if (shard_subs[s] != nullptr) {
+                gen->RebuildShard(s, shard_subs[s], version);
+              }
+            }
+            stats_.shard_rebuilds.fetch_add(num_dirty,
+                                            std::memory_order_relaxed);
+            stats_.shard_rebuilds_skipped.fetch_add(num_shards - num_dirty,
+                                                    std::memory_order_relaxed);
+            auto next = std::make_shared<EngineSnapshot>();
+            next->matcher = std::move(gen);
             next->covered_seq = version;
             next->applied_seq = version;
             PublishSnapshot(std::move(next), compaction,
@@ -473,18 +615,23 @@ std::shared_ptr<EngineSnapshot> StreamEngine::SyncSnapshotLocked() {
       std::lock_guard<std::mutex> lock(state_mu_);
       const uint64_t base = snap == nullptr ? 0 : snap->applied_seq;
       if (snap != nullptr && base == change_seq_) return snap;
-      const bool incremental =
-          snap != nullptr && options_.incremental_rebuild_threshold > 0 &&
-          dynamic_cast<core::PcmMatcher*>(snap->matcher.get()) != nullptr;
+      auto* delta_matcher =
+          snap == nullptr
+              ? nullptr
+              : dynamic_cast<IncrementalMatcher*>(snap->matcher.get());
+      const bool incremental = delta_matcher != nullptr &&
+                               delta_matcher->CanApplyDeltas() &&
+                               options_.incremental_rebuild_threshold > 0;
       if (!incremental) {
-        // First build, non-PCM matcher, or threshold 0: the round needs a
-        // full rebuild covering every change up to now. Schedule (if not
-        // already in flight) and wait outside the lock.
+        // First build, non-incremental matcher, or threshold 0: the round
+        // needs a full (or, sharded, per-dirty-shard) rebuild covering
+        // every change up to now. Schedule (if not already in flight) and
+        // wait outside the lock.
         ScheduleRebuildLocked(/*compaction=*/false);
         build_done = rebuild_done_;
       } else {
-        // PCM delta handoff: collect the changes this snapshot has not
-        // seen, in change order, with copies of the added expressions.
+        // Delta handoff: collect the changes this snapshot has not seen,
+        // in change order, with copies of the added expressions.
         for (const SubChange& change : change_log_) {
           if (change.seq <= base) continue;
           changes.push_back(change);
@@ -501,21 +648,45 @@ std::shared_ptr<EngineSnapshot> StreamEngine::SyncSnapshotLocked() {
       continue;  // reload; more changes may have landed during the build
     }
     // Apply the deltas to the snapshot matcher. Serialized by process_mu_;
-    // the background builder never touches a published snapshot.
-    auto* pcm = static_cast<core::PcmMatcher*>(snap->matcher.get());
+    // the background builder never touches a published snapshot's shards.
+    auto* inc = static_cast<IncrementalMatcher*>(snap->matcher.get());
+    auto* sharded = dynamic_cast<index::ShardedMatcher*>(snap->matcher.get());
     size_t next_add = 0;
+    uint64_t applied = 0;
     for (const SubChange& change : changes) {
-      if (change.kind == SubChange::kAdd) {
-        pcm->AddIncremental(std::move(add_exprs[next_add++]));
+      BooleanExpression* add_expr = change.kind == SubChange::kAdd
+                                        ? &add_exprs[next_add++]
+                                        : nullptr;
+      if (sharded != nullptr) {
+        // Shards are shared across generations: a change may already have
+        // reached this shard through the previous generation while the
+        // per-shard rebuild that produced this snapshot was in flight. The
+        // shard's watermark travels with it, making the double-apply
+        // detectable.
+        const uint32_t s = index::ShardedMatcher::ShardOf(
+            change.id, sharded->num_shards());
+        if (sharded->shard_applied_seq(s) >= change.seq) {
+          snap->applied_seq = change.seq;
+          continue;
+        }
+        if (add_expr != nullptr) {
+          inc->AddIncremental(std::move(*add_expr));
+        } else {
+          APCM_CHECK(inc->RemoveIncremental(change.id).ok());
+        }
+        sharded->set_shard_applied_seq(s, change.seq);
+      } else if (add_expr != nullptr) {
+        inc->AddIncremental(std::move(*add_expr));
       } else {
-        APCM_CHECK(pcm->RemoveIncremental(change.id).ok());
+        APCM_CHECK(inc->RemoveIncremental(change.id).ok());
       }
       snap->applied_seq = change.seq;
+      ++applied;
     }
-    stats_.incremental_updates.fetch_add(changes.size(),
+    stats_.incremental_updates.fetch_add(applied,
                                          std::memory_order_relaxed);
     if (!changes.empty() &&
-        pcm->DeltaFraction() > options_.incremental_rebuild_threshold) {
+        inc->DeltaFraction() > options_.incremental_rebuild_threshold) {
       // Too much delta state: fold it into a fresh snapshot off the hot
       // path. Rounds keep matching against the delta-laden snapshot until
       // the compacted one publishes.

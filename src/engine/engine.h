@@ -38,6 +38,12 @@ struct EngineStats {
   std::atomic<uint64_t> incremental_updates{0};
   /// Snapshot rebuilds triggered by the delta-fraction threshold.
   std::atomic<uint64_t> compactions{0};
+  /// Individual shard (re)builds executed by background snapshot builds
+  /// (num_shards > 1 only; the initial build counts every shard).
+  std::atomic<uint64_t> shard_rebuilds{0};
+  /// Clean shards carried into a new snapshot generation without
+  /// re-indexing (num_shards > 1 only) — the per-shard rebuild payoff.
+  std::atomic<uint64_t> shard_rebuilds_skipped{0};
   /// Publishes rejected by BackpressurePolicy::kReject (queue full).
   std::atomic<uint64_t> publishes_rejected{0};
   /// Publishes that found the queue full under BackpressurePolicy::kBlock
@@ -57,6 +63,12 @@ struct EngineStats {
   /// Wall time of each background snapshot build (rebuild or compaction),
   /// nanoseconds from schedule-execution to publish.
   ShardedHistogram rebuild_latency_ns;
+  /// Wall time of each (shard, dispatch) matcher call, nanoseconds
+  /// (num_shards > 1 only) — exposes shard work skew.
+  ShardedHistogram shard_batch_latency_ns;
+  /// Matches emitted per (shard, dispatch) (num_shards > 1 only) —
+  /// exposes shard match skew.
+  ShardedHistogram shard_batch_matches;
 };
 
 /// What Publish does when the bounded publish queue is full.
@@ -95,6 +107,18 @@ struct EngineOptions {
   /// forces full (background) rebuilds on every change (and is the only
   /// behavior for non-PCM matchers).
   double incremental_rebuild_threshold = 0.25;
+  /// Partitions the subscription set across this many independent inner
+  /// matchers by stable hash of subscription id (index::ShardedMatcher) and
+  /// fans each batch across them, merging the per-shard sorted match lists.
+  /// Snapshot rebuilds become per-shard: only shards with unabsorbed
+  /// changes are re-indexed. 1 (default, also the floor) = today's
+  /// unsharded behavior; the inner matcher is then free to use its own
+  /// threads (matcher.pcm.num_threads). With > 1 shards, inner matchers are
+  /// forced single-threaded — the shard axis is the parallelism.
+  uint32_t num_shards = 1;
+  /// Worker threads fanning events across shards (num_shards > 1 only).
+  /// 0 = min(num_shards, hardware concurrency); 1 = fully inline.
+  int shard_threads = 0;
   /// When > 0, each delivery is truncated to the `top_k` matches with the
   /// highest priority (ties broken by lower id first). Priorities default
   /// to 0 and are set per subscription with SetPriority — e.g. campaign
@@ -257,10 +281,24 @@ class StreamEngine {
       std::vector<Predicate> predicates);
   /// Master-list lookup by id (the list is id-sorted; ids are monotone).
   const BooleanExpression* FindSubscriptionLocked(SubscriptionId id) const;
+  /// The snapshot matcher the options describe: a plain `kind` matcher, or
+  /// (num_shards > 1) a ShardedMatcher of `kind` shards wired to the
+  /// engine's shard histograms.
+  std::unique_ptr<Matcher> CreateEngineMatcher();
   /// Schedules a background snapshot build over the live subscription set,
   /// unless one is already in flight. `compaction` selects which stats
-  /// counter the publish increments.
+  /// counter the publish increments. Requires state_mu_ AND process_mu_
+  /// (the per-shard path below reads the live sharded matcher's
+  /// watermarks, which the processing lock guards).
   void ScheduleRebuildLocked(bool compaction);
+  /// The num_shards > 1 rebuild: computes the set of dirty shards (unapplied
+  /// change-log entries or an over-threshold delta fraction), captures their
+  /// live subscriptions, and schedules a build that shares every clean shard
+  /// with `prev_sharded` (NewGeneration) and re-indexes only the dirty ones.
+  /// Same locking contract as ScheduleRebuildLocked.
+  void ScheduleShardRebuildLocked(std::shared_ptr<EngineSnapshot> prev,
+                                  index::ShardedMatcher* prev_sharded,
+                                  bool compaction);
   /// Installs `next` as the current snapshot and prunes master state the
   /// build covered. Runs on the maintenance pool.
   void PublishSnapshot(std::shared_ptr<EngineSnapshot> next, bool compaction,

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/status.h"
 #include "src/be/event.h"
 #include "src/be/expression.h"
 
@@ -77,6 +78,35 @@ class Matcher {
   /// Approximate heap footprint of the index structures in bytes
   /// (excluding the subscription vector owned by the caller).
   virtual uint64_t MemoryBytes() const = 0;
+};
+
+/// A matcher that additionally supports incremental subscription
+/// maintenance: absorbing adds and removes as *delta state* without a full
+/// Build, plus a measure of how much delta has accumulated so callers can
+/// decide when to fold it back (the StreamEngine rebuilds above
+/// `EngineOptions::incremental_rebuild_threshold`). Implemented by the PCM
+/// family (delta clusters + tombstones) and by ShardedMatcher (which routes
+/// each change to the owning shard).
+class IncrementalMatcher : public Matcher {
+ public:
+  /// False when the object implements the interface but cannot actually
+  /// absorb deltas — e.g. a ShardedMatcher whose inner matchers are
+  /// non-incremental baselines. Callers must fall back to full rebuilds.
+  virtual bool CanApplyDeltas() const { return true; }
+
+  /// Registers `subscription` without a rebuild. The id must not collide
+  /// with a live subscription; it matches from the next Match call.
+  virtual void AddIncremental(BooleanExpression subscription) = 0;
+
+  /// Unregisters `id` without a rebuild; it stops matching immediately.
+  /// NotFound if the id is unknown or already removed.
+  virtual Status RemoveIncremental(SubscriptionId id) = 0;
+
+  /// Fraction of the index that is delta state (incremental adds +
+  /// tombstones vs. total); callers rebuild above a threshold. Sharded
+  /// implementations report their *worst* shard, so a single churn-heavy
+  /// shard triggers (per-shard) compaction.
+  virtual double DeltaFraction() const = 0;
 };
 
 }  // namespace apcm

@@ -1,0 +1,275 @@
+#include "src/index/sharded.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "src/base/macros.h"
+#include "src/base/timer.h"
+
+namespace apcm::index {
+
+namespace {
+
+int ResolveThreads(const ShardedOptions& options) {
+  if (options.num_threads > 0) return options.num_threads;
+  const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<int>(std::min(options.num_shards, hw));
+}
+
+}  // namespace
+
+ShardedMatcher::ShardedMatcher(ShardedOptions options, Factory factory)
+    : options_(options), factory_(std::move(factory)) {
+  APCM_CHECK(options_.num_shards >= 1);
+  APCM_CHECK(factory_ != nullptr);
+  pool_ = std::make_unique<ThreadPool>(ResolveThreads(options_));
+  shards_.resize(options_.num_shards);
+  for (auto& shard : shards_) {
+    shard = std::make_shared<Shard>();
+    shard->subs = std::make_shared<const std::vector<BooleanExpression>>();
+    shard->matcher = factory_();
+    APCM_CHECK(shard->matcher != nullptr);
+    shard->matcher->Build(*shard->subs);
+  }
+  match_scratch_.resize(options_.num_shards);
+  batch_scratch_.resize(options_.num_shards);
+}
+
+ShardedMatcher::~ShardedMatcher() = default;
+
+uint32_t ShardedMatcher::ShardOf(SubscriptionId id, uint32_t num_shards) {
+  // splitmix64 finalizer: a stable, well-mixed function of the id alone, so
+  // a subscription's shard survives rebuilds, generations, and restarts.
+  uint64_t x = static_cast<uint64_t>(id) + 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return static_cast<uint32_t>(x % num_shards);
+}
+
+std::string ShardedMatcher::Name() const {
+  return "sharded-" + std::to_string(options_.num_shards) + "(" +
+         shards_[0]->matcher->Name() + ")";
+}
+
+void ShardedMatcher::Build(
+    const std::vector<BooleanExpression>& subscriptions) {
+  std::vector<std::vector<BooleanExpression>> parts(options_.num_shards);
+  for (const BooleanExpression& sub : subscriptions) {
+    parts[ShardOf(sub.id(), options_.num_shards)].push_back(sub);
+  }
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    auto shard = std::make_shared<Shard>();
+    shard->subs = std::make_shared<const std::vector<BooleanExpression>>(
+        std::move(parts[s]));
+    shard->matcher = factory_();
+    APCM_CHECK(shard->matcher != nullptr);
+    shards_[s] = std::move(shard);
+  }
+  // Shard builds are independent (each touches only its own partition), so
+  // the initial index construction parallelizes across the fan-out pool too.
+  ForEachShard([this](uint32_t s) { shards_[s]->matcher->Build(*shards_[s]->subs); });
+}
+
+void ShardedMatcher::ForEachShard(const std::function<void(uint32_t)>& fn) {
+  pool_->ParallelFor(options_.num_shards,
+                     [&fn](uint64_t begin, uint64_t end, int /*worker*/) {
+                       for (uint64_t s = begin; s < end; ++s) {
+                         fn(static_cast<uint32_t>(s));
+                       }
+                     });
+}
+
+void ShardedMatcher::MergeShardLists(
+    const std::vector<std::vector<SubscriptionId>*>& lists,
+    std::vector<SubscriptionId>* out) {
+  out->clear();
+  size_t total = 0;
+  for (const auto* list : lists) total += list->size();
+  if (total == 0) return;
+  out->reserve(total);
+  // Shards partition the id space, so the inputs are sorted AND disjoint: a
+  // cursor-based k-way merge (linear min scan; S is small) with no dedup.
+  std::vector<std::pair<const SubscriptionId*, const SubscriptionId*>> cursors;
+  cursors.reserve(lists.size());
+  for (const auto* list : lists) {
+    if (!list->empty()) {
+      cursors.emplace_back(list->data(), list->data() + list->size());
+    }
+  }
+  if (cursors.size() == 1) {
+    out->assign(cursors[0].first, cursors[0].second);
+    return;
+  }
+  while (!cursors.empty()) {
+    size_t min_i = 0;
+    for (size_t i = 1; i < cursors.size(); ++i) {
+      if (*cursors[i].first < *cursors[min_i].first) min_i = i;
+    }
+    out->push_back(*cursors[min_i].first++);
+    if (cursors[min_i].first == cursors[min_i].second) {
+      cursors.erase(cursors.begin() + static_cast<ptrdiff_t>(min_i));
+      if (cursors.size() == 1) {
+        out->insert(out->end(), cursors[0].first, cursors[0].second);
+        break;
+      }
+    }
+  }
+}
+
+void ShardedMatcher::Match(const Event& event,
+                           std::vector<SubscriptionId>* matches) {
+  ForEachShard([this, &event](uint32_t s) {
+    WallTimer timer;
+    shards_[s]->matcher->Match(event, &match_scratch_[s]);
+    if (options_.shard_latency_ns != nullptr) {
+      options_.shard_latency_ns->Record(timer.ElapsedNanos());
+    }
+    if (options_.shard_matches != nullptr) {
+      options_.shard_matches->Record(
+          static_cast<int64_t>(match_scratch_[s].size()));
+    }
+  });
+  std::vector<std::vector<SubscriptionId>*> lists;
+  lists.reserve(options_.num_shards);
+  for (auto& scratch : match_scratch_) lists.push_back(&scratch);
+  MergeShardLists(lists, matches);
+}
+
+void ShardedMatcher::MatchBatch(
+    const std::vector<Event>& events,
+    std::vector<std::vector<SubscriptionId>>* results) {
+  results->assign(events.size(), {});
+  if (events.empty()) return;
+  // One inner MatchBatch dispatch per (shard, batch): the wakeup and the
+  // cluster-state warmup amortize over the whole batch.
+  ForEachShard([this, &events](uint32_t s) {
+    WallTimer timer;
+    shards_[s]->matcher->MatchBatch(events, &batch_scratch_[s]);
+    if (options_.shard_latency_ns != nullptr) {
+      options_.shard_latency_ns->Record(timer.ElapsedNanos());
+    }
+    if (options_.shard_matches != nullptr) {
+      int64_t emitted = 0;
+      for (const auto& list : batch_scratch_[s]) {
+        emitted += static_cast<int64_t>(list.size());
+      }
+      options_.shard_matches->Record(emitted);
+    }
+  });
+  // Per-event merges write disjoint result slots, so they parallelize too.
+  pool_->ParallelFor(
+      events.size(), [this, results](uint64_t begin, uint64_t end, int) {
+        std::vector<std::vector<SubscriptionId>*> lists(options_.num_shards);
+        for (uint64_t i = begin; i < end; ++i) {
+          for (uint32_t s = 0; s < options_.num_shards; ++s) {
+            lists[s] = &batch_scratch_[s][i];
+          }
+          MergeShardLists(lists, &(*results)[i]);
+        }
+      });
+}
+
+const MatcherStats& ShardedMatcher::stats() const {
+  agg_stats_ = MatcherStats{};
+  for (const auto& shard : shards_) {
+    const MatcherStats& s = shard->matcher->stats();
+    agg_stats_.predicate_evals += s.predicate_evals;
+    agg_stats_.bitmap_words += s.bitmap_words;
+    agg_stats_.candidates_checked += s.candidates_checked;
+    agg_stats_.matches_emitted += s.matches_emitted;
+    agg_stats_.events_matched =
+        std::max(agg_stats_.events_matched, s.events_matched);
+  }
+  return agg_stats_;
+}
+
+uint64_t ShardedMatcher::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& shard : shards_) {
+    bytes += shard->matcher->MemoryBytes() + sizeof(Shard);
+    // Unlike other matchers, the shards own their subscription copies;
+    // approximate that storage so memory reports stay honest.
+    bytes += shard->subs->capacity() * sizeof(BooleanExpression);
+    for (const BooleanExpression& sub : *shard->subs) {
+      bytes += sub.predicates().capacity() * sizeof(Predicate);
+    }
+  }
+  return bytes;
+}
+
+bool ShardedMatcher::CanApplyDeltas() const {
+  auto* inc = dynamic_cast<IncrementalMatcher*>(shards_[0]->matcher.get());
+  return inc != nullptr && inc->CanApplyDeltas();
+}
+
+void ShardedMatcher::AddIncremental(BooleanExpression subscription) {
+  Shard& shard =
+      *shards_[ShardOf(subscription.id(), options_.num_shards)];
+  auto* inc = dynamic_cast<IncrementalMatcher*>(shard.matcher.get());
+  APCM_CHECK(inc != nullptr);
+  inc->AddIncremental(std::move(subscription));
+  ++shard.delta_count;
+}
+
+Status ShardedMatcher::RemoveIncremental(SubscriptionId id) {
+  Shard& shard = *shards_[ShardOf(id, options_.num_shards)];
+  auto* inc = dynamic_cast<IncrementalMatcher*>(shard.matcher.get());
+  APCM_CHECK(inc != nullptr);
+  APCM_RETURN_NOT_OK(inc->RemoveIncremental(id));
+  --shard.delta_count;
+  return Status::OK();
+}
+
+double ShardedMatcher::DeltaFraction() const {
+  double worst = 0;
+  for (uint32_t s = 0; s < options_.num_shards; ++s) {
+    worst = std::max(worst, ShardDeltaFraction(s));
+  }
+  return worst;
+}
+
+double ShardedMatcher::ShardDeltaFraction(uint32_t shard) const {
+  auto* inc =
+      dynamic_cast<IncrementalMatcher*>(shards_[shard]->matcher.get());
+  return inc == nullptr ? 0.0 : inc->DeltaFraction();
+}
+
+size_t ShardedMatcher::ShardSubscriptionCount(uint32_t shard) const {
+  return shards_[shard]->subs->size() +
+         static_cast<size_t>(
+             std::max<int64_t>(0, shards_[shard]->delta_count));
+}
+
+uint64_t ShardedMatcher::shard_applied_seq(uint32_t shard) const {
+  return shards_[shard]->applied_seq;
+}
+
+void ShardedMatcher::set_shard_applied_seq(uint32_t shard, uint64_t seq) {
+  shards_[shard]->applied_seq = seq;
+}
+
+std::unique_ptr<ShardedMatcher> ShardedMatcher::NewGeneration() const {
+  auto next = std::make_unique<ShardedMatcher>(options_, factory_);
+  next->shards_ = shards_;  // share every shard; RebuildShard replaces dirty ones
+  return next;
+}
+
+void ShardedMatcher::RebuildShard(
+    uint32_t shard,
+    std::shared_ptr<const std::vector<BooleanExpression>> subs,
+    uint64_t applied_seq) {
+  for (const BooleanExpression& sub : *subs) {
+    APCM_CHECK(ShardOf(sub.id(), options_.num_shards) == shard);
+  }
+  auto fresh = std::make_shared<Shard>();
+  fresh->subs = std::move(subs);
+  fresh->matcher = factory_();
+  APCM_CHECK(fresh->matcher != nullptr);
+  fresh->matcher->Build(*fresh->subs);
+  fresh->applied_seq = applied_seq;
+  shards_[shard] = std::move(fresh);
+}
+
+}  // namespace apcm::index

@@ -1,0 +1,175 @@
+#ifndef APCM_INDEX_SHARDED_H_
+#define APCM_INDEX_SHARDED_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/metrics.h"
+#include "src/base/thread_pool.h"
+#include "src/index/matcher.h"
+
+namespace apcm::index {
+
+/// Construction parameters of a ShardedMatcher.
+struct ShardedOptions {
+  /// Number of partitions. 1 still goes through the sharded code path (one
+  /// shard, inline execution) — useful as a differential-testing control.
+  uint32_t num_shards = 1;
+  /// Worker threads of the fan-out pool. 0 = min(num_shards, hardware
+  /// concurrency); 1 = fully inline (zero synchronization overhead).
+  int num_threads = 0;
+  /// Optional sinks for per-(shard, dispatch) instrumentation: wall time in
+  /// nanoseconds and matches emitted per shard dispatch. Both must outlive
+  /// the matcher (the StreamEngine points them at its EngineStats).
+  ShardedHistogram* shard_latency_ns = nullptr;
+  ShardedHistogram* shard_matches = nullptr;
+};
+
+/// Partitions a subscription set across `num_shards` independent inner
+/// matchers by stable hash of subscription id, and fans every Match /
+/// MatchBatch out across the shards on a ThreadPool, merging the per-shard
+/// sorted match lists into one ascending-id result. This is the engine's
+/// intra-event parallelism backend (DESIGN.md §3.7): the inner matchers stay
+/// single-threaded and cache-local while the shard axis scales across cores.
+///
+/// Partitioning is by `ShardOf(id) = splitmix64(id) % S`, so a subscription's
+/// shard is a pure function of its id — stable across rebuilds, generations,
+/// and processes. Because the shards partition the id space, per-shard match
+/// lists are disjoint and individually sorted; the merge is a k-way merge,
+/// never a dedup.
+///
+/// Incremental maintenance (IncrementalMatcher) routes each add/remove to
+/// the owning shard when the inner matchers are incremental (the PCM
+/// family); `DeltaFraction()` reports the *worst* shard so one churn-heavy
+/// shard triggers compaction of just itself.
+///
+/// Generations: the StreamEngine rebuilds per-shard. `NewGeneration()`
+/// returns a successor sharing every shard (matcher + backing subscription
+/// storage + applied-seq watermark) with this matcher; the engine then calls
+/// `RebuildShard` for the dirty shards only, so clean shards are never
+/// re-indexed and keep their adaptive warmup. Shared shards are mutated only
+/// under the engine's processing serialization (see DESIGN.md §3.7);
+/// a never-published generation is touched only by its builder.
+///
+/// Thread-safety: Build / Match / MatchBatch / the incremental ops must be
+/// externally serialized (same contract as every other Matcher); the fan-out
+/// inside Match/MatchBatch is internal. stats() lazily aggregates the shard
+/// counters and is safe wherever Match would be.
+class ShardedMatcher : public IncrementalMatcher {
+ public:
+  /// Constructs one inner (unbuilt) matcher per shard.
+  using Factory = std::function<std::unique_ptr<Matcher>()>;
+
+  ShardedMatcher(ShardedOptions options, Factory factory);
+  ~ShardedMatcher() override;
+
+  /// The owning shard of `id` under `num_shards` partitions: a stable
+  /// splitmix64-style mix of the id, so consecutive ids spread evenly.
+  static uint32_t ShardOf(SubscriptionId id, uint32_t num_shards);
+
+  /// "sharded-4(a-pcm)".
+  std::string Name() const override;
+
+  /// Partitions `subscriptions` by ShardOf and builds every shard, in
+  /// parallel on the fan-out pool. Per-shard copies are owned internally, so
+  /// (unlike other matchers) the caller's vector need not outlive the index.
+  void Build(const std::vector<BooleanExpression>& subscriptions) override;
+
+  void Match(const Event& event,
+             std::vector<SubscriptionId>* matches) override;
+
+  /// One inner MatchBatch dispatch per (shard, batch) — wakeups amortize
+  /// over the whole batch — then a per-event k-way merge.
+  void MatchBatch(const std::vector<Event>& events,
+                  std::vector<std::vector<SubscriptionId>>* results) override;
+
+  /// Aggregated over shards: work counters sum; `events_matched` is the
+  /// maximum over shards (every shard sees every event, but a rebuilt shard
+  /// restarts its count — see RebuildShard).
+  const MatcherStats& stats() const override;
+
+  uint64_t MemoryBytes() const override;
+
+  // IncrementalMatcher ------------------------------------------------------
+
+  /// True when the inner matchers are themselves IncrementalMatchers.
+  bool CanApplyDeltas() const override;
+  void AddIncremental(BooleanExpression subscription) override;
+  Status RemoveIncremental(SubscriptionId id) override;
+  /// Max over shards (see class comment).
+  double DeltaFraction() const override;
+  /// One shard's own delta fraction (0 for non-incremental inner matchers).
+  double ShardDeltaFraction(uint32_t shard) const;
+
+  // Generation support (engine per-shard rebuilds) --------------------------
+
+  uint32_t num_shards() const { return options_.num_shards; }
+
+  /// Subscriptions currently indexed by `shard`: built + incremental adds -
+  /// removals. For balance reports and tests.
+  size_t ShardSubscriptionCount(uint32_t shard) const;
+
+  /// Engine change-sequence watermark of `shard`: the highest change applied
+  /// to (or covered by the build of) the shard's matcher. Shared across
+  /// generations with the shard itself, which makes re-application of a
+  /// change through a successor generation detectable. Guarded by the
+  /// engine's processing serialization.
+  uint64_t shard_applied_seq(uint32_t shard) const;
+  void set_shard_applied_seq(uint32_t shard, uint64_t seq);
+
+  /// A successor matcher sharing every shard (and the fan-out pool sizing /
+  /// sinks / factory) with this one. The caller replaces dirty shards via
+  /// RebuildShard before publishing the successor; shared shards are not
+  /// touched by construction.
+  std::unique_ptr<ShardedMatcher> NewGeneration() const;
+
+  /// Replaces `shard` with a freshly built inner matcher over `subs`
+  /// (ownership of the backing storage is shared with the caller) and sets
+  /// its applied-seq watermark to `applied_seq`. Only the ids hashing to
+  /// `shard` may appear in `subs`.
+  void RebuildShard(uint32_t shard,
+                    std::shared_ptr<const std::vector<BooleanExpression>> subs,
+                    uint64_t applied_seq);
+
+ private:
+  /// One partition: the inner matcher, the subscription storage it
+  /// references, and the engine watermark. Shared across generations via
+  /// shared_ptr — see NewGeneration.
+  struct Shard {
+    std::shared_ptr<const std::vector<BooleanExpression>> subs;
+    std::unique_ptr<Matcher> matcher;
+    uint64_t applied_seq = 0;
+    /// Net incremental adds minus removes since the shard's last build
+    /// (ShardSubscriptionCount bookkeeping).
+    int64_t delta_count = 0;
+  };
+
+  /// Runs fn(shard_index) for every shard on the fan-out pool.
+  void ForEachShard(const std::function<void(uint32_t)>& fn);
+
+  /// Merges the S sorted, disjoint per-shard lists in `lists` into `*out`
+  /// (cleared first).
+  static void MergeShardLists(
+      const std::vector<std::vector<SubscriptionId>*>& lists,
+      std::vector<SubscriptionId>* out);
+
+  ShardedOptions options_;
+  Factory factory_;
+  std::vector<std::shared_ptr<Shard>> shards_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  /// Fan-out scratch, reused across calls: per-shard single-event match
+  /// lists and per-shard batch result matrices.
+  std::vector<std::vector<SubscriptionId>> match_scratch_;
+  std::vector<std::vector<std::vector<SubscriptionId>>> batch_scratch_;
+
+  /// Lazily aggregated shard counters (see stats()).
+  mutable MatcherStats agg_stats_;
+};
+
+}  // namespace apcm::index
+
+#endif  // APCM_INDEX_SHARDED_H_

@@ -310,6 +310,116 @@ TEST(EngineConcurrentTest, ScraperRacesPublishersCleanly) {
       << text;
 }
 
+/// ConcurrentOptions with a sharded backend: 4 shards on a 2-thread fan-out
+/// pool, sized (like everything here) to stay fast under TSan.
+EngineOptions ShardedConcurrentOptions() {
+  EngineOptions options = ConcurrentOptions();
+  options.num_shards = 4;
+  options.shard_threads = 2;
+  return options;
+}
+
+// The sharded backend under concurrent publishers: fan-out pool, per-shard
+// merge, and snapshot swaps all racing, checked against a sequential run.
+TEST(EngineConcurrentTest, ShardedPublishersAgreeWithSequentialReference) {
+  const auto workload = workload::Generate(ConcurrentSpec(9, 400)).value();
+  constexpr size_t kPublishers = 4;
+
+  std::map<uint64_t, std::vector<SubscriptionId>> reference;
+  {
+    ConcurrentDelivery delivery;
+    StreamEngine engine(ShardedConcurrentOptions(), delivery.Callback());
+    for (const auto& sub : workload.subscriptions) {
+      ASSERT_TRUE(engine.AddSubscription(sub.predicates()).ok());
+    }
+    std::vector<uint64_t> ids(workload.events.size());
+    PublishSlice(&engine, workload.events, 0, workload.events.size(), &ids);
+    engine.Flush();
+    for (size_t i = 0; i < workload.events.size(); ++i) {
+      reference[i] = delivery.by_event.at(ids[i]);
+    }
+  }
+
+  ConcurrentDelivery delivery;
+  StreamEngine engine(ShardedConcurrentOptions(), delivery.Callback());
+  for (const auto& sub : workload.subscriptions) {
+    ASSERT_TRUE(engine.AddSubscription(sub.predicates()).ok());
+  }
+  std::vector<uint64_t> ids(workload.events.size());
+  std::vector<std::thread> publishers;
+  const size_t slice = workload.events.size() / kPublishers;
+  for (size_t p = 0; p < kPublishers; ++p) {
+    const size_t begin = p * slice;
+    const size_t end =
+        p + 1 == kPublishers ? workload.events.size() : begin + slice;
+    publishers.emplace_back(PublishSlice, &engine, std::cref(workload.events),
+                            begin, end, &ids);
+  }
+  for (auto& t : publishers) t.join();
+  engine.Flush();
+
+  EXPECT_EQ(delivery.duplicates, 0u);
+  ASSERT_EQ(delivery.by_event.size(), workload.events.size());
+  for (size_t i = 0; i < workload.events.size(); ++i) {
+    ASSERT_EQ(delivery.by_event.at(ids[i]), reference.at(i)) << "event " << i;
+  }
+}
+
+// Mutator churn against the sharded backend: per-shard delta routing and
+// per-shard background rebuilds racing publishers, with exactly-once
+// delivery and a deterministic post-quiesce probe.
+TEST(EngineConcurrentTest, ShardedMutatorChurnKeepsDeliveryExactlyOnce) {
+  const auto workload = workload::Generate(ConcurrentSpec(10, 300)).value();
+  auto churn_spec = ConcurrentSpec(11, 1);
+  churn_spec.num_subscriptions = 60;
+  const auto churn = workload::Generate(churn_spec).value();
+  const auto probe = workload::Generate(ConcurrentSpec(12, 100)).value();
+  constexpr size_t kPublishers = 3;
+
+  auto run = [&](bool concurrent,
+                 std::map<uint64_t, std::vector<SubscriptionId>>*
+                     probe_results) {
+    ConcurrentDelivery delivery;
+    StreamEngine engine(ShardedConcurrentOptions(), delivery.Callback());
+    for (const auto& sub : workload.subscriptions) {
+      ASSERT_TRUE(engine.AddSubscription(sub.predicates()).ok());
+    }
+    std::vector<uint64_t> ids(workload.events.size());
+    if (concurrent) {
+      std::vector<std::thread> threads;
+      const size_t slice = workload.events.size() / kPublishers;
+      for (size_t p = 0; p < kPublishers; ++p) {
+        const size_t begin = p * slice;
+        const size_t end =
+            p + 1 == kPublishers ? workload.events.size() : begin + slice;
+        threads.emplace_back(PublishSlice, &engine,
+                             std::cref(workload.events), begin, end, &ids);
+      }
+      threads.emplace_back(RunMutatorScript, &engine, std::cref(churn));
+      for (auto& t : threads) t.join();
+    } else {
+      RunMutatorScript(&engine, churn);
+      PublishSlice(&engine, workload.events, 0, workload.events.size(), &ids);
+    }
+    engine.Flush();
+    ASSERT_EQ(delivery.duplicates, 0u);
+    ASSERT_EQ(delivery.by_event.size(), workload.events.size());
+
+    std::vector<uint64_t> probe_ids(probe.events.size());
+    PublishSlice(&engine, probe.events, 0, probe.events.size(), &probe_ids);
+    engine.Flush();
+    for (size_t i = 0; i < probe.events.size(); ++i) {
+      (*probe_results)[i] = delivery.by_event.at(probe_ids[i]);
+    }
+  };
+
+  std::map<uint64_t, std::vector<SubscriptionId>> concurrent_probe;
+  std::map<uint64_t, std::vector<SubscriptionId>> reference_probe;
+  run(/*concurrent=*/true, &concurrent_probe);
+  run(/*concurrent=*/false, &reference_probe);
+  EXPECT_EQ(concurrent_probe, reference_probe);
+}
+
 // The rebuild-and-wait path (non-PCM matchers rebuild on every change) under
 // concurrent churn: exercises background builds racing publishers.
 TEST(EngineConcurrentTest, NonPcmMatcherSurvivesConcurrentChurn) {

@@ -4,10 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <map>
 #include <string>
 
 #include "src/base/rng.h"
 #include "src/be/parser.h"
+#include "src/engine/engine.h"
+#include "src/index/scan.h"
+#include "src/index/sharded.h"
+#include "src/workload/generator.h"
 #include "src/workload/trace.h"
 
 namespace apcm {
@@ -92,6 +98,205 @@ TEST_P(ParserFuzzTest, MutatedValidInputNeverCrashes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
                          ::testing::Values(1001, 1002, 1003, 1004));
+
+// ---------------------------------------------------------------------------
+// Differential soak: seeded random subscribe / unsubscribe / match
+// interleavings, with SCAN over the live subscription set as the oracle.
+// Runs a short budget by default; scale it up with APCM_SOAK_OPS (the ctest
+// label "soak" marks this binary for long runs). Every assertion carries the
+// seed, so a failure reproduces with a single-value --gtest_filter run.
+
+size_t SoakOps() {
+  if (const char* env = std::getenv("APCM_SOAK_OPS")) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  return 250;  // short default: keeps the tier-1 suite fast
+}
+
+workload::WorkloadSpec SoakPoolSpec(uint64_t seed) {
+  workload::WorkloadSpec spec;
+  spec.seed = seed;
+  spec.num_subscriptions = 500;
+  spec.num_events = 200;
+  spec.num_attributes = 16;
+  spec.domain_min = 0;
+  spec.domain_max = 400;
+  spec.min_predicates = 1;
+  spec.max_predicates = 5;
+  spec.min_event_attrs = 2;
+  spec.max_event_attrs = 8;
+  spec.seeded_event_fraction = 0.6;
+  return spec;
+}
+
+class DifferentialSoakTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Engine-level soak: random mutation bursts interleaved with event batches.
+// Each batch is published against a quiesced subscription set, so SCAN over
+// the model's live set is an exact per-event oracle; the mutation bursts in
+// between still drive the delta path, per-shard rebuilds, and compactions.
+TEST_P(DifferentialSoakTest, EngineAgreesWithScanUnderChurn) {
+  const uint64_t seed = GetParam();
+  SCOPED_TRACE("reproduce with: --gtest_filter='*EngineAgreesWithScan*' "
+               "(failing seed = " +
+               std::to_string(seed) + ", ops = " + std::to_string(SoakOps()) +
+               ")");
+  Rng rng(seed);
+  const auto pool = workload::Generate(SoakPoolSpec(seed)).value();
+
+  engine::EngineOptions options;
+  options.kind = engine::MatcherKind::kAPcm;
+  // Vary the engine shape per seed: shard count, fan-out threads, and
+  // whether the incremental path is enabled at all.
+  const uint32_t shard_choices[] = {1, 2, 4, 7};
+  options.num_shards = shard_choices[rng.Uniform(4)];
+  options.shard_threads = 1 + static_cast<int>(rng.Uniform(2));
+  options.matcher.pcm.clustering.cluster_size = 32;
+  options.batch_size = 8;
+  options.osr.window_size = rng.Bernoulli(0.5) ? 16 : 0;
+  options.buffer_capacity = 32;
+  options.incremental_rebuild_threshold = rng.Bernoulli(0.25) ? 0.0 : 0.25;
+
+  std::map<uint64_t, std::vector<SubscriptionId>> by_event;
+  engine::StreamEngine engine(
+      options,
+      [&](uint64_t event_id, const std::vector<SubscriptionId>& matches) {
+        by_event[event_id] = matches;
+      });
+
+  // The model: live subscriptions by engine-assigned id.
+  std::map<SubscriptionId, BooleanExpression> live;
+  std::vector<SubscriptionId> live_ids;
+  size_t next_pool_sub = 0;
+  uint64_t published = 0;
+  auto subscribe = [&] {
+    const auto& sub =
+        pool.subscriptions[next_pool_sub++ % pool.subscriptions.size()];
+    auto id = engine.AddSubscription(sub.predicates());
+    ASSERT_TRUE(id.ok());
+    live.emplace(*id, BooleanExpression::Create(*id, sub.predicates()).value());
+    live_ids.push_back(*id);
+  };
+  for (int i = 0; i < 30; ++i) subscribe();
+
+  const size_t ops = SoakOps();
+  for (size_t op = 0; op < ops; ++op) {
+    const uint64_t dice = rng.Uniform(100);
+    if (dice < 45) {
+      subscribe();
+    } else if (dice < 70 && !live_ids.empty()) {
+      const size_t pick = rng.Uniform(live_ids.size());
+      const SubscriptionId id = live_ids[pick];
+      live_ids.erase(live_ids.begin() + static_cast<ptrdiff_t>(pick));
+      live.erase(id);
+      ASSERT_TRUE(engine.RemoveSubscription(id).ok()) << "id " << id;
+    } else {
+      // Match burst: quiesce, then publish a small batch with no
+      // interleaved mutations and check it exactly against scan.
+      engine.Flush();
+      std::vector<BooleanExpression> subs;
+      subs.reserve(live.size());
+      for (const auto& [id, sub] : live) subs.push_back(sub);
+      index::ScanMatcher scan;
+      scan.Build(subs);
+      const size_t burst = 1 + rng.Uniform(8);
+      std::vector<uint64_t> ids;
+      std::vector<const Event*> events;
+      for (size_t e = 0; e < burst; ++e) {
+        const Event& event =
+            pool.events[rng.Uniform(pool.events.size())];
+        events.push_back(&event);
+        ids.push_back(engine.Publish(event));
+        ++published;
+      }
+      engine.Flush();
+      std::vector<SubscriptionId> expected;
+      for (size_t e = 0; e < burst; ++e) {
+        scan.Match(*events[e], &expected);
+        ASSERT_EQ(by_event.at(ids[e]), expected)
+            << "event " << ids[e] << " (" << events[e]->ToString() << ") with "
+            << options.num_shards << " shards, threshold "
+            << options.incremental_rebuild_threshold;
+      }
+    }
+  }
+  engine.Flush();
+  // Exactly-once delivery across the whole interleaving.
+  EXPECT_EQ(by_event.size(), published);
+  EXPECT_EQ(engine.stats().events_processed, published);
+}
+
+// Matcher-level soak: ShardedMatcher absorbing incremental adds/removes must
+// agree with a scan oracle rebuilt from the model at every checkpoint.
+TEST_P(DifferentialSoakTest, ShardedIncrementalAgreesWithScanOracle) {
+  const uint64_t seed = GetParam() ^ 0x50AC;
+  SCOPED_TRACE("reproduce with seed = " + std::to_string(GetParam()));
+  Rng rng(seed);
+  const auto pool = workload::Generate(SoakPoolSpec(seed)).value();
+
+  index::ShardedOptions sharded;
+  const uint32_t shard_choices[] = {1, 3, 8};
+  sharded.num_shards = shard_choices[rng.Uniform(3)];
+  sharded.num_threads = 2;
+  engine::MatcherConfig config;
+  config.pcm.clustering.cluster_size = 32;
+  auto matcher =
+      engine::CreateShardedMatcher(engine::MatcherKind::kAPcm, config, sharded);
+
+  // Ids must be unique forever (engine semantics): allocate monotonically.
+  SubscriptionId next_id = 0;
+  std::map<SubscriptionId, BooleanExpression> live;
+  std::vector<SubscriptionId> live_ids;
+  std::vector<BooleanExpression> base;
+  for (int i = 0; i < 40; ++i) {
+    const auto& sub = pool.subscriptions[i];
+    base.push_back(BooleanExpression::Create(next_id, sub.predicates()).value());
+    live.emplace(next_id, base.back());
+    live_ids.push_back(next_id);
+    ++next_id;
+  }
+  matcher->Build(base);
+
+  const size_t ops = SoakOps();
+  for (size_t op = 0; op < ops; ++op) {
+    const uint64_t dice = rng.Uniform(100);
+    if (dice < 45) {
+      const auto& sub =
+          pool.subscriptions[rng.Uniform(pool.subscriptions.size())];
+      auto expr = BooleanExpression::Create(next_id, sub.predicates()).value();
+      matcher->AddIncremental(expr);
+      live.emplace(next_id, std::move(expr));
+      live_ids.push_back(next_id);
+      ++next_id;
+    } else if (dice < 70 && !live_ids.empty()) {
+      const size_t pick = rng.Uniform(live_ids.size());
+      const SubscriptionId id = live_ids[pick];
+      live_ids.erase(live_ids.begin() + static_cast<ptrdiff_t>(pick));
+      live.erase(id);
+      ASSERT_TRUE(matcher->RemoveIncremental(id).ok()) << "id " << id;
+    } else {
+      std::vector<BooleanExpression> subs;
+      subs.reserve(live.size());
+      for (const auto& [id, sub] : live) subs.push_back(sub);
+      index::ScanMatcher scan;
+      scan.Build(subs);
+      std::vector<SubscriptionId> expected;
+      std::vector<SubscriptionId> actual;
+      for (size_t e = 0; e < 4; ++e) {
+        const Event& event = pool.events[rng.Uniform(pool.events.size())];
+        scan.Match(event, &expected);
+        matcher->Match(event, &actual);
+        ASSERT_EQ(actual, expected)
+            << event.ToString() << " with " << sharded.num_shards
+            << " shards after " << op << " ops";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSoakTest,
+                         ::testing::Values(2001, 2002, 2003, 2004));
 
 TEST(TraceFuzzTest, CorruptBinaryNeverCrashes) {
   // Serialize a valid workload, then flip bytes and reload: every outcome

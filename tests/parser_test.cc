@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "src/workload/generator.h"
+
 namespace apcm {
 namespace {
 
@@ -129,6 +133,134 @@ TEST_F(ParserTest, RoundTripThroughToString) {
       EXPECT_EQ(reparsed->predicates()[i], expr->predicates()[i]) << printed;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Generator-driven round-trip properties: parse(print(x)) must equal x for
+// every operator the generator can produce (including negative operands, "in"
+// sets, "between" ranges, and !=), for events, and for disjunctions — not
+// just the hand-written cases above.
+
+// A catalog pre-registered with the default ToString names ("attr<i>"), so
+// reparsed attribute ids coincide with the generator's raw ids.
+class ParserRoundTripTest : public ::testing::Test {
+ protected:
+  void RegisterAttributes(const workload::WorkloadSpec& spec) {
+    for (uint32_t a = 0; a < spec.num_attributes; ++a) {
+      ASSERT_TRUE(catalog_
+                      .AddAttribute("attr" + std::to_string(a),
+                                    spec.domain_min, spec.domain_max)
+                      .ok());
+    }
+  }
+
+  static std::string Print(const BooleanExpression& expr) {
+    std::string text;
+    for (size_t i = 0; i < expr.predicates().size(); ++i) {
+      if (i > 0) text += " and ";
+      text += expr.predicates()[i].ToString(nullptr);  // "attr<i> <op> ..."
+    }
+    return text;
+  }
+
+  workload::WorkloadSpec RoundTripSpec(uint64_t seed) {
+    workload::WorkloadSpec spec;
+    spec.seed = seed;
+    spec.num_subscriptions = 200;
+    spec.num_events = 100;
+    spec.num_attributes = 12;
+    spec.domain_min = -300;  // negative operands must survive the trip
+    spec.domain_max = 700;
+    spec.min_predicates = 1;
+    spec.max_predicates = 6;
+    spec.min_event_attrs = 1;
+    spec.max_event_attrs = 8;
+    // Every operator family well represented.
+    spec.equality_fraction = 0.2;
+    spec.in_fraction = 0.2;
+    spec.ne_fraction = 0.2;
+    spec.inequality_fraction = 0.2;  // remainder: between
+    return spec;
+  }
+
+  Catalog catalog_;
+  Parser parser_{&catalog_};
+};
+
+TEST_F(ParserRoundTripTest, GeneratedExpressionsRoundTrip) {
+  const auto spec = RoundTripSpec(31);
+  RegisterAttributes(spec);
+  const auto workload = workload::Generate(spec).value();
+  for (const BooleanExpression& expr : workload.subscriptions) {
+    const std::string printed = Print(expr);
+    auto reparsed = parser_.ParseExpression(expr.id(), printed);
+    ASSERT_TRUE(reparsed.ok()) << printed << ": "
+                               << reparsed.status().ToString();
+    ASSERT_EQ(reparsed->size(), expr.size()) << printed;
+    for (size_t i = 0; i < expr.predicates().size(); ++i) {
+      ASSERT_EQ(reparsed->predicates()[i], expr.predicates()[i]) << printed;
+    }
+    // print(parse(print(x))) == print(x): printing is a fixpoint.
+    EXPECT_EQ(Print(*reparsed), printed);
+  }
+}
+
+TEST_F(ParserRoundTripTest, GeneratedEventsRoundTrip) {
+  const auto spec = RoundTripSpec(32);
+  RegisterAttributes(spec);
+  const auto workload = workload::Generate(spec).value();
+  for (const Event& event : workload.events) {
+    const std::string printed = event.ToString(nullptr);
+    auto reparsed = parser_.ParseEvent(printed);
+    ASSERT_TRUE(reparsed.ok()) << printed << ": "
+                               << reparsed.status().ToString();
+    ASSERT_EQ(reparsed->entries().size(), event.entries().size()) << printed;
+    for (size_t i = 0; i < event.entries().size(); ++i) {
+      EXPECT_EQ(reparsed->entries()[i].attr, event.entries()[i].attr)
+          << printed;
+      EXPECT_EQ(reparsed->entries()[i].value, event.entries()[i].value)
+          << printed;
+    }
+    EXPECT_EQ(reparsed->ToString(nullptr), printed);
+  }
+}
+
+TEST_F(ParserRoundTripTest, GeneratedDisjunctionsRoundTrip) {
+  const auto spec = RoundTripSpec(33);
+  RegisterAttributes(spec);
+  const auto workload = workload::Generate(spec).value();
+  // Stitch consecutive generated conjunctions into DNF texts of 1-3
+  // disjuncts and round-trip through ParseDisjunction.
+  for (size_t i = 0; i + 3 <= workload.subscriptions.size(); i += 3) {
+    const size_t disjuncts = 1 + i % 3;
+    std::string text;
+    std::vector<const BooleanExpression*> sources;
+    for (size_t d = 0; d < disjuncts; ++d) {
+      if (d > 0) text += " or ";
+      text += Print(workload.subscriptions[i + d]);
+      sources.push_back(&workload.subscriptions[i + d]);
+    }
+    auto parsed = parser_.ParseDisjunction(text);
+    ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.status().ToString();
+    ASSERT_EQ(parsed->size(), sources.size()) << text;
+    for (size_t d = 0; d < sources.size(); ++d) {
+      ASSERT_EQ((*parsed)[d].size(), sources[d]->size()) << text;
+      for (size_t p = 0; p < sources[d]->predicates().size(); ++p) {
+        EXPECT_EQ((*parsed)[d][p], sources[d]->predicates()[p]) << text;
+      }
+    }
+  }
+}
+
+TEST_F(ParserRoundTripTest, MatchAllExpressionRoundTrips) {
+  // The empty conjunction (match-all) prints as "" and reparses as
+  // match-all — the degenerate case the hand-written cases skip.
+  auto expr = parser_.ParseExpression(7, "");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ(Print(*expr), "");
+  auto reparsed = parser_.ParseExpression(7, Print(*expr));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->size(), 0u);
 }
 
 }  // namespace

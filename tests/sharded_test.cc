@@ -1,0 +1,330 @@
+// ShardedMatcher unit tests plus the per-shard rebuild isolation contract:
+// churn concentrated on one shard must re-index only that shard, with the
+// clean shards carried between snapshot generations untouched (asserted
+// through the apcm_shard_rebuilds_total / _skipped_total counters).
+
+#include "src/index/sharded.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/engine/engine.h"
+#include "src/engine/exposition.h"
+#include "src/engine/matcher_factory.h"
+#include "tests/matcher_test_util.h"
+
+namespace apcm {
+namespace {
+
+using engine::CreateShardedMatcher;
+using engine::MatcherConfig;
+using engine::MatcherKind;
+using index::ShardedMatcher;
+using index::ShardedOptions;
+
+TEST(ShardOfTest, StableInRangeAndBalanced) {
+  constexpr uint32_t kShards = 16;
+  std::vector<size_t> population(kShards, 0);
+  for (SubscriptionId id = 0; id < 10'000; ++id) {
+    const uint32_t s = ShardedMatcher::ShardOf(id, kShards);
+    ASSERT_LT(s, kShards);
+    // Stability: a pure function of (id, num_shards).
+    ASSERT_EQ(s, ShardedMatcher::ShardOf(id, kShards));
+    ++population[s];
+  }
+  // splitmix64 mixing: 10k consecutive ids spread close to uniformly
+  // (625/shard expected; allow generous slack, no shard starved).
+  for (uint32_t s = 0; s < kShards; ++s) {
+    EXPECT_GT(population[s], 400u) << "shard " << s;
+    EXPECT_LT(population[s], 900u) << "shard " << s;
+  }
+  // Everything lands in shard 0 when there is only one shard.
+  EXPECT_EQ(ShardedMatcher::ShardOf(12345, 1), 0u);
+}
+
+TEST(ShardedMatcherTest, NameReflectsShardCountAndInner) {
+  ShardedOptions options;
+  options.num_shards = 4;
+  options.num_threads = 1;
+  auto matcher = CreateShardedMatcher(MatcherKind::kAPcm, {}, options);
+  EXPECT_EQ(matcher->Name(), "sharded-4(a-pcm)");
+}
+
+TEST(ShardedMatcherTest, BuildPartitionsEverySubscription) {
+  const auto workload = workload::Generate(GnarlySpec(21)).value();
+  ShardedOptions options;
+  options.num_shards = 7;
+  options.num_threads = 2;
+  auto matcher = CreateShardedMatcher(MatcherKind::kAPcm, {}, options);
+  matcher->Build(workload.subscriptions);
+  size_t total = 0;
+  for (uint32_t s = 0; s < matcher->num_shards(); ++s) {
+    total += matcher->ShardSubscriptionCount(s);
+  }
+  EXPECT_EQ(total, workload.subscriptions.size());
+  EXPECT_GT(matcher->MemoryBytes(), 0u);
+}
+
+TEST(ShardedMatcherTest, IncrementalOpsRouteToOwningShardAndStayCorrect) {
+  const auto workload = workload::Generate(GnarlySpec(22)).value();
+  ShardedOptions options;
+  options.num_shards = 4;
+  options.num_threads = 1;
+  auto matcher = CreateShardedMatcher(MatcherKind::kAPcm, {}, options);
+  ASSERT_TRUE(matcher->CanApplyDeltas());
+
+  // Build over the first half; feed the second half incrementally, then
+  // remove every third subscription; compare with scan over the live set.
+  const size_t half = workload.subscriptions.size() / 2;
+  std::vector<BooleanExpression> base(workload.subscriptions.begin(),
+                                      workload.subscriptions.begin() + half);
+  matcher->Build(base);
+  for (size_t i = half; i < workload.subscriptions.size(); ++i) {
+    matcher->AddIncremental(workload.subscriptions[i]);
+  }
+  std::set<SubscriptionId> removed;
+  for (size_t i = 0; i < workload.subscriptions.size(); i += 3) {
+    const SubscriptionId id = workload.subscriptions[i].id();
+    ASSERT_TRUE(matcher->RemoveIncremental(id).ok());
+    removed.insert(id);
+  }
+  EXPECT_GT(matcher->DeltaFraction(), 0.0);
+  EXPECT_FALSE(matcher->RemoveIncremental(999'999).ok());
+
+  workload::Workload live;
+  for (const auto& sub : workload.subscriptions) {
+    if (!removed.contains(sub.id())) live.subscriptions.push_back(sub);
+  }
+  live.events = workload.events;
+  index::ScanMatcher scan;
+  const auto expected = RunMatcher(scan, live);
+  std::vector<SubscriptionId> matches;
+  for (size_t i = 0; i < live.events.size(); ++i) {
+    matcher->Match(live.events[i], &matches);
+    ASSERT_EQ(matches, expected[i]) << "event " << i;
+  }
+}
+
+TEST(ShardedMatcherTest, NewGenerationSharesCleanShardsAndRebuildsDirtyOne) {
+  const auto workload = workload::Generate(GnarlySpec(23)).value();
+  constexpr uint32_t kShards = 4;
+  ShardedOptions options;
+  options.num_shards = kShards;
+  options.num_threads = 1;
+  auto matcher = CreateShardedMatcher(MatcherKind::kAPcm, {}, options);
+  matcher->Build(workload.subscriptions);
+  for (uint32_t s = 0; s < kShards; ++s) {
+    matcher->set_shard_applied_seq(s, 10);
+  }
+
+  // Drop every subscription of shard 1 except the first two, then rebuild
+  // only shard 1 in a successor generation.
+  auto shard1_subs = std::make_shared<std::vector<BooleanExpression>>();
+  for (const auto& sub : workload.subscriptions) {
+    if (ShardedMatcher::ShardOf(sub.id(), kShards) == 1 &&
+        shard1_subs->size() < 2) {
+      shard1_subs->push_back(sub);
+    }
+  }
+  std::unique_ptr<ShardedMatcher> gen = matcher->NewGeneration();
+  gen->RebuildShard(1, shard1_subs, 20);
+  EXPECT_EQ(gen->shard_applied_seq(1), 20u);
+  EXPECT_EQ(gen->shard_applied_seq(0), 10u);  // shared watermark travels
+  EXPECT_EQ(gen->ShardSubscriptionCount(1), 2u);
+  EXPECT_EQ(gen->ShardSubscriptionCount(0),
+            matcher->ShardSubscriptionCount(0));
+
+  // The successor matches exactly the shrunken live set; scan is the oracle.
+  std::set<SubscriptionId> live_ids;
+  for (const auto& sub : *shard1_subs) live_ids.insert(sub.id());
+  workload::Workload live;
+  for (const auto& sub : workload.subscriptions) {
+    if (ShardedMatcher::ShardOf(sub.id(), kShards) != 1 ||
+        live_ids.contains(sub.id())) {
+      live.subscriptions.push_back(sub);
+    }
+  }
+  live.events = workload.events;
+  index::ScanMatcher scan;
+  const auto expected = RunMatcher(scan, live);
+  std::vector<SubscriptionId> matches;
+  for (size_t i = 0; i < live.events.size(); ++i) {
+    gen->Match(live.events[i], &matches);
+    ASSERT_EQ(matches, expected[i]) << "event " << i;
+  }
+}
+
+// Engine-level rebuild isolation. The engine publishes its first sharded
+// snapshot (every shard built once), then absorbs unsubscribe-heavy churn
+// targeted at ONE shard; the compaction that follows must rebuild exactly
+// that shard and carry the other three over untouched.
+TEST(ShardedEngineRebuildTest, ChurnOnOneShardRebuildsOnlyThatShard) {
+  constexpr uint32_t kShards = 4;
+  const auto workload =
+      workload::Generate(GnarlySpec(24)).value();
+
+  engine::EngineOptions options;
+  options.kind = MatcherKind::kAPcm;
+  options.num_shards = kShards;
+  options.shard_threads = 1;
+  options.matcher.pcm.clustering.cluster_size = 32;
+  options.batch_size = 8;
+  options.osr.window_size = 0;
+  options.buffer_capacity = 16;
+  options.incremental_rebuild_threshold = 0.25;
+
+  std::map<uint64_t, std::vector<SubscriptionId>> by_event;
+  engine::StreamEngine engine(
+      options,
+      [&](uint64_t event_id, const std::vector<SubscriptionId>& matches) {
+        by_event[event_id] = matches;
+      });
+  std::vector<SubscriptionId> ids;
+  for (const auto& sub : workload.subscriptions) {
+    auto id = engine.AddSubscription(sub.predicates());
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  // First round: the initial snapshot builds all four shards.
+  engine.Publish(workload.events[0]);
+  engine.Flush();
+  EXPECT_EQ(engine.stats().shard_rebuilds, kShards);
+  EXPECT_EQ(engine.stats().shard_rebuilds_skipped, 0u);
+
+  // Unsubscribe-heavy churn on one shard: remove 80% of its ids. The delta
+  // fraction of that shard alone crosses the threshold.
+  const uint32_t target = ShardedMatcher::ShardOf(ids[0], kShards);
+  std::vector<SubscriptionId> in_target;
+  for (SubscriptionId id : ids) {
+    if (ShardedMatcher::ShardOf(id, kShards) == target) {
+      in_target.push_back(id);
+    }
+  }
+  ASSERT_GT(in_target.size(), 4u);
+  std::set<SubscriptionId> removed;
+  for (size_t i = 0; i < in_target.size() * 4 / 5; ++i) {
+    ASSERT_TRUE(engine.RemoveSubscription(in_target[i]).ok());
+    removed.insert(in_target[i]);
+  }
+  engine.Publish(workload.events[1]);
+  engine.Flush();
+  // Exactly one compaction, rebuilding exactly the churned shard.
+  EXPECT_EQ(engine.stats().compactions, 1u);
+  EXPECT_EQ(engine.stats().shard_rebuilds, kShards + 1);
+  EXPECT_EQ(engine.stats().shard_rebuilds_skipped, kShards - 1);
+
+  // Second churn wave on a different shard isolates the same way.
+  const uint32_t second = (target + 1) % kShards;
+  std::vector<SubscriptionId> in_second;
+  for (SubscriptionId id : ids) {
+    if (ShardedMatcher::ShardOf(id, kShards) == second) {
+      in_second.push_back(id);
+    }
+  }
+  ASSERT_GT(in_second.size(), 4u);
+  for (size_t i = 0; i < in_second.size() * 4 / 5; ++i) {
+    ASSERT_TRUE(engine.RemoveSubscription(in_second[i]).ok());
+    removed.insert(in_second[i]);
+  }
+  engine.Publish(workload.events[2]);
+  engine.Flush();
+  EXPECT_EQ(engine.stats().compactions, 2u);
+  EXPECT_EQ(engine.stats().shard_rebuilds, kShards + 2);
+  EXPECT_EQ(engine.stats().shard_rebuilds_skipped, 2 * (kShards - 1));
+
+  // The counters are exported under their metric names.
+  const std::string text = engine::RenderPrometheus(engine.metrics_registry());
+  EXPECT_NE(text.find("apcm_shard_rebuilds_total " +
+                      std::to_string(kShards + 2)),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("apcm_shard_rebuilds_skipped_total " +
+                      std::to_string(2 * (kShards - 1))),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("apcm_shards 4"), std::string::npos) << text;
+
+  // And the surviving subscription set still matches exactly (engine ids
+  // equal workload indices, so scan over the live originals is the oracle).
+  workload::Workload live;
+  for (size_t i = 0; i < workload.subscriptions.size(); ++i) {
+    if (!removed.contains(ids[i])) {
+      live.subscriptions.push_back(workload.subscriptions[i]);
+    }
+  }
+  live.events = workload.events;
+  index::ScanMatcher scan;
+  const auto expected = RunMatcher(scan, live);
+  std::vector<uint64_t> probe_ids;
+  for (const Event& event : workload.events) {
+    probe_ids.push_back(engine.Publish(event));
+  }
+  engine.Flush();
+  for (size_t i = 0; i < workload.events.size(); ++i) {
+    ASSERT_EQ(by_event.at(probe_ids[i]), expected[i]) << "event " << i;
+  }
+}
+
+// With the incremental path disabled (threshold 0) every change forces a
+// snapshot build — but still only the shards owning changed ids re-index.
+TEST(ShardedEngineRebuildTest, ThresholdZeroRebuildsOnlyDirtyShards) {
+  constexpr uint32_t kShards = 4;
+  const auto workload = workload::Generate(GnarlySpec(25)).value();
+
+  engine::EngineOptions options;
+  options.kind = MatcherKind::kAPcm;
+  options.num_shards = kShards;
+  options.shard_threads = 1;
+  options.matcher.pcm.clustering.cluster_size = 32;
+  options.batch_size = 8;
+  options.osr.window_size = 0;
+  options.buffer_capacity = 16;
+  options.incremental_rebuild_threshold = 0;  // rebuild on every change
+
+  std::map<uint64_t, std::vector<SubscriptionId>> by_event;
+  engine::StreamEngine engine(
+      options,
+      [&](uint64_t event_id, const std::vector<SubscriptionId>& matches) {
+        by_event[event_id] = matches;
+      });
+  std::vector<SubscriptionId> ids;
+  for (const auto& sub : workload.subscriptions) {
+    auto id = engine.AddSubscription(sub.predicates());
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  engine.Publish(workload.events[0]);
+  engine.Flush();
+  EXPECT_EQ(engine.stats().shard_rebuilds, kShards);
+
+  // One removal dirties exactly one shard; the next round's rebuild must
+  // re-index that shard only.
+  ASSERT_TRUE(engine.RemoveSubscription(ids[5]).ok());
+  engine.Publish(workload.events[1]);
+  engine.Flush();
+  EXPECT_EQ(engine.stats().shard_rebuilds, kShards + 1);
+  EXPECT_EQ(engine.stats().shard_rebuilds_skipped, kShards - 1);
+  EXPECT_EQ(engine.stats().incremental_updates, 0u);
+
+  // The removed subscription no longer matches.
+  workload::Workload live;
+  for (size_t i = 0; i < workload.subscriptions.size(); ++i) {
+    if (i != 5) live.subscriptions.push_back(workload.subscriptions[i]);
+  }
+  live.events = workload.events;
+  index::ScanMatcher scan;
+  const auto expected = RunMatcher(scan, live);
+  std::vector<uint64_t> probe_ids;
+  for (const Event& event : workload.events) {
+    probe_ids.push_back(engine.Publish(event));
+  }
+  engine.Flush();
+  for (size_t i = 0; i < workload.events.size(); ++i) {
+    ASSERT_EQ(by_event.at(probe_ids[i]), expected[i]) << "event " << i;
+  }
+}
+
+}  // namespace
+}  // namespace apcm

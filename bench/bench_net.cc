@@ -1,0 +1,203 @@
+// C2: remote ingestion throughput. N publisher connections flood a loopback
+// EventServer through the wire protocol while one subscriber connection
+// drains MATCH frames; we measure aggregate acknowledged events/s and the
+// per-publish ACK round-trip latency (each Publish() is a full
+// request/response over TCP, so the percentiles bound what a synchronous
+// remote producer observes).
+//
+// The subscription load is synthetic — narrow single-attribute windows over
+// a 16-attribute space — sized so matching does real work (~2% selectivity
+// per subscription) without the matcher dominating the socket path.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/base/histogram.h"
+#include "src/base/macros.h"
+#include "src/base/rng.h"
+#include "src/be/parser.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+
+namespace apcm::bench {
+namespace {
+
+constexpr int kAttributes = 16;
+constexpr int kSubscriptions = 1000;
+constexpr int kEventPool = 2048;
+constexpr int64_t kDomain = 1000;
+
+/// "a3 between [412, 462]": a window of width 50 over one attribute, so
+/// each subscription matches ~5% of the values of an attribute that ~half
+/// of the events carry. Cycling the primary attribute guarantees every
+/// attribute name is registered by the server in a deterministic order.
+std::vector<std::string> MakeSubscriptionTexts(Rng& rng) {
+  std::vector<std::string> texts;
+  texts.reserve(kSubscriptions);
+  for (int i = 0; i < kSubscriptions; ++i) {
+    const int attr = i % kAttributes;
+    const int64_t lo = rng.UniformInt(0, kDomain - 51);
+    texts.push_back("a" + std::to_string(attr) + " between [" +
+                    std::to_string(lo) + ", " + std::to_string(lo + 50) + "]");
+  }
+  return texts;
+}
+
+/// Pre-built events carrying ~half of the attributes with uniform values.
+/// Parsed through `parser` so the attribute ids match the ones the server
+/// assigned while parsing the same subscription texts in the same order.
+std::vector<Event> MakeEventPool(Parser& parser, Rng& rng) {
+  std::vector<Event> events;
+  events.reserve(kEventPool);
+  for (int i = 0; i < kEventPool; ++i) {
+    std::string text;
+    for (int attr = 0; attr < kAttributes; ++attr) {
+      if (!rng.Bernoulli(0.5)) continue;
+      if (!text.empty()) text += ", ";
+      text += "a" + std::to_string(attr) + " = " +
+              std::to_string(rng.UniformInt(0, kDomain - 1));
+    }
+    if (text.empty()) text = "a0 = 0";
+    events.push_back(parser.ParseEvent(text).value());
+  }
+  return events;
+}
+
+struct NetResult {
+  double events_per_second = 0;
+  double seconds = 0;
+  uint64_t events_acked = 0;
+  uint64_t matches = 0;
+  Histogram publish_latency_ns;
+};
+
+NetResult RunConfig(int publishers, const std::vector<std::string>& subs,
+                    const std::vector<Event>& events, double budget_seconds) {
+  net::EventServerOptions options;
+  options.engine.batch_size = 256;
+  net::EventServer server(std::move(options));
+  APCM_CHECK(server.Start().ok());
+
+  net::Client subscriber;
+  APCM_CHECK(subscriber.Connect("127.0.0.1", server.port()).ok());
+  for (size_t i = 0; i < subs.size(); ++i) {
+    APCM_CHECK(subscriber.Subscribe(i, subs[i]).ok());
+  }
+  std::atomic<uint64_t> matches{0};
+  std::thread drainer([&] {
+    while (true) {
+      auto match = subscriber.PollMatch(/*timeout_ms=*/20);
+      if (!match.ok()) break;  // server closed the connection after Stop()
+      if (match.value().has_value()) {
+        matches.fetch_add(match.value()->sub_ids.size(),
+                          std::memory_order_relaxed);
+      }
+    }
+  });
+
+  std::vector<Histogram> latencies(publishers);
+  std::vector<uint64_t> acked(publishers, 0);
+  std::vector<std::thread> threads;
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration<double>(budget_seconds);
+  for (int p = 0; p < publishers; ++p) {
+    threads.emplace_back([&, p] {
+      net::Client publisher;
+      APCM_CHECK(publisher.Connect("127.0.0.1", server.port()).ok());
+      size_t next = static_cast<size_t>(p);
+      while (std::chrono::steady_clock::now() < deadline) {
+        const auto t0 = std::chrono::steady_clock::now();
+        auto id = publisher.Publish(events[next % events.size()]);
+        APCM_CHECK(id.ok());
+        latencies[p].Record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count());
+        ++acked[p];
+        ++next;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  // Stop() drains the engine and flushes every MATCH before closing, so the
+  // drainer exits only after the last owed notification arrived.
+  server.Stop();
+  drainer.join();
+
+  NetResult result;
+  result.seconds = seconds;
+  for (int p = 0; p < publishers; ++p) {
+    result.events_acked += acked[p];
+    result.publish_latency_ns.Merge(latencies[p]);
+  }
+  result.events_per_second = result.events_acked / seconds;
+  result.matches = matches.load();
+  return result;
+}
+
+void Run(BenchJsonWriter& json) {
+  std::printf("C2: remote ingestion — publisher connections over loopback\n");
+  std::printf("    %d subscriptions, %d-attribute events, %.1fs per config\n\n",
+              kSubscriptions, kAttributes, TimeBudgetSeconds());
+
+  Rng rng(20260806);
+  const std::vector<std::string> subs = MakeSubscriptionTexts(rng);
+  Catalog catalog;
+  Parser parser(&catalog);
+  for (size_t i = 0; i < subs.size(); ++i) {
+    parser.ParseExpression(i, subs[i]).value();
+  }
+  const std::vector<Event> events = MakeEventPool(parser, rng);
+
+  const std::vector<int> lineups =
+      FullScale() ? std::vector<int>{1, 2, 4, 8} : std::vector<int>{1, 2, 4};
+  TablePrinter table({"publishers", "events/s", "ack p50 us", "ack p99 us",
+                      "events", "matches"});
+  for (int publishers : lineups) {
+    const NetResult result =
+        RunConfig(publishers, subs, events, TimeBudgetSeconds());
+    const double p50_ns =
+        static_cast<double>(result.publish_latency_ns.ValueAtQuantile(0.5));
+    const double p99_ns =
+        static_cast<double>(result.publish_latency_ns.ValueAtQuantile(0.99));
+    table.AddRow({std::to_string(publishers), Rate(result.events_per_second),
+                  Fixed(p50_ns / 1e3, 1), Fixed(p99_ns / 1e3, 1),
+                  std::to_string(result.events_acked),
+                  std::to_string(result.matches)});
+    json.Add({.bench = "bench_net",
+              .config = "publishers=" + std::to_string(publishers),
+              .throughput = result.events_per_second,
+              .p50_ns = p50_ns,
+              .p99_ns = p99_ns,
+              .metrics = {{"events_acked",
+                           static_cast<double>(result.events_acked)},
+                          {"matches", static_cast<double>(result.matches)},
+                          {"seconds", result.seconds}}});
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\nnote: each Publish() is a synchronous ACK round trip, so single-"
+      "connection throughput is latency-bound; added connections pipeline "
+      "independent round trips into the same engine.\n");
+}
+
+}  // namespace
+}  // namespace apcm::bench
+
+int main(int argc, char** argv) {
+  apcm::bench::BenchJsonWriter json =
+      apcm::bench::BenchJsonWriter::FromArgs(argc, argv);
+  apcm::bench::Run(json);
+  return json.Finish() ? 0 : 1;
+}

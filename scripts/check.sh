@@ -26,7 +26,7 @@ run_tsan() {
     -DAPCM_BUILD_EXAMPLES=OFF
   cmake --build "${build_dir}" --target \
     engine_concurrent_test thread_pool_test metrics_test \
-    matcher_agreement_test
+    matcher_agreement_test net_server_test
   local repeat="${APCM_TSAN_REPEAT:-50}"
   TSAN_OPTIONS="halt_on_error=1" \
     "./${build_dir}/tests/engine_concurrent_test" \
@@ -43,6 +43,12 @@ run_tsan() {
   TSAN_OPTIONS="halt_on_error=1" \
     "./${build_dir}/tests/matcher_agreement_test" \
     --gtest_filter='*Sharded*' --gtest_repeat=2 --gtest_brief=1
+  # The network stack end-to-end (I/O thread + pump thread + match-callback
+  # fan-out + Stop drain) under TSan. The suite floods sockets, so a few
+  # full passes give plenty of interleavings.
+  TSAN_OPTIONS="halt_on_error=1" \
+    "./${build_dir}/tests/net_server_test" \
+    --gtest_repeat=3 --gtest_brief=1
   echo "TSAN CHECKS PASSED (${repeat} iterations)"
 }
 

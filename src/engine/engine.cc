@@ -16,7 +16,11 @@ namespace apcm::engine {
 namespace {
 
 EngineOptions NormalizeOptions(EngineOptions options) {
-  APCM_CHECK(options.batch_size >= 1);
+  const Status valid = ValidateEngineOptions(options);
+  if (!valid.ok()) {
+    LogError("invalid EngineOptions", {{"error", valid.ToString()}});
+  }
+  APCM_CHECK(valid.ok());
   options.num_shards = std::max(1u, options.num_shards);
   // A window must fit in the buffer or it could never fill.
   options.buffer_capacity = std::max(
@@ -28,6 +32,33 @@ EngineOptions NormalizeOptions(EngineOptions options) {
 }
 
 }  // namespace
+
+Status ValidateEngineOptions(const EngineOptions& options) {
+  if (options.batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  if (options.num_shards == 0 && options.shard_threads != 0) {
+    return Status::InvalidArgument(
+        "num_shards == 0 with shard_threads configured: sharding was "
+        "requested over zero shards");
+  }
+  if (options.shard_threads < 0) {
+    return Status::InvalidArgument("shard_threads must be >= 0");
+  }
+  // Mirror NormalizeOptions: the working buffer grows to hold a full OSR
+  // window and at least one batch.
+  const uint32_t effective_buffer = std::max(
+      {options.buffer_capacity, options.osr.window_size, options.batch_size});
+  if (options.queue_capacity != 0 &&
+      options.queue_capacity < effective_buffer) {
+    return Status::InvalidArgument(
+        "queue_capacity (" + std::to_string(options.queue_capacity) +
+        ") is smaller than the effective buffer_capacity (" +
+        std::to_string(effective_buffer) +
+        "); the buffer could never fill, so rounds would only run on Flush");
+  }
+  return Status::OK();
+}
 
 StreamEngine::StreamEngine(EngineOptions options, MatchCallback callback)
     : options_(NormalizeOptions(std::move(options))),
@@ -153,6 +184,21 @@ void StreamEngine::StartAdminServer() {
   });
   admin_->Handle("/trace", [this] {
     return AdminResponse{200, "application/json", trace_.ToJson()};
+  });
+  admin_->Handle("/subscriptions", [this] {
+    const std::vector<size_t> shards = SubscriptionShardCounts();
+    size_t conjunctions = 0;
+    for (size_t count : shards) conjunctions += count;
+    std::string body = "{\"total\":" + std::to_string(num_subscriptions()) +
+                       ",\"conjunctions\":" + std::to_string(conjunctions) +
+                       ",\"num_shards\":" + std::to_string(shards.size()) +
+                       ",\"per_shard\":[";
+    for (size_t i = 0; i < shards.size(); ++i) {
+      if (i > 0) body += ',';
+      body += std::to_string(shards[i]);
+    }
+    body += "]}\n";
+    return AdminResponse{200, "application/json", std::move(body)};
   });
   admin_->Handle("/healthz", [] {
     return AdminResponse{200, "text/plain; charset=utf-8", "ok\n"};
@@ -334,6 +380,17 @@ size_t StreamEngine::num_subscriptions() const {
   // Every tombstone still occupies a master slot until a covering snapshot
   // publishes and prunes both together, so the difference is exact.
   return subscriptions_.size() - tombstones_.size();
+}
+
+std::vector<size_t> StreamEngine::SubscriptionShardCounts() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  std::vector<size_t> counts(std::max(1u, options_.num_shards), 0);
+  for (const BooleanExpression& sub : subscriptions_) {
+    if (tombstones_.contains(sub.id())) continue;
+    ++counts[index::ShardedMatcher::ShardOf(
+        sub.id(), static_cast<uint32_t>(counts.size()))];
+  }
+  return counts;
 }
 
 const MatcherStats* StreamEngine::matcher_stats() const {

@@ -95,9 +95,10 @@ struct EngineOptions {
   /// remainder.
   uint32_t buffer_capacity = 1024;
   /// Hard bound of the publish queue; 0 sizes it at 2 * buffer_capacity.
-  /// Publishing into a full queue applies `backpressure`. Configure it
-  /// >= buffer_capacity unless you want purely manual (Flush-driven) flow
-  /// control.
+  /// Publishing into a full queue applies `backpressure`. A nonzero value
+  /// below the (effective) buffer_capacity is rejected by
+  /// ValidateEngineOptions: the buffer could then never fill, so automatic
+  /// round triggering would silently degrade to Flush-driven flow control.
   uint32_t queue_capacity = 0;
   /// Behavior of Publish/TryPublish on a full queue.
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
@@ -135,6 +136,17 @@ struct EngineOptions {
   /// the ring keeps the most recent spans). 0 disables tracing.
   uint32_t trace_capacity = 4096;
 };
+
+/// Rejects nonsensical engine configurations instead of letting them
+/// silently misbehave: a zero batch_size (no round could ever match
+/// anything), sharding requested over zero shards (num_shards == 0 with
+/// shard worker threads configured), a negative shard_threads, and a
+/// nonzero queue_capacity smaller than the effective buffer_capacity
+/// (max of buffer_capacity, osr.window_size, batch_size — the queue could
+/// then never reach the round trigger). StreamEngine construction
+/// CHECK-fails on an invalid config; call this first to surface the error
+/// as a Status.
+Status ValidateEngineOptions(const EngineOptions& options);
 
 /// End-to-end streaming facade over the matchers: manages the subscription
 /// set (with incremental add/remove and background snapshot rebuilds),
@@ -230,6 +242,12 @@ class StreamEngine {
 
   /// Number of live (non-removed) subscriptions.
   size_t num_subscriptions() const;
+
+  /// Live subscriptions per matcher shard (index::ShardedMatcher::ShardOf
+  /// hash partitioning; a single element when unsharded). Sums to
+  /// num_subscriptions() plus any extra DNF disjuncts. Powers the admin
+  /// server's /subscriptions endpoint.
+  std::vector<size_t> SubscriptionShardCounts() const;
 
   /// Counters. Every field — scalars and histograms — is safe to read at
   /// any time from any thread (see EngineStats).

@@ -1,0 +1,212 @@
+#include "src/net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace apcm::net {
+
+namespace {
+
+std::string Errno(const char* what) {
+  return std::string(what) + ": " + strerror(errno);
+}
+
+}  // namespace
+
+Status Client::Connect(const std::string& host, int port) {
+  if (fd_ >= 0) {
+    return Status::FailedPrecondition("client is already connected");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError(Errno("socket"));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::IOError(Errno("connect"));
+    ::close(fd);
+    return status;
+  }
+  // The protocol is request/response per connection; Nagle would add 40ms
+  // stalls between a small request frame and its ACK.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  fd_ = fd;
+  decoder_.Reset();
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::Broken(Status status) {
+  Close();
+  return status;
+}
+
+Status Client::SendFrame(const Frame& frame) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  const std::string wire = EncodeFrame(frame);
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Broken(Status::IOError(Errno("send")));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> Client::FillBuffer(int timeout_ms) {
+  pollfd pfd{fd_, POLLIN, 0};
+  for (;;) {
+    int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Broken(Status::IOError(Errno("poll")));
+    }
+    if (ready == 0) return false;
+    break;
+  }
+  char buf[16 * 1024];
+  for (;;) {
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Broken(Status::IOError(Errno("recv")));
+    }
+    if (n == 0) {
+      return Broken(Status::IOError("connection closed by server"));
+    }
+    decoder_.Append(buf, static_cast<size_t>(n));
+    return true;
+  }
+}
+
+StatusOr<Frame> Client::AwaitResponse(uint64_t seq) {
+  for (;;) {
+    APCM_ASSIGN_OR_RETURN(std::optional<Frame> next, decoder_.Next());
+    if (!next.has_value()) {
+      // Block until bytes arrive: a request is outstanding, so the server
+      // owes us a response frame.
+      APCM_ASSIGN_OR_RETURN(bool got, FillBuffer(/*timeout_ms=*/-1));
+      (void)got;  // poll with a negative timeout only returns ready
+      continue;
+    }
+    Frame frame = std::move(*next);
+    switch (frame.type) {
+      case FrameType::kMatch:
+        pending_matches_.push_back(
+            Match{frame.event_id, std::move(frame.matches)});
+        continue;
+      case FrameType::kAck:
+      case FrameType::kPong:
+        if (frame.seq != seq) {
+          return Broken(Status::Internal(
+              "response out of order: expected seq " + std::to_string(seq) +
+              ", got " + std::to_string(frame.seq)));
+        }
+        return frame;
+      case FrameType::kError:
+        if (frame.seq != seq) {
+          return Broken(Status::Internal(
+              "response out of order: expected seq " + std::to_string(seq) +
+              ", got " + std::to_string(frame.seq)));
+        }
+        if (frame.code == StatusCode::kOk) {
+          return Broken(Status::Internal("ERROR frame carried an OK code"));
+        }
+        // A request-level error: the connection stays usable.
+        return Status(frame.code, std::move(frame.message));
+      default:
+        return Broken(Status::Internal(
+            std::string("unexpected ") + std::string(FrameTypeName(frame.type)) +
+            " frame from server"));
+    }
+  }
+}
+
+StatusOr<uint64_t> Client::Publish(const Event& event) {
+  Frame frame;
+  frame.type = FrameType::kPublish;
+  frame.seq = next_seq_++;
+  frame.event = event;
+  APCM_RETURN_NOT_OK(SendFrame(frame));
+  APCM_ASSIGN_OR_RETURN(Frame ack, AwaitResponse(frame.seq));
+  return ack.value;
+}
+
+Status Client::Subscribe(uint64_t sub_id, const std::string& expression) {
+  Frame frame;
+  frame.type = FrameType::kSubscribe;
+  frame.seq = next_seq_++;
+  frame.sub_id = sub_id;
+  frame.expression = expression;
+  APCM_RETURN_NOT_OK(SendFrame(frame));
+  return AwaitResponse(frame.seq).status();
+}
+
+Status Client::Unsubscribe(uint64_t sub_id) {
+  Frame frame;
+  frame.type = FrameType::kUnsubscribe;
+  frame.seq = next_seq_++;
+  frame.sub_id = sub_id;
+  APCM_RETURN_NOT_OK(SendFrame(frame));
+  return AwaitResponse(frame.seq).status();
+}
+
+Status Client::Ping() {
+  Frame frame;
+  frame.type = FrameType::kPing;
+  frame.seq = next_seq_++;
+  APCM_RETURN_NOT_OK(SendFrame(frame));
+  return AwaitResponse(frame.seq).status();
+}
+
+StatusOr<std::optional<Client::Match>> Client::PollMatch(int timeout_ms) {
+  for (;;) {
+    if (!pending_matches_.empty()) {
+      Match match = std::move(pending_matches_.front());
+      pending_matches_.pop_front();
+      return std::optional<Match>(std::move(match));
+    }
+    // Drain complete frames already buffered before touching the socket.
+    APCM_ASSIGN_OR_RETURN(std::optional<Frame> next, decoder_.Next());
+    if (next.has_value()) {
+      if (next->type != FrameType::kMatch) {
+        return Broken(Status::Internal(
+            std::string("unexpected ") +
+            std::string(FrameTypeName(next->type)) +
+            " frame with no request outstanding"));
+      }
+      pending_matches_.push_back(Match{next->event_id, std::move(next->matches)});
+      continue;
+    }
+    if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+    APCM_ASSIGN_OR_RETURN(bool got, FillBuffer(timeout_ms));
+    if (!got) return std::optional<Match>();
+  }
+}
+
+}  // namespace apcm::net

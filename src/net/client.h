@@ -1,0 +1,90 @@
+#ifndef APCM_NET_CLIENT_H_
+#define APCM_NET_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/be/event.h"
+#include "src/net/frame.h"
+
+namespace apcm::net {
+
+/// Blocking client for the EventServer frame protocol. One TCP connection,
+/// one outstanding request at a time: every request method sends a frame and
+/// waits for the ACK/ERROR/PONG echoing its sequence number. MATCH frames
+/// are unsolicited — any that arrive while waiting for a response are queued
+/// and handed out by PollMatch().
+///
+/// Not thread-safe: confine a Client to one thread (tests and benchmarks
+/// open one Client per worker thread instead of sharing).
+class Client {
+ public:
+  /// A MATCH notification: one published event matched `sub_ids` (the
+  /// client-chosen ids passed to Subscribe, ascending).
+  struct Match {
+    uint64_t event_id = 0;
+    std::vector<uint64_t> sub_ids;
+  };
+
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Opens a TCP connection to host:port. FailedPrecondition if already
+  /// connected, IOError on socket/connect failure.
+  Status Connect(const std::string& host, int port);
+
+  /// Closes the connection (idempotent). Queued matches are kept.
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Publishes `event`; returns the server-assigned event id from the ACK.
+  StatusOr<uint64_t> Publish(const Event& event);
+
+  /// Registers `expression` (Parser grammar) under the client-chosen
+  /// `sub_id`; MATCH notifications echo that id. The server rejects a
+  /// duplicate id on this connection with AlreadyExists.
+  Status Subscribe(uint64_t sub_id, const std::string& expression);
+
+  /// Removes the subscription registered under `sub_id`.
+  Status Unsubscribe(uint64_t sub_id);
+
+  /// Round-trips a PING; proves the connection and the server's I/O loop
+  /// are alive.
+  Status Ping();
+
+  /// Returns the next queued MATCH, waiting up to `timeout_ms` for one to
+  /// arrive (0 = only drain what is already buffered; negative = wait
+  /// indefinitely). std::nullopt on timeout, IOError if the connection
+  /// breaks.
+  StatusOr<std::optional<Match>> PollMatch(int timeout_ms);
+
+ private:
+  /// Writes the entire wire encoding of `frame` to the socket.
+  Status SendFrame(const Frame& frame);
+  /// Reads frames until the response (ACK/ERROR/PONG) echoing `seq`
+  /// arrives; MATCH frames seen along the way are queued. An ERROR response
+  /// is surfaced as its carried Status.
+  StatusOr<Frame> AwaitResponse(uint64_t seq);
+  /// Reads one recv() worth of bytes into the decoder, blocking up to
+  /// `timeout_ms` (negative = indefinitely). Returns false on timeout.
+  StatusOr<bool> FillBuffer(int timeout_ms);
+  /// Fails the connection: closes the socket and returns `status`.
+  Status Broken(Status status);
+
+  int fd_ = -1;
+  uint64_t next_seq_ = 1;
+  FrameDecoder decoder_;
+  std::deque<Match> pending_matches_;
+};
+
+}  // namespace apcm::net
+
+#endif  // APCM_NET_CLIENT_H_

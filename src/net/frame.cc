@@ -1,0 +1,335 @@
+#include "src/net/frame.h"
+
+#include <cstring>
+
+#include "src/base/macros.h"
+
+// Payload layouts (all integers little-endian; i64 values are encoded as
+// their two's-complement u64 image):
+//
+//   kPublish      u64 seq, u32 count, count x (u32 attr, i64 value);
+//                 entries strictly ascending by attr
+//   kSubscribe    u64 seq, u64 sub_id, u32 len, len bytes of expression text
+//   kUnsubscribe  u64 seq, u64 sub_id
+//   kMatch        u64 event_id, u32 count, count x u64 client sub id
+//   kAck          u64 seq, u64 value
+//   kError        u64 seq, u32 status code, u32 len, len bytes of message
+//   kPing, kPong  u64 seq
+//
+// Every payload must be consumed exactly: trailing bytes are a framing
+// error, so a length-vs-content mismatch cannot smuggle data past the cap.
+
+namespace apcm::net {
+
+namespace {
+
+void AppendU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendI64(std::string* out, int64_t v) {
+  AppendU64(out, static_cast<uint64_t>(v));
+}
+
+/// Bounds-checked little-endian reader over one frame payload.
+class Cursor {
+ public:
+  Cursor(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool ReadU32(uint32_t* v) {
+    if (size_ - pos_ < 4) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    if (size_ - pos_ < 8) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool ReadI64(int64_t* v) {
+    uint64_t u = 0;
+    if (!ReadU64(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+
+  bool ReadBytes(size_t n, std::string* out) {
+    if (size_ - pos_ < n) return false;
+    out->assign(data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+Status Malformed(FrameType type, const char* what) {
+  return Status::InvalidArgument(std::string("malformed ") +
+                                 std::string(FrameTypeName(type)) +
+                                 " frame: " + what);
+}
+
+StatusOr<Frame> DecodePayload(FrameType type, const char* data, size_t size) {
+  Frame frame;
+  frame.type = type;
+  Cursor cursor(data, size);
+  switch (type) {
+    case FrameType::kPublish: {
+      uint32_t count = 0;
+      if (!cursor.ReadU64(&frame.seq) || !cursor.ReadU32(&count)) {
+        return Malformed(type, "short header");
+      }
+      if (cursor.remaining() != size_t{count} * 12) {
+        return Malformed(type, "entry count disagrees with payload length");
+      }
+      std::vector<Event::Entry> entries;
+      entries.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        Event::Entry entry;
+        if (!cursor.ReadU32(&entry.attr) || !cursor.ReadI64(&entry.value)) {
+          return Malformed(type, "short entry");
+        }
+        if (!entries.empty() && entry.attr <= entries.back().attr) {
+          return Malformed(type, "entries not strictly ascending by attr");
+        }
+        entries.push_back(entry);
+      }
+      frame.event = Event::FromSorted(std::move(entries));
+      break;
+    }
+    case FrameType::kSubscribe: {
+      uint32_t len = 0;
+      if (!cursor.ReadU64(&frame.seq) || !cursor.ReadU64(&frame.sub_id) ||
+          !cursor.ReadU32(&len)) {
+        return Malformed(type, "short header");
+      }
+      if (!cursor.ReadBytes(len, &frame.expression)) {
+        return Malformed(type, "short expression text");
+      }
+      break;
+    }
+    case FrameType::kUnsubscribe:
+      if (!cursor.ReadU64(&frame.seq) || !cursor.ReadU64(&frame.sub_id)) {
+        return Malformed(type, "short payload");
+      }
+      break;
+    case FrameType::kMatch: {
+      uint32_t count = 0;
+      if (!cursor.ReadU64(&frame.event_id) || !cursor.ReadU32(&count)) {
+        return Malformed(type, "short header");
+      }
+      if (cursor.remaining() != size_t{count} * 8) {
+        return Malformed(type, "match count disagrees with payload length");
+      }
+      frame.matches.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        uint64_t id = 0;
+        cursor.ReadU64(&id);
+        frame.matches.push_back(id);
+      }
+      break;
+    }
+    case FrameType::kAck:
+      if (!cursor.ReadU64(&frame.seq) || !cursor.ReadU64(&frame.value)) {
+        return Malformed(type, "short payload");
+      }
+      break;
+    case FrameType::kError: {
+      uint32_t code = 0;
+      uint32_t len = 0;
+      if (!cursor.ReadU64(&frame.seq) || !cursor.ReadU32(&code) ||
+          !cursor.ReadU32(&len)) {
+        return Malformed(type, "short header");
+      }
+      if (code > static_cast<uint32_t>(StatusCode::kResourceExhausted)) {
+        return Malformed(type, "unknown status code");
+      }
+      frame.code = static_cast<StatusCode>(code);
+      if (!cursor.ReadBytes(len, &frame.message)) {
+        return Malformed(type, "short message text");
+      }
+      break;
+    }
+    case FrameType::kPing:
+    case FrameType::kPong:
+      if (!cursor.ReadU64(&frame.seq)) {
+        return Malformed(type, "short payload");
+      }
+      break;
+  }
+  if (cursor.remaining() != 0) {
+    return Malformed(type, "trailing bytes in payload");
+  }
+  return frame;
+}
+
+}  // namespace
+
+std::string_view FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kPublish:
+      return "publish";
+    case FrameType::kSubscribe:
+      return "subscribe";
+    case FrameType::kUnsubscribe:
+      return "unsubscribe";
+    case FrameType::kMatch:
+      return "match";
+    case FrameType::kAck:
+      return "ack";
+    case FrameType::kError:
+      return "error";
+    case FrameType::kPing:
+      return "ping";
+    case FrameType::kPong:
+      return "pong";
+  }
+  return "unknown";
+}
+
+std::string EncodeFrame(const Frame& frame, size_t max_payload) {
+  std::string payload;
+  switch (frame.type) {
+    case FrameType::kPublish:
+      AppendU64(&payload, frame.seq);
+      AppendU32(&payload, static_cast<uint32_t>(frame.event.size()));
+      for (const Event::Entry& entry : frame.event.entries()) {
+        AppendU32(&payload, entry.attr);
+        AppendI64(&payload, entry.value);
+      }
+      break;
+    case FrameType::kSubscribe:
+      AppendU64(&payload, frame.seq);
+      AppendU64(&payload, frame.sub_id);
+      AppendU32(&payload, static_cast<uint32_t>(frame.expression.size()));
+      payload += frame.expression;
+      break;
+    case FrameType::kUnsubscribe:
+      AppendU64(&payload, frame.seq);
+      AppendU64(&payload, frame.sub_id);
+      break;
+    case FrameType::kMatch:
+      AppendU64(&payload, frame.event_id);
+      AppendU32(&payload, static_cast<uint32_t>(frame.matches.size()));
+      for (uint64_t id : frame.matches) AppendU64(&payload, id);
+      break;
+    case FrameType::kAck:
+      AppendU64(&payload, frame.seq);
+      AppendU64(&payload, frame.value);
+      break;
+    case FrameType::kError:
+      AppendU64(&payload, frame.seq);
+      AppendU32(&payload, static_cast<uint32_t>(frame.code));
+      AppendU32(&payload, static_cast<uint32_t>(frame.message.size()));
+      payload += frame.message;
+      break;
+    case FrameType::kPing:
+    case FrameType::kPong:
+      AppendU64(&payload, frame.seq);
+      break;
+  }
+  APCM_CHECK(payload.size() <= max_payload);
+
+  std::string wire;
+  wire.reserve(kFrameHeaderBytes + payload.size());
+  AppendU32(&wire, kFrameMagic);
+  wire.push_back(static_cast<char>(kProtocolVersion));
+  wire.push_back(static_cast<char>(frame.type));
+  AppendU16(&wire, 0);  // reserved
+  AppendU32(&wire, static_cast<uint32_t>(payload.size()));
+  wire += payload;
+  return wire;
+}
+
+void FrameDecoder::Append(const char* data, size_t size) {
+  if (failed()) return;  // the stream is already dead; drop the bytes
+  buffer_.append(data, size);
+}
+
+StatusOr<std::optional<Frame>> FrameDecoder::Next() {
+  if (failed()) return stream_status_;
+  // Compact the consumed prefix once it dominates the buffer, so a
+  // long-lived connection's buffer does not grow without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const char* data = buffer_.data() + consumed_;
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return std::optional<Frame>();
+
+  Cursor header(data, kFrameHeaderBytes);
+  uint32_t magic = 0;
+  header.ReadU32(&magic);
+  if (magic != kFrameMagic) {
+    stream_status_ = Status::InvalidArgument("bad frame magic");
+    return stream_status_;
+  }
+  const uint8_t version = static_cast<uint8_t>(data[4]);
+  if (version != kProtocolVersion) {
+    stream_status_ = Status::InvalidArgument(
+        "unsupported protocol version " + std::to_string(version));
+    return stream_status_;
+  }
+  const uint8_t raw_type = static_cast<uint8_t>(data[5]);
+  if (raw_type < static_cast<uint8_t>(FrameType::kPublish) ||
+      raw_type > static_cast<uint8_t>(FrameType::kPong)) {
+    stream_status_ = Status::InvalidArgument("unknown frame type " +
+                                             std::to_string(raw_type));
+    return stream_status_;
+  }
+  if (data[6] != 0 || data[7] != 0) {
+    stream_status_ = Status::InvalidArgument("nonzero reserved frame bits");
+    return stream_status_;
+  }
+  uint32_t length = 0;
+  Cursor(data + 8, 4).ReadU32(&length);
+  if (length > max_payload_) {
+    stream_status_ = Status::InvalidArgument(
+        "frame payload of " + std::to_string(length) +
+        " bytes exceeds the " + std::to_string(max_payload_) + " byte cap");
+    return stream_status_;
+  }
+  if (available < kFrameHeaderBytes + length) return std::optional<Frame>();
+
+  StatusOr<Frame> decoded = DecodePayload(static_cast<FrameType>(raw_type),
+                                          data + kFrameHeaderBytes, length);
+  if (!decoded.ok()) {
+    stream_status_ = decoded.status();
+    return stream_status_;
+  }
+  consumed_ += kFrameHeaderBytes + length;
+  return std::optional<Frame>(std::move(decoded).value());
+}
+
+}  // namespace apcm::net

@@ -1,0 +1,128 @@
+#ifndef APCM_NET_FRAME_H_
+#define APCM_NET_FRAME_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/be/event.h"
+
+namespace apcm::net {
+
+/// Wire message types of the event-ingestion protocol (DESIGN.md §3.8).
+/// PUBLISH/SUBSCRIBE/UNSUBSCRIBE/PING travel client -> server;
+/// MATCH/ACK/ERROR/PONG travel server -> client.
+enum class FrameType : uint8_t {
+  kPublish = 1,      ///< seq + serialized event; ACK carries the event id
+  kSubscribe = 2,    ///< seq + client-chosen sub id + expression text
+  kUnsubscribe = 3,  ///< seq + client-chosen sub id
+  kMatch = 4,        ///< event id + matching client sub ids (unsolicited)
+  kAck = 5,          ///< echoes a request's seq; value is request-specific
+  kError = 6,        ///< echoes a request's seq + Status code and message
+  kPing = 7,         ///< seq; the peer answers PONG with the same seq
+  kPong = 8,         ///< seq echoed from PING
+};
+
+/// Canonical lower-case name ("publish", "ack", ...) for logs and errors.
+std::string_view FrameTypeName(FrameType type);
+
+/// Protocol constants. Every integer on the wire is little-endian, encoded
+/// byte-by-byte (the codec never reinterprets host memory), so the format is
+/// identical across endiannesses.
+///
+/// Frame layout:
+///   u32 magic      "APCM" (0x41 0x50 0x43 0x4D on the wire)
+///   u8  version    kProtocolVersion
+///   u8  type       FrameType
+///   u16 reserved   must be zero
+///   u32 length     payload bytes that follow (<= max_payload)
+///   ... payload, layout per FrameType (see frame.cc)
+inline constexpr uint32_t kFrameMagic = 0x4D435041;  // "APCM" little-endian
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 12;
+/// Default per-frame payload cap: large enough for any realistic event or
+/// match list, small enough that a corrupted length field cannot drive a
+/// huge allocation.
+inline constexpr size_t kMaxPayloadBytes = 1 << 20;
+
+/// One decoded protocol message. A tagged struct rather than a class
+/// hierarchy: only the fields relevant to `type` are meaningful (the
+/// per-type payload layouts are documented in frame.cc).
+struct Frame {
+  FrameType type = FrameType::kPing;
+  /// Request correlation id, chosen by the sender of a request frame and
+  /// echoed verbatim in the matching ACK/ERROR/PONG. Present in every type
+  /// except kMatch.
+  uint64_t seq = 0;
+  /// kPublish: the event being published.
+  Event event;
+  /// kSubscribe / kUnsubscribe: the client-chosen subscription id that MATCH
+  /// notifications for this subscription will carry.
+  uint64_t sub_id = 0;
+  /// kSubscribe: expression text in the Parser grammar (conjunctions joined
+  /// by "and", disjunctions by "or").
+  std::string expression;
+  /// kMatch: the engine-assigned id of the matched event.
+  uint64_t event_id = 0;
+  /// kMatch: the subscribing connection's client-chosen sub ids that
+  /// matched, ascending.
+  std::vector<uint64_t> matches;
+  /// kAck: request-specific result (PUBLISH: assigned event id; SUBSCRIBE:
+  /// engine-assigned subscription id; UNSUBSCRIBE: 0).
+  uint64_t value = 0;
+  /// kError: machine-readable status code + human-readable message.
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+};
+
+/// Serializes `frame` into its wire representation. CHECK-fails if the
+/// payload would exceed `max_payload` (callers own sizing; the protocol cap
+/// exists to bound the *decoder*).
+std::string EncodeFrame(const Frame& frame, size_t max_payload = kMaxPayloadBytes);
+
+/// Incremental frame parser over an arbitrary re-chunking of the byte
+/// stream: Append() bytes as they arrive from the socket, then call Next()
+/// until it yields no frame. Frames split at any offset reassemble
+/// correctly. A malformed stream (bad magic, unknown version or type,
+/// nonzero reserved bits, oversized or short payload) is fatal for the
+/// whole stream: Next() returns an error Status and every later call
+/// returns the same error — a byte stream cannot be resynchronized after a
+/// framing error, so the connection must be dropped.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload = kMaxPayloadBytes)
+      : max_payload_(max_payload) {}
+
+  /// Buffers `size` bytes from the stream.
+  void Append(const char* data, size_t size);
+
+  /// Discards buffered bytes and clears a sticky framing error, readying
+  /// the decoder for a fresh stream (e.g. a client reconnect).
+  void Reset() {
+    buffer_.clear();
+    consumed_ = 0;
+    stream_status_ = Status::OK();
+  }
+
+  /// Returns the next complete frame, std::nullopt when more bytes are
+  /// needed, or an error Status on a malformed stream.
+  StatusOr<std::optional<Frame>> Next();
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+  /// True once a framing error has been returned; the stream is dead.
+  bool failed() const { return !stream_status_.ok(); }
+
+ private:
+  const size_t max_payload_;
+  std::string buffer_;
+  size_t consumed_ = 0;  ///< prefix of buffer_ already parsed
+  Status stream_status_;
+};
+
+}  // namespace apcm::net
+
+#endif  // APCM_NET_FRAME_H_

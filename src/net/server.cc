@@ -1,0 +1,612 @@
+#include "src/net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "src/base/logging.h"
+#include "src/base/macros.h"
+
+namespace apcm::net {
+
+namespace {
+
+/// Idle poll interval. Most wakeups come through the self-pipe (writes to
+/// flush, a finished engine drain); the timeout only bounds how stale a
+/// parked publish's retry can get if a wakeup is lost.
+constexpr int kPollIntervalMs = 20;
+/// Per-connection read budget per loop pass, so one firehose connection
+/// cannot starve the others.
+constexpr size_t kReadBudgetBytes = 256 * 1024;
+/// How long Stop() keeps flushing write queues before giving up on
+/// unresponsive peers.
+constexpr auto kStopFlushDeadline = std::chrono::seconds(3);
+
+void SetNonBlocking(int fd) {
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+}
+
+}  // namespace
+
+EventServer::EventServer(EventServerOptions options)
+    : options_(std::move(options)) {
+  // The server must never block inside Publish: rejection is the signal
+  // that propagates to the socket layer.
+  options_.engine.backpressure = engine::BackpressurePolicy::kReject;
+  engine_ = std::make_unique<engine::StreamEngine>(
+      options_.engine,
+      [this](uint64_t event_id, const std::vector<SubscriptionId>& matches) {
+        OnMatch(event_id, matches);
+      });
+  MetricsRegistry& registry = engine_->metrics_registry();
+  connections_ =
+      registry.AddGauge("apcm_net_connections", "Live client connections.");
+  frames_in_ = registry.AddCounter("apcm_net_frames_in_total",
+                                   "Frames decoded from client connections.");
+  frames_out_ = registry.AddCounter(
+      "apcm_net_frames_out_total",
+      "Frames serialized into connection write queues.");
+  bytes_in_ = registry.AddCounter("apcm_net_bytes_in_total",
+                                  "Bytes read from client connections.");
+  bytes_out_ = registry.AddCounter("apcm_net_bytes_out_total",
+                                   "Bytes written to client connections.");
+  backpressure_events_ = registry.AddCounter(
+      "apcm_net_backpressure_events_total",
+      "Connections paused because a publish hit engine backpressure.");
+  slow_consumer_disconnects_ = registry.AddCounter(
+      "apcm_net_slow_consumer_disconnects_total",
+      "Connections dropped because their write queue overflowed.");
+}
+
+EventServer::~EventServer() { Stop(); }
+
+Status EventServer::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_) {
+    return Status::InvalidArgument("event server already started");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("bind 127.0.0.1:" +
+                            std::to_string(options_.port) + ": " + error);
+  }
+  if (::listen(fd, 64) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("listen: " + error);
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  SetNonBlocking(fd);
+  if (::pipe(wake_fds_) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("pipe: " + error);
+  }
+  SetNonBlocking(wake_fds_[0]);
+  SetNonBlocking(wake_fds_[1]);
+
+  listen_fd_ = fd;
+  phase_.store(Phase::kRunning, std::memory_order_relaxed);
+  drain_acked_ = false;
+  pump_stop_ = false;
+  started_ = true;
+  io_thread_ = std::thread([this] { IoLoop(); });
+  pump_thread_ = std::thread([this] { PumpLoop(); });
+  LogInfo("event server listening",
+          {{"addr", "127.0.0.1"}, {"port", port_}});
+  return Status::OK();
+}
+
+void EventServer::Stop() {
+  {
+    std::unique_lock<std::mutex> lock(lifecycle_mu_);
+    if (!started_) return;
+    // Phase 1: the I/O loop stops accepting and reading. Wait until it
+    // acknowledges, so no publish can race the engine drain below.
+    phase_.store(Phase::kDraining, std::memory_order_release);
+    WakeIoLoop();
+    lifecycle_cv_.wait(lock, [this] { return drain_acked_; });
+  }
+  // Phase 2: drain the engine. Every accepted (ACKed) event is matched and
+  // its MATCH notifications are appended to subscriber write queues.
+  engine_->Flush();
+  // Phase 3: stop the pump (nothing left to drain).
+  {
+    std::lock_guard<std::mutex> lock(pump_mu_);
+    pump_stop_ = true;
+  }
+  pump_cv_.notify_all();
+  // Phase 4: the I/O loop flushes the remaining write queues and exits.
+  phase_.store(Phase::kStopping, std::memory_order_release);
+  WakeIoLoop();
+  io_thread_.join();
+  pump_thread_.join();
+
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  ::close(listen_fd_);
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+  listen_fd_ = wake_fds_[0] = wake_fds_[1] = -1;
+  started_ = false;
+  port_ = 0;
+  LogInfo("event server stopped");
+}
+
+void EventServer::WakeIoLoop() {
+  const char byte = 0;
+  // Nonblocking; EAGAIN means the pipe already holds a wakeup.
+  [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &byte, 1);
+}
+
+void EventServer::PumpLoop() {
+  std::unique_lock<std::mutex> lock(pump_mu_);
+  while (!pump_stop_) {
+    if (engine_->queue_depth() > 0) {
+      lock.unlock();
+      engine_->Flush();
+      // Paused connections can retry their parked publish now, and fresh
+      // MATCH frames are waiting to be written.
+      WakeIoLoop();
+      lock.lock();
+    } else {
+      pump_cv_.wait_for(lock, std::chrono::milliseconds(5));
+    }
+  }
+}
+
+void EventServer::OnMatch(uint64_t event_id,
+                          const std::vector<SubscriptionId>& matches) {
+  if (matches.empty()) return;
+  // Group the engine-id match list by subscribing connection. Holding
+  // route_mu_ across the enqueues also pins every routed Connection: the
+  // I/O thread frees a connection only after erasing its routes under this
+  // mutex.
+  std::lock_guard<std::mutex> lock(route_mu_);
+  if (routes_.empty()) return;
+  // Small per-event fan-out: a flat vector beats a map here.
+  std::vector<std::pair<Connection*, uint64_t>> targets;
+  targets.reserve(matches.size());
+  for (SubscriptionId id : matches) {
+    auto it = routes_.find(id);
+    if (it == routes_.end()) continue;  // unsubscribed mid-flight
+    targets.emplace_back(it->second.conn, it->second.client_sub_id);
+  }
+  if (targets.empty()) return;
+  std::sort(targets.begin(), targets.end());
+  Frame frame;
+  frame.type = FrameType::kMatch;
+  frame.event_id = event_id;
+  for (size_t i = 0; i < targets.size();) {
+    Connection* conn = targets[i].first;
+    frame.matches.clear();
+    for (; i < targets.size() && targets[i].first == conn; ++i) {
+      frame.matches.push_back(targets[i].second);
+    }
+    frame.matches.erase(
+        std::unique(frame.matches.begin(), frame.matches.end()),
+        frame.matches.end());
+    EnqueueFrame(conn, frame);
+  }
+  WakeIoLoop();
+}
+
+void EventServer::EnqueueFrame(Connection* conn, const Frame& frame) {
+  if (conn->doomed.load(std::memory_order_relaxed)) return;
+  const std::string wire = EncodeFrame(frame);
+  bool overflow = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (conn->outbox.size() + wire.size() > options_.max_write_queue_bytes) {
+      overflow = true;
+    } else {
+      conn->outbox += wire;
+    }
+  }
+  if (overflow) {
+    // Slow-consumer policy: drop the consumer, never stall the matcher or
+    // buffer without bound. The I/O thread reaps the connection.
+    conn->slow_consumer = true;
+    conn->doomed.store(true, std::memory_order_release);
+    WakeIoLoop();
+    return;
+  }
+  frames_out_->Increment();
+}
+
+void EventServer::SendAck(Connection* conn, uint64_t seq, uint64_t value) {
+  Frame frame;
+  frame.type = FrameType::kAck;
+  frame.seq = seq;
+  frame.value = value;
+  EnqueueFrame(conn, frame);
+}
+
+void EventServer::SendError(Connection* conn, uint64_t seq,
+                            const Status& status) {
+  Frame frame;
+  frame.type = FrameType::kError;
+  frame.seq = seq;
+  frame.code = status.code();
+  frame.message = status.message();
+  EnqueueFrame(conn, frame);
+}
+
+void EventServer::IoLoop() {
+  std::vector<pollfd> pfds;
+  std::vector<Connection*> polled;
+  std::chrono::steady_clock::time_point stop_deadline{};
+  bool stop_seen = false;
+  for (;;) {
+    const Phase phase = phase_.load(std::memory_order_acquire);
+    if (phase != Phase::kRunning) {
+      std::lock_guard<std::mutex> lock(lifecycle_mu_);
+      if (!drain_acked_) {
+        drain_acked_ = true;
+        lifecycle_cv_.notify_all();
+      }
+    }
+    if (phase == Phase::kStopping) {
+      if (!stop_seen) {
+        stop_seen = true;
+        stop_deadline = std::chrono::steady_clock::now() + kStopFlushDeadline;
+      }
+      if (AllWritesFlushed() ||
+          std::chrono::steady_clock::now() >= stop_deadline) {
+        break;
+      }
+    }
+
+    pfds.clear();
+    polled.clear();
+    pfds.push_back({wake_fds_[0], POLLIN, 0});
+    if (phase == Phase::kRunning) {
+      pfds.push_back({listen_fd_, POLLIN, 0});
+    }
+    for (auto& [fd, conn] : conns_) {
+      short events = 0;
+      if (phase == Phase::kRunning && !conn->paused &&
+          !conn->doomed.load(std::memory_order_relaxed)) {
+        events |= POLLIN;
+      }
+      {
+        std::lock_guard<std::mutex> lock(conn->out_mu);
+        if (!conn->outbox.empty()) events |= POLLOUT;
+      }
+      if (events == 0) continue;
+      pfds.push_back({fd, events, 0});
+      polled.push_back(conn.get());
+    }
+
+    ::poll(pfds.data(), pfds.size(), kPollIntervalMs);
+
+    if (pfds[0].revents & POLLIN) {
+      char sink[256];
+      while (::read(wake_fds_[0], sink, sizeof(sink)) > 0) {
+      }
+    }
+    size_t next = 1;
+    if (phase == Phase::kRunning) {
+      if (pfds[next].revents & POLLIN) AcceptConnections();
+      ++next;
+    }
+    for (size_t i = 0; i < polled.size(); ++i) {
+      Connection* conn = polled[i];
+      const short revents = pfds[next + i].revents;
+      if (revents & (POLLOUT | POLLERR | POLLHUP)) {
+        if (!FlushWrites(conn)) continue;
+        if ((revents & (POLLERR | POLLHUP)) && !(revents & POLLIN)) {
+          // Peer is gone and there is nothing left to read.
+          conn->doomed.store(true, std::memory_order_relaxed);
+          continue;
+        }
+      }
+      if (revents & POLLIN) ReadConnection(conn);
+    }
+    // Parked publishes are only re-tried while running: during a drain the
+    // engine Flush in Stop() must see a frozen queue, and a parked event
+    // was never ACKed, so dropping it at shutdown is within contract.
+    if (phase == Phase::kRunning) RetryPaused();
+    ReapDoomed();
+  }
+
+  // Exit: close every connection (write queues were flushed above, or the
+  // deadline expired on an unresponsive peer).
+  std::vector<Connection*> remaining;
+  remaining.reserve(conns_.size());
+  for (auto& [fd, conn] : conns_) remaining.push_back(conn.get());
+  for (Connection* conn : remaining) CloseConnection(conn, "server stopped");
+  conns_.clear();
+}
+
+void EventServer::AcceptConnections() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error
+    SetNonBlocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>(options_.max_frame_bytes);
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    connections_->Add(1);
+    if (LogEnabled(LogLevel::kDebug)) {
+      LogDebug("connection accepted", {{"conn", conn->id}, {"fd", fd}});
+    }
+    conns_.emplace(fd, std::move(conn));
+  }
+}
+
+void EventServer::ReadConnection(Connection* conn) {
+  char buf[16 * 1024];
+  size_t budget = kReadBudgetBytes;
+  while (budget > 0) {
+    const ssize_t n = ::recv(conn->fd, buf, std::min(sizeof(buf), budget), 0);
+    if (n == 0) {
+      conn->doomed.store(true, std::memory_order_relaxed);
+      break;
+    }
+    if (n < 0) {
+      if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+        conn->doomed.store(true, std::memory_order_relaxed);
+      }
+      break;
+    }
+    bytes_in_->Increment(static_cast<uint64_t>(n));
+    budget -= static_cast<size_t>(n);
+    conn->decoder.Append(buf, static_cast<size_t>(n));
+  }
+  DrainDecoder(conn);
+}
+
+void EventServer::DrainDecoder(Connection* conn) {
+  while (!conn->paused && !conn->doomed.load(std::memory_order_relaxed)) {
+    StatusOr<std::optional<Frame>> next = conn->decoder.Next();
+    if (!next.ok()) {
+      LogWarning("protocol error; closing connection",
+                 {{"conn", conn->id}, {"error", next.status().ToString()}});
+      conn->doomed.store(true, std::memory_order_relaxed);
+      return;
+    }
+    if (!next->has_value()) return;  // need more bytes
+    frames_in_->Increment();
+    DispatchFrame(conn, std::move(**next));
+  }
+}
+
+void EventServer::DispatchFrame(Connection* conn, Frame frame) {
+  switch (frame.type) {
+    case FrameType::kPublish:
+      HandlePublish(conn, std::move(frame));
+      return;
+    case FrameType::kSubscribe:
+      HandleSubscribe(conn, frame);
+      return;
+    case FrameType::kUnsubscribe:
+      HandleUnsubscribe(conn, frame);
+      return;
+    case FrameType::kPing: {
+      Frame pong;
+      pong.type = FrameType::kPong;
+      pong.seq = frame.seq;
+      EnqueueFrame(conn, pong);
+      return;
+    }
+    case FrameType::kMatch:
+    case FrameType::kAck:
+    case FrameType::kError:
+    case FrameType::kPong:
+      // Server-to-client types are a protocol violation from a client.
+      SendError(conn, frame.seq,
+                Status::InvalidArgument(
+                    std::string(FrameTypeName(frame.type)) +
+                    " frames are server-to-client only"));
+      conn->doomed.store(true, std::memory_order_relaxed);
+      return;
+  }
+}
+
+void EventServer::HandlePublish(Connection* conn, Frame frame) {
+  // Keep a copy: TryPublish consumes its argument even on rejection, and a
+  // rejected event must survive to be re-tried (the ACK contract).
+  Event event = frame.event;
+  StatusOr<uint64_t> id = engine_->TryPublish(std::move(frame.event));
+  if (id.ok()) {
+    SendAck(conn, frame.seq, *id);
+    pump_cv_.notify_one();
+    return;
+  }
+  if (id.status().code() != StatusCode::kResourceExhausted) {
+    SendError(conn, frame.seq, id.status());
+    return;
+  }
+  // Engine backpressure: park the event, pause reading this connection
+  // (TCP pushes back on the remote publisher), resume once the engine has
+  // drained. Later frames from this connection wait in its decoder, so
+  // per-connection publish order is preserved.
+  conn->paused = true;
+  conn->pending = PendingPublish{frame.seq, std::move(event)};
+  backpressure_events_->Increment();
+  pump_cv_.notify_one();
+  if (LogEnabled(LogLevel::kDebug)) {
+    LogDebug("connection paused on engine backpressure",
+             {{"conn", conn->id},
+              {"queue_depth", engine_->queue_depth()}});
+  }
+}
+
+void EventServer::HandleSubscribe(Connection* conn, const Frame& frame) {
+  if (conn->subs.contains(frame.sub_id)) {
+    SendError(conn, frame.seq,
+              Status::AlreadyExists("subscription id " +
+                                    std::to_string(frame.sub_id) +
+                                    " is already registered"));
+    return;
+  }
+  auto disjuncts = parser_.ParseDisjunction(frame.expression);
+  if (!disjuncts.ok()) {
+    SendError(conn, frame.seq, disjuncts.status());
+    return;
+  }
+  StatusOr<SubscriptionId> added =
+      disjuncts->size() == 1
+          ? engine_->AddSubscription(std::move((*disjuncts)[0]))
+          : engine_->AddDisjunctiveSubscription(std::move(*disjuncts));
+  if (!added.ok()) {
+    SendError(conn, frame.seq, added.status());
+    return;
+  }
+  conn->subs.emplace(frame.sub_id, *added);
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    routes_[*added] = Route{conn, frame.sub_id};
+  }
+  SendAck(conn, frame.seq, *added);
+  if (LogEnabled(LogLevel::kDebug)) {
+    LogDebug("subscription registered", {{"conn", conn->id},
+                                         {"client_sub", frame.sub_id},
+                                         {"engine_sub", *added}});
+  }
+}
+
+void EventServer::HandleUnsubscribe(Connection* conn, const Frame& frame) {
+  auto it = conn->subs.find(frame.sub_id);
+  if (it == conn->subs.end()) {
+    SendError(conn, frame.seq,
+              Status::NotFound("subscription id " +
+                               std::to_string(frame.sub_id) +
+                               " is not registered on this connection"));
+    return;
+  }
+  const SubscriptionId engine_id = it->second;
+  conn->subs.erase(it);
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    routes_.erase(engine_id);
+  }
+  const Status removed = engine_->RemoveSubscription(engine_id);
+  if (!removed.ok()) {
+    SendError(conn, frame.seq, removed);
+    return;
+  }
+  SendAck(conn, frame.seq, 0);
+}
+
+void EventServer::RetryPaused() {
+  for (auto& [fd, conn] : conns_) {
+    if (!conn->paused || conn->doomed.load(std::memory_order_relaxed)) {
+      continue;
+    }
+    Event event = conn->pending->event;  // keep the parked copy retryable
+    StatusOr<uint64_t> id = engine_->TryPublish(std::move(event));
+    if (!id.ok()) continue;  // still saturated; retry on the next wakeup
+    SendAck(conn.get(), conn->pending->seq, *id);
+    conn->pending.reset();
+    conn->paused = false;
+    pump_cv_.notify_one();
+    if (LogEnabled(LogLevel::kDebug)) {
+      LogDebug("connection resumed after drain", {{"conn", conn->id}});
+    }
+    // Frames that arrived behind the parked publish are still buffered.
+    DrainDecoder(conn.get());
+  }
+}
+
+void EventServer::ReapDoomed() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    Connection* conn = it->second.get();
+    if (!conn->doomed.load(std::memory_order_acquire)) {
+      ++it;
+      continue;
+    }
+    // Give the outbox one final best-effort flush (e.g. the ERROR frame of
+    // a protocol violation).
+    FlushWrites(conn);
+    const char* reason =
+        conn->slow_consumer ? "slow consumer (write queue overflow)"
+                            : "connection closed";
+    if (conn->slow_consumer) slow_consumer_disconnects_->Increment();
+    std::unique_ptr<Connection> owned = std::move(it->second);
+    it = conns_.erase(it);
+    CloseConnection(owned.get(), reason);
+    // `owned` frees the Connection here, after CloseConnection erased its
+    // routes under route_mu_.
+  }
+}
+
+void EventServer::CloseConnection(Connection* conn, const char* reason) {
+  // Unregister the connection's subscriptions: erase the routes first
+  // (under route_mu_, so the match callback cannot reach this connection
+  // again), then remove from the engine.
+  std::vector<SubscriptionId> engine_ids;
+  engine_ids.reserve(conn->subs.size());
+  for (const auto& [client_id, engine_id] : conn->subs) {
+    engine_ids.push_back(engine_id);
+  }
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    for (SubscriptionId id : engine_ids) routes_.erase(id);
+  }
+  for (SubscriptionId id : engine_ids) {
+    [[maybe_unused]] Status removed = engine_->RemoveSubscription(id);
+  }
+  ::close(conn->fd);
+  connections_->Sub(1);
+  if (LogEnabled(LogLevel::kDebug)) {
+    LogDebug("connection closed", {{"conn", conn->id},
+                                   {"reason", reason},
+                                   {"subs_removed", engine_ids.size()}});
+  }
+}
+
+bool EventServer::FlushWrites(Connection* conn) {
+  std::lock_guard<std::mutex> lock(conn->out_mu);
+  while (!conn->outbox.empty()) {
+    const ssize_t n = ::send(conn->fd, conn->outbox.data(),
+                             conn->outbox.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      bytes_out_->Increment(static_cast<uint64_t>(n));
+      conn->outbox.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    conn->doomed.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+bool EventServer::AllWritesFlushed() {
+  for (auto& [fd, conn] : conns_) {
+    if (conn->doomed.load(std::memory_order_relaxed)) continue;
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    if (!conn->outbox.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace apcm::net

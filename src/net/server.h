@@ -1,0 +1,223 @@
+#ifndef APCM_NET_SERVER_H_
+#define APCM_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/metrics.h"
+#include "src/base/status.h"
+#include "src/be/catalog.h"
+#include "src/be/parser.h"
+#include "src/be/string_dictionary.h"
+#include "src/engine/engine.h"
+#include "src/net/frame.h"
+
+namespace apcm::net {
+
+struct EventServerOptions {
+  /// Configuration of the embedded StreamEngine. `backpressure` is forced
+  /// to BackpressurePolicy::kReject — the server translates rejection into
+  /// socket-level backpressure (see DESIGN.md §3.8) and must never let a
+  /// blocking publish wedge the I/O loop.
+  engine::EngineOptions engine;
+  /// TCP port to bind on 127.0.0.1 (0 = kernel-assigned; read it back with
+  /// port()).
+  int port = 0;
+  /// Per-connection bound on buffered outgoing bytes. A subscriber that
+  /// reads slower than its matches arrive crosses this bound and is
+  /// disconnected (slow-consumer policy: drop the consumer, never block the
+  /// matching path or grow without bound).
+  size_t max_write_queue_bytes = 4u << 20;
+  /// Per-frame payload cap enforced on incoming frames.
+  size_t max_frame_bytes = kMaxPayloadBytes;
+};
+
+/// TCP ingestion server for remote publish/subscribe over the frame
+/// protocol (frame.h): clients SUBSCRIBE with expression text and a
+/// client-chosen id, PUBLISH serialized events, and receive MATCH
+/// notifications routed to the connection that registered each matching
+/// subscription.
+///
+/// Architecture (DESIGN.md §3.8): one I/O thread runs a poll() readiness
+/// loop over the nonblocking listen socket, a self-wake pipe, and every
+/// connection; it decodes frames, fans PUBLISH into
+/// StreamEngine::TryPublish, and flushes per-connection write queues. One
+/// pump thread drains the engine whenever events are queued, so matching
+/// never monopolizes the I/O thread. Engine backpressure propagates to the
+/// socket layer: a publish that hits BackpressurePolicy::kReject parks the
+/// event on its connection, pauses reading that connection (the kernel's
+/// TCP window then pushes back on the remote publisher), and resumes once
+/// the engine has drained — the parked event is re-tried and acknowledged
+/// before any later frame from that connection is processed, so an ACK is
+/// a durable admission promise.
+///
+/// Graceful Stop(): stops accepting and reading, drains the engine
+/// (Flush — every accepted event is matched and its notifications are
+/// queued), flushes every write queue, then closes. The destructor calls
+/// Stop().
+///
+/// Observability: the server registers apcm_net_* counters/gauges in the
+/// engine's MetricsRegistry, so they are scraped by the same /metrics
+/// admin endpoint (enable it via options.engine.admin_port).
+class EventServer {
+ public:
+  explicit EventServer(EventServerOptions options);
+  ~EventServer();
+
+  EventServer(const EventServer&) = delete;
+  EventServer& operator=(const EventServer&) = delete;
+
+  /// Binds 127.0.0.1:port and launches the I/O and pump threads.
+  /// InvalidArgument if already started, Internal on socket errors.
+  Status Start();
+
+  /// Drains and shuts down (idempotent; see class comment).
+  void Stop();
+
+  /// The bound port once Start succeeded (resolves port 0), else 0.
+  int port() const { return port_; }
+
+  /// The embedded engine (metrics registry, stats, admin port). Do not call
+  /// Publish/Flush on it while the server is running — the server owns the
+  /// publish path.
+  engine::StreamEngine& engine() { return *engine_; }
+  const engine::StreamEngine& engine() const { return *engine_; }
+
+  /// Live connection count (the apcm_net_connections gauge).
+  int64_t num_connections() const { return connections_->Value(); }
+
+ private:
+  /// Lifecycle phases of the I/O loop. kDraining stops accept/read but
+  /// keeps writes flowing (Stop's engine Flush is still routing matches);
+  /// kStopping flushes remaining writes and exits.
+  enum class Phase : int { kRunning = 0, kDraining = 1, kStopping = 2 };
+
+  /// A publish frame admitted from the wire but rejected by the engine
+  /// queue; re-tried until accepted, then acknowledged.
+  struct PendingPublish {
+    uint64_t seq = 0;
+    Event event;
+  };
+
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;  ///< monotone accept counter, for logs
+    FrameDecoder decoder;
+    /// Outgoing bytes, appended by the I/O thread (ACK/ERROR/PONG) and by
+    /// the engine's match callback (MATCH, possibly from the pump thread),
+    /// drained by the I/O thread.
+    std::mutex out_mu;
+    std::string outbox;
+    /// True once the connection must be closed (protocol error, write
+    /// failure, slow consumer). Set from any thread; the I/O thread closes.
+    std::atomic<bool> doomed{false};
+    bool slow_consumer = false;  ///< doomed because the outbox overflowed
+    /// Engine backpressure: reading is suspended while a publish is parked.
+    bool paused = false;
+    std::optional<PendingPublish> pending;
+    /// client-chosen sub id -> engine subscription id (I/O thread only).
+    std::unordered_map<uint64_t, SubscriptionId> subs;
+
+    explicit Connection(size_t max_frame_bytes) : decoder(max_frame_bytes) {}
+  };
+
+  /// Where MATCH notifications for one engine subscription go.
+  struct Route {
+    Connection* conn = nullptr;
+    uint64_t client_sub_id = 0;
+  };
+
+  void IoLoop();
+  void PumpLoop();
+  /// Engine match callback: groups `matches` by subscribing connection and
+  /// enqueues one MATCH frame per connection. Runs under the engine's
+  /// processing lock (pump thread, or the I/O thread's inline round).
+  void OnMatch(uint64_t event_id, const std::vector<SubscriptionId>& matches);
+
+  void AcceptConnections();
+  void ReadConnection(Connection* conn);
+  /// Decodes and dispatches buffered frames until the connection pauses,
+  /// dies, or runs out of complete frames.
+  void DrainDecoder(Connection* conn);
+  void DispatchFrame(Connection* conn, Frame frame);
+  void HandlePublish(Connection* conn, Frame frame);
+  void HandleSubscribe(Connection* conn, const Frame& frame);
+  void HandleUnsubscribe(Connection* conn, const Frame& frame);
+  /// Re-tries every parked publish; un-pauses connections whose event the
+  /// engine accepted.
+  void RetryPaused();
+  /// Closes doomed connections: removes their engine subscriptions and
+  /// routes, then frees them.
+  void ReapDoomed();
+  void CloseConnection(Connection* conn, const char* reason);
+
+  /// Appends one frame to `conn`'s write queue, enforcing the
+  /// slow-consumer bound. Safe from any thread.
+  void EnqueueFrame(Connection* conn, const Frame& frame);
+  void SendAck(Connection* conn, uint64_t seq, uint64_t value);
+  void SendError(Connection* conn, uint64_t seq, const Status& status);
+  /// Writes as much of `conn`'s outbox as the socket accepts right now.
+  /// Returns false on a fatal write error (connection doomed).
+  bool FlushWrites(Connection* conn);
+  /// True when every live connection's outbox is empty.
+  bool AllWritesFlushed();
+  void WakeIoLoop();
+
+  EventServerOptions options_;
+  std::unique_ptr<engine::StreamEngine> engine_;
+
+  /// Expression front-end for SUBSCRIBE frames (I/O thread only).
+  Catalog catalog_;
+  StringDictionary strings_;
+  Parser parser_{&catalog_, &strings_};
+
+  // Lifecycle (guarded by lifecycle_mu_ where not atomic).
+  std::mutex lifecycle_mu_;
+  std::condition_variable lifecycle_cv_;
+  bool started_ = false;
+  bool drain_acked_ = false;  ///< I/O thread has stopped reading
+  std::atomic<Phase> phase_{Phase::kRunning};
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe: [0] polled, [1] written
+  int port_ = 0;
+  std::thread io_thread_;
+  std::thread pump_thread_;
+
+  // Pump signalling.
+  std::mutex pump_mu_;
+  std::condition_variable pump_cv_;
+  bool pump_stop_ = false;
+
+  /// Connections, keyed by fd. Owned and mutated by the I/O thread; a
+  /// Connection is freed only after its routes are erased under route_mu_,
+  /// so the match callback never holds a dangling pointer.
+  std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 0;
+
+  /// engine subscription id -> subscriber connection. Written by the I/O
+  /// thread (subscribe/unsubscribe/disconnect), read by the match callback.
+  std::mutex route_mu_;
+  std::unordered_map<SubscriptionId, Route> routes_;
+
+  // Registry-owned instruments (registered into engine_->metrics_registry()
+  // at construction; the registry outlives both server threads).
+  Gauge* connections_ = nullptr;
+  Counter* frames_in_ = nullptr;
+  Counter* frames_out_ = nullptr;
+  Counter* bytes_in_ = nullptr;
+  Counter* bytes_out_ = nullptr;
+  Counter* backpressure_events_ = nullptr;
+  Counter* slow_consumer_disconnects_ = nullptr;
+};
+
+}  // namespace apcm::net
+
+#endif  // APCM_NET_SERVER_H_

@@ -225,16 +225,44 @@ TEST(EngineConcurrentTest, BlockingBackpressureDeliversEverything) {
   EXPECT_EQ(engine.stats().events_processed, workload.events.size());
 }
 
+// Rejection needs a full queue with no thread able to drain it: a publisher
+// thread is parked inside the match callback (holding the processing lock)
+// while the main thread refills the queue to capacity — the next TryPublish
+// must fail fast with kResourceExhausted rather than block.
 TEST(EngineConcurrentTest, RejectPolicyReturnsResourceExhausted) {
   EngineOptions options = ConcurrentOptions();
-  options.buffer_capacity = 1024;  // auto-processing never triggers
+  options.batch_size = 8;
+  options.buffer_capacity = 8;
   options.queue_capacity = 8;
   options.backpressure = BackpressurePolicy::kReject;
+
+  std::atomic<bool> in_callback{false};
+  std::atomic<bool> release{false};
   ConcurrentDelivery delivery;
-  StreamEngine engine(options, delivery.Callback());
+  auto record = delivery.Callback();
+  StreamEngine engine(
+      options, [&](uint64_t id, const std::vector<SubscriptionId>& matches) {
+        in_callback.store(true, std::memory_order_release);
+        while (!release.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        record(id, matches);
+      });
   ASSERT_TRUE(engine.AddSubscription({Predicate(0, Op::kGe, 0)}).ok());
 
-  for (int i = 0; i < 8; ++i) {
+  // The 8th publish fills the buffer and runs the round inline; its first
+  // callback parks this thread with the processing lock held.
+  std::thread publisher([&] {
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_TRUE(engine.TryPublish(Event::Create({{0, i}}).value()).ok());
+    }
+  });
+  while (!in_callback.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+
+  // Processor stuck: refill the queue to capacity, then overflow it.
+  for (int i = 8; i < 16; ++i) {
     ASSERT_TRUE(engine.TryPublish(Event::Create({{0, i}}).value()).ok());
   }
   auto rejected = engine.TryPublish(Event::Create({{0, 99}}).value());
@@ -242,10 +270,14 @@ TEST(EngineConcurrentTest, RejectPolicyReturnsResourceExhausted) {
   EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
   EXPECT_EQ(engine.stats().publishes_rejected, 1u);
 
+  release.store(true, std::memory_order_release);
+  publisher.join();
+
   engine.Flush();  // drains the queue; publishing works again
   EXPECT_TRUE(engine.TryPublish(Event::Create({{0, 100}}).value()).ok());
   engine.Flush();
-  EXPECT_EQ(delivery.by_event.size(), 9u);
+  std::lock_guard<std::mutex> lock(delivery.mu);
+  EXPECT_EQ(delivery.by_event.size(), 17u);
   EXPECT_EQ(delivery.duplicates, 0u);
 }
 

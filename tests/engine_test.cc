@@ -296,6 +296,82 @@ TEST(EngineTest, LoadSubscriptionsMissingFile) {
   EXPECT_FALSE(engine.LoadSubscriptions("/tmp/no_such_apcm_file.bin").ok());
 }
 
+TEST(EngineTest, ValidateEngineOptionsAcceptsDefaults) {
+  EXPECT_TRUE(ValidateEngineOptions(EngineOptions{}).ok());
+  EXPECT_TRUE(ValidateEngineOptions(SmallOptions()).ok());
+}
+
+TEST(EngineTest, ValidateEngineOptionsRejectsZeroBatch) {
+  EngineOptions options;
+  options.batch_size = 0;
+  const Status status = ValidateEngineOptions(options);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("batch_size"), std::string::npos);
+}
+
+TEST(EngineTest, ValidateEngineOptionsRejectsShardingOverZeroShards) {
+  EngineOptions options;
+  options.num_shards = 0;
+  options.shard_threads = 4;
+  EXPECT_EQ(ValidateEngineOptions(options).code(),
+            StatusCode::kInvalidArgument);
+  // num_shards == 0 alone is merely shorthand for unsharded (normalized to
+  // 1), and sharding with automatic workers is fine.
+  options.shard_threads = 0;
+  EXPECT_TRUE(ValidateEngineOptions(options).ok());
+  options.num_shards = 8;
+  EXPECT_TRUE(ValidateEngineOptions(options).ok());
+}
+
+TEST(EngineTest, ValidateEngineOptionsRejectsNegativeShardThreads) {
+  EngineOptions options;
+  options.shard_threads = -1;
+  EXPECT_EQ(ValidateEngineOptions(options).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, ValidateEngineOptionsRejectsQueueBelowBuffer) {
+  EngineOptions options;
+  options.osr.window_size = 0;
+  options.buffer_capacity = 64;
+  options.queue_capacity = 32;
+  const Status status = ValidateEngineOptions(options);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("queue_capacity"), std::string::npos);
+  // Equal to the buffer, or 0 (auto-sized to 2x), is valid.
+  options.queue_capacity = 64;
+  // The effective buffer also covers batch_size and the OSR window.
+  options.batch_size = 64;
+  EXPECT_TRUE(ValidateEngineOptions(options).ok());
+  options.queue_capacity = 0;
+  EXPECT_TRUE(ValidateEngineOptions(options).ok());
+  // batch_size raises the effective buffer above the configured queue.
+  options.queue_capacity = 64;
+  options.batch_size = 128;
+  EXPECT_EQ(ValidateEngineOptions(options).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, SubscriptionShardCountsCoverLiveSet) {
+  EngineOptions options = SmallOptions();
+  options.num_shards = 4;
+  Delivery delivery;
+  StreamEngine engine(options, delivery.Callback());
+  std::vector<SubscriptionId> ids;
+  for (int i = 0; i < 32; ++i) {
+    auto id = engine.AddSubscription({Predicate(0, Op::kGe, i)});
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  ASSERT_TRUE(engine.RemoveSubscription(ids[0]).ok());
+  const std::vector<size_t> counts = engine.SubscriptionShardCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  size_t total = 0;
+  for (size_t count : counts) total += count;
+  EXPECT_EQ(total, 31u);
+  EXPECT_EQ(total, engine.num_subscriptions());
+}
+
 TEST(EngineTest, StatsPopulated) {
   Delivery delivery;
   StreamEngine engine(SmallOptions(), delivery.Callback());

@@ -420,6 +420,41 @@ TEST(AdminServerTest, EngineEndpointsRespond) {
   EXPECT_NE(trace.find("round_start"), std::string::npos) << trace;
 }
 
+TEST(AdminServerTest, SubscriptionsEndpointReportsShardBreakdown) {
+  EngineOptions options = ReportOptions();
+  options.admin_port = -1;
+  options.num_shards = 4;
+  StreamEngine engine(options,
+                      [](uint64_t, const std::vector<SubscriptionId>&) {});
+  ASSERT_GT(engine.admin_port(), 0);
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(engine.AddSubscription({Predicate(0, Op::kGe, i)}).ok());
+  }
+
+  const std::string response =
+      HttpGet(engine.admin_port(), "GET /subscriptions HTTP/1.0");
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  const size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const std::string body = response.substr(body_at + 4);
+  EXPECT_TRUE(JsonChecker(body).Valid()) << body;
+  EXPECT_NE(body.find("\"total\":16"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"num_shards\":4"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"per_shard\":["), std::string::npos) << body;
+
+  // The per-shard counts must agree with the engine's own breakdown.
+  const std::vector<size_t> counts = engine.SubscriptionShardCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  std::string rendered = "[";
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (i > 0) rendered += ',';
+    rendered += std::to_string(counts[i]);
+  }
+  rendered += ']';
+  EXPECT_NE(body.find(rendered), std::string::npos) << body;
+}
+
 TEST(AdminServerTest, DisabledByDefault) {
   StreamEngine engine(ReportOptions(),
                       [](uint64_t, const std::vector<SubscriptionId>&) {});

@@ -8,8 +8,28 @@
 #                             surface under -fsanitize=thread and repeat the
 #                             engine/thread-pool tests (APCM_TSAN_REPEAT
 #                             iterations, default 50) with halt_on_error.
+#   scripts/check.sh --chaos  fault-injection check: rebuild with
+#                             -DAPCM_FAILPOINTS=ON under ASan+UBSan, run the
+#                             chaos-labeled suites (ctest -L chaos), then a
+#                             failpoint-armed differential soak.
+#
+# set -o pipefail (inside -euo below) is load-bearing: the filtered ctest
+# runs pipe through tee, and without pipefail a failing ctest upstream of the
+# pipe would exit 0 and the script would report success on broken tests.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Failure trailer: every non-zero exit prints the seed-bearing environment so
+# a red run can be replayed exactly (the soak op budget and the failpoint
+# schedule are the only sources of cross-run variation).
+on_failure() {
+  local code=$?
+  echo "CHECK FAILED (exit ${code}) — replay with:" >&2
+  echo "  APCM_SOAK_OPS=${APCM_SOAK_OPS:-<unset>}" >&2
+  echo "  APCM_FAILPOINTS=${APCM_FAILPOINTS:-<unset>}" >&2
+  echo "  APCM_TSAN_REPEAT=${APCM_TSAN_REPEAT:-<unset>}" >&2
+}
+trap on_failure ERR
 
 # Prefer Ninja when present; otherwise fall back to CMake's default
 # generator (Unix Makefiles) instead of failing on a missing tool.
@@ -52,8 +72,34 @@ run_tsan() {
   echo "TSAN CHECKS PASSED (${repeat} iterations)"
 }
 
+run_chaos() {
+  local build_dir=build-chaos
+  cmake -B "${build_dir}" "${GENERATOR[@]}" \
+    -DAPCM_FAILPOINTS=ON \
+    -DAPCM_SANITIZE=address,undefined \
+    -DAPCM_BUILD_BENCHMARKS=OFF \
+    -DAPCM_BUILD_EXAMPLES=OFF
+  cmake --build "${build_dir}"
+  # Scripted fault schedules + failpoint-deepened frame/client fault suites.
+  # The tee pipe is why pipefail matters: ctest's exit status must survive it.
+  ctest --test-dir "${build_dir}" -L chaos --output-on-failure \
+    | tee /tmp/apcm_chaos_ctest.log
+  # Differential soak with a perturbing failpoint schedule armed: delays at
+  # the rebuild seams and probabilistic yields in the pool keep snapshot
+  # builds in flight while the churn runs; the SCAN oracle must still agree
+  # on every match set. Seeded (@7) so a failure replays exactly.
+  APCM_SOAK_OPS="${APCM_SOAK_OPS:-400}" \
+  APCM_FAILPOINTS='engine.rebuild.start=delay(500),engine.rebuild.publish=delay(500),engine.apply_delta=yield,threadpool.dispatch=10%yield@7' \
+    "./${build_dir}/tests/fuzz_test" --gtest_brief=1
+  echo "CHAOS CHECKS PASSED"
+}
+
 if [[ "${1:-}" == "--tsan" ]]; then
   run_tsan
+  exit 0
+fi
+if [[ "${1:-}" == "--chaos" ]]; then
+  run_chaos
   exit 0
 fi
 

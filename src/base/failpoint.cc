@@ -1,0 +1,313 @@
+#include "src/base/failpoint.h"
+
+#ifdef APCM_FAILPOINTS_ENABLED
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "src/base/logging.h"
+
+namespace apcm::failpoint {
+namespace {
+
+/// FNV-1a over the point name: the default probabilistic seed, so every
+/// point gets an independent deterministic stream without an explicit @seed.
+uint64_t HashName(std::string_view name) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Parses a non-negative decimal integer occupying all of `s`.
+bool ParseU64(std::string_view s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+/// Parses a non-negative decimal, optionally with a fractional part
+/// ("5", "0.5", "12.25"), occupying all of `s`.
+bool ParseProbabilityPercent(std::string_view s, double* out) {
+  const size_t dot = s.find('.');
+  uint64_t whole = 0;
+  double frac = 0.0;
+  if (dot == std::string_view::npos) {
+    if (!ParseU64(s, &whole)) return false;
+  } else {
+    if (!ParseU64(s.substr(0, dot), &whole)) return false;
+    const std::string_view frac_digits = s.substr(dot + 1);
+    uint64_t frac_value = 0;
+    if (!ParseU64(frac_digits, &frac_value)) return false;
+    double scale = 1.0;
+    for (size_t i = 0; i < frac_digits.size(); ++i) scale *= 10.0;
+    frac = static_cast<double>(frac_value) / scale;
+  }
+  *out = static_cast<double>(whole) + frac;
+  return true;
+}
+
+}  // namespace
+
+Failpoint::Failpoint(std::string name)
+    : name_(std::move(name)), rng_(HashName(name_)) {}
+
+bool Failpoint::Fire(uint64_t* arg) {
+  ActionKind kind;
+  uint64_t action_arg;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (kind_ == ActionKind::kOff || remaining_ == 0) return false;
+    if (probability_ < 1.0 && !rng_.Bernoulli(probability_)) return false;
+    if (remaining_ > 0 && --remaining_ == 0) {
+      // Exhausted: restore the zero-cost fast path for this point.
+      armed_.store(false, std::memory_order_relaxed);
+      spec_ = "off";
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    kind = kind_;
+    action_arg = arg_;
+  }
+  switch (kind) {
+    case ActionKind::kDelay:
+      std::this_thread::sleep_for(std::chrono::microseconds(action_arg));
+      return false;
+    case ActionKind::kYield:
+      std::this_thread::yield();
+      return false;
+    case ActionKind::kReturn:
+      if (arg != nullptr) *arg = action_arg;
+      return true;
+    case ActionKind::kOff:
+      break;
+  }
+  return false;
+}
+
+Status Failpoint::Configure(std::string_view spec) {
+  const std::string_view original = spec;
+  spec = Trim(spec);
+  if (spec.empty()) {
+    return Status::InvalidArgument("failpoint '" + name_ + "': empty spec");
+  }
+  if (spec == "off") {
+    Disarm();
+    return Status::OK();
+  }
+
+  double probability = 1.0;
+  int64_t remaining = -1;
+  uint64_t seed = HashName(name_);
+  bool explicit_seed = false;
+
+  // [@seed] suffix.
+  if (const size_t at = spec.rfind('@'); at != std::string_view::npos) {
+    if (!ParseU64(spec.substr(at + 1), &seed)) {
+      return Status::InvalidArgument("failpoint '" + name_ + "': bad seed in '" +
+                                     std::string(original) + "'");
+    }
+    explicit_seed = true;
+    spec = spec.substr(0, at);
+  }
+  // [prob%] prefix.
+  if (const size_t pct = spec.find('%'); pct != std::string_view::npos) {
+    double percent = 0.0;
+    if (!ParseProbabilityPercent(spec.substr(0, pct), &percent) ||
+        percent <= 0.0 || percent > 100.0) {
+      return Status::InvalidArgument("failpoint '" + name_ +
+                                     "': bad probability in '" +
+                                     std::string(original) + "'");
+    }
+    probability = percent / 100.0;
+    spec = spec.substr(pct + 1);
+  }
+  // [count*] prefix.
+  if (const size_t star = spec.find('*'); star != std::string_view::npos) {
+    uint64_t count = 0;
+    if (!ParseU64(spec.substr(0, star), &count) || count == 0) {
+      return Status::InvalidArgument("failpoint '" + name_ +
+                                     "': bad count in '" +
+                                     std::string(original) + "'");
+    }
+    remaining = static_cast<int64_t>(count);
+    spec = spec.substr(star + 1);
+  }
+  // action[(arg)].
+  std::string_view action = spec;
+  uint64_t arg = 0;
+  bool has_arg = false;
+  if (const size_t paren = spec.find('('); paren != std::string_view::npos) {
+    if (spec.back() != ')') {
+      return Status::InvalidArgument("failpoint '" + name_ +
+                                     "': unbalanced '(' in '" +
+                                     std::string(original) + "'");
+    }
+    if (!ParseU64(spec.substr(paren + 1, spec.size() - paren - 2), &arg)) {
+      return Status::InvalidArgument("failpoint '" + name_ +
+                                     "': bad argument in '" +
+                                     std::string(original) + "'");
+    }
+    has_arg = true;
+    action = spec.substr(0, paren);
+  }
+
+  ActionKind kind;
+  if (action == "return") {
+    kind = ActionKind::kReturn;
+  } else if (action == "delay") {
+    kind = ActionKind::kDelay;
+    if (!has_arg) arg = 1000;  // default: 1 ms
+  } else if (action == "yield") {
+    kind = ActionKind::kYield;
+  } else {
+    return Status::InvalidArgument("failpoint '" + name_ +
+                                   "': unknown action '" + std::string(action) +
+                                   "' in '" + std::string(original) + "'");
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  kind_ = kind;
+  probability_ = probability;
+  remaining_ = remaining;
+  arg_ = arg;
+  // Re-seed even without @seed so repeated runs of the same schedule see an
+  // identical probabilistic stream regardless of earlier arming history.
+  rng_ = Rng(seed);
+  (void)explicit_seed;
+  spec_ = std::string(Trim(original));
+  armed_.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void Failpoint::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  kind_ = ActionKind::kOff;
+  probability_ = 1.0;
+  remaining_ = -1;
+  arg_ = 0;
+  spec_ = "off";
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+std::string Failpoint::spec() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spec_;
+}
+
+Registry& Registry::Instance() {
+  // Leaked: detached threads may consult failpoints during shutdown.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Registry::Registry() {
+  if (const char* env = std::getenv("APCM_FAILPOINTS");
+      env != nullptr && env[0] != '\0') {
+    if (const Status status = ConfigureFromSpec(env); !status.ok()) {
+      LogWarning("ignoring malformed APCM_FAILPOINTS entry",
+                 {{"error", status.message()}});
+    }
+  }
+}
+
+Failpoint* Registry::Register(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(name);
+  if (it != points_.end()) return it->second.get();
+  auto point = std::make_unique<Failpoint>(std::string(name));
+  Failpoint* raw = point.get();
+  points_.emplace(std::string(name), std::move(point));
+  return raw;
+}
+
+Status Registry::Configure(std::string_view name, std::string_view spec) {
+  name = Trim(name);
+  if (name.empty()) {
+    return Status::InvalidArgument("failpoint name must be non-empty");
+  }
+  return Register(name)->Configure(spec);
+}
+
+Status Registry::ConfigureFromSpec(std::string_view spec) {
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t end = spec.find_first_of(",;", start);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view entry = Trim(spec.substr(start, end - start));
+    start = end + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("failpoint entry '" + std::string(entry) +
+                                     "' is not of the form name=spec");
+    }
+    if (const Status status =
+            Configure(entry.substr(0, eq), entry.substr(eq + 1));
+        !status.ok()) {
+      return status;
+    }
+  }
+  return Status::OK();
+}
+
+void Registry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, point] : points_) point->Disarm();
+}
+
+uint64_t Registry::Hits(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second->hits();
+}
+
+uint64_t Registry::TotalHits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, point] : points_) total += point->hits();
+  return total;
+}
+
+std::vector<PointInfo> Registry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PointInfo> out;
+  out.reserve(points_.size());
+  for (const auto& [name, point] : points_) {
+    out.push_back(PointInfo{name, point->spec(), point->hits()});
+  }
+  return out;
+}
+
+Status Configure(std::string_view name, std::string_view spec) {
+  return Registry::Instance().Configure(name, spec);
+}
+Status ConfigureFromSpec(std::string_view spec) {
+  return Registry::Instance().ConfigureFromSpec(spec);
+}
+void DisarmAll() { Registry::Instance().DisarmAll(); }
+uint64_t Hits(std::string_view name) { return Registry::Instance().Hits(name); }
+uint64_t TotalHits() { return Registry::Instance().TotalHits(); }
+std::vector<PointInfo> List() { return Registry::Instance().List(); }
+
+}  // namespace apcm::failpoint
+
+#endif  // APCM_FAILPOINTS_ENABLED

@@ -1,0 +1,242 @@
+#ifndef APCM_BASE_FAILPOINT_H_
+#define APCM_BASE_FAILPOINT_H_
+
+/// \file
+/// Deterministic fault injection ("failpoints", after FreeBSD's fail(9) and
+/// tikv's fail-rs). A failpoint is a named site in the code that can be armed
+/// at runtime with an *action*; disarmed points cost one relaxed atomic load
+/// behind a branch hint, and when the subsystem is compiled out (the default)
+/// the macros expand to nothing at all.
+///
+/// Compile-time gate: `cmake -DAPCM_FAILPOINTS=ON` defines
+/// `APCM_FAILPOINTS_ENABLED`. Without it this header provides inline no-op
+/// stubs so call sites (tests, admin handlers, the net I/O wrappers) compile
+/// unchanged, and `failpoint.cc` contributes no symbols to the binary.
+///
+/// Action spec grammar (one failpoint):
+///
+///     spec    := "off" | [prob "%"] [count "*"] action ["(" arg ")"] ["@" seed]
+///     action  := "return" | "delay" | "yield"
+///
+///   - `prob%`   fire with probability prob (0 < prob <= 100), decided by a
+///               per-point deterministic Rng (seeded from `@seed`, or from a
+///               hash of the point name when omitted).
+///   - `count*`  fire at most `count` times, then the point disarms itself.
+///   - `return`  trigger the site's injected failure behavior. `arg` is
+///               site-specific (an error payload, a byte clamp, ...) and
+///               defaults to 0.
+///   - `delay`   sleep for `arg` microseconds (default 1000) at the site,
+///               without triggering the injected behavior.
+///   - `yield`   std::this_thread::yield() at the site; a cheap scheduling
+///               perturbation for interleaving exploration.
+///
+/// Multiple points are configured with a comma- or semicolon-separated list
+/// of `name=spec` entries, programmatically via ConfigureFromSpec() or
+/// through the `APCM_FAILPOINTS` environment variable which is applied when
+/// the registry is first touched:
+///
+///     APCM_FAILPOINTS='engine.publish.admit=3*return,threadpool.dispatch=5%yield@42'
+///
+/// Naming convention: `<layer>.<component>.<operation>`, e.g.
+/// `net.server.recv.short` or `engine.rebuild.publish` (see DESIGN §3.9 for
+/// the seam inventory).
+///
+/// Thread-safety: all operations are safe from any thread. Fire() resolves
+/// the action under a per-point mutex, so `count*` and probabilistic
+/// decisions are race-free; the armed flag is a relaxed atomic consulted
+/// before taking the mutex.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/macros.h"
+#include "src/base/status.h"
+
+#ifdef APCM_FAILPOINTS_ENABLED
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/base/rng.h"
+#endif
+
+namespace apcm::failpoint {
+
+/// Snapshot of one registered failpoint for listing/exposition.
+struct PointInfo {
+  std::string name;
+  std::string spec;   ///< Normalized action spec; "off" when disarmed.
+  uint64_t hits = 0;  ///< Actions fired since process start (never reset).
+};
+
+#ifdef APCM_FAILPOINTS_ENABLED
+
+/// True when the subsystem is compiled in. Tests use this to skip chaos
+/// scenarios on default builds; handlers use it to report availability.
+inline constexpr bool kEnabled = true;
+
+/// One named failpoint. Instances are owned by the Registry and have stable
+/// addresses for the whole process lifetime, so macro sites can cache the
+/// pointer in a function-local static.
+class Failpoint {
+ public:
+  explicit Failpoint(std::string name);
+
+  Failpoint(const Failpoint&) = delete;
+  Failpoint& operator=(const Failpoint&) = delete;
+
+  /// Fast-path check: true when an action is configured and not exhausted.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Slow path, called only when armed(). Applies probability and count
+  /// gating; on a hit, records it, performs `delay`/`yield` side effects,
+  /// and stores the action argument into `*arg` (if non-null).
+  ///
+  /// Returns true only for the `return` action — i.e. when the site should
+  /// trigger its injected failure behavior. `delay`/`yield` hits return
+  /// false after perturbing the schedule.
+  bool Fire(uint64_t* arg);
+
+  /// Arms the point from an action spec (grammar above). On parse error the
+  /// previous configuration is left untouched and InvalidArgument is
+  /// returned with the offending spec.
+  Status Configure(std::string_view spec);
+
+  /// Disarms the point (equivalent to Configure("off")). Hit counts are
+  /// preserved.
+  void Disarm();
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+  /// The currently armed spec ("off" when disarmed or exhausted).
+  std::string spec() const;
+
+ private:
+  enum class ActionKind { kOff, kReturn, kDelay, kYield };
+
+  const std::string name_;
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> hits_{0};
+
+  mutable std::mutex mu_;
+  ActionKind kind_ = ActionKind::kOff;  // guarded by mu_
+  double probability_ = 1.0;            // guarded by mu_
+  int64_t remaining_ = -1;              // guarded by mu_; -1 = unlimited
+  uint64_t arg_ = 0;                    // guarded by mu_
+  Rng rng_;                             // guarded by mu_
+  std::string spec_ = "off";            // guarded by mu_
+};
+
+/// Process-wide name -> Failpoint map. Leaked on purpose so that detached
+/// threads may hit failpoints during static destruction.
+class Registry {
+ public:
+  /// The singleton. First call parses the APCM_FAILPOINTS environment
+  /// variable (if set) and arms the named points.
+  static Registry& Instance();
+
+  /// Finds or creates the point named `name`; the returned pointer is valid
+  /// for the process lifetime.
+  Failpoint* Register(std::string_view name);
+
+  /// Arms `name` with `spec`, creating the point if it was never hit —
+  /// tests may configure points before the code that registers them runs.
+  Status Configure(std::string_view name, std::string_view spec);
+
+  /// Applies a comma/semicolon-separated `name=spec,...` list atomically
+  /// per entry; stops at the first malformed entry and reports it.
+  Status ConfigureFromSpec(std::string_view spec);
+
+  /// Disarms every registered point (hit counts are preserved).
+  void DisarmAll();
+
+  /// Cumulative hits of `name` (0 if never registered).
+  uint64_t Hits(std::string_view name) const;
+
+  /// Sum of hits across all points; exported as apcm_failpoint_hits_total.
+  uint64_t TotalHits() const;
+
+  /// Snapshot of every registered point, sorted by name.
+  std::vector<PointInfo> List() const;
+
+ private:
+  Registry();
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Failpoint>, std::less<>> points_;
+};
+
+/// Convenience forwarders to Registry::Instance().
+Status Configure(std::string_view name, std::string_view spec);
+Status ConfigureFromSpec(std::string_view spec);
+void DisarmAll();
+uint64_t Hits(std::string_view name);
+uint64_t TotalHits();
+std::vector<PointInfo> List();
+
+/// Marks a failpoint site with no injectable behavior: `delay`/`yield`
+/// perturb the schedule here, `return` only counts a hit.
+#define APCM_FAILPOINT(name)                                      \
+  do {                                                            \
+    static ::apcm::failpoint::Failpoint* apcm_fp_point_ =         \
+        ::apcm::failpoint::Registry::Instance().Register(name);   \
+    if (APCM_UNLIKELY(apcm_fp_point_->armed())) {                 \
+      uint64_t apcm_fp_arg_ = 0;                                  \
+      (void)apcm_fp_point_->Fire(&apcm_fp_arg_);                  \
+    }                                                             \
+  } while (0)
+
+/// Marks a failpoint site with injectable behavior: when the point fires
+/// with the `return` action, the trailing statement(s) execute with the
+/// action argument bound to `uint64_t fp_arg` (0 when unspecified). Typical
+/// use injects an early `return Status::...` from the enclosing function.
+#define APCM_FAILPOINT_INJECT(name, ...)                          \
+  do {                                                            \
+    static ::apcm::failpoint::Failpoint* apcm_fp_point_ =         \
+        ::apcm::failpoint::Registry::Instance().Register(name);   \
+    if (APCM_UNLIKELY(apcm_fp_point_->armed())) {                 \
+      uint64_t fp_arg = 0;                                        \
+      if (apcm_fp_point_->Fire(&fp_arg)) {                        \
+        (void)fp_arg;                                             \
+        __VA_ARGS__;                                              \
+      }                                                           \
+    }                                                             \
+  } while (0)
+
+#else  // !APCM_FAILPOINTS_ENABLED
+
+inline constexpr bool kEnabled = false;
+
+/// Inline no-op stand-ins so call sites (admin handlers, tests) compile
+/// unchanged. Everything is trivially constant-foldable; release binaries
+/// contain no registry symbols (the net I/O wrappers additionally compile
+/// their failpoint consultation out entirely).
+inline Status Configure(std::string_view /*name*/, std::string_view /*spec*/) {
+  return Status::FailedPrecondition(
+      "failpoints compiled out; rebuild with -DAPCM_FAILPOINTS=ON");
+}
+inline Status ConfigureFromSpec(std::string_view /*spec*/) {
+  return Status::FailedPrecondition(
+      "failpoints compiled out; rebuild with -DAPCM_FAILPOINTS=ON");
+}
+inline void DisarmAll() {}
+inline uint64_t Hits(std::string_view /*name*/) { return 0; }
+inline uint64_t TotalHits() { return 0; }
+inline std::vector<PointInfo> List() { return {}; }
+
+#define APCM_FAILPOINT(name) \
+  do {                       \
+  } while (0)
+#define APCM_FAILPOINT_INJECT(name, ...) \
+  do {                                   \
+  } while (0)
+
+#endif  // APCM_FAILPOINTS_ENABLED
+
+}  // namespace apcm::failpoint
+
+#endif  // APCM_BASE_FAILPOINT_H_

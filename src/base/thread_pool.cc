@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "src/base/failpoint.h"
 #include "src/base/macros.h"
 
 namespace apcm {
@@ -34,6 +35,9 @@ void ThreadPool::WorkerLoop() {
       tasks_.pop_front();
       ++in_flight_;
     }
+    // Chaos seam: delay/yield here perturbs which worker runs which task
+    // (rebuild vs. shard-build ordering) without changing task contents.
+    APCM_FAILPOINT("threadpool.dispatch");
     task();
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -73,6 +77,7 @@ void ThreadPool::Wait() {
         task = std::move(tasks_.front());
         tasks_.pop_front();
       }
+      APCM_FAILPOINT("threadpool.dispatch");
       task();
     }
   }

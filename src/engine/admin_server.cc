@@ -155,15 +155,17 @@ void AdminServer::ServeConnection(int fd) {
   } else {
     std::string_view path =
         first_line.substr(method_end + 1, path_end - method_end - 1);
-    if (const size_t query = path.find('?'); query != std::string_view::npos) {
-      path = path.substr(0, query);
+    std::string_view query;
+    if (const size_t qmark = path.find('?'); qmark != std::string_view::npos) {
+      query = path.substr(qmark + 1);
+      path = path.substr(0, qmark);
     }
     auto it = handlers_.find(path);
     if (it == handlers_.end()) {
       response = {404, "text/plain; charset=utf-8",
                   "no such endpoint: " + std::string(path) + "\n"};
     } else {
-      response = it->second();
+      response = it->second(query);
     }
     if (LogEnabled(LogLevel::kDebug)) {
       LogDebug("admin request",

@@ -24,14 +24,16 @@ struct AdminResponse {
 /// sequentially on that thread. Built for low-rate operational traffic
 /// (metric scrapes, health probes, report dumps) — not a general web
 /// server: only `GET`, no keep-alive, 4 KiB request cap, exact-path
-/// routing with query strings stripped.
+/// routing. The raw query string (text after '?', not URL-decoded, empty
+/// when absent) is passed to the handler for endpoints that take
+/// parameters (e.g. /failpoints?arm=...).
 ///
 /// Lifecycle: register handlers, Start(port), Stop() (idempotent; the
 /// destructor also stops). Handlers run on the acceptor thread and must be
 /// safe to call from it at any time between Start and Stop.
 class AdminServer {
  public:
-  using Handler = std::function<AdminResponse()>;
+  using Handler = std::function<AdminResponse(std::string_view query)>;
 
   AdminServer();
   ~AdminServer();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/base/failpoint.h"
 #include "src/base/logging.h"
 #include "src/base/macros.h"
 #include "src/base/timer.h"
@@ -129,6 +130,12 @@ void StreamEngine::RegisterMetrics() {
   counter("apcm_matcher_matches_emitted_total",
           "Matches emitted by the matcher (per-round deltas).",
           stats_.matcher_matches_emitted);
+  if (failpoint::kEnabled) {
+    metrics_.AddCounterFn(
+        "apcm_failpoint_hits_total",
+        "Failpoint actions fired, process-wide (APCM_FAILPOINTS builds).",
+        [] { return failpoint::TotalHits(); });
+  }
   metrics_.AddCounterFn("apcm_trace_spans_total",
                         "Spans appended to the round trace ring.",
                         [this] { return trace_.total_recorded(); });
@@ -170,22 +177,22 @@ void StreamEngine::RegisterMetrics() {
 void StreamEngine::StartAdminServer() {
   if (options_.admin_port == 0) return;
   admin_ = std::make_unique<AdminServer>();
-  admin_->Handle("/metrics", [this] {
+  admin_->Handle("/metrics", [this](std::string_view) {
     return AdminResponse{200, "text/plain; version=0.0.4; charset=utf-8",
                          RenderPrometheus(metrics_)};
   });
-  admin_->Handle("/metrics.json", [this] {
+  admin_->Handle("/metrics.json", [this](std::string_view) {
     return AdminResponse{200, "application/json",
                          RenderMetricsJson(metrics_)};
   });
-  admin_->Handle("/report", [this] {
+  admin_->Handle("/report", [this](std::string_view) {
     return AdminResponse{200, "text/plain; charset=utf-8",
                          RenderReport(*this)};
   });
-  admin_->Handle("/trace", [this] {
+  admin_->Handle("/trace", [this](std::string_view) {
     return AdminResponse{200, "application/json", trace_.ToJson()};
   });
-  admin_->Handle("/subscriptions", [this] {
+  admin_->Handle("/subscriptions", [this](std::string_view) {
     const std::vector<size_t> shards = SubscriptionShardCounts();
     size_t conjunctions = 0;
     for (size_t count : shards) conjunctions += count;
@@ -200,8 +207,52 @@ void StreamEngine::StartAdminServer() {
     body += "]}\n";
     return AdminResponse{200, "application/json", std::move(body)};
   });
-  admin_->Handle("/healthz", [] {
+  admin_->Handle("/healthz", [](std::string_view) {
     return AdminResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  });
+  // Lists registered failpoints with hit counts; arms/disarms them via
+  // `?arm=name=spec` / `?disarm=name` / `?disarm=all` (the raw query string
+  // is the spec — it is not URL-decoded). Compiled-out builds always answer
+  // with enabled:false and reject arming.
+  admin_->Handle("/failpoints", [](std::string_view query) {
+    if (!query.empty()) {
+      if (!failpoint::kEnabled) {
+        return AdminResponse{
+            400, "text/plain; charset=utf-8",
+            "failpoints compiled out; rebuild with -DAPCM_FAILPOINTS=ON\n"};
+      }
+      Status applied = Status::OK();
+      if (query.substr(0, 4) == "arm=") {
+        applied = failpoint::ConfigureFromSpec(query.substr(4));
+      } else if (query.substr(0, 7) == "disarm=") {
+        const std::string_view target = query.substr(7);
+        if (target == "all") {
+          failpoint::DisarmAll();
+        } else {
+          applied = failpoint::Configure(target, "off");
+        }
+      } else {
+        applied = Status::InvalidArgument(
+            "unknown query '" + std::string(query) +
+            "'; use arm=name=spec, disarm=name, or disarm=all");
+      }
+      if (!applied.ok()) {
+        return AdminResponse{400, "text/plain; charset=utf-8",
+                             applied.ToString() + "\n"};
+      }
+    }
+    std::string body = std::string("{\"enabled\":") +
+                       (failpoint::kEnabled ? "true" : "false") +
+                       ",\"failpoints\":[";
+    bool first = true;
+    for (const failpoint::PointInfo& point : failpoint::List()) {
+      if (!first) body += ',';
+      first = false;
+      body += "{\"name\":\"" + point.name + "\",\"spec\":\"" + point.spec +
+              "\",\"hits\":" + std::to_string(point.hits) + "}";
+    }
+    body += "]}\n";
+    return AdminResponse{200, "application/json", std::move(body)};
   });
   const Status started =
       admin_->Start(options_.admin_port < 0 ? 0 : options_.admin_port);
@@ -405,6 +456,19 @@ uint64_t StreamEngine::Publish(Event event) {
 }
 
 StatusOr<uint64_t> StreamEngine::TryPublish(Event event) {
+  // Chaos seam: simulate a full queue at admission. Under kReject this
+  // mirrors the real rejection path (counter, trace span, ResourceExhausted)
+  // so callers exercise their retry/park logic; under kBlock it only counts
+  // the hit — blocking on a fake rejection could deadlock a helper-less
+  // caller.
+  APCM_FAILPOINT_INJECT("engine.publish.admit", {
+    if (options_.backpressure == BackpressurePolicy::kReject) {
+      stats_.publishes_rejected.fetch_add(1, std::memory_order_relaxed);
+      trace_.Record(TraceRing::Kind::kBackpressureReject, queue_.depth());
+      return Status::ResourceExhausted(
+          "publish queue is full (injected failpoint); Flush or retry later");
+    }
+  });
   for (;;) {
     if (std::optional<BoundedEventQueue::PushResult> pushed =
             queue_.TryPush(std::move(event))) {
@@ -518,6 +582,9 @@ void StreamEngine::ScheduleRebuildLocked(bool compaction) {
   rebuild_done_ =
       rebuild_pool_
           .SubmitWithFuture([this, built, version, compaction] {
+            // Chaos seam: stall the full build while writers keep mutating
+            // the master list it was captured from.
+            APCM_FAILPOINT("engine.rebuild.start");
             WallTimer timer;
             auto next = std::make_shared<EngineSnapshot>();
             next->matcher = CreateEngineMatcher();
@@ -602,6 +669,7 @@ void StreamEngine::ScheduleShardRebuildLocked(
           .SubmitWithFuture([this, prev = std::move(prev), prev_sharded,
                              shard_subs = std::move(shard_subs), num_dirty,
                              num_shards, version, compaction] {
+            APCM_FAILPOINT("engine.rebuild.start");
             WallTimer timer;
             // The successor generation shares every clean shard with `prev`
             // (alive via the captured shared_ptr) — those keep absorbing
@@ -612,6 +680,10 @@ void StreamEngine::ScheduleShardRebuildLocked(
                 prev_sharded->NewGeneration();
             for (uint32_t s = 0; s < num_shards; ++s) {
               if (shard_subs[s] != nullptr) {
+                // Chaos seam: per-shard rebuild boundary — stalls here widen
+                // the window in which clean shards absorb deltas through the
+                // previous generation.
+                APCM_FAILPOINT("engine.rebuild.shard");
                 gen->RebuildShard(s, shard_subs[s], version);
               }
             }
@@ -631,6 +703,9 @@ void StreamEngine::ScheduleShardRebuildLocked(
 
 void StreamEngine::PublishSnapshot(std::shared_ptr<EngineSnapshot> next,
                                    bool compaction, int64_t build_ns) {
+  // Chaos seam: hold a finished build just before it becomes visible;
+  // rounds keep matching against the previous snapshot plus deltas.
+  APCM_FAILPOINT("engine.rebuild.publish");
   const uint64_t version = next->covered_seq;
   snapshot_.Store(std::move(next));
   std::lock_guard<std::mutex> lock(state_mu_);
@@ -704,6 +779,9 @@ std::shared_ptr<EngineSnapshot> StreamEngine::SyncSnapshotLocked() {
       build_done.wait();
       continue;  // reload; more changes may have landed during the build
     }
+    // Chaos seam: change-log apply boundary — a stall here lets background
+    // compactions race the delta application they will supersede.
+    APCM_FAILPOINT("engine.apply_delta");
     // Apply the deltas to the snapshot matcher. Serialized by process_mu_;
     // the background builder never touches a published snapshot's shards.
     auto* inc = static_cast<IncrementalMatcher*>(snap->matcher.get());

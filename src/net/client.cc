@@ -11,6 +11,8 @@
 
 #include <utility>
 
+#include "src/net/net_io.h"
+
 namespace apcm::net {
 
 namespace {
@@ -67,8 +69,8 @@ Status Client::SendFrame(const Frame& frame) {
   const std::string wire = EncodeFrame(frame);
   size_t sent = 0;
   while (sent < wire.size()) {
-    ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent,
-                       MSG_NOSIGNAL);
+    ssize_t n = InstrumentedSend(IoSide::kClient, fd_, wire.data() + sent,
+                                 wire.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Broken(Status::IOError(Errno("send")));
@@ -91,7 +93,7 @@ StatusOr<bool> Client::FillBuffer(int timeout_ms) {
   }
   char buf[16 * 1024];
   for (;;) {
-    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    ssize_t n = InstrumentedRecv(IoSide::kClient, fd_, buf, sizeof(buf), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Broken(Status::IOError(Errno("recv")));
@@ -104,14 +106,20 @@ StatusOr<bool> Client::FillBuffer(int timeout_ms) {
   }
 }
 
-StatusOr<Frame> Client::AwaitResponse(uint64_t seq) {
+StatusOr<Frame> Client::AwaitResponse(uint64_t seq, int timeout_ms) {
   for (;;) {
     APCM_ASSIGN_OR_RETURN(std::optional<Frame> next, decoder_.Next());
     if (!next.has_value()) {
       // Block until bytes arrive: a request is outstanding, so the server
       // owes us a response frame.
-      APCM_ASSIGN_OR_RETURN(bool got, FillBuffer(/*timeout_ms=*/-1));
-      (void)got;  // poll with a negative timeout only returns ready
+      APCM_ASSIGN_OR_RETURN(bool got, FillBuffer(timeout_ms));
+      if (!got) {
+        // A response that straggles in later would be correlated with the
+        // wrong request; the connection is no longer usable.
+        return Broken(Status::IOError(
+            "timed out after " + std::to_string(timeout_ms) +
+            "ms waiting for response to seq " + std::to_string(seq)));
+      }
       continue;
     }
     Frame frame = std::move(*next);
@@ -176,12 +184,12 @@ Status Client::Unsubscribe(uint64_t sub_id) {
   return AwaitResponse(frame.seq).status();
 }
 
-Status Client::Ping() {
+Status Client::Ping(int timeout_ms) {
   Frame frame;
   frame.type = FrameType::kPing;
   frame.seq = next_seq_++;
   APCM_RETURN_NOT_OK(SendFrame(frame));
-  return AwaitResponse(frame.seq).status();
+  return AwaitResponse(frame.seq, timeout_ms).status();
 }
 
 StatusOr<std::optional<Client::Match>> Client::PollMatch(int timeout_ms) {

@@ -57,8 +57,11 @@ class Client {
   Status Unsubscribe(uint64_t sub_id);
 
   /// Round-trips a PING; proves the connection and the server's I/O loop
-  /// are alive.
-  Status Ping();
+  /// are alive. Waits up to `timeout_ms` for the PONG (negative = wait
+  /// indefinitely); on timeout the connection is failed (a late response
+  /// would desynchronize request/response correlation) and IOError is
+  /// returned.
+  Status Ping(int timeout_ms = -1);
 
   /// Returns the next queued MATCH, waiting up to `timeout_ms` for one to
   /// arrive (0 = only drain what is already buffered; negative = wait
@@ -71,8 +74,10 @@ class Client {
   Status SendFrame(const Frame& frame);
   /// Reads frames until the response (ACK/ERROR/PONG) echoing `seq`
   /// arrives; MATCH frames seen along the way are queued. An ERROR response
-  /// is surfaced as its carried Status.
-  StatusOr<Frame> AwaitResponse(uint64_t seq);
+  /// is surfaced as its carried Status. `timeout_ms` bounds each socket
+  /// wait (negative = indefinitely); expiry breaks the connection and
+  /// returns IOError.
+  StatusOr<Frame> AwaitResponse(uint64_t seq, int timeout_ms = -1);
   /// Reads one recv() worth of bytes into the decoder, blocking up to
   /// `timeout_ms` (negative = indefinitely). Returns false on timeout.
   StatusOr<bool> FillBuffer(int timeout_ms);

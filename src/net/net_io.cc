@@ -1,0 +1,117 @@
+#include "src/net/net_io.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "src/base/failpoint.h"
+#include "src/base/macros.h"
+
+namespace apcm::net {
+
+#ifdef APCM_FAILPOINTS_ENABLED
+
+namespace {
+
+struct SidePoints {
+  failpoint::Failpoint* recv_eintr;
+  failpoint::Failpoint* recv_disconnect;
+  failpoint::Failpoint* recv_short;
+  failpoint::Failpoint* send_short;
+  failpoint::Failpoint* send_eagain;
+  failpoint::Failpoint* send_error;
+};
+
+const SidePoints& PointsFor(IoSide side) {
+  auto& registry = failpoint::Registry::Instance();
+  static const SidePoints server = {
+      registry.Register("net.server.recv.eintr"),
+      registry.Register("net.server.recv.disconnect"),
+      registry.Register("net.server.recv.short"),
+      registry.Register("net.server.send.short"),
+      registry.Register("net.server.send.eagain"),
+      registry.Register("net.server.send.error"),
+  };
+  static const SidePoints client = {
+      registry.Register("net.client.recv.eintr"),
+      registry.Register("net.client.recv.disconnect"),
+      registry.Register("net.client.recv.short"),
+      registry.Register("net.client.send.short"),
+      registry.Register("net.client.send.eagain"),
+      registry.Register("net.client.send.error"),
+  };
+  return side == IoSide::kServer ? server : client;
+}
+
+}  // namespace
+
+ssize_t InstrumentedRecv(IoSide side, int fd, void* buf, size_t len,
+                         int flags) {
+  const SidePoints& points = PointsFor(side);
+  uint64_t arg = 0;
+  if (APCM_UNLIKELY(points.recv_eintr->armed()) &&
+      points.recv_eintr->Fire(&arg)) {
+    errno = EINTR;
+    return -1;
+  }
+  if (APCM_UNLIKELY(points.recv_disconnect->armed()) &&
+      points.recv_disconnect->Fire(&arg)) {
+    return 0;
+  }
+  if (APCM_UNLIKELY(points.recv_short->armed()) &&
+      points.recv_short->Fire(&arg)) {
+    len = std::min(len, static_cast<size_t>(std::max<uint64_t>(arg, 1)));
+  }
+  return ::recv(fd, buf, len, flags);
+}
+
+ssize_t InstrumentedSend(IoSide side, int fd, const void* buf, size_t len,
+                         int flags) {
+  const SidePoints& points = PointsFor(side);
+  uint64_t arg = 0;
+  if (APCM_UNLIKELY(points.send_error->armed()) &&
+      points.send_error->Fire(&arg)) {
+    errno = ECONNRESET;
+    return -1;
+  }
+  if (APCM_UNLIKELY(points.send_eagain->armed()) &&
+      points.send_eagain->Fire(&arg)) {
+    errno = EAGAIN;
+    return -1;
+  }
+  if (APCM_UNLIKELY(points.send_short->armed()) &&
+      points.send_short->Fire(&arg)) {
+    len = std::min(len, static_cast<size_t>(std::max<uint64_t>(arg, 1)));
+  }
+  return ::send(fd, buf, len, flags);
+}
+
+int InstrumentedAccept(int fd) {
+  static failpoint::Failpoint* accept_fail =
+      failpoint::Registry::Instance().Register("net.server.accept.fail");
+  uint64_t arg = 0;
+  if (APCM_UNLIKELY(accept_fail->armed()) && accept_fail->Fire(&arg)) {
+    errno = EMFILE;
+    return -1;
+  }
+  return ::accept(fd, nullptr, nullptr);
+}
+
+#else  // !APCM_FAILPOINTS_ENABLED
+
+ssize_t InstrumentedRecv(IoSide /*side*/, int fd, void* buf, size_t len,
+                         int flags) {
+  return ::recv(fd, buf, len, flags);
+}
+
+ssize_t InstrumentedSend(IoSide /*side*/, int fd, const void* buf, size_t len,
+                         int flags) {
+  return ::send(fd, buf, len, flags);
+}
+
+int InstrumentedAccept(int fd) { return ::accept(fd, nullptr, nullptr); }
+
+#endif  // APCM_FAILPOINTS_ENABLED
+
+}  // namespace apcm::net

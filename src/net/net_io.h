@@ -1,0 +1,45 @@
+#ifndef APCM_NET_NET_IO_H_
+#define APCM_NET_NET_IO_H_
+
+/// \file
+/// Failpoint-instrumented socket syscall wrappers. All net-layer reads,
+/// writes, and accepts go through these so fault schedules can inject short
+/// reads/writes (torn frames), EINTR, simulated disconnects, and accept
+/// failures deterministically — in APCM_FAILPOINTS builds only; otherwise
+/// each wrapper is a direct syscall (the failpoint checks constant-fold
+/// away).
+///
+/// Failpoints consulted (all `return`-action; `arg` noted where used):
+///   net.{server,client}.recv.eintr       recv fails with errno=EINTR
+///   net.{server,client}.recv.disconnect  recv returns 0 (peer closed)
+///   net.{server,client}.recv.short       recv length clamped to max(arg, 1)
+///   net.{server,client}.send.short       send length clamped to max(arg, 1)
+///   net.{server,client}.send.eagain      send fails with errno=EAGAIN
+///   net.{server,client}.send.error       send fails with errno=ECONNRESET
+///   net.server.accept.fail               accept fails with errno=EMFILE
+
+#include <sys/types.h>
+
+#include <cstddef>
+
+namespace apcm::net {
+
+/// Which half of the protocol the calling code implements; selects the
+/// `net.server.*` or `net.client.*` failpoint family.
+enum class IoSide { kServer, kClient };
+
+/// ::recv with failpoint injection (EINTR, disconnect, short read).
+ssize_t InstrumentedRecv(IoSide side, int fd, void* buf, size_t len,
+                         int flags);
+
+/// ::send with failpoint injection (short write, ECONNRESET on the server
+/// side).
+ssize_t InstrumentedSend(IoSide side, int fd, const void* buf, size_t len,
+                         int flags);
+
+/// ::accept(fd, nullptr, nullptr) with failpoint injection (EMFILE).
+int InstrumentedAccept(int fd);
+
+}  // namespace apcm::net
+
+#endif  // APCM_NET_NET_IO_H_

@@ -14,8 +14,10 @@
 #include <cstring>
 #include <utility>
 
+#include "src/base/failpoint.h"
 #include "src/base/logging.h"
 #include "src/base/macros.h"
+#include "src/net/net_io.h"
 
 namespace apcm::net {
 
@@ -167,6 +169,9 @@ void EventServer::PumpLoop() {
   while (!pump_stop_) {
     if (engine_->queue_depth() > 0) {
       lock.unlock();
+      // Chaos seam: widen the ACKed-but-unflushed window the drain in
+      // Stop() must cover.
+      APCM_FAILPOINT("net.server.pump.flush");
       engine_->Flush();
       // Paused connections can retry their parked publish now, and fresh
       // MATCH frames are waiting to be written.
@@ -344,7 +349,7 @@ void EventServer::IoLoop() {
 
 void EventServer::AcceptConnections() {
   for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = InstrumentedAccept(listen_fd_);
     if (fd < 0) return;  // EAGAIN or transient error
     SetNonBlocking(fd);
     const int one = 1;
@@ -364,7 +369,8 @@ void EventServer::ReadConnection(Connection* conn) {
   char buf[16 * 1024];
   size_t budget = kReadBudgetBytes;
   while (budget > 0) {
-    const ssize_t n = ::recv(conn->fd, buf, std::min(sizeof(buf), budget), 0);
+    const ssize_t n = InstrumentedRecv(IoSide::kServer, conn->fd, buf,
+                                       std::min(sizeof(buf), budget), 0);
     if (n == 0) {
       conn->doomed.store(true, std::memory_order_relaxed);
       break;
@@ -585,8 +591,9 @@ void EventServer::CloseConnection(Connection* conn, const char* reason) {
 bool EventServer::FlushWrites(Connection* conn) {
   std::lock_guard<std::mutex> lock(conn->out_mu);
   while (!conn->outbox.empty()) {
-    const ssize_t n = ::send(conn->fd, conn->outbox.data(),
-                             conn->outbox.size(), MSG_NOSIGNAL);
+    const ssize_t n = InstrumentedSend(IoSide::kServer, conn->fd,
+                                       conn->outbox.data(),
+                                       conn->outbox.size(), MSG_NOSIGNAL);
     if (n > 0) {
       bytes_out_->Increment(static_cast<uint64_t>(n));
       conn->outbox.erase(0, static_cast<size_t>(n));

@@ -1,0 +1,298 @@
+// net::Client failure-path suite against a scripted fake server: the client
+// must surface request-level errors without breaking the connection, and
+// treat every protocol violation or transport failure (close mid-request,
+// response timeout, out-of-order correlation, ERROR-with-OK) as fatal for
+// the connection — never hang, never mis-correlate. Runs in every build (no
+// failpoints required; the chaos suite covers injected syscall faults).
+
+#include "src/net/client.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/net/frame.h"
+
+namespace apcm::net {
+namespace {
+
+/// One accepted connection of the fake server, with framed read/write
+/// helpers for scripts.
+class Conn {
+ public:
+  explicit Conn(int fd) : fd_(fd) {}
+  ~Conn() { Close(); }
+
+  /// Blocks until one complete frame arrives (fails the test on EOF or a
+  /// framing error — scripts only expect well-formed client traffic).
+  Frame ReadFrame() {
+    for (;;) {
+      auto next = decoder_.Next();
+      EXPECT_TRUE(next.ok()) << next.status().ToString();
+      if (next.ok() && next->has_value()) return std::move(**next);
+      char buf[4096];
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      EXPECT_GT(n, 0) << "client closed before the expected frame";
+      if (n <= 0) return Frame{};
+      decoder_.Append(buf, static_cast<size_t>(n));
+    }
+  }
+
+  void Send(const Frame& frame) { SendRaw(EncodeFrame(frame)); }
+
+  void SendRaw(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  /// Blocks until the client closes its end.
+  void AwaitClose() {
+    char buf[256];
+    while (::recv(fd_, buf, sizeof(buf), 0) > 0) {
+    }
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_;
+  FrameDecoder decoder_;
+};
+
+/// Listens on an ephemeral loopback port and runs one scripted connection
+/// in a background thread.
+class FakeServer {
+ public:
+  FakeServer() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listen_fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(listen_fd_, 1), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                            &len),
+              0);
+    port_ = ntohs(addr.sin_port);
+  }
+
+  ~FakeServer() {
+    if (thread_.joinable()) thread_.join();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+  }
+
+  int port() const { return port_; }
+
+  void Serve(std::function<void(Conn&)> script) {
+    thread_ = std::thread([this, script = std::move(script)] {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      ASSERT_GE(fd, 0);
+      Conn conn(fd);
+      script(conn);
+    });
+  }
+
+ private:
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+};
+
+TEST(NetClientFaultTest, ConnectionRefusedSurfacesIOError) {
+  Client client;
+  // Port 1 is privileged and unbound in the test environment.
+  const Status status = client.Connect("127.0.0.1", 1);
+  EXPECT_EQ(status.code(), StatusCode::kIOError) << status.ToString();
+  EXPECT_FALSE(client.connected());
+}
+
+TEST(NetClientFaultTest, ConnectTwiceIsFailedPrecondition) {
+  FakeServer server;
+  server.Serve([](Conn& conn) { conn.AwaitClose(); });
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  EXPECT_EQ(client.Connect("127.0.0.1", server.port()).code(),
+            StatusCode::kFailedPrecondition);
+  client.Close();
+}
+
+TEST(NetClientFaultTest, ServerCloseMidRequestBreaksTheConnection) {
+  FakeServer server;
+  server.Serve([](Conn& conn) {
+    conn.ReadFrame();  // the SUBSCRIBE
+    conn.Close();      // ... and no response, ever
+  });
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  const Status status = client.Subscribe(1, "a0 >= 0");
+  EXPECT_EQ(status.code(), StatusCode::kIOError) << status.ToString();
+  EXPECT_NE(status.message().find("closed"), std::string::npos)
+      << status.ToString();
+  EXPECT_FALSE(client.connected());
+  // Requests on a broken connection fail fast.
+  EXPECT_EQ(client.Ping().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(NetClientFaultTest, ErrorResponseIsSurfacedAndConnectionSurvives) {
+  FakeServer server;
+  server.Serve([](Conn& conn) {
+    const Frame subscribe = conn.ReadFrame();
+    EXPECT_EQ(subscribe.type, FrameType::kSubscribe);
+    Frame error;
+    error.type = FrameType::kError;
+    error.seq = subscribe.seq;
+    error.code = StatusCode::kInvalidArgument;
+    error.message = "expression rejected";
+    conn.Send(error);
+    const Frame ping = conn.ReadFrame();
+    EXPECT_EQ(ping.type, FrameType::kPing);
+    Frame pong;
+    pong.type = FrameType::kPong;
+    pong.seq = ping.seq;
+    conn.Send(pong);
+    conn.AwaitClose();
+  });
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  const Status status = client.Subscribe(1, "a0 >= 0");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "expression rejected");
+  // A request-level ERROR is not a connection failure.
+  EXPECT_TRUE(client.connected());
+  EXPECT_TRUE(client.Ping().ok());
+  client.Close();
+}
+
+TEST(NetClientFaultTest, PingTimeoutBreaksTheConnection) {
+  FakeServer server;
+  server.Serve([](Conn& conn) {
+    const Frame ping = conn.ReadFrame();
+    EXPECT_EQ(ping.type, FrameType::kPing);
+    // Never answer; the client's bounded wait must expire.
+    conn.AwaitClose();
+  });
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  const Status status = client.Ping(/*timeout_ms=*/200);
+  EXPECT_EQ(status.code(), StatusCode::kIOError) << status.ToString();
+  EXPECT_NE(status.message().find("timed out"), std::string::npos)
+      << status.ToString();
+  // A late PONG would be mis-correlated, so the timeout fails the
+  // connection rather than leaving it half-synchronized.
+  EXPECT_FALSE(client.connected());
+}
+
+TEST(NetClientFaultTest, OutOfOrderResponseSeqIsFatal) {
+  FakeServer server;
+  server.Serve([](Conn& conn) {
+    const Frame ping = conn.ReadFrame();
+    Frame pong;
+    pong.type = FrameType::kPong;
+    pong.seq = ping.seq + 999;
+    conn.Send(pong);
+    conn.AwaitClose();
+  });
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  const Status status = client.Ping();
+  EXPECT_EQ(status.code(), StatusCode::kInternal) << status.ToString();
+  EXPECT_NE(status.message().find("out of order"), std::string::npos);
+  EXPECT_FALSE(client.connected());
+}
+
+TEST(NetClientFaultTest, ErrorFrameCarryingOkCodeIsFatal) {
+  FakeServer server;
+  server.Serve([](Conn& conn) {
+    const Frame subscribe = conn.ReadFrame();
+    Frame error;
+    error.type = FrameType::kError;
+    error.seq = subscribe.seq;
+    error.code = StatusCode::kOk;  // nonsense: an error that isn't
+    conn.Send(error);
+    conn.AwaitClose();
+  });
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  const Status status = client.Subscribe(1, "a0 >= 0");
+  EXPECT_EQ(status.code(), StatusCode::kInternal) << status.ToString();
+  EXPECT_FALSE(client.connected());
+}
+
+TEST(NetClientFaultTest, MatchesArrivingBeforeTheResponseAreQueued) {
+  FakeServer server;
+  server.Serve([](Conn& conn) {
+    const Frame publish = conn.ReadFrame();
+    EXPECT_EQ(publish.type, FrameType::kPublish);
+    // Two unsolicited MATCH frames land before the ACK.
+    for (uint64_t event_id : {10u, 11u}) {
+      Frame match;
+      match.type = FrameType::kMatch;
+      match.event_id = event_id;
+      match.matches = {1, 2};
+      conn.Send(match);
+    }
+    Frame ack;
+    ack.type = FrameType::kAck;
+    ack.seq = publish.seq;
+    ack.value = 10;
+    conn.Send(ack);
+    conn.AwaitClose();
+  });
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  auto id = client.Publish(Event::Create({{0, 1}}).value());
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_EQ(*id, 10u);
+  for (uint64_t expected : {10u, 11u}) {
+    auto match = client.PollMatch(/*timeout_ms=*/0);
+    ASSERT_TRUE(match.ok()) << match.status().ToString();
+    ASSERT_TRUE(match->has_value());
+    EXPECT_EQ((*match)->event_id, expected);
+    EXPECT_EQ((*match)->sub_ids, (std::vector<uint64_t>{1, 2}));
+  }
+  client.Close();
+}
+
+TEST(NetClientFaultTest, UnsolicitedNonMatchFrameIsFatal) {
+  FakeServer server;
+  server.Serve([](Conn& conn) {
+    Frame ack;  // no request is outstanding
+    ack.type = FrameType::kAck;
+    ack.seq = 1;
+    conn.Send(ack);
+    conn.AwaitClose();
+  });
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  auto match = client.PollMatch(/*timeout_ms=*/5000);
+  EXPECT_FALSE(match.ok());
+  EXPECT_EQ(match.status().code(), StatusCode::kInternal)
+      << match.status().ToString();
+  EXPECT_FALSE(client.connected());
+}
+
+}  // namespace
+}  // namespace apcm::net

@@ -8,12 +8,17 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <string>
 #include <vector>
 
+#include "src/base/failpoint.h"
 #include "src/base/rng.h"
 #include "src/be/event.h"
+#include "src/net/net_io.h"
 
 namespace apcm::net {
 namespace {
@@ -408,6 +413,147 @@ TEST(NetFrameTest, FuzzedRoundTripPreservesFrames) {
     for (size_t i = 0; i < frames.size(); ++i) {
       ExpectSameFrame(decoded[i], frames[i]);
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failpoint-injected short I/O over a real socketpair (chaos builds; these
+// skip when failpoints are compiled out). The codec contract — reassembly
+// under any re-chunking, sticky failure after corruption — must hold when
+// the chunking is imposed by the transport itself through the instrumented
+// syscall wrappers the server and client actually use.
+// ---------------------------------------------------------------------------
+
+class NetFrameFailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!failpoint::kEnabled) {
+      GTEST_SKIP() << "failpoints compiled out; build with -DAPCM_FAILPOINTS=ON";
+    }
+    failpoint::DisarmAll();
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    failpoint::DisarmAll();
+    if (fds_[0] >= 0) ::close(fds_[0]);
+    if (fds_[1] >= 0) ::close(fds_[1]);
+  }
+
+  /// Writes all of `bytes` through the client-side instrumented send —
+  /// armed short-write failpoints tear the stream exactly where told to.
+  void SendAll(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = InstrumentedSend(IoSide::kClient, fds_[0],
+                                         bytes.data() + sent,
+                                         bytes.size() - sent, 0);
+      ASSERT_GT(n, 0);
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(NetFrameFailpointTest, ShortIoAtEverySplitOffsetReassembles) {
+  const std::vector<Frame> frames = SampleFrames();
+  std::string stream;
+  for (const Frame& frame : frames) stream += EncodeFrame(frame);
+
+  for (size_t split = 1; split < stream.size(); ++split) {
+    SCOPED_TRACE("split " + std::to_string(split));
+    // The first send of this round is clamped to exactly `split` bytes (the
+    // failpoint exhausts after one fire), and the first recv to 3, so every
+    // frame boundary gets torn on both sides of the socket over the sweep.
+    ASSERT_TRUE(failpoint::Configure("net.client.send.short",
+                                     "1*return(" + std::to_string(split) + ")")
+                    .ok());
+    ASSERT_TRUE(
+        failpoint::Configure("net.server.recv.short", "1*return(3)").ok());
+    SendAll(stream);
+
+    FrameDecoder decoder;
+    std::vector<Frame> decoded;
+    size_t received = 0;
+    char buf[4096];
+    while (received < stream.size()) {
+      const ssize_t n =
+          InstrumentedRecv(IoSide::kServer, fds_[1], buf, sizeof(buf), 0);
+      ASSERT_GT(n, 0);
+      received += static_cast<size_t>(n);
+      decoder.Append(buf, static_cast<size_t>(n));
+      for (;;) {
+        auto next = decoder.Next();
+        ASSERT_TRUE(next.ok()) << next.status().ToString();
+        if (!next->has_value()) break;
+        decoded.push_back(std::move(**next));
+      }
+    }
+    ASSERT_EQ(decoded.size(), frames.size());
+    for (size_t i = 0; i < frames.size(); ++i) {
+      ExpectSameFrame(decoded[i], frames[i]);
+    }
+  }
+  EXPECT_GT(failpoint::Hits("net.client.send.short"), 0u);
+  EXPECT_GT(failpoint::Hits("net.server.recv.short"), 0u);
+}
+
+TEST_F(NetFrameFailpointTest, CorruptionUnderTornIoKeepsStickyError) {
+  const std::vector<Frame> frames = SampleFrames();
+  std::string stream;
+  for (const Frame& frame : frames) stream += EncodeFrame(frame);
+
+  Rng rng(4242);
+  for (int iter = 0; iter < 64; ++iter) {
+    SCOPED_TRACE("iter " + std::to_string(iter));
+    std::string corrupted = stream;
+    corrupted[rng.Uniform(corrupted.size())] =
+        static_cast<char>(rng.Uniform(256));
+    // Seeded probabilistic tearing on both sides: the same corrupted bytes
+    // arrive in transport-imposed shreds.
+    const std::string seed = std::to_string(1000 + iter);
+    ASSERT_TRUE(failpoint::Configure("net.client.send.short",
+                                     "50%return(5)@" + seed)
+                    .ok());
+    ASSERT_TRUE(failpoint::Configure("net.server.recv.short",
+                                     "50%return(3)@" + seed)
+                    .ok());
+    SendAll(corrupted);
+
+    FrameDecoder decoder;
+    Status first_error;
+    size_t received = 0;
+    char buf[4096];
+    while (received < corrupted.size()) {
+      const ssize_t n =
+          InstrumentedRecv(IoSide::kServer, fds_[1], buf, sizeof(buf), 0);
+      ASSERT_GT(n, 0);
+      received += static_cast<size_t>(n);
+      decoder.Append(buf, static_cast<size_t>(n));
+      for (;;) {
+        auto next = decoder.Next();
+        if (!next.ok()) {
+          EXPECT_EQ(next.status().code(), StatusCode::kInvalidArgument);
+          if (first_error.ok()) {
+            first_error = next.status();
+          } else {
+            // Sticky-error contract: the stream reports the same failure no
+            // matter how many more shredded bytes arrive.
+            EXPECT_EQ(next.status(), first_error);
+          }
+          break;
+        }
+        if (!next->has_value()) break;
+        // A surviving frame must be internally consistent enough to
+        // re-encode (EncodeFrame CHECKs the payload bound).
+        (void)EncodeFrame(**next);
+      }
+    }
+    if (!first_error.ok()) {
+      EXPECT_TRUE(decoder.failed());
+      EXPECT_EQ(decoder.Next().status(), first_error);
+    }
+    failpoint::DisarmAll();
   }
 }
 

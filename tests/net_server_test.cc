@@ -310,9 +310,26 @@ TEST(NetServerTest, BackpressurePausesFloodingPublisherWithoutLoss) {
             .ok());
   }
 
+  // Every wire publish is admitted by the single I/O thread, so a socket
+  // flood alone only rejects when the pump happens to hold the processing
+  // lock at the exact fill instant — a scheduler race that misses on slow
+  // or single-CPU machines (the old version flaked exactly that way). A
+  // direct-engine flooder thread removes the luck: it hammers TryPublish
+  // (kReject, result ignored) so the 16-deep queue is saturated and rounds
+  // are constantly in flight; any wire publish that lands meanwhile meets a
+  // full queue, parks its connection, and fires the counter. The flood
+  // events carry only a1, so the a0 catch-all never matches them and the
+  // subscriber's match stream stays exactly the tracked publishers' events.
+  std::atomic<bool> saturated{false};
+  std::thread flooder([&] {
+    const Event filler = Event::Create({{1, 1}}).value();
+    while (!saturated.load(std::memory_order_relaxed)) {
+      (void)server.engine().TryPublish(filler);
+    }
+  });
+
   constexpr int kPublishers = 3;
   constexpr int kMaxPerPublisher = 4000;
-  std::atomic<bool> saturated{false};
   std::atomic<int> running{kPublishers};
   std::vector<std::vector<uint64_t>> acked(kPublishers);
   std::vector<std::thread> publishers;
@@ -339,6 +356,7 @@ TEST(NetServerTest, BackpressurePausesFloodingPublisherWithoutLoss) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
   saturated.store(true, std::memory_order_relaxed);
+  flooder.join();
   for (std::thread& thread : publishers) thread.join();
   EXPECT_GT(CounterValue(registry, "apcm_net_backpressure_events_total"), 0u);
 

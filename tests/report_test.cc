@@ -344,9 +344,13 @@ TEST(ReportTest, MatcherStatsRendering) {
 
 TEST(AdminServerTest, ServesRegisteredHandlers) {
   AdminServer server;
-  server.Handle("/hello", [] {
+  server.Handle("/hello", [](std::string_view query) {
     AdminResponse response;
-    response.body = "world\n";
+    response.body = "world";
+    if (!query.empty()) {
+      response.body += " query=" + std::string(query);
+    }
+    response.body += "\n";
     return response;
   });
   ASSERT_TRUE(server.Start(0).ok());
@@ -357,10 +361,11 @@ TEST(AdminServerTest, ServesRegisteredHandlers) {
   EXPECT_NE(ok.find("world"), std::string::npos) << ok;
   EXPECT_NE(ok.find("Content-Length: 6"), std::string::npos) << ok;
 
-  // Query strings are stripped before routing.
+  // Query strings are stripped before routing and handed to the handler.
   const std::string query =
       HttpGet(server.port(), "GET /hello?verbose=1 HTTP/1.0");
   EXPECT_NE(query.find("200 OK"), std::string::npos) << query;
+  EXPECT_NE(query.find("query=verbose=1"), std::string::npos) << query;
 
   const std::string missing = HttpGet(server.port(), "GET /nope HTTP/1.0");
   EXPECT_NE(missing.find("404"), std::string::npos) << missing;
@@ -374,7 +379,7 @@ TEST(AdminServerTest, ServesRegisteredHandlers) {
 
 TEST(AdminServerTest, StartTwiceFails) {
   AdminServer server;
-  server.Handle("/x", [] { return AdminResponse{}; });
+  server.Handle("/x", [](std::string_view) { return AdminResponse{}; });
   ASSERT_TRUE(server.Start(0).ok());
   EXPECT_FALSE(server.Start(0).ok());
   server.Stop();

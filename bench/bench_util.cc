@@ -210,17 +210,34 @@ std::string JsonNumber(double value) {
 
 }  // namespace
 
-BenchJsonWriter BenchJsonWriter::FromArgs(int argc, char** argv) {
+StatusOr<BenchJsonWriter> BenchJsonWriter::Parse(int argc, char** argv) {
+  BenchJsonWriter writer;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "--json requires a path argument\n");
-        std::exit(2);
+        return Status::InvalidArgument("--json requires a path argument");
       }
-      return BenchJsonWriter(argv[i + 1]);
+      if (writer.enabled()) {
+        return Status::InvalidArgument("--json given more than once");
+      }
+      writer = BenchJsonWriter(argv[++i]);
+      continue;
     }
+    return Status::InvalidArgument(std::string("unknown argument '") +
+                                   argv[i] + "' (only --json <path>)");
   }
-  return BenchJsonWriter();
+  return writer;
+}
+
+BenchJsonWriter BenchJsonWriter::FromArgs(int argc, char** argv) {
+  auto writer = Parse(argc, argv);
+  if (!writer.ok()) {
+    std::fprintf(stderr, "%s\nusage: %s [--json <path>]\n",
+                 writer.status().ToString().c_str(),
+                 argc > 0 ? argv[0] : "bench");
+    std::exit(2);
+  }
+  return *std::move(writer);
 }
 
 void BenchJsonWriter::Add(Record record) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/base/histogram.h"
+#include "src/base/status.h"
 #include "src/engine/matcher_factory.h"
 #include "src/index/matcher.h"
 #include "src/workload/generator.h"
@@ -101,8 +102,14 @@ std::unique_ptr<Matcher> MakeContender(const Contender& contender,
 /// constructed without a path swallows records and writes nothing.
 class BenchJsonWriter {
  public:
-  /// Parses `--json <path>` out of argv. Unknown flags are ignored (the bench
-  /// binaries take no other arguments); a missing path after --json is fatal.
+  /// Parses `--json <path>` out of argv. Any other argument is an
+  /// InvalidArgument — the bench binaries take no other flags, and silently
+  /// ignoring a typo like `--jsonn` would drop the baseline write the CI
+  /// perf gate depends on.
+  static StatusOr<BenchJsonWriter> Parse(int argc, char** argv);
+
+  /// Parse, but exits with status 2 (and a usage line on stderr) on bad
+  /// arguments — the main() wrapper.
   static BenchJsonWriter FromArgs(int argc, char** argv);
 
   BenchJsonWriter() = default;

@@ -1,0 +1,318 @@
+#include "src/bitmap/container.h"
+
+#include <algorithm>
+
+#include "src/base/macros.h"
+#include "src/bitmap/bitmap.h"
+
+namespace apcm::bitmap {
+
+HybridBitmap::HybridBitmap(uint32_t universe_bits) : universe_(universe_bits) {}
+
+void HybridBitmap::PromoteToBitset() {
+  words_.assign(PaddedWords(universe_), 0);
+  switch (kind_) {
+    case Kind::kArray:
+      for (uint32_t i : array_) words_[i / 64] |= 1ULL << (i % 64);
+      array_.clear();
+      array_.shrink_to_fit();
+      break;
+    case Kind::kRun:
+      for (size_t r = 0; r + 1 < runs_.size(); r += 2) {
+        SetBitRange(words_.data(), runs_[r], runs_[r + 1]);
+      }
+      runs_.clear();
+      runs_.shrink_to_fit();
+      break;
+    case Kind::kBitset:
+      break;
+  }
+  kind_ = Kind::kBitset;
+}
+
+void HybridBitmap::DemoteToArray() {
+  std::vector<uint32_t> members(count_);
+  switch (kind_) {
+    case Kind::kBitset: {
+      const uint64_t n = ActiveKernels().collect_set_bits(
+          words_.data(), words_.size(), 0, members.data());
+      APCM_DCHECK(n == count_);
+      (void)n;
+      words_.clear();
+      words_.shrink_to_fit();
+      break;
+    }
+    case Kind::kRun: {
+      size_t out = 0;
+      for (size_t r = 0; r + 1 < runs_.size(); r += 2) {
+        for (uint32_t i = 0; i < runs_[r + 1]; ++i) {
+          members[out++] = runs_[r] + i;
+        }
+      }
+      runs_.clear();
+      runs_.shrink_to_fit();
+      break;
+    }
+    case Kind::kArray:
+      return;
+  }
+  array_ = std::move(members);
+  kind_ = Kind::kArray;
+}
+
+uint32_t HybridBitmap::CountRuns() const {
+  switch (kind_) {
+    case Kind::kRun:
+      return static_cast<uint32_t>(runs_.size() / 2);
+    case Kind::kArray: {
+      uint32_t runs = 0;
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i == 0 || array_[i] != array_[i - 1] + 1) ++runs;
+      }
+      return runs;
+    }
+    case Kind::kBitset: {
+      uint32_t runs = 0;
+      uint64_t last = 0;
+      bool have_last = false;
+      ForEachSetBit(words_.data(), words_.size(), [&](uint64_t i) {
+        if (!have_last || i != last + 1) ++runs;
+        last = i;
+        have_last = true;
+      });
+      return runs;
+    }
+  }
+  return 0;
+}
+
+void HybridBitmap::Add(uint32_t i) {
+  APCM_DCHECK(i < universe_);
+  switch (kind_) {
+    case Kind::kArray: {
+      auto it = std::lower_bound(array_.begin(), array_.end(), i);
+      if (it != array_.end() && *it == i) return;
+      array_.insert(it, i);
+      ++count_;
+      if (array_.size() > kArrayMax) PromoteToBitset();
+      return;
+    }
+    case Kind::kBitset: {
+      uint64_t& word = words_[i / 64];
+      const uint64_t bit = 1ULL << (i % 64);
+      if (word & bit) return;
+      word |= bit;
+      ++count_;
+      return;
+    }
+    case Kind::kRun: {
+      if (Test(i)) return;
+      // Arbitrary point inserts fragment runs; fall back to the bitset and
+      // let Optimize() re-pack when the caller is done mutating.
+      PromoteToBitset();
+      words_[i / 64] |= 1ULL << (i % 64);
+      ++count_;
+      return;
+    }
+  }
+}
+
+void HybridBitmap::Remove(uint32_t i) {
+  APCM_DCHECK(i < universe_);
+  switch (kind_) {
+    case Kind::kArray: {
+      auto it = std::lower_bound(array_.begin(), array_.end(), i);
+      if (it == array_.end() || *it != i) return;
+      array_.erase(it);
+      --count_;
+      return;
+    }
+    case Kind::kBitset: {
+      uint64_t& word = words_[i / 64];
+      const uint64_t bit = 1ULL << (i % 64);
+      if (!(word & bit)) return;
+      word &= ~bit;
+      --count_;
+      if (count_ < kArrayDemote) DemoteToArray();
+      return;
+    }
+    case Kind::kRun: {
+      if (!Test(i)) return;
+      PromoteToBitset();
+      words_[i / 64] &= ~(1ULL << (i % 64));
+      --count_;
+      if (count_ < kArrayDemote) DemoteToArray();
+      return;
+    }
+  }
+}
+
+bool HybridBitmap::Test(uint32_t i) const {
+  APCM_DCHECK(i < universe_);
+  switch (kind_) {
+    case Kind::kArray:
+      return std::binary_search(array_.begin(), array_.end(), i);
+    case Kind::kBitset:
+      return (words_[i / 64] >> (i % 64)) & 1;
+    case Kind::kRun: {
+      // Last run with start <= i.
+      for (size_t r = 0; r + 1 < runs_.size(); r += 2) {
+        if (runs_[r] > i) break;
+        if (i - runs_[r] < runs_[r + 1]) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+void HybridBitmap::Optimize() {
+  const uint32_t runs = CountRuns();
+  const uint64_t array_bytes = static_cast<uint64_t>(count_) * 4;
+  const uint64_t bitset_bytes = PaddedWords(universe_) * 8;
+  const uint64_t run_bytes = static_cast<uint64_t>(runs) * 8;
+  if (run_bytes < array_bytes && run_bytes < bitset_bytes) {
+    std::vector<uint32_t> packed;
+    packed.reserve(static_cast<size_t>(runs) * 2);
+    uint32_t start = 0;
+    uint32_t len = 0;
+    for (uint32_t i : ToIndices()) {
+      if (len != 0 && i == start + len) {
+        ++len;
+        continue;
+      }
+      if (len != 0) {
+        packed.push_back(start);
+        packed.push_back(len);
+      }
+      start = i;
+      len = 1;
+    }
+    if (len != 0) {
+      packed.push_back(start);
+      packed.push_back(len);
+    }
+    array_.clear();
+    array_.shrink_to_fit();
+    words_.clear();
+    words_.shrink_to_fit();
+    runs_ = std::move(packed);
+    kind_ = Kind::kRun;
+  } else if (array_bytes <= bitset_bytes) {
+    if (kind_ != Kind::kArray) DemoteToArray();
+  } else {
+    if (kind_ != Kind::kBitset) PromoteToBitset();
+  }
+}
+
+void HybridBitmap::AndNotInto(uint64_t* words, uint64_t num_words) const {
+  switch (kind_) {
+    case Kind::kArray:
+      for (uint32_t i : array_) words[i / 64] &= ~(1ULL << (i % 64));
+      return;
+    case Kind::kBitset:
+      AndNotWords(words, words_.data(),
+                  std::min<uint64_t>(num_words, words_.size()));
+      return;
+    case Kind::kRun:
+      for (size_t r = 0; r + 1 < runs_.size(); r += 2) {
+        ClearBitRange(words, runs_[r], runs_[r + 1]);
+      }
+      return;
+  }
+}
+
+void HybridBitmap::AndInto(uint64_t* words, uint64_t num_words) const {
+  switch (kind_) {
+    case Kind::kBitset:
+      AndWords(words, words_.data(),
+               std::min<uint64_t>(num_words, words_.size()));
+      if (num_words > words_.size()) {
+        std::fill(words + words_.size(), words + num_words, 0);
+      }
+      return;
+    case Kind::kArray:
+    case Kind::kRun: {
+      // AND against a sparse form = clear the complement, which is itself a
+      // set of contiguous gaps between members/runs.
+      uint64_t next = 0;  // first bit not yet resolved
+      auto clear_gap_to = [&](uint64_t start) {
+        if (start > next) {
+          ClearBitRange(words, next, start - next);
+        }
+      };
+      if (kind_ == Kind::kArray) {
+        for (uint32_t i : array_) {
+          clear_gap_to(i);
+          next = static_cast<uint64_t>(i) + 1;
+        }
+      } else {
+        for (size_t r = 0; r + 1 < runs_.size(); r += 2) {
+          clear_gap_to(runs_[r]);
+          next = static_cast<uint64_t>(runs_[r]) + runs_[r + 1];
+        }
+      }
+      const uint64_t total_bits = num_words * 64;
+      if (total_bits > next) ClearBitRange(words, next, total_bits - next);
+      return;
+    }
+  }
+}
+
+void HybridBitmap::OrInto(uint64_t* words, uint64_t num_words) const {
+  switch (kind_) {
+    case Kind::kArray:
+      for (uint32_t i : array_) words[i / 64] |= 1ULL << (i % 64);
+      return;
+    case Kind::kBitset:
+      OrWords(words, words_.data(),
+              std::min<uint64_t>(num_words, words_.size()));
+      return;
+    case Kind::kRun:
+      for (size_t r = 0; r + 1 < runs_.size(); r += 2) {
+        SetBitRange(words, runs_[r], runs_[r + 1]);
+      }
+      return;
+  }
+}
+
+void HybridBitmap::ToWords(uint64_t* words, uint64_t num_words) const {
+  std::fill(words, words + num_words, 0);
+  OrInto(words, num_words);
+}
+
+std::vector<uint32_t> HybridBitmap::ToIndices() const {
+  std::vector<uint32_t> indices;
+  indices.reserve(count_);
+  switch (kind_) {
+    case Kind::kArray:
+      indices = array_;
+      break;
+    case Kind::kBitset:
+      indices.resize(count_);
+      indices.resize(ActiveKernels().collect_set_bits(
+          words_.data(), words_.size(), 0, indices.data()));
+      break;
+    case Kind::kRun:
+      for (size_t r = 0; r + 1 < runs_.size(); r += 2) {
+        for (uint32_t i = 0; i < runs_[r + 1]; ++i) {
+          indices.push_back(runs_[r] + i);
+        }
+      }
+      break;
+  }
+  return indices;
+}
+
+uint64_t HybridBitmap::MemoryBytes() const {
+  return array_.capacity() * sizeof(uint32_t) +
+         words_.capacity() * sizeof(uint64_t) +
+         runs_.capacity() * sizeof(uint32_t);
+}
+
+bool operator==(const HybridBitmap& a, const HybridBitmap& b) {
+  return a.universe_ == b.universe_ && a.count_ == b.count_ &&
+         a.ToIndices() == b.ToIndices();
+}
+
+}  // namespace apcm::bitmap

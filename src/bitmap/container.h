@@ -1,0 +1,94 @@
+#ifndef APCM_BITMAP_CONTAINER_H_
+#define APCM_BITMAP_CONTAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace apcm::bitmap {
+
+/// \file
+/// Roaring-style hybrid bitmap container over a fixed universe of bits.
+///
+/// A set of slot indices can be stored three ways, each optimal in a
+/// different regime:
+///  * kArray  — a sorted vector of indices; smallest and fastest while the
+///              set is sparse;
+///  * kBitset — a padded word span; constant-time membership and streaming
+///              kernel ops once the set is dense;
+///  * kRun    — (start, length) pairs; wins when members cluster into few
+///              contiguous ranges, as slot sets of range predicates do after
+///              clustering sorts similar subscriptions together.
+///
+/// The container promotes and demotes automatically as it mutates, with
+/// hysteresis so a membership count oscillating around a threshold does not
+/// thrash representations. Optimize() additionally considers the run form,
+/// which mutation paths never pick on their own (run maintenance under
+/// arbitrary single-bit churn is not worth it — build the set, then pack it).
+///
+/// The word-span operations (AndInto/AndNotInto/OrInto/ToWords) apply the
+/// container to a caller-provided span through the runtime-dispatched SIMD
+/// kernels, so the dense form streams at the active vector width.
+class HybridBitmap {
+ public:
+  enum class Kind : uint8_t { kArray = 0, kBitset = 1, kRun = 2 };
+
+  /// Array-to-bitset promotion point: past this many members the sorted
+  /// vector costs more memory than the words and loses its locality edge.
+  static constexpr uint32_t kArrayMax = 64;
+  /// Bitset-to-array demotion point; below kArrayMax for hysteresis.
+  static constexpr uint32_t kArrayDemote = 48;
+
+  /// An all-zero container over [0, universe_bits).
+  explicit HybridBitmap(uint32_t universe_bits = 0);
+
+  uint32_t universe() const { return universe_; }
+  Kind kind() const { return kind_; }
+  uint32_t Count() const { return count_; }
+  bool Empty() const { return count_ == 0; }
+
+  /// Inserts bit i (idempotent). Requires i < universe().
+  void Add(uint32_t i);
+  /// Erases bit i (idempotent). Requires i < universe().
+  void Remove(uint32_t i);
+  bool Test(uint32_t i) const;
+
+  /// Repacks into the most compact of the three representations for the
+  /// current contents (the only path that selects kRun).
+  void Optimize();
+
+  /// dst[i] &= ~self over PaddedWords(universe()) words.
+  void AndNotInto(uint64_t* words, uint64_t num_words) const;
+  /// dst[i] &= self.
+  void AndInto(uint64_t* words, uint64_t num_words) const;
+  /// dst[i] |= self.
+  void OrInto(uint64_t* words, uint64_t num_words) const;
+  /// Overwrites the span with the container's contents (tail words zero).
+  void ToWords(uint64_t* words, uint64_t num_words) const;
+
+  /// Member indices in ascending order.
+  std::vector<uint32_t> ToIndices() const;
+
+  /// Heap bytes of the active representation.
+  uint64_t MemoryBytes() const;
+
+  /// Semantic equality: same universe and same members, regardless of how
+  /// either side happens to be represented.
+  friend bool operator==(const HybridBitmap& a, const HybridBitmap& b);
+
+ private:
+  void PromoteToBitset();
+  void DemoteToArray();
+  /// Number of maximal contiguous runs in the current contents.
+  uint32_t CountRuns() const;
+
+  uint32_t universe_ = 0;
+  uint32_t count_ = 0;
+  Kind kind_ = Kind::kArray;
+  std::vector<uint32_t> array_;  ///< kArray: sorted member indices
+  std::vector<uint64_t> words_;  ///< kBitset: PaddedWords(universe_) words
+  std::vector<uint32_t> runs_;   ///< kRun: (start, length) pairs, flattened
+};
+
+}  // namespace apcm::bitmap
+
+#endif  // APCM_BITMAP_CONTAINER_H_

@@ -1,0 +1,35 @@
+#ifndef APCM_BITMAP_KERNELS_INTERNAL_H_
+#define APCM_BITMAP_KERNELS_INTERNAL_H_
+
+#include "src/bitmap/kernels.h"
+
+/// Compile-time availability of the vector translation units. The x86
+/// kernels use per-function target attributes (no special -m flags), so any
+/// x86-64 GCC/Clang build carries every variant; non-x86 builds compile the
+/// vector TUs to nothing and dispatch only ever sees the scalar table.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define APCM_BITMAP_HAVE_AVX2 1
+#define APCM_BITMAP_HAVE_AVX512 1
+#else
+#define APCM_BITMAP_HAVE_AVX2 0
+#define APCM_BITMAP_HAVE_AVX512 0
+#endif
+
+namespace apcm::bitmap {
+
+#if APCM_BITMAP_HAVE_AVX2
+/// True when CPUID reports AVX2 (and the OS saves the YMM state).
+bool Avx2KernelsUsable();
+const KernelTable& Avx2Kernels();
+#endif
+
+#if APCM_BITMAP_HAVE_AVX512
+/// True when CPUID reports AVX-512 F+BW (the two extensions the kernels
+/// use; no VPOPCNTDQ dependency so Skylake-SP-era parts qualify).
+bool Avx512KernelsUsable();
+const KernelTable& Avx512Kernels();
+#endif
+
+}  // namespace apcm::bitmap
+
+#endif  // APCM_BITMAP_KERNELS_INTERNAL_H_

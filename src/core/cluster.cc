@@ -51,7 +51,9 @@ CompressedCluster CompressedCluster::Build(
     const Options& options) {
   CompressedCluster cluster;
   cluster.num_subs_ = static_cast<uint32_t>(exprs.size());
-  cluster.words_ = WordsForBits(cluster.num_subs_);
+  // Pad the bitmap width to the kernel block so every span op streams whole
+  // 512-bit blocks; tail bits stay zero by construction.
+  cluster.words_ = PaddedWords(cluster.num_subs_);
   cluster.subs_ = exprs;
   cluster.sub_ids_.reserve(exprs.size());
   for (const BooleanExpression* expr : exprs) {
@@ -111,15 +113,35 @@ CompressedCluster CompressedCluster::Build(
       auto& info = distinct.at(*pred);
       std::sort(info.slots.begin(), info.slots.end());
       cluster.preds_.push_back(*pred);
+      // Hybrid representation choice: explicit list while tiny, then runs
+      // when the slots form few contiguous ranges (8 bytes per run vs
+      // 8 bytes per word dense), else the dense mask.
+      uint32_t runs = 0;
+      for (size_t i = 0; i < info.slots.size(); ++i) {
+        if (i == 0 || info.slots[i] != info.slots[i - 1] + 1) ++runs;
+      }
       SlotSet set;
       if (info.slots.size() <= options.sparse_threshold) {
         set.offset = static_cast<uint32_t>(cluster.sparse_slots_.size());
-        set.sparse_count = static_cast<int32_t>(info.slots.size());
+        set.count = static_cast<uint32_t>(info.slots.size());
+        set.kind = SlotSet::Kind::kSparse;
         cluster.sparse_slots_.insert(cluster.sparse_slots_.end(),
                                      info.slots.begin(), info.slots.end());
+      } else if (2ULL * runs <= cluster.words_) {
+        set.offset = static_cast<uint32_t>(cluster.run_arena_.size());
+        set.count = runs;
+        set.kind = SlotSet::Kind::kRun;
+        for (size_t i = 0; i < info.slots.size(); ++i) {
+          if (i == 0 || info.slots[i] != info.slots[i - 1] + 1) {
+            cluster.run_arena_.push_back(info.slots[i]);
+            cluster.run_arena_.push_back(1);
+          } else {
+            ++cluster.run_arena_.back();
+          }
+        }
       } else {
         set.offset = append_dense_mask(info.slots);
-        set.sparse_count = -1;
+        set.kind = SlotSet::Kind::kDense;
       }
       cluster.pred_slots_.push_back(set);
     }
@@ -142,21 +164,52 @@ CompressedCluster CompressedCluster::Build(
   }
   cluster.mask_words_.shrink_to_fit();
   cluster.sparse_slots_.shrink_to_fit();
+  cluster.run_arena_.shrink_to_fit();
   return cluster;
 }
 
 void CompressedCluster::ClearSlots(const SlotSet& set, uint64_t* result,
                                    MatcherStats* stats) const {
-  if (set.sparse_count >= 0) {
-    const uint32_t* slots = sparse_slots_.data() + set.offset;
-    for (int32_t i = 0; i < set.sparse_count; ++i) {
-      result[slots[i] / 64] &= ~(1ULL << (slots[i] % 64));
+  switch (set.kind) {
+    case SlotSet::Kind::kSparse: {
+      const uint32_t* slots = sparse_slots_.data() + set.offset;
+      for (uint32_t i = 0; i < set.count; ++i) {
+        result[slots[i] / 64] &= ~(1ULL << (slots[i] % 64));
+      }
+      stats->bitmap_words += set.count;
+      return;
     }
-    stats->bitmap_words += static_cast<uint64_t>(set.sparse_count);
-  } else {
-    AndNotWords(result, mask_words_.data() + set.offset, words_);
-    stats->bitmap_words += words_;
+    case SlotSet::Kind::kDense:
+      AndNotWords(result, mask_words_.data() + set.offset, words_);
+      stats->bitmap_words += words_;
+      return;
+    case SlotSet::Kind::kRun: {
+      const uint32_t* runs = run_arena_.data() + set.offset;
+      for (uint32_t i = 0; i < set.count; ++i) {
+        ClearBitRange(result, runs[2 * i], runs[2 * i + 1]);
+      }
+      stats->bitmap_words += 2ULL * set.count;
+      return;
+    }
   }
+}
+
+CompressedCluster::SlotSetStats CompressedCluster::slot_set_stats() const {
+  SlotSetStats stats;
+  for (const SlotSet& set : pred_slots_) {
+    switch (set.kind) {
+      case SlotSet::Kind::kSparse:
+        ++stats.sparse;
+        break;
+      case SlotSet::Kind::kDense:
+        ++stats.dense;
+        break;
+      case SlotSet::Kind::kRun:
+        ++stats.run;
+        break;
+    }
+  }
+  return stats;
 }
 
 bool CompressedCluster::HasRequiredAttributes(const Event& event) const {
@@ -296,6 +349,7 @@ uint64_t CompressedCluster::MemoryBytes() const {
                    pred_slots_.capacity() * sizeof(SlotSet) +
                    mask_words_.capacity() * sizeof(uint64_t) +
                    sparse_slots_.capacity() * sizeof(uint32_t) +
+                   run_arena_.capacity() * sizeof(uint32_t) +
                    attr_slot_arena_.capacity() * sizeof(uint32_t) +
                    attr_counts_.capacity() * sizeof(uint16_t) +
                    always_alive_.capacity() * sizeof(uint32_t);

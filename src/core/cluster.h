@@ -52,6 +52,14 @@ class CompressedCluster {
     uint32_t sparse_threshold = 4;
   };
 
+  /// How many distinct predicates landed in each slot-set representation —
+  /// introspection for tests and reports.
+  struct SlotSetStats {
+    uint32_t sparse = 0;
+    uint32_t dense = 0;
+    uint32_t run = 0;
+  };
+
   /// Builds the compressed form of `exprs` (≤ a few thousand; the cluster
   /// builder enforces the configured cluster size). Pointers must outlive
   /// the cluster. Slot i corresponds to exprs[i].
@@ -67,7 +75,9 @@ class CompressedCluster {
 
   /// Number of subscriptions (slots).
   uint32_t size() const { return num_subs_; }
-  /// Result buffer size in 64-bit words.
+  /// Result buffer size in 64-bit words. Padded to a multiple of
+  /// bitmap::kWordBlock so the vector kernels stream whole blocks with no
+  /// tail loop; bits at or above size() are always zero.
   uint64_t words() const { return words_; }
   /// Subscription id at a slot. Requires slot < size().
   SubscriptionId SubIdAt(uint32_t slot) const { return sub_ids_[slot]; }
@@ -114,6 +124,9 @@ class CompressedCluster {
   uint64_t total_predicates() const { return total_predicates_; }
   uint64_t distinct_predicates() const { return preds_.size(); }
 
+  /// Representation breakdown of the distinct-predicate slot sets.
+  SlotSetStats slot_set_stats() const;
+
   /// Attributes constrained by *every* subscription in the cluster. If any
   /// of them is absent from an event, no subscription can match, so both
   /// evaluation modes reject the whole cluster in O(|required|) — signature
@@ -151,10 +164,16 @@ class CompressedCluster {
     uint32_t attr_slots_end;    ///< this attribute
   };
 
-  /// Slot-set representation of one distinct predicate.
+  /// Slot-set representation of one distinct predicate — a hybrid container
+  /// flattened into shared arenas (one allocation per cluster rather than
+  /// per predicate): a short explicit slot list, a dense width-sized
+  /// bitmask, or (start, length) run pairs when the slots form few
+  /// contiguous ranges, which range predicates over sorted clusters do.
   struct SlotSet {
-    uint32_t offset;  ///< into mask_words_ (dense) or sparse_slots_ (sparse)
-    int32_t sparse_count;  ///< -1 for dense; otherwise #slots at offset
+    enum class Kind : uint8_t { kSparse = 0, kDense = 1, kRun = 2 };
+    uint32_t offset = 0;  ///< into sparse_slots_ / mask_words_ / run_arena_
+    uint32_t count = 0;   ///< sparse: #slots; run: #runs; dense: unused
+    Kind kind = Kind::kSparse;
   };
 
   void ClearSlots(const SlotSet& set, uint64_t* result,
@@ -174,6 +193,7 @@ class CompressedCluster {
   std::vector<SlotSet> pred_slots_;             // parallel to preds_
   std::vector<uint64_t> mask_words_;            // dense masks arena
   std::vector<uint32_t> sparse_slots_;          // sparse slot lists arena
+  std::vector<uint32_t> run_arena_;             // (start, len) run pairs
   std::vector<uint32_t> attr_slot_arena_;       // per-group slot lists
   std::vector<uint16_t> attr_counts_;           // per slot: #attrs of its sub
   std::vector<uint32_t> always_alive_;          // slots with 0 predicates

@@ -74,11 +74,13 @@ Status CompressedCluster::Serialize(std::ostream& out) const {
   }
   WritePod<uint64_t>(out, pred_slots_.size());
   for (const SlotSet& set : pred_slots_) {
+    WritePod<uint8_t>(out, static_cast<uint8_t>(set.kind));
     WritePod<uint32_t>(out, set.offset);
-    WritePod<int32_t>(out, set.sparse_count);
+    WritePod<uint32_t>(out, set.count);
   }
   WriteVector(out, mask_words_);
   WriteVector(out, sparse_slots_);
+  WriteVector(out, run_arena_);
   WriteVector(out, attr_slot_arena_);
   WriteVector(out, attr_counts_);
   WriteVector(out, always_alive_);
@@ -93,7 +95,7 @@ StatusOr<CompressedCluster> CompressedCluster::Deserialize(
   CompressedCluster cluster;
   if (!ReadPod(in, &cluster.num_subs_)) return Corrupt("header");
   if (!ReadPod(in, &cluster.total_predicates_)) return Corrupt("header");
-  cluster.words_ = WordsForBits(cluster.num_subs_);
+  cluster.words_ = PaddedWords(cluster.num_subs_);
   if (!ReadVector(in, &cluster.sub_ids_, kMaxElements)) {
     return Corrupt("sub ids");
   }
@@ -163,12 +165,19 @@ StatusOr<CompressedCluster> CompressedCluster::Deserialize(
   }
   cluster.pred_slots_.resize(slot_set_count);
   for (SlotSet& set : cluster.pred_slots_) {
-    if (!ReadPod(in, &set.offset) || !ReadPod(in, &set.sparse_count)) {
+    uint8_t kind = 0;
+    if (!ReadPod(in, &kind) || !ReadPod(in, &set.offset) ||
+        !ReadPod(in, &set.count)) {
       return Corrupt("slot set");
     }
+    if (kind > static_cast<uint8_t>(SlotSet::Kind::kRun)) {
+      return Corrupt("slot set kind");
+    }
+    set.kind = static_cast<SlotSet::Kind>(kind);
   }
   if (!ReadVector(in, &cluster.mask_words_, kMaxElements) ||
       !ReadVector(in, &cluster.sparse_slots_, kMaxElements) ||
+      !ReadVector(in, &cluster.run_arena_, kMaxElements) ||
       !ReadVector(in, &cluster.attr_slot_arena_, kMaxElements) ||
       !ReadVector(in, &cluster.attr_counts_, kMaxElements) ||
       !ReadVector(in, &cluster.always_alive_, kMaxElements)) {
@@ -194,13 +203,30 @@ StatusOr<CompressedCluster> CompressedCluster::Deserialize(
     }
   }
   for (const SlotSet& set : cluster.pred_slots_) {
-    if (set.sparse_count >= 0) {
-      if (set.offset + static_cast<uint64_t>(set.sparse_count) >
-          cluster.sparse_slots_.size()) {
-        return Corrupt("sparse slot bounds");
-      }
-    } else if (set.offset + cluster.words_ > cluster.mask_words_.size()) {
-      return Corrupt("mask bounds");
+    switch (set.kind) {
+      case SlotSet::Kind::kSparse:
+        if (set.offset + static_cast<uint64_t>(set.count) >
+            cluster.sparse_slots_.size()) {
+          return Corrupt("sparse slot bounds");
+        }
+        break;
+      case SlotSet::Kind::kDense:
+        if (set.offset + cluster.words_ > cluster.mask_words_.size()) {
+          return Corrupt("mask bounds");
+        }
+        break;
+      case SlotSet::Kind::kRun:
+        if (set.offset + 2ULL * set.count > cluster.run_arena_.size()) {
+          return Corrupt("run bounds");
+        }
+        for (uint32_t i = 0; i < set.count; ++i) {
+          const uint64_t start = cluster.run_arena_[set.offset + 2 * i];
+          const uint64_t len = cluster.run_arena_[set.offset + 2 * i + 1];
+          if (len == 0 || start + len > cluster.num_subs_) {
+            return Corrupt("run range");
+          }
+        }
+        break;
     }
   }
   for (uint32_t slot : cluster.sparse_slots_) {

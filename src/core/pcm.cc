@@ -11,7 +11,9 @@
 namespace apcm::core {
 namespace {
 
-constexpr char kIndexMagic[] = "APCMIDX1";
+// Version 2: padded cluster bitmap widths and hybrid (sparse/dense/run)
+// slot-set encoding. Version-1 images are rejected by the magic check.
+constexpr char kIndexMagic[] = "APCMIDX2";
 
 }  // namespace
 

@@ -7,6 +7,7 @@
 #include "src/base/logging.h"
 #include "src/base/macros.h"
 #include "src/base/timer.h"
+#include "src/bitmap/kernels.h"
 #include "src/core/pcm.h"
 #include "src/engine/exposition.h"
 #include "src/engine/report.h"
@@ -46,6 +47,16 @@ Status ValidateEngineOptions(const EngineOptions& options) {
   if (options.shard_threads < 0) {
     return Status::InvalidArgument("shard_threads must be >= 0");
   }
+  if (!options.simd.empty() && options.simd != "auto") {
+    auto level = bitmap::ParseSimdLevel(options.simd);
+    if (!level.ok()) return level.status();
+    const auto supported = bitmap::SupportedSimdLevels();
+    if (std::find(supported.begin(), supported.end(), *level) ==
+        supported.end()) {
+      return Status::InvalidArgument("simd level '" + options.simd +
+                                     "' is not supported on this host");
+    }
+  }
   // Mirror NormalizeOptions: the working buffer grows to hold a full OSR
   // window and at least one batch.
   const uint32_t effective_buffer = std::max(
@@ -67,6 +78,13 @@ StreamEngine::StreamEngine(EngineOptions options, MatchCallback callback)
       queue_(options_.queue_capacity),
       trace_(options_.trace_capacity) {
   APCM_CHECK(callback_ != nullptr);
+  if (!options_.simd.empty() && options_.simd != "auto") {
+    // Validated above; the set can only fail if support changed since, which
+    // it cannot within one process.
+    APCM_CHECK(bitmap::SetActiveSimdLevel(
+                   *bitmap::ParseSimdLevel(options_.simd))
+                   .ok());
+  }
   round_events_.reserve(options_.buffer_capacity);
   round_ids_.reserve(options_.buffer_capacity);
   RegisterMetrics();
@@ -148,6 +166,10 @@ void StreamEngine::RegisterMetrics() {
   metrics_.AddGaugeFn(
       "apcm_shards", "Configured matcher shards (1 = unsharded).",
       [this] { return static_cast<int64_t>(options_.num_shards); });
+  metrics_.AddGaugeFn(
+      "apcm_simd_level",
+      "Active bitmap kernel ISA (0 = scalar, 1 = AVX2, 2 = AVX-512).",
+      [] { return static_cast<int64_t>(bitmap::ActiveSimdLevel()); });
   metrics_.AddGaugeFn(
       "apcm_rebuild_inflight",
       "1 while a background snapshot build is in flight.",

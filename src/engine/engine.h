@@ -135,6 +135,12 @@ struct EngineOptions {
   /// Capacity of the round-level trace ring (rounded up to a power of two;
   /// the ring keeps the most recent spans). 0 disables tracing.
   uint32_t trace_capacity = 4096;
+  /// Bitmap kernel instruction set: "" or "auto" (default) keeps the
+  /// process-wide runtime selection (best supported level, or the APCM_SIMD
+  /// environment override); "scalar" / "avx2" / "avx512" force a level.
+  /// The kernel table is process-global, so this applies beyond the engine;
+  /// a level the host cannot run is rejected by ValidateEngineOptions.
+  std::string simd;
 };
 
 /// Rejects nonsensical engine configurations instead of letting them

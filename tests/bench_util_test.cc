@@ -1,0 +1,60 @@
+// BenchJsonWriter argument parsing. The perf gate feeds on the JSON these
+// flags enable, so a typoed flag must be a hard error, not a silent no-op
+// run that never writes the baseline.
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "bench/bench_util.h"
+
+namespace apcm::bench {
+namespace {
+
+StatusOr<BenchJsonWriter> ParseArgs(std::vector<const char*> args) {
+  args.insert(args.begin(), "bench_test");
+  return BenchJsonWriter::Parse(
+      static_cast<int>(args.size()),
+      const_cast<char**>(const_cast<const char**>(args.data())));
+}
+
+TEST(BenchJsonWriterParseTest, NoArgsDisabled) {
+  auto writer = ParseArgs({});
+  ASSERT_TRUE(writer.ok());
+  EXPECT_FALSE(writer->enabled());
+}
+
+TEST(BenchJsonWriterParseTest, JsonFlagEnablesWriter) {
+  auto writer = ParseArgs({"--json", "/tmp/out.json"});
+  ASSERT_TRUE(writer.ok());
+  EXPECT_TRUE(writer->enabled());
+}
+
+TEST(BenchJsonWriterParseTest, UnknownFlagRejected) {
+  // The regression this guards: `--jsonn out.json` used to parse as "no
+  // --json flag" and the run silently produced no baseline file.
+  auto writer = ParseArgs({"--jsonn", "/tmp/out.json"});
+  ASSERT_FALSE(writer.ok());
+  EXPECT_EQ(writer.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BenchJsonWriterParseTest, StrayPositionalRejected) {
+  EXPECT_FALSE(ParseArgs({"out.json"}).ok());
+}
+
+TEST(BenchJsonWriterParseTest, MissingPathRejected) {
+  auto writer = ParseArgs({"--json"});
+  ASSERT_FALSE(writer.ok());
+  EXPECT_EQ(writer.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BenchJsonWriterParseTest, DuplicateJsonRejected) {
+  EXPECT_FALSE(ParseArgs({"--json", "a.json", "--json", "b.json"}).ok());
+}
+
+TEST(BenchJsonWriterParseTest, ArgumentsAfterPathStillValidated) {
+  EXPECT_FALSE(ParseArgs({"--json", "a.json", "--verbose"}).ok());
+}
+
+}  // namespace
+}  // namespace apcm::bench

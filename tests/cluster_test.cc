@@ -172,7 +172,8 @@ TEST(ClusterTest, SingleSubscriptionCluster) {
       0, {Predicate(2, Op::kEq, 3)}).value());
   const auto cluster = CompressedCluster::Build(Pointers(subs));
   EXPECT_EQ(cluster.size(), 1u);
-  EXPECT_EQ(cluster.words(), 1u);
+  // Result width is padded to the kernel block (8 words) even for one slot.
+  EXPECT_EQ(cluster.words(), bitmap::kWordBlock);
   EXPECT_EQ(CompressedMatches(cluster, Event::Create({{2, 3}}).value()),
             (std::vector<SubscriptionId>{0}));
   EXPECT_TRUE(CompressedMatches(cluster, Event::Create({{2, 4}}).value())
@@ -193,14 +194,15 @@ TEST(ClusterTest, NonContiguousSubscriptionIds) {
 }
 
 TEST(ClusterTest, WideClusterCrossesWordBoundaries) {
-  // 200 subscriptions -> 4 words; matches on both sides of word boundaries.
+  // 200 subscriptions -> 4 words, padded to one kernel block; matches on
+  // both sides of word boundaries.
   std::vector<BooleanExpression> subs;
   for (SubscriptionId i = 0; i < 200; ++i) {
     subs.push_back(BooleanExpression::Create(
         i, {Predicate(0, Op::kEq, static_cast<Value>(i % 2))}).value());
   }
   const auto cluster = CompressedCluster::Build(Pointers(subs));
-  EXPECT_EQ(cluster.words(), 4u);
+  EXPECT_EQ(cluster.words(), PaddedWords(200));
   const auto even = CompressedMatches(cluster, Event::Create({{0, 0}}).value());
   EXPECT_EQ(even.size(), 100u);
   for (SubscriptionId id : even) EXPECT_EQ(id % 2, 0u);

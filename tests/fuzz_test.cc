@@ -4,12 +4,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/base/rng.h"
 #include "src/be/parser.h"
+#include "src/bitmap/bitmap.h"
+#include "src/bitmap/container.h"
+#include "src/bitmap/kernels.h"
 #include "src/engine/engine.h"
 #include "src/index/scan.h"
 #include "src/index/sharded.h"
@@ -297,6 +302,111 @@ TEST_P(DifferentialSoakTest, ShardedIncrementalAgreesWithScanOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSoakTest,
                          ::testing::Values(2001, 2002, 2003, 2004));
+
+// ---------------------------------------------------------------------------
+// Kernel fuzz: random word spans through every supported SIMD variant, with
+// the scalar table as the oracle. Complements the exhaustive alignment/tail
+// sweep in bitmap_kernel_test.cc with long random spans and random lengths;
+// scales with APCM_SOAK_OPS like the other soak tests.
+
+class KernelFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KernelFuzzTest, AllVariantsAgreeOnRandomSpans) {
+  const uint64_t seed = GetParam();
+  SCOPED_TRACE("failing seed = " + std::to_string(seed));
+  Rng rng(seed);
+  const auto& oracle = bitmap::ScalarKernels();
+  const auto levels = bitmap::SupportedSimdLevels();
+  const size_t rounds = SoakOps();
+  for (size_t round = 0; round < rounds; ++round) {
+    const uint64_t words = rng.Uniform(300);
+    const uint64_t offset = rng.Uniform(8);
+    std::vector<uint64_t> a(words + offset);
+    std::vector<uint64_t> b(words + offset);
+    for (auto& w : a) w = rng.Bernoulli(0.2) ? 0 : rng();
+    for (auto& w : b) w = rng.Bernoulli(0.2) ? ~0ULL : rng();
+    const uint64_t* pa = a.data() + offset;
+    const uint64_t* pb = b.data() + offset;
+
+    for (const bitmap::SimdLevel level : levels) {
+      const auto& table = bitmap::KernelsFor(level);
+      for (int op = 0; op < 3; ++op) {
+        std::vector<uint64_t> want(pa, pa + words);
+        std::vector<uint64_t> got(pa, pa + words);
+        if (op == 0) {
+          oracle.and_words(want.data(), pb, words);
+          table.and_words(got.data(), pb, words);
+        } else if (op == 1) {
+          oracle.and_not_words(want.data(), pb, words);
+          table.and_not_words(got.data(), pb, words);
+        } else {
+          oracle.or_words(want.data(), pb, words);
+          table.or_words(got.data(), pb, words);
+        }
+        ASSERT_EQ(got, want) << "op " << op << " level "
+                             << bitmap::SimdLevelName(level) << " words "
+                             << words << " offset " << offset;
+      }
+      ASSERT_EQ(table.popcount_words(pa, words),
+                oracle.popcount_words(pa, words));
+      ASSERT_EQ(table.is_zero_words(pa, words),
+                oracle.is_zero_words(pa, words));
+      ASSERT_EQ(table.first_set_bit(pa, words),
+                oracle.first_set_bit(pa, words));
+      const uint64_t bits = oracle.popcount_words(pa, words);
+      std::vector<uint32_t> want_idx(bits + 1, ~0u);
+      std::vector<uint32_t> got_idx(bits + 1, ~0u);
+      ASSERT_EQ(table.collect_set_bits(pa, words, 0, got_idx.data()),
+                oracle.collect_set_bits(pa, words, 0, want_idx.data()));
+      ASSERT_EQ(got_idx, want_idx);
+    }
+  }
+}
+
+TEST_P(KernelFuzzTest, ContainerChurnTracksOracle) {
+  // Random promote/demote churn on the hybrid container with a Bitmap as
+  // oracle; random Optimize() calls force transitions through all three
+  // representations.
+  const uint64_t seed = GetParam() ^ 0xC0117;
+  SCOPED_TRACE("failing seed = " + std::to_string(seed));
+  Rng rng(seed);
+  const uint32_t universe =
+      64 + static_cast<uint32_t>(rng.Uniform(2000));
+  bitmap::HybridBitmap h(universe);
+  Bitmap oracle(universe);
+  const size_t steps = SoakOps() * 20;
+  for (size_t step = 0; step < steps; ++step) {
+    const auto i = static_cast<uint32_t>(rng.Uniform(universe));
+    if (rng.Bernoulli(0.6)) {
+      h.Add(i);
+      oracle.Set(i);
+    } else if (rng.Bernoulli(0.1)) {
+      // Contiguous block add — steers the set toward run-friendly shapes.
+      const uint32_t len =
+          static_cast<uint32_t>(rng.Uniform(64)) + 1;
+      for (uint32_t k = i; k < std::min(universe, i + len); ++k) {
+        h.Add(k);
+        oracle.Set(k);
+      }
+    } else {
+      h.Remove(i);
+      oracle.Clear(i);
+    }
+    if (rng.Bernoulli(0.01)) h.Optimize();
+    if (step % 256 == 0) {
+      ASSERT_EQ(h.Count(), oracle.Count()) << "step " << step;
+      const auto got = h.ToIndices();
+      const auto want = oracle.ToIndices();
+      ASSERT_EQ(got.size(), want.size()) << "step " << step;
+      for (size_t k = 0; k < got.size(); ++k) {
+        ASSERT_EQ(got[k], want[k]) << "step " << step;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelFuzzTest,
+                         ::testing::Values(3001, 3002, 3003, 3004));
 
 TEST(TraceFuzzTest, CorruptBinaryNeverCrashes) {
   // Serialize a valid workload, then flip bytes and reload: every outcome

@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 
+#include "src/bitmap/kernels.h"
 #include "src/engine/engine.h"
 #include "src/engine/matcher_factory.h"
 #include "tests/matcher_test_util.h"
@@ -462,6 +463,85 @@ TEST(ShardedEngineAgreementTest, TopKDeliveryWithShardsEqualsGroundTruth) {
     ASSERT_EQ(by_event.at(i), want) << "event " << i;
   }
 }
+
+// SIMD-forced agreement: the same workload through A-PCM, the sharded
+// backend, and SCAN under every supported kernel level must produce
+// byte-identical match sets — and identical FNV-1a digests, the same
+// fingerprint the golden replay uses, so a cross-level divergence is
+// directly comparable against the pinned goldens.
+uint64_t DigestRows(const std::vector<std::vector<SubscriptionId>>& rows) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  auto mix = [&h](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const auto& row : rows) {
+    mix(row.size());
+    for (SubscriptionId id : row) mix(id);
+  }
+  return h;
+}
+
+class SimdAgreementTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  void TearDown() override {
+    ASSERT_TRUE(
+        bitmap::SetActiveSimdLevel(bitmap::BestSupportedSimdLevel()).ok());
+  }
+};
+
+TEST_P(SimdAgreementTest, MatchDigestsIdenticalUnderEveryKernelLevel) {
+  const AgreementCase test_case = MakeCases()[GetParam()];
+  SCOPED_TRACE(test_case.name);
+  const auto workload = workload::Generate(test_case.spec).value();
+
+  MatcherConfig config;
+  config.domain = {test_case.spec.domain_min, test_case.spec.domain_max};
+  config.pcm.clustering.cluster_size = 64;
+
+  // Ground truth under the scalar reference kernels.
+  ASSERT_TRUE(bitmap::SetActiveSimdLevel(bitmap::SimdLevel::kScalar).ok());
+  index::ScanMatcher scan;
+  const auto expected = RunMatcher(scan, workload);
+  const uint64_t expected_digest = DigestRows(expected);
+
+  for (const bitmap::SimdLevel level : bitmap::SupportedSimdLevels()) {
+    ASSERT_TRUE(bitmap::SetActiveSimdLevel(level).ok());
+    for (MatcherKind kind :
+         {MatcherKind::kPcm, MatcherKind::kPcmLazy, MatcherKind::kAPcm}) {
+      auto matcher = CreateMatcher(kind, config);
+      const auto actual = RunMatcher(*matcher, workload);
+      ASSERT_EQ(DigestRows(actual), expected_digest)
+          << matcher->Name() << " digest diverges under "
+          << bitmap::SimdLevelName(level) << " kernels on case '"
+          << test_case.name << "'";
+      ASSERT_EQ(actual, expected);
+    }
+    index::ShardedOptions sharded;
+    sharded.num_shards = 4;
+    sharded.num_threads = 2;
+    auto matcher =
+        engine::CreateShardedMatcher(MatcherKind::kAPcm, config, sharded);
+    const auto actual = RunMatcher(*matcher, workload);
+    ASSERT_EQ(DigestRows(actual), expected_digest)
+        << "sharded a-pcm digest diverges under "
+        << bitmap::SimdLevelName(level) << " kernels on case '"
+        << test_case.name << "'";
+    // SCAN itself also runs through Bitmap word ops; include it.
+    index::ScanMatcher rescan;
+    ASSERT_EQ(DigestRows(RunMatcher(rescan, workload)), expected_digest)
+        << "scan digest diverges under " << bitmap::SimdLevelName(level);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SimdAgreementTest,
+    ::testing::Range<size_t>(0, MakeCases().size()),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+      return MakeCases()[info.param].name;
+    });
 
 // Batch-API agreement for the PCM family, which overrides MatchBatch.
 TEST(AgreementBatchTest, BatchEqualsSingleForAllPcmKinds) {

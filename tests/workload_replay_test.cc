@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "src/bitmap/kernels.h"
 #include "src/engine/engine.h"
 #include "src/workload/generator.h"
 #include "src/workload/trace.h"
@@ -241,6 +242,29 @@ TEST(WorkloadReplayTest, ShardedAndScanBackendsAgreeWithGolden) {
   scan.kind = MatcherKind::kScan;
   EXPECT_EQ(HashHex(HashRows(Replay(*loaded, scan).rows)), golden.at("hash"))
       << "SCAN-oracle replay disagrees with the golden digest";
+}
+
+TEST(WorkloadReplayTest, GoldenDigestInvariantUnderEveryKernelLevel) {
+  // The pinned digest must be a property of matching semantics alone, not of
+  // the instruction set: replaying the golden trace with each supported
+  // bitmap kernel level forced must reproduce the checked-in hash exactly.
+  if (UpdateGoldenRequested()) GTEST_SKIP() << "regeneration run";
+  auto loaded = workload::LoadBinary(DataPath(kTracePath));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const std::map<std::string, std::string> golden =
+      ParseGolden(ReadFileOrEmpty(DataPath(kGoldenPath)));
+  ASSERT_TRUE(golden.count("hash"));
+
+  for (const bitmap::SimdLevel level : bitmap::SupportedSimdLevels()) {
+    EngineOptions options = ReplayOptions();
+    options.simd = bitmap::SimdLevelName(level);
+    EXPECT_EQ(HashHex(HashRows(Replay(*loaded, options).rows)),
+              golden.at("hash"))
+        << "replay digest diverges under " << bitmap::SimdLevelName(level)
+        << " kernels";
+  }
+  ASSERT_TRUE(
+      bitmap::SetActiveSimdLevel(bitmap::BestSupportedSimdLevel()).ok());
 }
 
 TEST(WorkloadReplayTest, CheckedInTraceIsReproducibleFromItsSpec) {

@@ -162,23 +162,30 @@ void Run(BenchJsonWriter& json) {
   const std::vector<int> lineups =
       FullScale() ? std::vector<int>{1, 2, 4, 8} : std::vector<int>{1, 2, 4};
   TablePrinter table({"publishers", "events/s", "ack p50 us", "ack p99 us",
-                      "events", "matches"});
+                      "ack max us", "events", "matches"});
   for (int publishers : lineups) {
     const NetResult result =
         RunConfig(publishers, subs, events, TimeBudgetSeconds());
     const double p50_ns =
         static_cast<double>(result.publish_latency_ns.ValueAtQuantile(0.5));
+    const double p95_ns =
+        static_cast<double>(result.publish_latency_ns.ValueAtQuantile(0.95));
     const double p99_ns =
         static_cast<double>(result.publish_latency_ns.ValueAtQuantile(0.99));
+    const double max_ns =
+        static_cast<double>(result.publish_latency_ns.max());
     table.AddRow({std::to_string(publishers), Rate(result.events_per_second),
                   Fixed(p50_ns / 1e3, 1), Fixed(p99_ns / 1e3, 1),
+                  Fixed(max_ns / 1e3, 1),
                   std::to_string(result.events_acked),
                   std::to_string(result.matches)});
     json.Add({.bench = "bench_net",
               .config = "publishers=" + std::to_string(publishers),
               .throughput = result.events_per_second,
               .p50_ns = p50_ns,
+              .p95_ns = p95_ns,
               .p99_ns = p99_ns,
+              .max_ns = max_ns,
               .metrics = {{"events_acked",
                            static_cast<double>(result.events_acked)},
                           {"matches", static_cast<double>(result.matches)},

@@ -255,8 +255,11 @@ void BenchJsonWriter::AddThroughput(const std::string& bench,
   record.throughput = result.events_per_second;
   record.p50_ns =
       static_cast<double>(result.batch_latency_ns.ValueAtQuantile(0.5));
+  record.p95_ns =
+      static_cast<double>(result.batch_latency_ns.ValueAtQuantile(0.95));
   record.p99_ns =
       static_cast<double>(result.batch_latency_ns.ValueAtQuantile(0.99));
+  record.max_ns = static_cast<double>(result.batch_latency_ns.max());
   record.metrics = {
       {"events_processed", static_cast<double>(result.events_processed)},
       {"seconds", result.seconds},
@@ -279,7 +282,9 @@ bool BenchJsonWriter::Finish() const {
     out += ", \"config\": \"" + engine::JsonEscape(r.config) + "\"";
     out += ", \"throughput\": " + JsonNumber(r.throughput);
     out += ", \"p50\": " + JsonNumber(r.p50_ns);
+    out += ", \"p95\": " + JsonNumber(r.p95_ns);
     out += ", \"p99\": " + JsonNumber(r.p99_ns);
+    out += ", \"max\": " + JsonNumber(r.max_ns);
     out += ", \"metrics\": {";
     for (size_t m = 0; m < r.metrics.size(); ++m) {
       if (m > 0) out += ", ";

@@ -96,8 +96,8 @@ std::unique_ptr<Matcher> MakeContender(const Contender& contender,
 /// Machine-readable benchmark output, enabled by `--json <path>` on a bench
 /// binary's command line. Each Add() buffers one result record; Finish()
 /// writes the whole run as a JSON array of
-///   {"bench": ..., "config": ..., "throughput": ..., "p50": ..., "p99": ...,
-///    "metrics": {...}}
+///   {"bench": ..., "config": ..., "throughput": ..., "p50": ..., "p95": ...,
+///    "p99": ..., "max": ..., "metrics": {...}}
 /// so CI can diff runs without scraping the human tables. A writer
 /// constructed without a path swallows records and writes nothing.
 class BenchJsonWriter {
@@ -120,7 +120,9 @@ class BenchJsonWriter {
     std::string config;  ///< row label, e.g. "a-pcm" or "publishers=4"
     double throughput = 0;  ///< events per second
     double p50_ns = 0;      ///< median per-batch latency (0 if not measured)
+    double p95_ns = 0;
     double p99_ns = 0;
+    double max_ns = 0;      ///< worst single observation in the window
     /// Extra numeric facts (build seconds, memory bytes, matcher counters...).
     std::vector<std::pair<std::string, double>> metrics;
   };

@@ -46,7 +46,7 @@ run_tsan() {
     -DAPCM_BUILD_EXAMPLES=OFF
   cmake --build "${build_dir}" --target \
     engine_concurrent_test thread_pool_test metrics_test \
-    matcher_agreement_test net_server_test
+    matcher_agreement_test net_server_test event_trace_test
   local repeat="${APCM_TSAN_REPEAT:-50}"
   TSAN_OPTIONS="halt_on_error=1" \
     "./${build_dir}/tests/engine_concurrent_test" \
@@ -69,6 +69,12 @@ run_tsan() {
   TSAN_OPTIONS="halt_on_error=1" \
     "./${build_dir}/tests/net_server_test" \
     --gtest_repeat=3 --gtest_brief=1
+  # The tracer's refcount lifecycle and the trace ring's seqlock under
+  # multi-writer churn (the ring test hammers 4 writers against a
+  # continuous snapshot reader).
+  TSAN_OPTIONS="halt_on_error=1" \
+    "./${build_dir}/tests/event_trace_test" \
+    --gtest_repeat="${repeat}" --gtest_brief=1
   echo "TSAN CHECKS PASSED (${repeat} iterations)"
 }
 

@@ -80,10 +80,12 @@ int64_t Histogram::ValueAtQuantile(double q) const {
 std::string Histogram::Summary() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "count=%llu mean=%.1f p50=%lld p90=%lld p99=%lld max=%lld",
+                "count=%llu mean=%.1f p50=%lld p90=%lld p95=%lld p99=%lld "
+                "max=%lld",
                 static_cast<unsigned long long>(count_), Mean(),
                 static_cast<long long>(ValueAtQuantile(0.50)),
                 static_cast<long long>(ValueAtQuantile(0.90)),
+                static_cast<long long>(ValueAtQuantile(0.95)),
                 static_cast<long long>(ValueAtQuantile(0.99)),
                 static_cast<long long>(max_));
   return buf;

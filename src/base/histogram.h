@@ -35,7 +35,7 @@ class Histogram {
   /// bound of the containing bucket. 0 if empty.
   int64_t ValueAtQuantile(double q) const;
 
-  /// Human-readable one-line summary: count/mean/p50/p90/p99/max.
+  /// Human-readable one-line summary: count/mean/p50/p90/p95/p99/max.
   std::string Summary() const;
 
   /// Clears all samples.

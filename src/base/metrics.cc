@@ -62,15 +62,19 @@ void ShardedHistogram::Reset() {
 }
 
 MetricsRegistry::Entry* MetricsRegistry::AddEntry(std::string name,
+                                                  std::string labels,
                                                   std::string help,
                                                   MetricSample::Type type) {
   APCM_CHECK(ValidMetricName(name));
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& entry : entries_) {
-    APCM_CHECK(entry->name != name);  // duplicate metric name
+    // Each (name, labels) pair is one time series; the bare name is the
+    // empty-label series, so legacy single-series metrics stay unique.
+    APCM_CHECK(entry->name != name || entry->labels != labels);
   }
   auto entry = std::make_unique<Entry>();
   entry->name = std::move(name);
+  entry->labels = std::move(labels);
   entry->help = std::move(help);
   entry->type = type;
   entries_.push_back(std::move(entry));
@@ -78,47 +82,75 @@ MetricsRegistry::Entry* MetricsRegistry::AddEntry(std::string name,
 }
 
 Counter* MetricsRegistry::AddCounter(std::string name, std::string help) {
-  Entry* entry =
-      AddEntry(std::move(name), std::move(help), MetricSample::Type::kCounter);
+  Entry* entry = AddEntry(std::move(name), "", std::move(help),
+                          MetricSample::Type::kCounter);
   entry->counter = std::make_unique<Counter>();
   return entry->counter.get();
 }
 
 Gauge* MetricsRegistry::AddGauge(std::string name, std::string help) {
-  Entry* entry =
-      AddEntry(std::move(name), std::move(help), MetricSample::Type::kGauge);
+  Entry* entry = AddEntry(std::move(name), "", std::move(help),
+                          MetricSample::Type::kGauge);
   entry->gauge = std::make_unique<Gauge>();
   return entry->gauge.get();
 }
 
 ShardedHistogram* MetricsRegistry::AddHistogram(std::string name,
                                                 std::string help) {
-  Entry* entry = AddEntry(std::move(name), std::move(help),
+  Entry* entry = AddEntry(std::move(name), "", std::move(help),
                           MetricSample::Type::kHistogram);
   entry->histogram = std::make_unique<ShardedHistogram>();
   return entry->histogram.get();
 }
 
+Gauge* MetricsRegistry::AddGaugeWithLabels(std::string name,
+                                           std::string labels,
+                                           std::string help) {
+  Entry* entry = AddEntry(std::move(name), std::move(labels), std::move(help),
+                          MetricSample::Type::kGauge);
+  entry->gauge = std::make_unique<Gauge>();
+  return entry->gauge.get();
+}
+
+ShardedHistogram* MetricsRegistry::AddHistogramWithLabels(std::string name,
+                                                          std::string labels,
+                                                          std::string help) {
+  Entry* entry = AddEntry(std::move(name), std::move(labels), std::move(help),
+                          MetricSample::Type::kHistogram);
+  entry->histogram = std::make_unique<ShardedHistogram>();
+  return entry->histogram.get();
+}
+
+void MetricsRegistry::AddCounterFnWithLabels(std::string name,
+                                             std::string labels,
+                                             std::string help,
+                                             std::function<uint64_t()> fn) {
+  APCM_CHECK(fn != nullptr);
+  Entry* entry = AddEntry(std::move(name), std::move(labels), std::move(help),
+                          MetricSample::Type::kCounter);
+  entry->counter_fn = std::move(fn);
+}
+
 void MetricsRegistry::AddCounterFn(std::string name, std::string help,
                                    std::function<uint64_t()> fn) {
   APCM_CHECK(fn != nullptr);
-  Entry* entry =
-      AddEntry(std::move(name), std::move(help), MetricSample::Type::kCounter);
+  Entry* entry = AddEntry(std::move(name), "", std::move(help),
+                          MetricSample::Type::kCounter);
   entry->counter_fn = std::move(fn);
 }
 
 void MetricsRegistry::AddGaugeFn(std::string name, std::string help,
                                  std::function<int64_t()> fn) {
   APCM_CHECK(fn != nullptr);
-  Entry* entry =
-      AddEntry(std::move(name), std::move(help), MetricSample::Type::kGauge);
+  Entry* entry = AddEntry(std::move(name), "", std::move(help),
+                          MetricSample::Type::kGauge);
   entry->gauge_fn = std::move(fn);
 }
 
 void MetricsRegistry::AddHistogramFn(std::string name, std::string help,
                                      std::function<Histogram()> fn) {
   APCM_CHECK(fn != nullptr);
-  Entry* entry = AddEntry(std::move(name), std::move(help),
+  Entry* entry = AddEntry(std::move(name), "", std::move(help),
                           MetricSample::Type::kHistogram);
   entry->histogram_fn = std::move(fn);
 }
@@ -137,6 +169,7 @@ std::vector<MetricSample> MetricsRegistry::Collect() const {
   for (const Entry* entry : entries) {
     MetricSample sample;
     sample.name = entry->name;
+    sample.labels = entry->labels;
     sample.help = entry->help;
     sample.type = entry->type;
     switch (entry->type) {

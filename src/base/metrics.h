@@ -109,6 +109,7 @@ struct MetricSample {
   enum class Type { kCounter, kGauge, kHistogram };
 
   std::string name;
+  std::string labels;  ///< raw Prometheus label body, e.g. `stage="queue"`
   std::string help;
   Type type = Type::kCounter;
   uint64_t counter_value = 0;  ///< kCounter
@@ -141,6 +142,19 @@ class MetricsRegistry {
   Gauge* AddGauge(std::string name, std::string help);
   ShardedHistogram* AddHistogram(std::string name, std::string help);
 
+  /// Labeled variants: `labels` is the literal Prometheus label body
+  /// rendered between the braces (e.g. `stage="queue"` or
+  /// `version="1.0",simd="avx2"`). The same metric name may be registered
+  /// repeatedly with distinct label bodies — each (name, labels) pair is one
+  /// time series and must be unique per registry.
+  Gauge* AddGaugeWithLabels(std::string name, std::string labels,
+                            std::string help);
+  ShardedHistogram* AddHistogramWithLabels(std::string name,
+                                           std::string labels,
+                                           std::string help);
+  void AddCounterFnWithLabels(std::string name, std::string labels,
+                              std::string help, std::function<uint64_t()> fn);
+
   void AddCounterFn(std::string name, std::string help,
                     std::function<uint64_t()> fn);
   void AddGaugeFn(std::string name, std::string help,
@@ -158,6 +172,7 @@ class MetricsRegistry {
  private:
   struct Entry {
     std::string name;
+    std::string labels;
     std::string help;
     MetricSample::Type type;
     // Owned instruments (at most one non-null) — unique_ptr keeps addresses
@@ -171,7 +186,7 @@ class MetricsRegistry {
     std::function<Histogram()> histogram_fn;
   };
 
-  Entry* AddEntry(std::string name, std::string help,
+  Entry* AddEntry(std::string name, std::string labels, std::string help,
                   MetricSample::Type type);
 
   mutable std::mutex mu_;

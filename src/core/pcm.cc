@@ -87,6 +87,10 @@ void PcmMatcher::InitRuntime() {
   for (const CompressedCluster& cluster : clusters_) {
     max_words_ = std::max(max_words_, cluster.words());
   }
+  num_profiles_ = options_.hotspot_every != 0 ? clusters_.size() : 0;
+  profiles_ = num_profiles_ != 0
+                  ? std::make_unique<ClusterProfile[]>(num_profiles_)
+                  : nullptr;
   pool_ = std::make_unique<ThreadPool>(options_.num_threads);
   thread_states_.clear();
   for (int t = 0; t < options_.num_threads; ++t) {
@@ -147,9 +151,17 @@ void PcmMatcher::Compact() {
   APCM_CHECK(pool_ != nullptr);  // Build must have run
   if (uncompacted_adds_ == 0 && tombstones_.empty()) return;
   const bool adaptive = options_.mode == PcmMode::kAdaptive;
+  const bool profiling = profiles_ != nullptr;
   std::vector<const BooleanExpression*> regroup;
   std::vector<CompressedCluster> kept;
   std::vector<AdaptiveState> kept_adaptive;
+  /// Snapshot of a surviving cluster's profile (Compact runs quiesced, so
+  /// plain relaxed loads see the final values); regrouped clusters start
+  /// from zero, like their adaptive state.
+  struct ProfileValues {
+    uint64_t batches, ns, predicate_evals, candidates_checked;
+  };
+  std::vector<ProfileValues> kept_profiles;
   for (size_t i = 0; i < clusters_.size(); ++i) {
     CompressedCluster& cluster = clusters_[i];
     bool affected = false;
@@ -168,9 +180,18 @@ void PcmMatcher::Compact() {
         }
       }
     } else {
-      // Untouched: keep the compressed form and its learned adaptive state.
+      // Untouched: keep the compressed form, its learned adaptive state,
+      // and its accumulated hot-spot profile.
       kept.push_back(std::move(cluster));
       if (adaptive) kept_adaptive.push_back(adaptive_[i]);
+      if (profiling) {
+        const ClusterProfile& p = profiles_[i];
+        kept_profiles.push_back(
+            {p.batches.load(std::memory_order_relaxed),
+             p.ns.load(std::memory_order_relaxed),
+             p.predicate_evals.load(std::memory_order_relaxed),
+             p.candidates_checked.load(std::memory_order_relaxed)});
+      }
     }
   }
   for (const CompressedCluster& delta_cluster : delta_clusters_) {
@@ -193,9 +214,23 @@ void PcmMatcher::Compact() {
       kept_adaptive.push_back(
           AdaptiveState(options_.epsilon, options_.ewma_alpha));
     }
+    if (profiling) kept_profiles.push_back({0, 0, 0, 0});
   }
   clusters_ = std::move(kept);
   if (adaptive) adaptive_ = std::move(kept_adaptive);
+  if (profiling) {
+    num_profiles_ = kept_profiles.size();
+    profiles_ = std::make_unique<ClusterProfile[]>(num_profiles_);
+    for (size_t i = 0; i < num_profiles_; ++i) {
+      profiles_[i].batches.store(kept_profiles[i].batches,
+                                 std::memory_order_relaxed);
+      profiles_[i].ns.store(kept_profiles[i].ns, std::memory_order_relaxed);
+      profiles_[i].predicate_evals.store(kept_profiles[i].predicate_evals,
+                                         std::memory_order_relaxed);
+      profiles_[i].candidates_checked.store(
+          kept_profiles[i].candidates_checked, std::memory_order_relaxed);
+    }
+  }
   for (SubscriptionId id : tombstones_) known_ids_.erase(id);
   tombstones_.clear();
   delta_clusters_.clear();
@@ -404,6 +439,12 @@ void PcmMatcher::MatchBatchImpl(
     // ParallelFor item so every cluster keeps exactly one owner per batch
     // (the adaptive Record below relies on that).
     const auto num_stripes = static_cast<uint64_t>(options_.num_threads);
+    // Hot-spot profiler: 1 in hotspot_every batches also attributes wall
+    // time and work counters to each cluster's profile. Off the sampled
+    // batches the only cost is this one bool.
+    const bool profile_batch =
+        profiles_ != nullptr && num_profiles_ == clusters_.size() &&
+        batch_counter_ % options_.hotspot_every == 0;
     pool_->ParallelFor(
         num_stripes, [&](uint64_t stripe_begin, uint64_t stripe_end,
                          int thread) {
@@ -420,19 +461,35 @@ void PcmMatcher::MatchBatchImpl(
               } else {
                 ++ts.counters.lazy_batches;
               }
+              const uint64_t evals_before = ts.stats.predicate_evals;
+              const uint64_t cands_before = ts.stats.candidates_checked;
               // The adaptive controller learns from measured wall time —
               // the only cost signal that captures every real effect (cache
               // misses, branch behavior) for both modes. Timer overhead is
               // two clock reads per (cluster, batch), noise vs. the loop.
               WallTimer cluster_timer;
               eval_cluster(clusters_[c], mode, 0, num_events, ts);
+              const int64_t elapsed_ns = cluster_timer.ElapsedNanos();
               if (options_.mode == PcmMode::kAdaptive) {
                 // Safe without synchronization: each cluster belongs to
                 // exactly one stripe of this ParallelFor.
-                adaptive_[c].Record(
-                    mode,
-                    static_cast<double>(cluster_timer.ElapsedNanos()) /
-                        static_cast<double>(num_events));
+                adaptive_[c].Record(mode,
+                                    static_cast<double>(elapsed_ns) /
+                                        static_cast<double>(num_events));
+              }
+              if (profile_batch) {
+                // Relaxed is enough: the cluster's single owner this batch
+                // is the only writer; readers want counts, not ordering.
+                ClusterProfile& p = profiles_[c];
+                p.batches.fetch_add(1, std::memory_order_relaxed);
+                p.ns.fetch_add(static_cast<uint64_t>(elapsed_ns),
+                               std::memory_order_relaxed);
+                p.predicate_evals.fetch_add(
+                    ts.stats.predicate_evals - evals_before,
+                    std::memory_order_relaxed);
+                p.candidates_checked.fetch_add(
+                    ts.stats.candidates_checked - cands_before,
+                    std::memory_order_relaxed);
               }
             }
           }
@@ -482,6 +539,28 @@ void PcmMatcher::MatchBatchImpl(
     }
     std::sort(out.begin(), out.end());
     stats_.matches_emitted += out.size();
+  }
+}
+
+void PcmMatcher::CollectHotspots(std::vector<HotspotEntry>* out) const {
+  if (profiles_ == nullptr) return;
+  const size_t n = std::min(num_profiles_, clusters_.size());
+  for (size_t c = 0; c < n; ++c) {
+    const ClusterProfile& p = profiles_[c];
+    const uint64_t batches = p.batches.load(std::memory_order_relaxed);
+    if (batches == 0) continue;  // never profiled; nothing to rank
+    HotspotEntry entry;
+    entry.cluster = static_cast<uint32_t>(c);
+    entry.subscriptions = clusters_[c].size();
+    entry.example_sub =
+        clusters_[c].size() > 0 ? clusters_[c].SubIdAt(0) : 0;
+    entry.batches = batches;
+    entry.ns = p.ns.load(std::memory_order_relaxed);
+    entry.predicate_evals =
+        p.predicate_evals.load(std::memory_order_relaxed);
+    entry.candidates_checked =
+        p.candidates_checked.load(std::memory_order_relaxed);
+    out->push_back(entry);
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef APCM_CORE_PCM_H_
 #define APCM_CORE_PCM_H_
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <string>
@@ -60,6 +61,12 @@ struct PcmOptions {
   double ewma_alpha = 0.3;
   /// Seed of the (deterministic) exploration stream.
   uint64_t seed = 1;
+  /// Hot-spot profiler: on 1 in this many batches, per-cluster wall time and
+  /// work counters are accumulated for CollectHotspots. Only the
+  /// cluster-parallel path records (each cluster has a single owning thread
+  /// per batch there, so the accumulators are uncontended). 0 disables
+  /// profiling entirely.
+  uint32_t hotspot_every = 16;
 };
 
 /// The paper's contribution: (Adaptive) Parallel Compressed Matching.
@@ -142,6 +149,14 @@ class PcmMatcher : public IncrementalMatcher {
                   std::vector<std::vector<SubscriptionId>>* results) override;
 
   const MatcherStats& stats() const override { return stats_; }
+
+  /// Per-cluster profile accumulated on sampled batches (see
+  /// PcmOptions::hotspot_every). Safe to call while MatchBatch runs (the
+  /// accumulators are relaxed atomics), but not concurrently with
+  /// Build/LoadIndex/Compact, which replace the profile table — the same
+  /// contract as clusters().
+  void CollectHotspots(std::vector<HotspotEntry>* out) const override;
+
   uint64_t MemoryBytes() const override;
 
   /// The compressed clusters (introspection for tests and benchmarks).
@@ -163,6 +178,17 @@ class PcmMatcher : public IncrementalMatcher {
  private:
   struct ThreadState;
 
+  /// Hot-spot accumulator for one main cluster; parallel to clusters_.
+  /// Written only by the cluster's owning stripe thread on profiled batches
+  /// (uncontended), read by CollectHotspots at any time — hence relaxed
+  /// atomics rather than plain counters.
+  struct alignas(64) ClusterProfile {
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> ns{0};
+    std::atomic<uint64_t> predicate_evals{0};
+    std::atomic<uint64_t> candidates_checked{0};
+  };
+
   /// (Re)creates the adaptive states, thread pool, and per-thread scratch
   /// for the current clusters_; shared by Build and LoadIndex.
   void InitRuntime();
@@ -173,6 +199,11 @@ class PcmMatcher : public IncrementalMatcher {
   PcmOptions options_;
   std::vector<CompressedCluster> clusters_;
   std::vector<AdaptiveState> adaptive_;
+  /// One profile per main cluster (empty when hotspot_every == 0); atomics
+  /// are not movable, so the table lives behind a unique_ptr array. Rebuilt
+  /// by InitRuntime, carried per-cluster through Compact like adaptive_.
+  std::unique_ptr<ClusterProfile[]> profiles_;
+  size_t num_profiles_ = 0;
   /// Incremental state. delta_subs_ owns every incrementally added
   /// expression — a deque for pointer stability, since delta clusters, the
   /// pending list, AND post-Compact main clusters reference its elements.

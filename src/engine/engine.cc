@@ -1,17 +1,24 @@
 #include "src/engine/engine.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 #include "src/base/failpoint.h"
 #include "src/base/logging.h"
 #include "src/base/macros.h"
+#include "src/base/string_util.h"
 #include "src/base/timer.h"
 #include "src/bitmap/kernels.h"
 #include "src/core/pcm.h"
 #include "src/engine/exposition.h"
 #include "src/engine/report.h"
 #include "src/workload/trace.h"
+
+// Injected by the build (src/engine/CMakeLists.txt) for apcm_build_info.
+#ifndef APCM_VERSION
+#define APCM_VERSION "unknown"
+#endif
 
 namespace apcm::engine {
 
@@ -76,7 +83,10 @@ StreamEngine::StreamEngine(EngineOptions options, MatchCallback callback)
     : options_(NormalizeOptions(std::move(options))),
       callback_(std::move(callback)),
       queue_(options_.queue_capacity),
-      trace_(options_.trace_capacity) {
+      trace_(options_.trace_capacity),
+      tracer_(EventTracer::Options{options_.trace_sample_every,
+                                   options_.trace_slo_ns},
+              &trace_) {
   APCM_CHECK(callback_ != nullptr);
   if (!options_.simd.empty() && options_.simd != "auto") {
     // Validated above; the set can only fail if support changed since, which
@@ -194,6 +204,38 @@ void StreamEngine::RegisterMetrics() {
   histogram("apcm_shard_batch_matches",
             "Matches emitted per (shard, dispatch).",
             stats_.shard_batch_matches);
+  // End-to-end event tracing: one labeled latency series per pipeline stage
+  // plus the end-to-end "total". Registered even with tracing disabled so
+  // the scrape schema is stable (the series just stay empty).
+  for (uint32_t s = 0; s <= EventTracer::kNumStages; ++s) {
+    ShardedHistogram* stage_histogram = metrics_.AddHistogramWithLabels(
+        "apcm_stage_latency_ns",
+        "stage=\"" + std::string(EventTracer::StageName(s)) + "\"",
+        "Per-stage latency of sampled events, nanoseconds (stage=\"total\" "
+        "is end to end; see EventTracer).");
+    tracer_.set_stage_histogram(s, stage_histogram);
+  }
+  metrics_.AddCounterFn(
+      "apcm_trace_spans_dropped_total",
+      "Trace-ring spans overwritten by newer spans before being read.",
+      [this] { return trace_.dropped(); });
+  metrics_.AddCounterFn(
+      "apcm_traces_completed_total",
+      "Sampled event traces finalized with their full stage breakdown.",
+      [this] { return tracer_.completed(); });
+  metrics_.AddCounterFn(
+      "apcm_trace_slots_stolen_total",
+      "Sampled admissions that reclaimed the slot of an unfinished trace.",
+      [this] { return tracer_.slots_stolen(); });
+  metrics_
+      .AddGaugeWithLabels(
+          "apcm_build_info",
+          std::string("version=\"") + APCM_VERSION + "\",simd=\"" +
+              bitmap::SimdLevelName(bitmap::ActiveSimdLevel()) +
+              "\",failpoints=\"" + (failpoint::kEnabled ? "on" : "off") +
+              "\"",
+          "Always 1; build and runtime identity ride in the labels.")
+      ->Set(1);
 }
 
 void StreamEngine::StartAdminServer() {
@@ -229,8 +271,38 @@ void StreamEngine::StartAdminServer() {
     body += "]}\n";
     return AdminResponse{200, "application/json", std::move(body)};
   });
-  admin_->Handle("/healthz", [](std::string_view) {
-    return AdminResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  admin_->Handle("/healthz", [this](std::string_view) {
+    return AdminResponse{
+        200, "text/plain; charset=utf-8",
+        StringPrintf("ok\nuptime_seconds=%.3f\n", uptime_.ElapsedSeconds())};
+  });
+  // Matcher hot spots: where the matching budget goes, by cluster, most
+  // expensive first. `?k=N` truncates the ranking (default 10, k=0 = all).
+  admin_->Handle("/hotspots", [this](std::string_view query) {
+    size_t k = 10;
+    if (query.substr(0, 2) == "k=") {
+      k = static_cast<size_t>(
+          std::strtoull(std::string(query.substr(2)).c_str(), nullptr, 10));
+    }
+    const std::vector<HotspotEntry> hotspots = CollectHotspots(k);
+    std::string body = "{\"hotspots\":[";
+    bool first = true;
+    for (const HotspotEntry& h : hotspots) {
+      if (!first) body += ',';
+      first = false;
+      body += StringPrintf(
+          "{\"shard\":%u,\"cluster\":%u,\"subscriptions\":%u,"
+          "\"example_sub\":%llu,\"batches\":%llu,\"ns\":%llu,"
+          "\"predicate_evals\":%llu,\"candidates_checked\":%llu}",
+          h.shard, h.cluster, h.subscriptions,
+          static_cast<unsigned long long>(h.example_sub),
+          static_cast<unsigned long long>(h.batches),
+          static_cast<unsigned long long>(h.ns),
+          static_cast<unsigned long long>(h.predicate_evals),
+          static_cast<unsigned long long>(h.candidates_checked));
+    }
+    body += "]}\n";
+    return AdminResponse{200, "application/json", std::move(body)};
   });
   // Lists registered failpoints with hit counts; arms/disarms them via
   // `?arm=name=spec` / `?disarm=name` / `?disarm=all` (the raw query string
@@ -471,6 +543,20 @@ const MatcherStats* StreamEngine::matcher_stats() const {
   return snap == nullptr ? nullptr : &snap->matcher->stats();
 }
 
+std::vector<HotspotEntry> StreamEngine::CollectHotspots(size_t k) const {
+  std::vector<HotspotEntry> entries;
+  std::shared_ptr<EngineSnapshot> snap = snapshot_.Load();
+  if (snap == nullptr) return entries;
+  snap->matcher->CollectHotspots(&entries);
+  std::sort(entries.begin(), entries.end(),
+            [](const HotspotEntry& a, const HotspotEntry& b) {
+              if (a.ns != b.ns) return a.ns > b.ns;
+              return a.predicate_evals > b.predicate_evals;
+            });
+  if (k != 0 && entries.size() > k) entries.resize(k);
+  return entries;
+}
+
 uint64_t StreamEngine::Publish(Event event) {
   StatusOr<uint64_t> id = TryPublish(std::move(event));
   APCM_CHECK(id.ok());  // kReject callers must use TryPublish
@@ -478,6 +564,11 @@ uint64_t StreamEngine::Publish(Event event) {
 }
 
 StatusOr<uint64_t> StreamEngine::TryPublish(Event event) {
+  return TryPublish(std::move(event), IngressTrace{});
+}
+
+StatusOr<uint64_t> StreamEngine::TryPublish(Event event,
+                                            const IngressTrace& ingress) {
   // Chaos seam: simulate a full queue at admission. Under kReject this
   // mirrors the real rejection path (counter, trace span, ResourceExhausted)
   // so callers exercise their retry/park logic; under kBlock it only counts
@@ -495,6 +586,9 @@ StatusOr<uint64_t> StreamEngine::TryPublish(Event event) {
     if (std::optional<BoundedEventQueue::PushResult> pushed =
             queue_.TryPush(std::move(event))) {
       stats_.events_published.fetch_add(1, std::memory_order_relaxed);
+      // Claim the trace slot before any processing trigger below: the round
+      // that drains this event may run (and finalize-race) immediately.
+      tracer_.Admit(pushed->id, ingress, tracer_.NowNs());
       if (pushed->depth >= options_.buffer_capacity) {
         // This publish filled the buffer: become the processor, unless a
         // round is already running (the backlog stays bounded by the queue
@@ -859,6 +953,16 @@ void StreamEngine::ProcessLocked() {
   if (round_events_.empty()) return;
   stats_.queue_depth.Record(static_cast<int64_t>(round_events_.size()));
   trace_.Record(TraceRing::Kind::kRoundStart, round_events_.size());
+  if (tracer_.enabled()) {
+    // All events of this round left the queue at the same drain; one clock
+    // read covers every sampled id.
+    const int64_t t_queue = tracer_.NowNs();
+    for (uint64_t id : round_ids_) {
+      if (tracer_.Sampled(id)) {
+        tracer_.RecordStage(id, EventTracer::kQueue, t_queue);
+      }
+    }
+  }
   std::shared_ptr<EngineSnapshot> snap = SyncSnapshotLocked();
   // Matcher counters mutate throughout the round; the per-round delta is
   // folded into stats_ afterwards so scrapers never touch the live object.
@@ -890,6 +994,15 @@ void StreamEngine::ProcessLocked() {
     snap->matcher->MatchBatch(batch, &batch_results);
     stats_.batch_latency_ns.Record(timer.ElapsedNanos());
     stats_.batches_processed.fetch_add(1, std::memory_order_relaxed);
+    if (tracer_.enabled()) {
+      const int64_t t_match = tracer_.NowNs();
+      for (size_t i = pos; i < end; ++i) {
+        const uint64_t id = round_ids_[order[i]];
+        if (tracer_.Sampled(id)) {
+          tracer_.RecordStage(id, EventTracer::kMatch, t_match);
+        }
+      }
+    }
     for (size_t i = pos; i < end; ++i) {
       results_by_buffer_index[order[i]] = std::move(batch_results[i - pos]);
     }
@@ -932,6 +1045,14 @@ void StreamEngine::ProcessLocked() {
                                        std::memory_order_relaxed);
     round_matches += matches.size();
     callback_(round_ids_[i], matches);
+    if (tracer_.Sampled(round_ids_[i])) {
+      // Releases the delivery reference Admit created. A transport that owes
+      // socket writes added its own references inside the callback, so the
+      // trace finalizes only after the last flush (or right here when the
+      // event is engine-local / nobody subscribed its matches).
+      tracer_.CompleteStage(round_ids_[i], EventTracer::kDeliver,
+                            tracer_.NowNs());
+    }
   }
 
   const MatcherStats& matcher_after = snap->matcher->stats();

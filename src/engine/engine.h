@@ -14,9 +14,11 @@
 #include "src/base/metrics.h"
 #include "src/base/status.h"
 #include "src/base/thread_pool.h"
+#include "src/base/timer.h"
 #include "src/core/osr.h"
 #include "src/engine/admin_server.h"
 #include "src/engine/event_queue.h"
+#include "src/engine/event_trace.h"
 #include "src/engine/matcher_factory.h"
 #include "src/engine/snapshot.h"
 #include "src/engine/trace_ring.h"
@@ -135,6 +137,15 @@ struct EngineOptions {
   /// Capacity of the round-level trace ring (rounded up to a power of two;
   /// the ring keeps the most recent spans). 0 disables tracing.
   uint32_t trace_capacity = 4096;
+  /// End-to-end event tracing: 1 in this many admitted events (rounded up
+  /// to a power of two) is followed read -> admit -> queue -> match ->
+  /// deliver -> write, feeding apcm_stage_latency_ns{stage=...} and
+  /// `event_stage` trace-ring spans. 0 disables per-event tracing entirely
+  /// (no extra atomics anywhere on the event path); 1 traces every event.
+  uint32_t trace_sample_every = 64;
+  /// A traced event slower than this end to end emits one structured
+  /// warning log line with its stage breakdown. 0 disables the slow log.
+  int64_t trace_slo_ns = 0;
   /// Bitmap kernel instruction set: "" or "auto" (default) keeps the
   /// process-wide runtime selection (best supported level, or the APCM_SIMD
   /// environment override); "scalar" / "avx2" / "avx512" force a level.
@@ -229,6 +240,12 @@ class StreamEngine {
   /// BackpressurePolicy::kReject.
   StatusOr<uint64_t> TryPublish(Event event);
 
+  /// TryPublish carrying transport-side ingress context: a caller-assigned
+  /// trace id and the socket-read timestamp, so a sampled event's trace
+  /// covers the wire (see EventTracer / IngressTrace). Identical semantics
+  /// otherwise.
+  StatusOr<uint64_t> TryPublish(Event event, const IngressTrace& ingress);
+
   /// Processes all buffered events and waits for background snapshot
   /// rebuilds to quiesce. After Flush returns (and absent concurrent
   /// publishers), every published event has been delivered.
@@ -268,9 +285,22 @@ class StreamEngine {
   MetricsRegistry& metrics_registry() { return metrics_; }
 
   /// Round-level flight recorder: round start/end, snapshot rebuild
-  /// schedule/publish, and backpressure events (see TraceRing). Always
-  /// safe to Snapshot()/ToJson() concurrently with live traffic.
+  /// schedule/publish, backpressure events, and sampled per-event stage
+  /// spans (see TraceRing). Always safe to Snapshot()/ToJson() concurrently
+  /// with live traffic.
   const TraceRing& trace() const { return trace_; }
+
+  /// Sampled end-to-end event tracer (see EventTracer). Transports use it
+  /// to stamp read/write stages and register owed socket writes; disabled
+  /// (trace_sample_every == 0) it answers Sampled() == false for every id.
+  EventTracer& tracer() { return tracer_; }
+  const EventTracer& tracer() const { return tracer_; }
+
+  /// Per-cluster matcher hot spots of the current snapshot, most expensive
+  /// first (profiled matchers only; empty otherwise — see
+  /// Matcher::CollectHotspots). Safe to call at any time; counters are
+  /// sampled live. `k` truncates the ranking (0 = everything).
+  std::vector<HotspotEntry> CollectHotspots(size_t k = 0) const;
 
   /// Current publish-queue depth (events buffered, not yet drained).
   size_t queue_depth() const { return queue_.depth(); }
@@ -343,6 +373,8 @@ class StreamEngine {
 
   EngineOptions options_;
   MatchCallback callback_;
+  /// Construction instant; /healthz reports the elapsed time as uptime.
+  WallTimer uptime_;
 
   /// Write-side master state, guarded by state_mu_. Mutations are short and
   /// never wait on matching or building.
@@ -383,6 +415,10 @@ class StreamEngine {
 
   /// Round-level flight recorder (lock-free; see trace()).
   TraceRing trace_;
+
+  /// Sampled per-event stage tracer; records into trace_ and the labeled
+  /// stage histograms owned by metrics_. Declared after both.
+  EventTracer tracer_;
 
   /// Maintenance pool: one OS worker executing background snapshot builds.
   /// Declared after every member its queued builds touch (snapshot_, state,

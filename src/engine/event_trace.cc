@@ -1,0 +1,246 @@
+#include "src/engine/event_trace.h"
+
+#include <algorithm>
+
+#include "src/base/failpoint.h"
+#include "src/base/logging.h"
+#include "src/base/string_util.h"
+
+namespace apcm::engine {
+
+namespace {
+
+/// In-flight sampled traces at any instant are bounded by the publish-queue
+/// capacity divided by the sample period, plus the write backlog; 512 slots
+/// give orders of magnitude of headroom before an admission lands on a slot
+/// still occupied (which steals it — tracing is best-effort telemetry).
+constexpr size_t kSlots = 512;
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t RoundUpPowerOfTwo(uint64_t n) {
+  uint64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+EventTracer::EventTracer(const Options& options, TraceRing* ring)
+    : enabled_(options.sample_every != 0),
+      sample_mask_(options.sample_every == 0
+                       ? 0
+                       : RoundUpPowerOfTwo(options.sample_every) - 1),
+      slo_ns_(options.slo_ns),
+      ring_(ring),
+      slots_(enabled_ ? kSlots : 0) {}
+
+std::string_view EventTracer::StageName(uint32_t stage) {
+  switch (stage) {
+    case kRead:
+      return "read";
+    case kAdmit:
+      return "admit";
+    case kQueue:
+      return "queue";
+    case kMatch:
+      return "match";
+    case kDeliver:
+      return "deliver";
+    case kWrite:
+      return "write";
+    case kNumStages:
+      return "total";
+  }
+  return "unknown";
+}
+
+EventTracer::Slot* EventTracer::SlotFor(uint64_t event_id) const {
+  // Consecutive sampled events land on consecutive slots: strip the sampled
+  // low bits, then wrap. kSlots is a power of two.
+  return &slots_[static_cast<size_t>((event_id >> __builtin_ctzll(
+                                          sample_mask_ + 1))) &
+                 (kSlots - 1)];
+}
+
+void EventTracer::Admit(uint64_t event_id, const IngressTrace& ingress,
+                        int64_t t_admit_ns) {
+  if (!Sampled(event_id)) return;
+  APCM_FAILPOINT("trace.sample.claim");
+  Slot* slot = SlotFor(event_id);
+  const uint64_t key = event_id + 1;
+  uint64_t cur = slot->key.load(std::memory_order_acquire);
+  while (cur != key) {
+    if (cur == 0) {
+      if (slot->key.compare_exchange_weak(cur, key,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+        break;
+      }
+      continue;  // cur reloaded by the failed CAS
+    }
+    // Occupied by an older trace that never finalized (e.g. its subscriber
+    // connection died holding write references). Steal: drop the old trace
+    // and reset the slot. A straggling stamp for the old event drops on the
+    // key check; a stamp that passed its check just before the steal can at
+    // worst smear one best-effort sample.
+    stolen_.fetch_add(1, std::memory_order_relaxed);
+    for (auto& stage : slot->stage_ns) {
+      stage.store(0, std::memory_order_relaxed);
+    }
+    slot->pending.store(0, std::memory_order_relaxed);
+    slot->admitted.store(false, std::memory_order_relaxed);
+    slot->key.store(key, std::memory_order_release);
+    break;
+  }
+  const uint64_t trace_id =
+      ingress.trace_id != 0 ? ingress.trace_id : SplitMix64(event_id + 1);
+  slot->trace_id.store(trace_id, std::memory_order_relaxed);
+  const int64_t t_read =
+      ingress.t_read_ns != 0 ? ingress.t_read_ns : t_admit_ns;
+  RecordStage(event_id, kRead, t_read);
+  RecordStage(event_id, kAdmit, t_admit_ns);
+  // Publish the delivery path's reference. The admission may lose the race
+  // with the whole processing round (push -> drain -> deliver can complete
+  // before this thread resumes), in which case pending sits at -1 and this
+  // increment performs the finalize itself.
+  slot->admitted.store(true, std::memory_order_release);
+  if (slot->pending.fetch_add(1, std::memory_order_acq_rel) + 1 == 0) {
+    Finalize(slot, event_id);
+  }
+}
+
+void EventTracer::RecordStage(uint64_t event_id, Stage stage, int64_t t_ns) {
+  if (!Sampled(event_id)) return;
+  Slot* slot = SlotFor(event_id);
+  const uint64_t key = event_id + 1;
+  // Stages may land before Admit claims the slot (the processing round can
+  // outrun the admitting thread), so stamping claims a free slot too.
+  uint64_t cur = slot->key.load(std::memory_order_acquire);
+  while (cur != key) {
+    if (cur != 0) return;  // occupied by another trace: drop the stamp
+    if (slot->key.compare_exchange_weak(cur, key, std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      break;
+    }
+  }
+  // Monotone-max: concurrent stamps of the same stage (one socket write per
+  // subscriber connection) keep the latest completion instant.
+  std::atomic<int64_t>& cell = slot->stage_ns[stage];
+  int64_t seen = cell.load(std::memory_order_relaxed);
+  while (t_ns > seen &&
+         !cell.compare_exchange_weak(seen, t_ns, std::memory_order_relaxed)) {
+  }
+}
+
+void EventTracer::AddPending(uint64_t event_id, uint32_t n) {
+  if (!Sampled(event_id) || n == 0) return;
+  Slot* slot = SlotFor(event_id);
+  uint64_t cur = slot->key.load(std::memory_order_acquire);
+  while (cur != event_id + 1) {
+    if (cur != 0) return;
+    if (slot->key.compare_exchange_weak(cur, event_id + 1,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      break;
+    }
+  }
+  slot->pending.fetch_add(static_cast<int32_t>(n),
+                          std::memory_order_acq_rel);
+}
+
+void EventTracer::CompleteStage(uint64_t event_id, Stage stage,
+                                int64_t t_ns) {
+  if (!Sampled(event_id)) return;
+  RecordStage(event_id, stage, t_ns);
+  AbandonPending(event_id);
+}
+
+void EventTracer::AbandonPending(uint64_t event_id) {
+  if (!Sampled(event_id)) return;
+  Slot* slot = SlotFor(event_id);
+  if (slot->key.load(std::memory_order_acquire) != event_id + 1) return;
+  if (slot->pending.fetch_sub(1, std::memory_order_acq_rel) - 1 == 0 &&
+      slot->admitted.load(std::memory_order_acquire)) {
+    Finalize(slot, event_id);
+  }
+}
+
+uint64_t EventTracer::TraceIdFor(uint64_t event_id) const {
+  if (!Sampled(event_id)) return 0;
+  const Slot* slot = SlotFor(event_id);
+  if (slot->key.load(std::memory_order_acquire) != event_id + 1) return 0;
+  return slot->trace_id.load(std::memory_order_relaxed);
+}
+
+void EventTracer::Finalize(Slot* slot, uint64_t event_id) {
+  APCM_FAILPOINT("trace.finalize");
+  const uint64_t trace_id = slot->trace_id.load(std::memory_order_relaxed);
+  int64_t stages[kNumStages];
+  for (uint32_t s = 0; s < kNumStages; ++s) {
+    stages[s] = slot->stage_ns[s].load(std::memory_order_relaxed);
+  }
+  int64_t t0 = 0;
+  int64_t last = 0;
+  for (uint32_t s = 0; s < kNumStages; ++s) {
+    if (stages[s] == 0) continue;
+    if (t0 == 0) t0 = stages[s];
+    last = std::max(last, stages[s]);
+  }
+  int64_t prev = t0;
+  for (uint32_t s = 0; s < kNumStages; ++s) {
+    if (stages[s] == 0) continue;
+    if (histograms_[s] != nullptr) {
+      histograms_[s]->Record(std::max<int64_t>(0, stages[s] - prev));
+    }
+    prev = std::max(prev, stages[s]);
+    if (ring_ != nullptr) {
+      ring_->Record(TraceRing::Kind::kEventStage, trace_id, s,
+                    static_cast<uint64_t>(stages[s]));
+    }
+  }
+  const int64_t total = last - t0;
+  if (histograms_[kNumStages] != nullptr && t0 != 0) {
+    histograms_[kNumStages]->Record(std::max<int64_t>(0, total));
+  }
+  if (slo_ns_ > 0 && total > slo_ns_ && LogEnabled(LogLevel::kWarning)) {
+    auto stage_delta = [&](Stage s) -> int64_t {
+      if (stages[s] == 0) return 0;
+      int64_t before = t0;
+      for (uint32_t i = 0; i < s; ++i) {
+        if (stages[i] != 0) before = std::max(before, stages[i]);
+      }
+      return std::max<int64_t>(0, stages[s] - before);
+    };
+    LogWarning("slow event trace",
+               {{"trace_id", StringPrintf("%016llx",
+                                          static_cast<unsigned long long>(
+                                              trace_id))},
+                {"event_id", event_id},
+                {"total_ns", total},
+                {"slo_ns", slo_ns_},
+                {"admit_ns", stage_delta(kAdmit)},
+                {"queue_ns", stage_delta(kQueue)},
+                {"match_ns", stage_delta(kMatch)},
+                {"deliver_ns", stage_delta(kDeliver)},
+                {"write_ns", stage_delta(kWrite)}});
+  }
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  // Reset the payload before releasing the slot so the next claimant starts
+  // clean (claims race with resets only through the stale-stamp window
+  // documented in the class comment).
+  for (auto& stage : slot->stage_ns) {
+    stage.store(0, std::memory_order_relaxed);
+  }
+  slot->trace_id.store(0, std::memory_order_relaxed);
+  slot->pending.store(0, std::memory_order_relaxed);
+  slot->admitted.store(false, std::memory_order_relaxed);
+  slot->key.store(0, std::memory_order_release);
+}
+
+}  // namespace apcm::engine

@@ -1,0 +1,188 @@
+#ifndef APCM_ENGINE_EVENT_TRACE_H_
+#define APCM_ENGINE_EVENT_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/base/metrics.h"
+#include "src/base/timer.h"
+#include "src/engine/trace_ring.h"
+
+namespace apcm::engine {
+
+/// Ingress timing context a transport hands to StreamEngine::TryPublish so a
+/// sampled event's trace covers the wire, not just the engine. All-zero (the
+/// default) means "engine-local publish": the read/admit stamps collapse to
+/// the admission instant and the trace id is derived from the event id.
+struct IngressTrace {
+  /// Caller-provided 64-bit trace id (propagated from the frame header when
+  /// the client set one); 0 = let the engine derive one from the event id.
+  uint64_t trace_id = 0;
+  /// When the transport read the bytes off the socket, on the engine
+  /// tracer's clock (EventTracer::NowNs); 0 = unknown.
+  int64_t t_read_ns = 0;
+};
+
+/// Sampled end-to-end per-event tracing: follows 1-in-N admitted events
+/// through read -> admit -> queue -> match -> deliver -> write, stamping a
+/// timestamp as the event completes each stage, then (once the last owed
+/// stage lands) feeds per-stage latency histograms
+/// (`apcm_stage_latency_ns{stage=...}`), appends one TraceRing
+/// `event_stage` span per stage, and emits a structured slow-event log line
+/// when the end-to-end time exceeds the configured SLO.
+///
+/// Sampling is decided purely from the event id — a dense counter the queue
+/// already assigns under its push lock — so the "is this event sampled?"
+/// check is a mask test with no additional atomics, and a disabled tracer
+/// (sample_every == 0) short-circuits on a plain bool. The match inner loop
+/// is never touched: stages are stamped at round granularity boundaries
+/// (queue drain, batch return, delivery callback), all outside per-predicate
+/// work.
+///
+/// In-flight state lives in a fixed table of seq-indexed slots (event id /
+/// sample period, modulo table size). Every mutation validates the slot key
+/// against the caller's event id, so a late stamp for an event whose slot
+/// was reclaimed (e.g. its subscriber connection died without flushing) is
+/// dropped instead of corrupting the new occupant.
+///
+/// Lifecycle / ownership protocol: Admit() claims the slot with one pending
+/// reference owned by the engine's delivery path. A transport that owes
+/// socket writes adds one reference per outgoing MATCH frame (AddPending,
+/// called inside the delivery callback, i.e. before the engine's own
+/// release). Whoever drops the count to zero finalizes the trace. Events
+/// that never reach delivery (impossible today — delivery is unconditional
+/// per admitted event) would be reclaimed by slot stealing.
+class EventTracer {
+ public:
+  /// Pipeline stages in order. Stage timestamps are "instant the stage
+  /// completed"; the exported stage latency is the delta to the previous
+  /// recorded stage (kRead's latency is identically 0, it anchors t0).
+  enum Stage : uint32_t {
+    kRead = 0,   ///< transport finished reading+decoding the frame
+    kAdmit,      ///< event accepted into the publish queue
+    kQueue,      ///< drained out of the queue into a processing round
+    kMatch,      ///< the event's match batch returned
+    kDeliver,    ///< delivery callback completed (matches handed off)
+    kWrite,      ///< last owed MATCH frame flushed to a subscriber socket
+    kNumStages,
+  };
+
+  struct Options {
+    /// Trace 1 in this many admitted events (rounded up to a power of two);
+    /// 0 disables tracing entirely.
+    uint32_t sample_every = 64;
+    /// A traced event whose end-to-end latency exceeds this emits one
+    /// structured warning log line with its full stage breakdown; 0
+    /// disables the slow-event log.
+    int64_t slo_ns = 0;
+  };
+
+  /// `ring` receives one `event_stage` span per recorded stage at finalize
+  /// (may be null / disabled). Stage histograms are wired afterwards via
+  /// set_stage_histogram (the registry owns them).
+  EventTracer(const Options& options, TraceRing* ring);
+
+  EventTracer(const EventTracer&) = delete;
+  EventTracer& operator=(const EventTracer&) = delete;
+
+  /// Wires the latency sink for one stage (and kNumStages = the end-to-end
+  /// "total" series). Constructor-time only; unwired stages are skipped.
+  void set_stage_histogram(uint32_t stage, ShardedHistogram* histogram) {
+    histograms_[stage] = histogram;
+  }
+
+  bool enabled() const { return enabled_; }
+
+  /// True when `event_id` is one of the 1-in-N traced events. A mask test —
+  /// no atomics, no side effects.
+  bool Sampled(uint64_t event_id) const {
+    return enabled_ && (event_id & sample_mask_) == 0;
+  }
+
+  /// Now on the tracer's monotonic clock; transports stamp read timestamps
+  /// with this so cross-thread deltas are meaningful.
+  int64_t NowNs() const { return timer_.ElapsedNanos(); }
+
+  /// Claims the trace slot for a just-admitted sampled event and stamps
+  /// kRead/kAdmit. `ingress.trace_id` 0 derives a stable id from the event
+  /// id; `ingress.t_read_ns` 0 collapses the read stamp onto `t_admit_ns`.
+  /// The slot starts with one pending reference (the delivery path's).
+  /// No-op unless Sampled(event_id).
+  void Admit(uint64_t event_id, const IngressTrace& ingress,
+             int64_t t_admit_ns);
+
+  /// Stamps `stage` completion at `t_ns` for a sampled event. Monotone-max:
+  /// concurrent stamps of the same stage (multiple subscriber writes) keep
+  /// the latest. No reference-count change; no-op for unsampled ids or
+  /// reclaimed slots.
+  void RecordStage(uint64_t event_id, Stage stage, int64_t t_ns);
+
+  /// Adds `n` pending references (owed MATCH-frame writes). Must be called
+  /// while the caller still holds an undropped reference — in practice from
+  /// inside the delivery callback, before the engine releases its own.
+  void AddPending(uint64_t event_id, uint32_t n);
+
+  /// Stamps `stage` and releases one pending reference; the reference that
+  /// hits zero finalizes the trace (histograms, ring spans, slow log).
+  void CompleteStage(uint64_t event_id, Stage stage, int64_t t_ns);
+
+  /// Releases one pending reference without stamping anything — an owed
+  /// write was abandoned (slow-consumer disconnect, shutdown). Keeps the
+  /// refcount balanced so the trace still finalizes from its other stages.
+  void AbandonPending(uint64_t event_id);
+
+  /// The trace id assigned to a sampled in-flight event (0 when the slot is
+  /// gone or the id is not sampled). Transports label outgoing spans and
+  /// tests follow an event with this.
+  uint64_t TraceIdFor(uint64_t event_id) const;
+
+  /// Traces finalized since construction.
+  uint64_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+  /// Sampled admissions that found their slot still occupied by an older
+  /// in-flight trace and stole it (the older trace is dropped unfinalized).
+  uint64_t slots_stolen() const {
+    return stolen_.load(std::memory_order_relaxed);
+  }
+
+  /// Canonical lower_snake_case stage name ("read", ..., "write"; kNumStages
+  /// = "total").
+  static std::string_view StageName(uint32_t stage);
+
+ private:
+  struct alignas(64) Slot {
+    /// event_id + 1 of the occupant; 0 = free.
+    std::atomic<uint64_t> key{0};
+    std::atomic<uint64_t> trace_id{0};
+    /// Outstanding references. Signed: the delivery path may complete (and
+    /// decrement) before the admitting thread publishes its own reference,
+    /// so the count legally dips to -1 and Admit's increment finalizes.
+    std::atomic<int32_t> pending{0};
+    /// True once Admit published the delivery reference; finalization
+    /// requires it so a transient zero before admission does not fire.
+    std::atomic<bool> admitted{false};
+    /// Stage-completion instants on timer_'s clock; 0 = not reached.
+    std::atomic<int64_t> stage_ns[kNumStages] = {};
+  };
+
+  Slot* SlotFor(uint64_t event_id) const;
+  void Finalize(Slot* slot, uint64_t event_id);
+
+  const bool enabled_;
+  const uint64_t sample_mask_;  ///< sample_every (pow2) - 1
+  const int64_t slo_ns_;
+  TraceRing* const ring_;
+  WallTimer timer_;
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> stolen_{0};
+  ShardedHistogram* histograms_[kNumStages + 1] = {};
+  mutable std::vector<Slot> slots_;  ///< power-of-two size
+};
+
+}  // namespace apcm::engine
+
+#endif  // APCM_ENGINE_EVENT_TRACE_H_

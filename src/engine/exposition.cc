@@ -22,16 +22,32 @@ std::string PrometheusEscape(std::string_view text) {
   return escaped;
 }
 
+/// Renders a label body for exposition: `` (no labels), `{stage="queue"}`,
+/// or — when `extra` adds a quantile — `{stage="queue",quantile="0.5"}`.
+std::string LabelBlock(const std::string& labels, const std::string& extra) {
+  if (labels.empty() && extra.empty()) return "";
+  std::string body = labels;
+  if (!extra.empty()) {
+    if (!body.empty()) body += ',';
+    body += extra;
+  }
+  return "{" + body + "}";
+}
+
 void AppendPrometheusHistogram(const std::string& name,
+                               const std::string& labels,
                                const Histogram& histogram,
                                std::string* out) {
-  for (double q : {0.5, 0.9, 0.99}) {
-    *out += StringPrintf("%s{quantile=\"%g\"} %lld\n", name.c_str(), q,
-                         static_cast<long long>(
-                             histogram.ValueAtQuantile(q)));
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    *out += StringPrintf(
+        "%s%s %lld\n", name.c_str(),
+        LabelBlock(labels, StringPrintf("quantile=\"%g\"", q)).c_str(),
+        static_cast<long long>(histogram.ValueAtQuantile(q)));
   }
-  *out += StringPrintf("%s_sum %.0f\n", name.c_str(), histogram.sum());
-  *out += StringPrintf("%s_count %llu\n", name.c_str(),
+  *out += StringPrintf("%s_sum%s %.0f\n", name.c_str(),
+                       LabelBlock(labels, "").c_str(), histogram.sum());
+  *out += StringPrintf("%s_count%s %llu\n", name.c_str(),
+                       LabelBlock(labels, "").c_str(),
                        static_cast<unsigned long long>(histogram.count()));
 }
 
@@ -70,26 +86,33 @@ std::string JsonEscape(std::string_view text) {
 
 std::string RenderPrometheus(const MetricsRegistry& registry) {
   std::string out;
+  // Labeled series of one metric register as consecutive entries sharing a
+  // name; Prometheus wants HELP/TYPE once per name, so repeats are elided.
+  std::string last_name;
   for (const MetricSample& sample : registry.Collect()) {
-    if (!sample.help.empty()) {
+    const bool new_name = sample.name != last_name;
+    last_name = sample.name;
+    if (new_name && !sample.help.empty()) {
       out += "# HELP " + sample.name + " " + PrometheusEscape(sample.help) +
              "\n";
     }
+    const std::string labels = LabelBlock(sample.labels, "");
     switch (sample.type) {
       case MetricSample::Type::kCounter:
-        out += "# TYPE " + sample.name + " counter\n";
+        if (new_name) out += "# TYPE " + sample.name + " counter\n";
         out += StringPrintf(
-            "%s %llu\n", sample.name.c_str(),
+            "%s%s %llu\n", sample.name.c_str(), labels.c_str(),
             static_cast<unsigned long long>(sample.counter_value));
         break;
       case MetricSample::Type::kGauge:
-        out += "# TYPE " + sample.name + " gauge\n";
-        out += StringPrintf("%s %lld\n", sample.name.c_str(),
+        if (new_name) out += "# TYPE " + sample.name + " gauge\n";
+        out += StringPrintf("%s%s %lld\n", sample.name.c_str(), labels.c_str(),
                             static_cast<long long>(sample.gauge_value));
         break;
       case MetricSample::Type::kHistogram:
-        out += "# TYPE " + sample.name + " summary\n";
-        AppendPrometheusHistogram(sample.name, sample.histogram, &out);
+        if (new_name) out += "# TYPE " + sample.name + " summary\n";
+        AppendPrometheusHistogram(sample.name, sample.labels, sample.histogram,
+                                  &out);
         break;
     }
   }
@@ -103,6 +126,9 @@ std::string RenderMetricsJson(const MetricsRegistry& registry) {
     if (!first) out += ',';
     first = false;
     out += "{\"name\":\"" + JsonEscape(sample.name) + "\"";
+    if (!sample.labels.empty()) {
+      out += ",\"labels\":\"" + JsonEscape(sample.labels) + "\"";
+    }
     if (!sample.help.empty()) {
       out += ",\"help\":\"" + JsonEscape(sample.help) + "\"";
     }
@@ -121,11 +147,12 @@ std::string RenderMetricsJson(const MetricsRegistry& registry) {
         out += StringPrintf(
             ",\"type\":\"histogram\",\"count\":%llu,\"sum\":%.0f,"
             "\"mean\":%.1f,\"min\":%lld,\"max\":%lld,\"p50\":%lld,"
-            "\"p90\":%lld,\"p99\":%lld",
+            "\"p90\":%lld,\"p95\":%lld,\"p99\":%lld",
             static_cast<unsigned long long>(h.count()), h.sum(), h.Mean(),
             static_cast<long long>(h.min()), static_cast<long long>(h.max()),
             static_cast<long long>(h.ValueAtQuantile(0.5)),
             static_cast<long long>(h.ValueAtQuantile(0.9)),
+            static_cast<long long>(h.ValueAtQuantile(0.95)),
             static_cast<long long>(h.ValueAtQuantile(0.99)));
         break;
       }

@@ -26,18 +26,38 @@ std::string RenderReport(const StreamEngine& engine) {
   line("subscriptions (live)",
        FormatWithCommas(engine.num_subscriptions()));
   for (const MetricSample& sample : engine.metrics_registry().Collect()) {
+    // Labeled series keep their label body in the key so e.g. the seven
+    // apcm_stage_latency_ns{stage=...} series stay distinguishable.
+    const std::string key = sample.labels.empty()
+                                ? sample.name
+                                : sample.name + "{" + sample.labels + "}";
     switch (sample.type) {
       case MetricSample::Type::kCounter:
-        line(sample.name, FormatWithCommas(sample.counter_value));
+        line(key, FormatWithCommas(sample.counter_value));
         break;
       case MetricSample::Type::kGauge:
-        line(sample.name, StringPrintf("%lld", static_cast<long long>(
-                                                   sample.gauge_value)));
+        line(key, StringPrintf("%lld", static_cast<long long>(
+                                           sample.gauge_value)));
         break;
       case MetricSample::Type::kHistogram:
-        line(sample.name, sample.histogram.Summary());
+        line(key, sample.histogram.Summary());
         break;
     }
+  }
+  // Matcher hot spots: the top profiled clusters by accumulated wall time
+  // (empty until the profiler has sampled a few batches).
+  const std::vector<HotspotEntry> hotspots = engine.CollectHotspots(3);
+  for (size_t i = 0; i < hotspots.size(); ++i) {
+    const HotspotEntry& h = hotspots[i];
+    line(StringPrintf("hotspot #%zu", i + 1),
+         StringPrintf("shard=%u cluster=%u subs=%u example_sub=%llu "
+                      "batches=%s ns=%s predicate_evals=%s candidates=%s",
+                      h.shard, h.cluster, h.subscriptions,
+                      static_cast<unsigned long long>(h.example_sub),
+                      FormatWithCommas(h.batches).c_str(),
+                      FormatWithCommas(h.ns).c_str(),
+                      FormatWithCommas(h.predicate_evals).c_str(),
+                      FormatWithCommas(h.candidates_checked).c_str()));
   }
   return report;
 }

@@ -12,28 +12,31 @@ size_t RoundUpPowerOfTwo(size_t n) {
   return p;
 }
 
-/// Kind-specific names for the a/b payload values; nullptr = unused.
+/// Kind-specific names for the a/b/c payload values; nullptr = unused.
 struct FieldNames {
   const char* a;
   const char* b;
+  const char* c;
 };
 
 FieldNames FieldNamesFor(TraceRing::Kind kind) {
   switch (kind) {
     case TraceRing::Kind::kRoundStart:
-      return {"events", nullptr};
+      return {"events", nullptr, nullptr};
     case TraceRing::Kind::kRoundEnd:
-      return {"events", "matches"};
+      return {"events", "matches", nullptr};
     case TraceRing::Kind::kRebuildSchedule:
-      return {"live_subs", "compaction"};
+      return {"live_subs", "compaction", nullptr};
     case TraceRing::Kind::kRebuildPublish:
-      return {"build_ns", "compaction"};
+      return {"build_ns", "compaction", nullptr};
     case TraceRing::Kind::kBackpressureBlock:
-      return {"depth", nullptr};
+      return {"depth", nullptr, nullptr};
     case TraceRing::Kind::kBackpressureReject:
-      return {"depth", nullptr};
+      return {"depth", nullptr, nullptr};
+    case TraceRing::Kind::kEventStage:
+      return {"trace_id", "stage", "t_stage_ns"};
   }
-  return {"a", "b"};
+  return {"a", "b", "c"};
 }
 
 }  // namespace
@@ -57,11 +60,13 @@ std::string_view TraceRing::KindName(Kind kind) {
       return "backpressure_block";
     case Kind::kBackpressureReject:
       return "backpressure_reject";
+    case Kind::kEventStage:
+      return "event_stage";
   }
   return "unknown";
 }
 
-void TraceRing::Record(Kind kind, uint64_t a, uint64_t b) {
+void TraceRing::Record(Kind kind, uint64_t a, uint64_t b, uint64_t c) {
   if (slots_.empty()) return;
   const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[static_cast<size_t>(seq) & mask_];
@@ -74,6 +79,7 @@ void TraceRing::Record(Kind kind, uint64_t a, uint64_t b) {
   slot.t_ns.store(timer_.ElapsedNanos(), std::memory_order_relaxed);
   slot.a.store(a, std::memory_order_relaxed);
   slot.b.store(b, std::memory_order_relaxed);
+  slot.c.store(c, std::memory_order_relaxed);
   slot.kind.store(static_cast<uint8_t>(kind), std::memory_order_relaxed);
   slot.stamp.store(2 * (seq + 1), std::memory_order_release);
 }
@@ -97,6 +103,7 @@ std::vector<TraceRing::Span> TraceRing::Snapshot() const {
     span.t_ns = slot.t_ns.load(std::memory_order_acquire);
     span.a = slot.a.load(std::memory_order_acquire);
     span.b = slot.b.load(std::memory_order_acquire);
+    span.c = slot.c.load(std::memory_order_acquire);
     span.kind = static_cast<Kind>(slot.kind.load(std::memory_order_acquire));
     // Re-check after copying: a writer that raced us bumped or invalidated
     // the stamp, making the copy unreliable.
@@ -125,6 +132,10 @@ std::string TraceRing::ToJson() const {
     if (names.b != nullptr) {
       json += StringPrintf(",\"%s\":%llu", names.b,
                            static_cast<unsigned long long>(span.b));
+    }
+    if (names.c != nullptr) {
+      json += StringPrintf(",\"%s\":%llu", names.c,
+                           static_cast<unsigned long long>(span.c));
     }
     json += '}';
   }

@@ -27,7 +27,7 @@ namespace apcm::engine {
 /// free (TSan-clean) by construction.
 class TraceRing {
  public:
-  /// What a span records; `a`/`b` carry kind-specific values (see
+  /// What a span records; `a`/`b`/`c` carry kind-specific values (see
   /// FieldNames).
   enum class Kind : uint8_t {
     kRoundStart = 0,        ///< a = events drained into the round
@@ -36,6 +36,9 @@ class TraceRing {
     kRebuildPublish,        ///< a = build wall time ns, b = 1 if compaction
     kBackpressureBlock,     ///< a = queue depth at the block
     kBackpressureReject,    ///< a = queue depth at the reject
+    kEventStage,            ///< a = trace id, b = stage index (see
+                            ///< EventTracer::StageName), c = stage-completion
+                            ///< timestamp on the tracer's clock (ns)
   };
 
   /// One committed record, as returned by Snapshot().
@@ -45,6 +48,7 @@ class TraceRing {
     Kind kind = Kind::kRoundStart;
     uint64_t a = 0;
     uint64_t b = 0;
+    uint64_t c = 0;
   };
 
   /// `capacity` is rounded up to a power of two; 0 disables recording
@@ -55,7 +59,7 @@ class TraceRing {
   TraceRing& operator=(const TraceRing&) = delete;
 
   /// Appends one span. Safe from any thread; never blocks.
-  void Record(Kind kind, uint64_t a = 0, uint64_t b = 0);
+  void Record(Kind kind, uint64_t a = 0, uint64_t b = 0, uint64_t c = 0);
 
   /// Copies the committed spans, oldest first. Spans being overwritten
   /// during the copy are skipped, so a snapshot under heavy write load may
@@ -78,6 +82,14 @@ class TraceRing {
     return next_.load(std::memory_order_relaxed);
   }
 
+  /// Spans lost to ring overwrites: every append past capacity() reclaims
+  /// the oldest slot. 0 while the ring has never wrapped (or is disabled).
+  uint64_t dropped() const {
+    const uint64_t total = total_recorded();
+    const uint64_t cap = slots_.size();
+    return total > cap ? total - cap : 0;
+  }
+
  private:
   struct Slot {
     /// 0 = never written; odd = write in progress; 2 * (seq + 1) = committed.
@@ -85,6 +97,7 @@ class TraceRing {
     std::atomic<int64_t> t_ns{0};
     std::atomic<uint64_t> a{0};
     std::atomic<uint64_t> b{0};
+    std::atomic<uint64_t> c{0};
     std::atomic<uint8_t> kind{0};
   };
 

@@ -39,6 +39,22 @@ struct MatcherStats {
   }
 };
 
+/// One profiled cluster in a matcher hot-spot ranking (see
+/// Matcher::CollectHotspots): where the matching budget went, attributable
+/// to a concrete group of subscriptions. Counters cover *profiled* batches
+/// only (the profiler samples 1 in N batches), so entries compare against
+/// each other, not against wall time.
+struct HotspotEntry {
+  uint32_t shard = 0;              ///< owning shard (0 when unsharded)
+  uint32_t cluster = 0;            ///< cluster index within its matcher
+  uint32_t subscriptions = 0;      ///< expressions in the cluster
+  SubscriptionId example_sub = 0;  ///< one member id, for operator lookup
+  uint64_t batches = 0;            ///< profiled (cluster, batch) evaluations
+  uint64_t ns = 0;                 ///< accumulated wall time, nanoseconds
+  uint64_t predicate_evals = 0;
+  uint64_t candidates_checked = 0;
+};
+
 /// Common interface of every matching algorithm in this repository — the
 /// baselines (SCAN, Counting, k-index, BE-Tree) and the contributions
 /// (PCM / A-PCM). A matcher is built once over a subscription set and then
@@ -74,6 +90,15 @@ class Matcher {
 
   /// Cumulative instrumentation since Build.
   virtual const MatcherStats& stats() const = 0;
+
+  /// Appends this matcher's per-cluster hot-spot profile to `*out`
+  /// (unordered; callers rank). Only profiling matchers (the PCM family
+  /// with PcmOptions::hotspot_every > 0) record anything — the default is
+  /// a no-op. Counters are sampled relaxed atomics, safe to read while
+  /// matching runs.
+  virtual void CollectHotspots(std::vector<HotspotEntry>* out) const {
+    (void)out;
+  }
 
   /// Approximate heap footprint of the index structures in bytes
   /// (excluding the subscription vector owned by the caller).

@@ -185,6 +185,16 @@ const MatcherStats& ShardedMatcher::stats() const {
   return agg_stats_;
 }
 
+void ShardedMatcher::CollectHotspots(std::vector<HotspotEntry>* out) const {
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    const size_t before = out->size();
+    shards_[s]->matcher->CollectHotspots(out);
+    for (size_t i = before; i < out->size(); ++i) {
+      (*out)[i].shard = s;
+    }
+  }
+}
+
 uint64_t ShardedMatcher::MemoryBytes() const {
   uint64_t bytes = 0;
   for (const auto& shard : shards_) {

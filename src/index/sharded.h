@@ -91,6 +91,10 @@ class ShardedMatcher : public IncrementalMatcher {
   /// restarts its count — see RebuildShard).
   const MatcherStats& stats() const override;
 
+  /// Union of the inner matchers' hot-spot profiles, each entry tagged with
+  /// its owning shard index. Safe wherever stats() is.
+  void CollectHotspots(std::vector<HotspotEntry>* out) const override;
+
   uint64_t MemoryBytes() const override;
 
   // IncrementalMatcher ------------------------------------------------------

@@ -156,10 +156,15 @@ StatusOr<Frame> Client::AwaitResponse(uint64_t seq, int timeout_ms) {
 }
 
 StatusOr<uint64_t> Client::Publish(const Event& event) {
+  return Publish(event, /*trace_id=*/0);
+}
+
+StatusOr<uint64_t> Client::Publish(const Event& event, uint64_t trace_id) {
   Frame frame;
   frame.type = FrameType::kPublish;
   frame.seq = next_seq_++;
   frame.event = event;
+  frame.trace_id = trace_id;
   APCM_RETURN_NOT_OK(SendFrame(frame));
   APCM_ASSIGN_OR_RETURN(Frame ack, AwaitResponse(frame.seq));
   return ack.value;

@@ -48,6 +48,12 @@ class Client {
   /// Publishes `event`; returns the server-assigned event id from the ACK.
   StatusOr<uint64_t> Publish(const Event& event);
 
+  /// Publish carrying a caller-chosen 64-bit trace id: if the server samples
+  /// this event, its end-to-end trace (stage spans, slow-event log) is
+  /// labeled with `trace_id` instead of a server-derived one. 0 behaves
+  /// exactly like the plain overload.
+  StatusOr<uint64_t> Publish(const Event& event, uint64_t trace_id);
+
   /// Registers `expression` (Parser grammar) under the client-chosen
   /// `sub_id`; MATCH notifications echo that id. The server rejects a
   /// duplicate id on this connection with AlreadyExists.

@@ -7,7 +7,8 @@
 // Payload layouts (all integers little-endian; i64 values are encoded as
 // their two's-complement u64 image):
 //
-//   kPublish      u64 seq, u32 count, count x (u32 attr, i64 value);
+//   kPublish      [u64 trace_id when header flag kFrameFlagTraceId is set,]
+//                 u64 seq, u32 count, count x (u32 attr, i64 value);
 //                 entries strictly ascending by attr
 //   kSubscribe    u64 seq, u64 sub_id, u32 len, len bytes of expression text
 //   kUnsubscribe  u64 seq, u64 sub_id
@@ -99,12 +100,17 @@ Status Malformed(FrameType type, const char* what) {
                                  " frame: " + what);
 }
 
-StatusOr<Frame> DecodePayload(FrameType type, const char* data, size_t size) {
+StatusOr<Frame> DecodePayload(FrameType type, uint16_t flags,
+                              const char* data, size_t size) {
   Frame frame;
   frame.type = type;
   Cursor cursor(data, size);
   switch (type) {
     case FrameType::kPublish: {
+      if ((flags & kFrameFlagTraceId) != 0 &&
+          !cursor.ReadU64(&frame.trace_id)) {
+        return Malformed(type, "short trace id prefix");
+      }
       uint32_t count = 0;
       if (!cursor.ReadU64(&frame.seq) || !cursor.ReadU32(&count)) {
         return Malformed(type, "short header");
@@ -219,8 +225,13 @@ std::string_view FrameTypeName(FrameType type) {
 
 std::string EncodeFrame(const Frame& frame, size_t max_payload) {
   std::string payload;
+  uint16_t flags = 0;
   switch (frame.type) {
     case FrameType::kPublish:
+      if (frame.trace_id != 0) {
+        flags |= kFrameFlagTraceId;
+        AppendU64(&payload, frame.trace_id);
+      }
       AppendU64(&payload, frame.seq);
       AppendU32(&payload, static_cast<uint32_t>(frame.event.size()));
       for (const Event::Entry& entry : frame.event.entries()) {
@@ -265,7 +276,7 @@ std::string EncodeFrame(const Frame& frame, size_t max_payload) {
   AppendU32(&wire, kFrameMagic);
   wire.push_back(static_cast<char>(kProtocolVersion));
   wire.push_back(static_cast<char>(frame.type));
-  AppendU16(&wire, 0);  // reserved
+  AppendU16(&wire, flags);
   AppendU32(&wire, static_cast<uint32_t>(payload.size()));
   wire += payload;
   return wire;
@@ -308,7 +319,19 @@ StatusOr<std::optional<Frame>> FrameDecoder::Next() {
                                              std::to_string(raw_type));
     return stream_status_;
   }
-  if (data[6] != 0 || data[7] != 0) {
+  const uint16_t flags =
+      static_cast<uint16_t>(static_cast<uint8_t>(data[6])) |
+      static_cast<uint16_t>(static_cast<uint16_t>(
+                                static_cast<uint8_t>(data[7]))
+                            << 8);
+  // The only defined flag is the kPublish trace-id prefix; anything else is
+  // a peer from the future (or corruption) and kills the stream exactly as
+  // the pre-flags "reserved must be zero" rule did.
+  const uint16_t allowed =
+      raw_type == static_cast<uint8_t>(FrameType::kPublish)
+          ? kFrameFlagTraceId
+          : 0;
+  if ((flags & ~allowed) != 0) {
     stream_status_ = Status::InvalidArgument("nonzero reserved frame bits");
     return stream_status_;
   }
@@ -322,8 +345,9 @@ StatusOr<std::optional<Frame>> FrameDecoder::Next() {
   }
   if (available < kFrameHeaderBytes + length) return std::optional<Frame>();
 
-  StatusOr<Frame> decoded = DecodePayload(static_cast<FrameType>(raw_type),
-                                          data + kFrameHeaderBytes, length);
+  StatusOr<Frame> decoded =
+      DecodePayload(static_cast<FrameType>(raw_type), flags,
+                    data + kFrameHeaderBytes, length);
   if (!decoded.ok()) {
     stream_status_ = decoded.status();
     return stream_status_;

@@ -36,12 +36,19 @@ std::string_view FrameTypeName(FrameType type);
 ///   u32 magic      "APCM" (0x41 0x50 0x43 0x4D on the wire)
 ///   u8  version    kProtocolVersion
 ///   u8  type       FrameType
-///   u16 reserved   must be zero
+///   u16 flags      see kFrameFlag*; undefined bits must be zero (the
+///                  field was "reserved, must be zero" in the original
+///                  protocol, so a zero flag word is wire-identical)
 ///   u32 length     payload bytes that follow (<= max_payload)
 ///   ... payload, layout per FrameType (see frame.cc)
 inline constexpr uint32_t kFrameMagic = 0x4D435041;  // "APCM" little-endian
 inline constexpr uint8_t kProtocolVersion = 1;
 inline constexpr size_t kFrameHeaderBytes = 12;
+/// kPublish only: the payload is prefixed with a u64 trace id that the
+/// server adopts for this event's end-to-end trace (see engine::EventTracer).
+/// Encoding sets it automatically when Frame::trace_id != 0, so untraced
+/// frames are byte-identical to protocol revisions without the flag.
+inline constexpr uint16_t kFrameFlagTraceId = 1;
 /// Default per-frame payload cap: large enough for any realistic event or
 /// match list, small enough that a corrupted length field cannot drive a
 /// huge allocation.
@@ -58,6 +65,10 @@ struct Frame {
   uint64_t seq = 0;
   /// kPublish: the event being published.
   Event event;
+  /// kPublish: caller-chosen end-to-end trace id; 0 = none (the server
+  /// derives one if it samples the event). Non-zero ids ride in a payload
+  /// prefix gated by kFrameFlagTraceId.
+  uint64_t trace_id = 0;
   /// kSubscribe / kUnsubscribe: the client-chosen subscription id that MATCH
   /// notifications for this subscription will carry.
   uint64_t sub_id = 0;

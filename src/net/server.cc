@@ -202,6 +202,8 @@ void EventServer::OnMatch(uint64_t event_id,
   }
   if (targets.empty()) return;
   std::sort(targets.begin(), targets.end());
+  engine::EventTracer& tracer = engine_->tracer();
+  const bool traced = tracer.Sampled(event_id);
   Frame frame;
   frame.type = FrameType::kMatch;
   frame.event_id = event_id;
@@ -214,13 +216,22 @@ void EventServer::OnMatch(uint64_t event_id,
     frame.matches.erase(
         std::unique(frame.matches.begin(), frame.matches.end()),
         frame.matches.end());
-    EnqueueFrame(conn, frame);
+    // The pending reference must exist before the write mark does:
+    // otherwise the I/O thread could flush the frame and release a
+    // reference this thread has not added yet, finalizing the trace early.
+    // This runs inside the delivery callback, so the engine's own reference
+    // is still held and the trace cannot finalize under us.
+    if (traced) tracer.AddPending(event_id, 1);
+    if (!EnqueueFrame(conn, frame, traced) && traced) {
+      tracer.AbandonPending(event_id);  // frame dropped, no write coming
+    }
   }
   WakeIoLoop();
 }
 
-void EventServer::EnqueueFrame(Connection* conn, const Frame& frame) {
-  if (conn->doomed.load(std::memory_order_relaxed)) return;
+bool EventServer::EnqueueFrame(Connection* conn, const Frame& frame,
+                               bool traced) {
+  if (conn->doomed.load(std::memory_order_relaxed)) return false;
   const std::string wire = EncodeFrame(frame);
   bool overflow = false;
   {
@@ -229,6 +240,13 @@ void EventServer::EnqueueFrame(Connection* conn, const Frame& frame) {
       overflow = true;
     } else {
       conn->outbox += wire;
+      if (traced) {
+        // The frame's last byte sits outbox_written + outbox.size() bytes
+        // into the connection's write stream; FlushWrites completes the
+        // event's kWrite stage when the socket passes that watermark.
+        conn->write_marks.push_back(WriteMark{
+            conn->outbox_written + conn->outbox.size(), frame.event_id});
+      }
     }
   }
   if (overflow) {
@@ -237,9 +255,10 @@ void EventServer::EnqueueFrame(Connection* conn, const Frame& frame) {
     conn->slow_consumer = true;
     conn->doomed.store(true, std::memory_order_release);
     WakeIoLoop();
-    return;
+    return false;
   }
   frames_out_->Increment();
+  return true;
 }
 
 void EventServer::SendAck(Connection* conn, uint64_t seq, uint64_t value) {
@@ -436,10 +455,15 @@ void EventServer::DispatchFrame(Connection* conn, Frame frame) {
 }
 
 void EventServer::HandlePublish(Connection* conn, Frame frame) {
+  // kRead instant: the transport has finished reading and decoding the
+  // frame. Captured before admission so a parked-then-retried publish keeps
+  // its original read timestamp (the queue wait is real latency).
+  const engine::IngressTrace ingress{frame.trace_id,
+                                     engine_->tracer().NowNs()};
   // Keep a copy: TryPublish consumes its argument even on rejection, and a
   // rejected event must survive to be re-tried (the ACK contract).
   Event event = frame.event;
-  StatusOr<uint64_t> id = engine_->TryPublish(std::move(frame.event));
+  StatusOr<uint64_t> id = engine_->TryPublish(std::move(frame.event), ingress);
   if (id.ok()) {
     SendAck(conn, frame.seq, *id);
     pump_cv_.notify_one();
@@ -454,7 +478,7 @@ void EventServer::HandlePublish(Connection* conn, Frame frame) {
   // drained. Later frames from this connection wait in its decoder, so
   // per-connection publish order is preserved.
   conn->paused = true;
-  conn->pending = PendingPublish{frame.seq, std::move(event)};
+  conn->pending = PendingPublish{frame.seq, std::move(event), ingress};
   backpressure_events_->Increment();
   pump_cv_.notify_one();
   if (LogEnabled(LogLevel::kDebug)) {
@@ -527,7 +551,8 @@ void EventServer::RetryPaused() {
       continue;
     }
     Event event = conn->pending->event;  // keep the parked copy retryable
-    StatusOr<uint64_t> id = engine_->TryPublish(std::move(event));
+    StatusOr<uint64_t> id =
+        engine_->TryPublish(std::move(event), conn->pending->ingress);
     if (!id.ok()) continue;  // still saturated; retry on the next wakeup
     SendAck(conn.get(), conn->pending->seq, *id);
     conn->pending.reset();
@@ -579,6 +604,15 @@ void EventServer::CloseConnection(Connection* conn, const char* reason) {
   for (SubscriptionId id : engine_ids) {
     [[maybe_unused]] Status removed = engine_->RemoveSubscription(id);
   }
+  {
+    // Writes that will never happen: release their trace references so the
+    // traces of events routed here still finalize (without a kWrite stamp).
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    for (const WriteMark& mark : conn->write_marks) {
+      engine_->tracer().AbandonPending(mark.event_id);
+    }
+    conn->write_marks.clear();
+  }
   ::close(conn->fd);
   connections_->Sub(1);
   if (LogEnabled(LogLevel::kDebug)) {
@@ -589,6 +623,7 @@ void EventServer::CloseConnection(Connection* conn, const char* reason) {
 }
 
 bool EventServer::FlushWrites(Connection* conn) {
+  engine::EventTracer& tracer = engine_->tracer();
   std::lock_guard<std::mutex> lock(conn->out_mu);
   while (!conn->outbox.empty()) {
     const ssize_t n = InstrumentedSend(IoSide::kServer, conn->fd,
@@ -597,6 +632,15 @@ bool EventServer::FlushWrites(Connection* conn) {
     if (n > 0) {
       bytes_out_->Increment(static_cast<uint64_t>(n));
       conn->outbox.erase(0, static_cast<size_t>(n));
+      conn->outbox_written += static_cast<uint64_t>(n);
+      // Any traced MATCH frame whose last byte the socket just accepted has
+      // completed its write stage.
+      while (!conn->write_marks.empty() &&
+             conn->write_marks.front().watermark <= conn->outbox_written) {
+        tracer.CompleteStage(conn->write_marks.front().event_id,
+                             engine::EventTracer::kWrite, tracer.NowNs());
+        conn->write_marks.pop_front();
+      }
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -101,10 +102,21 @@ class EventServer {
   enum class Phase : int { kRunning = 0, kDraining = 1, kStopping = 2 };
 
   /// A publish frame admitted from the wire but rejected by the engine
-  /// queue; re-tried until accepted, then acknowledged.
+  /// queue; re-tried until accepted, then acknowledged. Carries the frame's
+  /// ingress trace context so a retried event keeps its original read
+  /// timestamp and client-chosen trace id.
   struct PendingPublish {
     uint64_t seq = 0;
     Event event;
+    engine::IngressTrace ingress;
+  };
+
+  /// Outbox position at which a traced event's last byte leaves this
+  /// connection: once `watermark` total bytes have been written to the
+  /// socket, the event's kWrite stage completes (guarded by out_mu).
+  struct WriteMark {
+    uint64_t watermark = 0;
+    uint64_t event_id = 0;
   };
 
   struct Connection {
@@ -116,6 +128,13 @@ class EventServer {
     /// drained by the I/O thread.
     std::mutex out_mu;
     std::string outbox;
+    /// Total bytes ever written from this outbox to the socket (out_mu).
+    /// Watermarks in write_marks are measured against this counter.
+    uint64_t outbox_written = 0;
+    /// Pending kWrite trace completions, watermark-ascending (out_mu). Each
+    /// mark holds one EventTracer pending reference, released by FlushWrites
+    /// when the socket passes its watermark, or abandoned at teardown.
+    std::deque<WriteMark> write_marks;
     /// True once the connection must be closed (protocol error, write
     /// failure, slow consumer). Set from any thread; the I/O thread closes.
     std::atomic<bool> doomed{false};
@@ -160,8 +179,15 @@ class EventServer {
   void CloseConnection(Connection* conn, const char* reason);
 
   /// Appends one frame to `conn`'s write queue, enforcing the
-  /// slow-consumer bound. Safe from any thread.
-  void EnqueueFrame(Connection* conn, const Frame& frame);
+  /// slow-consumer bound. Safe from any thread. Returns false when the frame
+  /// was dropped (connection doomed or outbox overflow). `traced` registers
+  /// a write mark for `frame.event_id` at the frame's end: the caller has
+  /// added one tracer pending reference, which FlushWrites releases (kWrite
+  /// stamp) once the frame's last byte reaches the socket; a false return
+  /// means the mark was NOT registered and the caller must release its
+  /// reference. (A bool, not a sentinel id: engine event ids start at 0.)
+  bool EnqueueFrame(Connection* conn, const Frame& frame,
+                    bool traced = false);
   void SendAck(Connection* conn, uint64_t seq, uint64_t value);
   void SendError(Connection* conn, uint64_t seq, const Status& status);
   /// Writes as much of `conn`'s outbox as the socket accepts right now.

@@ -875,5 +875,34 @@ TEST_F(ChaosTest, AcceptFailureStallsNewConnectionsUntilDisarmed) {
   server.Stop();
 }
 
+// ---------------------------------------------------------------------------
+// Scenario: scheduling faults on the trace path. With every event sampled
+// (sample_every=1, maximal exposure) the seams inside EventTracer::Admit and
+// ::Finalize are perturbed with delays and yields; tracing is observability,
+// so the match digest must be bit-identical to the fault-free oracle.
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosTest, ArmedTraceFaultsNeverChangeMatchDigests) {
+  const Workload workload = MakeWorkload(/*seed=*/20260808, /*subs=*/48,
+                                         /*num_events=*/96);
+  EngineOptions options = SmallEngineOptions();
+  options.trace_sample_every = 1;
+
+  const uint64_t oracle_digest =
+      HashMatchSets(OracleMatchSets(workload, options));
+
+  const uint64_t claim_hits0 = failpoint::Hits("trace.sample.claim");
+  const uint64_t finalize_hits0 = failpoint::Hits("trace.finalize");
+  ASSERT_TRUE(
+      failpoint::Configure("trace.sample.claim", "25%delay(200)@7").ok());
+  ASSERT_TRUE(failpoint::Configure("trace.finalize", "25%yield@11").ok());
+  const uint64_t faulted_digest =
+      HashMatchSets(OracleMatchSets(workload, options));
+  EXPECT_GT(failpoint::Hits("trace.sample.claim"), claim_hits0);
+  EXPECT_GT(failpoint::Hits("trace.finalize"), finalize_hits0);
+  EXPECT_EQ(faulted_digest, oracle_digest)
+      << "trace-path faults leaked into matching";
+}
+
 }  // namespace
 }  // namespace apcm

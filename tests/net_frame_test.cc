@@ -54,6 +54,14 @@ std::vector<Frame> SampleFrames() {
   }
   {
     Frame frame;
+    frame.type = FrameType::kPublish;  // client-chosen trace id
+    frame.seq = 14;
+    frame.event = Event::Create({{2, 77}}).value();
+    frame.trace_id = 0xfeedface12345678ull;
+    frames.push_back(frame);
+  }
+  {
+    Frame frame;
     frame.type = FrameType::kSubscribe;
     frame.seq = 9;
     frame.sub_id = 42;
@@ -114,6 +122,7 @@ void ExpectSameFrame(const Frame& got, const Frame& want) {
   EXPECT_EQ(got.value, want.value);
   EXPECT_EQ(got.code, want.code);
   EXPECT_EQ(got.message, want.message);
+  EXPECT_EQ(got.trace_id, want.trace_id);
   ASSERT_EQ(got.event.size(), want.event.size());
   for (size_t i = 0; i < got.event.size(); ++i) {
     EXPECT_EQ(got.event.entries()[i].attr, want.event.entries()[i].attr);
@@ -223,11 +232,61 @@ TEST(NetFrameTest, RejectsUnknownType) {
 }
 
 TEST(NetFrameTest, RejectsReservedBits) {
-  std::string wire = EncodeFrame(SampleFrames()[0]);
-  wire[6] = 1;
+  // The trace-id flag is only meaningful on PUBLISH; on any other type it is
+  // a reserved bit and kills the stream.
+  std::string ping = EncodeFrame(SampleFrames().back());  // a kPong
+  ping[6] = 1;
   FrameDecoder decoder;
-  decoder.Append(wire.data(), wire.size());
+  decoder.Append(ping.data(), ping.size());
   EXPECT_FALSE(decoder.Next().ok());
+  // Undefined higher bits are rejected even on PUBLISH.
+  std::string publish = EncodeFrame(SampleFrames()[0]);
+  publish[6] = 2;
+  FrameDecoder decoder2;
+  decoder2.Append(publish.data(), publish.size());
+  EXPECT_FALSE(decoder2.Next().ok());
+  publish[6] = 0;
+  publish[7] = 1;  // high byte of the flag word
+  FrameDecoder decoder3;
+  decoder3.Append(publish.data(), publish.size());
+  EXPECT_FALSE(decoder3.Next().ok());
+}
+
+TEST(NetFrameTest, PublishTraceIdRidesAFlaggedPrefix) {
+  Frame frame;
+  frame.type = FrameType::kPublish;
+  frame.seq = 21;
+  frame.event = Event::Create({{0, 1}}).value();
+  frame.trace_id = 0x0123456789abcdefull;
+  const std::string wire = EncodeFrame(frame);
+  EXPECT_EQ(wire[6], 1) << "trace flag must be set in the header";
+  const Frame decoded = DecodeOne(wire);
+  EXPECT_EQ(decoded.trace_id, frame.trace_id);
+
+  // A flagged frame whose payload is too short for the prefix is rejected.
+  std::string torn = wire;
+  const uint32_t payload =
+      static_cast<uint32_t>(wire.size() - kFrameHeaderBytes) - 8;
+  torn[8] = static_cast<char>(payload & 0xFF);
+  torn[9] = static_cast<char>((payload >> 8) & 0xFF);
+  torn.resize(kFrameHeaderBytes + payload);
+  FrameDecoder decoder;
+  decoder.Append(torn.data(), torn.size());
+  EXPECT_FALSE(decoder.Next().ok());
+}
+
+TEST(NetFrameTest, ZeroTraceIdKeepsLegacyWireBytes) {
+  // trace_id == 0 must encode byte-identically to the pre-flag protocol, so
+  // old peers interoperate and the golden bytes above stay valid.
+  Frame frame;
+  frame.type = FrameType::kPublish;
+  frame.seq = 7;
+  frame.event = Event::Create({{0, -5}, {3, 1000}, {9, 0}}).value();
+  const std::string wire = EncodeFrame(frame);
+  EXPECT_EQ(wire[6], 0);
+  EXPECT_EQ(wire[7], 0);
+  const Frame decoded = DecodeOne(wire);
+  EXPECT_EQ(decoded.trace_id, 0u);
 }
 
 TEST(NetFrameTest, RejectsOversizedPayloadBeforeBuffering) {
@@ -365,6 +424,7 @@ TEST(NetFrameTest, FuzzedRoundTripPreservesFrames) {
                 {attr, rng.UniformInt(-1'000'000, 1'000'000)});
           }
           frame.event = Event::FromSorted(std::move(entries));
+          if (rng.Uniform(2) == 1) frame.trace_id = rng();
           break;
         }
         case FrameType::kSubscribe:

@@ -109,6 +109,71 @@ TEST(NetServerTest, SubscribePublishMatchRoundTrip) {
   EXPECT_EQ(server.num_connections(), 0);
 }
 
+TEST(NetServerTest, TraceFollowsSampledEventThroughEveryStage) {
+  EventServerOptions options = SmallServerOptions();
+  // Sample every event so the published event is certainly traced, and tag
+  // it with a client-chosen trace id to follow through the flight recorder.
+  options.engine.trace_sample_every = 1;
+  EventServer server(std::move(options));
+  ASSERT_TRUE(server.Start().ok());
+
+  Client subscriber;
+  ASSERT_TRUE(subscriber.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(subscriber.Subscribe(1, "a0 >= 0").ok());
+
+  constexpr uint64_t kTraceId = 0x7e5717acedeeull;
+  Client publisher;
+  ASSERT_TRUE(publisher.Connect("127.0.0.1", server.port()).ok());
+  auto id = publisher.Publish(Event::Create({{0, 42}}).value(), kTraceId);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  // The MATCH arriving proves the server wrote the frame; the trace
+  // finalizes on the server's I/O thread right after the socket write, so
+  // poll briefly for the full span set.
+  auto match = subscriber.PollMatch(/*timeout_ms=*/5000);
+  ASSERT_TRUE(match.ok());
+  ASSERT_TRUE(match->has_value());
+  EXPECT_EQ((*match)->event_id, *id);
+
+  using engine::EventTracer;
+  using engine::TraceRing;
+  std::vector<TraceRing::Span> spans;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    spans.clear();
+    for (const TraceRing::Span& span : server.engine().trace().Snapshot()) {
+      if (span.kind == TraceRing::Kind::kEventStage && span.a == kTraceId) {
+        spans.push_back(span);
+      }
+    }
+    if (spans.size() >= EventTracer::kNumStages) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // Every stage was recorded — read, admit, queue, match, deliver, write —
+  // and timestamps are monotone along every happens-before chain of the
+  // pipeline. Two pairs are deliberately NOT ordered: the pump can pop and
+  // stamp `queue` before the admitting thread stamps `admit`, and the I/O
+  // thread can flush the MATCH frame (stamping `write`) before the engine
+  // thread returns from the delivery callback (stamping `deliver`) — under
+  // TSan's ~20x skew both races are routinely observable.
+  ASSERT_EQ(spans.size(), static_cast<size_t>(EventTracer::kNumStages));
+  int64_t ts[EventTracer::kNumStages];
+  for (uint32_t s = 0; s < EventTracer::kNumStages; ++s) {
+    EXPECT_EQ(spans[s].b, s) << "missing stage "
+                             << EventTracer::StageName(s);
+    ts[s] = static_cast<int64_t>(spans[s].c);
+  }
+  EXPECT_LE(ts[EventTracer::kRead], ts[EventTracer::kAdmit]);
+  EXPECT_LE(ts[EventTracer::kRead], ts[EventTracer::kQueue]);
+  EXPECT_LE(ts[EventTracer::kQueue], ts[EventTracer::kMatch]);
+  EXPECT_LE(ts[EventTracer::kMatch], ts[EventTracer::kDeliver]);
+  EXPECT_LE(ts[EventTracer::kMatch], ts[EventTracer::kWrite]);
+  EXPECT_GE(server.engine().tracer().completed(), 1u);
+
+  server.Stop();
+}
+
 TEST(NetServerTest, RequestErrorsAreSurfacedPerRequest) {
   EventServer server(SmallServerOptions());
   ASSERT_TRUE(server.Start().ok());

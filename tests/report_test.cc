@@ -10,6 +10,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -264,8 +265,8 @@ TEST(PrometheusTest, EveryLineIsValid) {
     EXPECT_TRUE(ValidPrometheusSampleLine(line)) << "bad sample: " << line;
     ++samples;
   }
-  // 1 counter + 1 gauge + (3 quantiles + sum + count) = 7 sample lines.
-  EXPECT_EQ(samples, 7);
+  // 1 counter + 1 gauge + (4 quantiles + sum + count) = 8 sample lines.
+  EXPECT_EQ(samples, 8);
 }
 
 TEST(MetricsJsonTest, ParsesAndCarriesValues) {
@@ -458,6 +459,104 @@ TEST(AdminServerTest, SubscriptionsEndpointReportsShardBreakdown) {
   }
   rendered += ']';
   EXPECT_NE(body.find(rendered), std::string::npos) << body;
+}
+
+TEST(AdminServerTest, HealthzUptimeBuildInfoAndStageSeries) {
+  EngineOptions options = ReportOptions();
+  options.admin_port = -1;
+  StreamEngine engine(options,
+                      [](uint64_t, const std::vector<SubscriptionId>&) {});
+  ASSERT_GT(engine.admin_port(), 0);
+
+  const std::string health =
+      HttpGet(engine.admin_port(), "GET /healthz HTTP/1.0");
+  EXPECT_NE(health.find("200 OK"), std::string::npos) << health;
+  EXPECT_NE(health.find("uptime_seconds="), std::string::npos) << health;
+
+  const std::string metrics =
+      HttpGet(engine.admin_port(), "GET /metrics HTTP/1.0");
+  // Build identity rides in the apcm_build_info labels; the gauge is 1.
+  EXPECT_NE(metrics.find("apcm_build_info{version="), std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("simd="), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("failpoints="), std::string::npos) << metrics;
+  // One labeled latency series per pipeline stage plus the total, present
+  // (if empty) from startup so scrape schemas are stable.
+  for (const char* stage :
+       {"read", "admit", "queue", "match", "deliver", "write", "total"}) {
+    const std::string needle =
+        std::string("apcm_stage_latency_ns{stage=\"") + stage + "\"";
+    EXPECT_NE(metrics.find(needle), std::string::npos)
+        << "missing " << needle;
+  }
+  EXPECT_NE(metrics.find("apcm_trace_spans_dropped_total"), std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("apcm_traces_completed_total"), std::string::npos)
+      << metrics;
+}
+
+TEST(AdminServerTest, HotspotsEndpointRanksPlantedExpensiveCluster) {
+  EngineOptions options = ReportOptions();
+  options.admin_port = -1;
+  options.matcher.pcm.hotspot_every = 1;  // profile every batch
+  options.matcher.pcm.clustering.cluster_size = 8;
+  StreamEngine engine(options,
+                      [](uint64_t, const std::vector<SubscriptionId>&) {});
+  ASSERT_GT(engine.admin_port(), 0);
+  // Plant: subscriptions 0..7 live on attribute 0, which every event
+  // carries, so their cluster does real predicate work. Subscriptions 8..15
+  // live on attribute 9, absent from every event — their cluster is pruned
+  // by the access predicate and stays cheap.
+  std::set<SubscriptionId> expensive_subs;
+  for (int i = 0; i < 8; ++i) {
+    auto added = engine.AddSubscription({Predicate(0, Op::kGe, i)});
+    ASSERT_TRUE(added.ok());
+    expensive_subs.insert(*added);
+  }
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(engine.AddSubscription({Predicate(9, Op::kGe, i)}).ok());
+  }
+  for (int i = 0; i < 200; ++i) {
+    engine.Publish(Event::Create({{0, 100 + i}}).value());
+  }
+  engine.Flush();
+
+  const std::vector<HotspotEntry> hotspots = engine.CollectHotspots(0);
+  ASSERT_FALSE(hotspots.empty());
+  // Ranked by accumulated wall time, so the planted expensive cluster (the
+  // one holding the attribute-0 subscriptions) must surface as top-1.
+  EXPECT_GT(hotspots[0].batches, 0u);
+  EXPECT_GT(hotspots[0].predicate_evals, 0u);
+  EXPECT_TRUE(expensive_subs.contains(hotspots[0].example_sub))
+      << "top hotspot should be the attribute-0 cluster, got example_sub="
+      << hotspots[0].example_sub;
+  for (size_t i = 1; i < hotspots.size(); ++i) {
+    EXPECT_GE(hotspots[i - 1].ns, hotspots[i].ns) << "not sorted by ns";
+  }
+
+  const std::string response =
+      HttpGet(engine.admin_port(), "GET /hotspots HTTP/1.0");
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  const size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const std::string body = response.substr(body_at + 4);
+  EXPECT_TRUE(JsonChecker(body).Valid()) << body;
+  EXPECT_NE(body.find("\"hotspots\":["), std::string::npos) << body;
+  EXPECT_NE(body.find("\"predicate_evals\":"), std::string::npos) << body;
+
+  // k= caps the list: exactly one entry, and it agrees with CollectHotspots.
+  const std::string top1 =
+      HttpGet(engine.admin_port(), "GET /hotspots?k=1 HTTP/1.0");
+  const size_t top1_at = top1.find("\r\n\r\n");
+  ASSERT_NE(top1_at, std::string::npos);
+  const std::string top1_body = top1.substr(top1_at + 4);
+  EXPECT_TRUE(JsonChecker(top1_body).Valid()) << top1_body;
+  size_t entries = 0;
+  for (size_t pos = top1_body.find("\"cluster\":"); pos != std::string::npos;
+       pos = top1_body.find("\"cluster\":", pos + 1)) {
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u) << top1_body;
 }
 
 TEST(AdminServerTest, DisabledByDefault) {

@@ -1,0 +1,68 @@
+#include "src/base/crc32c.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace apcm {
+namespace {
+
+/// 8 slice tables, generated once at startup. Table 0 is the classic
+/// byte-at-a-time table; table k folds a byte that sits k positions deeper
+/// in the little-endian word, letting the hot loop consume 8 bytes per
+/// iteration with 8 independent lookups.
+struct Crc32cTables {
+  uint32_t t[8][256];
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (int k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xff] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(uint32_t crc, const void* data, size_t len) {
+  const auto& tbl = Tables().t;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  // The word-folding trick assumes little-endian layout (crc lands in the
+  // low 4 bytes of the loaded word); big-endian hosts take the bytewise
+  // tail loop for everything. The 8-byte loads go through memcpy, which the
+  // compiler lowers to unaligned loads where the ISA allows.
+  while (std::endian::native == std::endian::little && len >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= crc;  // little-endian: crc folds into the low 4 bytes
+    crc = tbl[7][word & 0xff] ^ tbl[6][(word >> 8) & 0xff] ^
+          tbl[5][(word >> 16) & 0xff] ^ tbl[4][(word >> 24) & 0xff] ^
+          tbl[3][(word >> 32) & 0xff] ^ tbl[2][(word >> 40) & 0xff] ^
+          tbl[1][(word >> 48) & 0xff] ^ tbl[0][(word >> 56) & 0xff];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    crc = tbl[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace apcm

@@ -1,0 +1,194 @@
+#include "src/base/file_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "src/base/failpoint.h"
+#include "src/base/macros.h"
+
+namespace apcm {
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+/// write(2) with the store.file.* failpoints applied. Returns the byte
+/// count written (possibly short) or -1 with errno set.
+ssize_t InstrumentedWrite(int fd, const char* data, size_t len) {
+  APCM_FAILPOINT_INJECT("store.file.write.error", {
+    errno = EIO;
+    return -1;
+  });
+#ifdef APCM_FAILPOINTS_ENABLED
+  static failpoint::Failpoint* short_write =
+      failpoint::Registry::Instance().Register("store.file.write.short");
+  uint64_t arg = 0;
+  if (APCM_UNLIKELY(short_write->armed()) && short_write->Fire(&arg)) {
+    len = std::min(len, static_cast<size_t>(std::max<uint64_t>(arg, 1)));
+  }
+#endif
+  return ::write(fd, data, len);
+}
+
+Status InstrumentedFsync(int fd, const std::string& path) {
+  APCM_FAILPOINT_INJECT("store.file.fsync.error", {
+    return Status::IOError("fsync '" + path + "': injected failure");
+  });
+  if (::fsync(fd) != 0) return Errno("fsync", path);
+  return Status::OK();
+}
+
+/// Full-length write loop shared by WritableFile::Append and
+/// AtomicWriteFile: short writes (real or injected) retry with the
+/// remainder; EINTR retries; other errors surface.
+Status WriteAll(int fd, std::string_view data, const std::string& path) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        InstrumentedWrite(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+WritableFile::~WritableFile() { Close(); }
+
+Status WritableFile::Open(const std::string& path) {
+  APCM_CHECK(fd_ < 0);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) return Errno("open", path);
+  path_ = path;
+  size_ = 0;
+  synced_size_ = 0;
+  return Status::OK();
+}
+
+Status WritableFile::Append(std::string_view data) {
+  APCM_CHECK(fd_ >= 0);
+  APCM_RETURN_NOT_OK(WriteAll(fd_, data, path_));
+  size_ += data.size();
+  return Status::OK();
+}
+
+Status WritableFile::Sync() {
+  APCM_CHECK(fd_ >= 0);
+  APCM_RETURN_NOT_OK(InstrumentedFsync(fd_, path_));
+  synced_size_ = size_;
+  return Status::OK();
+}
+
+Status WritableFile::Truncate(uint64_t size) {
+  APCM_CHECK(fd_ >= 0);
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Errno("ftruncate", path_);
+  }
+  // The fd offset still points past the cut in O_WRONLY append-style use;
+  // reposition so later Appends continue at the new end.
+  if (::lseek(fd_, static_cast<off_t>(size), SEEK_SET) < 0) {
+    return Errno("lseek", path_);
+  }
+  size_ = size;
+  synced_size_ = std::min(synced_size_, size);
+  return Status::OK();
+}
+
+void WritableFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("open", path);
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Errno("read", path);
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    data.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return data;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open", tmp);
+  Status status = WriteAll(fd, data, tmp);
+  if (status.ok()) status = InstrumentedFsync(fd, tmp);
+  ::close(fd);
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status renamed = Errno("rename", tmp);
+    ::unlink(tmp.c_str());
+    return renamed;
+  }
+  const std::string dir =
+      std::filesystem::path(path).parent_path().string();
+  return SyncDir(dir.empty() ? "." : dir);
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open dir", dir);
+  const Status status = InstrumentedFsync(fd, dir);
+  ::close(fd);
+  return status;
+}
+
+StatusOr<std::vector<std::string>> ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    names.push_back(entry.path().filename().string());
+  }
+  if (ec) {
+    return Status::IOError("list '" + dir + "': " + ec.message());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::OK();
+}
+
+Status CreateDirIfMissing(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("mkdir '" + dir + "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace apcm

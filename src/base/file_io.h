@@ -1,0 +1,92 @@
+#ifndef APCM_BASE_FILE_IO_H_
+#define APCM_BASE_FILE_IO_H_
+
+/// \file
+/// Failpoint-instrumented file syscall wrappers — the storage-layer sibling
+/// of src/net/net_io. Everything src/store persists goes through these so
+/// fault schedules can inject short writes (torn records), write errors, and
+/// fsync failures deterministically; in builds without APCM_FAILPOINTS the
+/// consultation constant-folds away and each call is a plain syscall.
+///
+/// Failpoints consulted (all `return`-action; `arg` noted where used):
+///   store.file.write.short   each write(2) length clamped to max(arg, 1)
+///   store.file.write.error   write fails with IOError (EIO)
+///   store.file.fsync.error   fsync fails with IOError (EIO)
+///
+/// Short writes do NOT surface to callers: WritableFile::Append and
+/// AtomicWriteFile loop until every byte is written (the same contract the
+/// net layer gives frames), so an armed `store.file.write.short` exercises
+/// the chunking loop without corrupting the file.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace apcm {
+
+/// Append-oriented writable file over a raw fd. Tracks the written size and
+/// the size covered by the last successful Sync so a crash simulation can
+/// roll the file back to its durable prefix (see store::DurableStore).
+class WritableFile {
+ public:
+  WritableFile() = default;
+  ~WritableFile();
+
+  WritableFile(const WritableFile&) = delete;
+  WritableFile& operator=(const WritableFile&) = delete;
+
+  /// Opens (creating or truncating) `path` for writing.
+  Status Open(const std::string& path);
+
+  /// Writes all of `data` at the current end, looping over short writes.
+  Status Append(std::string_view data);
+
+  /// fsync(2). On success the current size becomes the synced size.
+  Status Sync();
+
+  /// ftruncate(2) to `size` bytes; adjusts the tracked sizes.
+  Status Truncate(uint64_t size);
+
+  /// Closes the fd (without syncing). Idempotent.
+  void Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+  uint64_t size() const { return size_; }
+  /// Bytes guaranteed durable by the last successful Sync().
+  uint64_t synced_size() const { return synced_size_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  uint64_t size_ = 0;
+  uint64_t synced_size_ = 0;
+};
+
+/// Reads the whole of `path` into a string.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Durably replaces `path` with `data`: write to `path + ".tmp"`, fsync,
+/// rename over `path`, fsync the parent directory. A crash at any point
+/// leaves either the old file, the new file, or a stray .tmp — never a
+/// half-written `path`.
+Status AtomicWriteFile(const std::string& path, std::string_view data);
+
+/// fsync on the directory itself, making renames/creates within it durable.
+Status SyncDir(const std::string& dir);
+
+/// Non-recursive listing of the file names (not paths) in `dir`, sorted.
+StatusOr<std::vector<std::string>> ListDir(const std::string& dir);
+
+/// unlink(2). Missing files are OK (idempotent cleanup).
+Status RemoveFileIfExists(const std::string& path);
+
+/// mkdir -p for a single level plus parents.
+Status CreateDirIfMissing(const std::string& dir);
+
+}  // namespace apcm
+
+#endif  // APCM_BASE_FILE_IO_H_

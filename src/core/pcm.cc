@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <fstream>
+#include <sstream>
 #include <string_view>
 
+#include "src/base/file_io.h"
 #include "src/base/macros.h"
 #include "src/base/timer.h"
 #include "src/bitmap/bitmap.h"
@@ -244,7 +246,7 @@ void PcmMatcher::Compact() {
   }
 }
 
-Status PcmMatcher::SaveIndex(const std::string& path) const {
+Status PcmMatcher::SaveIndex(std::ostream& out) const {
   if (pool_ == nullptr) {
     return Status::FailedPrecondition("SaveIndex before Build");
   }
@@ -252,8 +254,6 @@ Status PcmMatcher::SaveIndex(const std::string& path) const {
     return Status::FailedPrecondition(
         "index holds delta state; Compact() or rebuild before saving");
   }
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
   out.write(kIndexMagic, sizeof(kIndexMagic));
   const uint64_t cluster_count = clusters_.size();
   out.write(reinterpret_cast<const char*>(&cluster_count),
@@ -261,8 +261,14 @@ Status PcmMatcher::SaveIndex(const std::string& path) const {
   for (const CompressedCluster& cluster : clusters_) {
     APCM_RETURN_NOT_OK(cluster.Serialize(out));
   }
-  if (!out) return Status::IOError("write to '" + path + "' failed");
+  if (!out) return Status::IOError("index stream write failed");
   return Status::OK();
+}
+
+Status PcmMatcher::SaveIndex(const std::string& path) const {
+  std::ostringstream out(std::ios::binary);
+  APCM_RETURN_NOT_OK(SaveIndex(out));
+  return AtomicWriteFile(path, out.view());
 }
 
 Status PcmMatcher::LoadIndex(
@@ -270,16 +276,21 @@ Status PcmMatcher::LoadIndex(
     const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  return LoadIndex(subscriptions, in);
+}
+
+Status PcmMatcher::LoadIndex(
+    const std::vector<BooleanExpression>& subscriptions, std::istream& in) {
   char magic[sizeof(kIndexMagic)] = {};
   in.read(magic, sizeof(magic));
   if (!in || std::string_view(magic, sizeof(magic) - 1) !=
                  std::string_view(kIndexMagic, sizeof(kIndexMagic) - 1)) {
-    return Status::InvalidArgument("'" + path + "' is not an apcm index");
+    return Status::InvalidArgument("stream is not an apcm index");
   }
   uint64_t cluster_count = 0;
   in.read(reinterpret_cast<char*>(&cluster_count), sizeof(cluster_count));
   if (!in || cluster_count > (1ULL << 32)) {
-    return Status::InvalidArgument("corrupt index header in '" + path + "'");
+    return Status::InvalidArgument("corrupt index header");
   }
   std::unordered_map<SubscriptionId, const BooleanExpression*> subs_by_id;
   subs_by_id.reserve(subscriptions.size());

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <deque>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <unordered_set>
@@ -132,15 +133,25 @@ class PcmMatcher : public IncrementalMatcher {
   /// Persists the built index (the compressed clusters) to `path`, so a
   /// restart can skip clustering and compression. The subscription set
   /// itself is NOT stored — pair the file with its subscription trace.
+  /// The file is replaced atomically (tmp + fsync + rename), so a crash
+  /// mid-save can never leave a half-written index behind.
   /// FailedPrecondition if the matcher holds un-compacted delta state
   /// (rebuild first) or was never built.
   Status SaveIndex(const std::string& path) const;
+
+  /// Stream form of SaveIndex — the serialization entry point the durable
+  /// checkpoint path (src/store) embeds index images through.
+  Status SaveIndex(std::ostream& out) const;
 
   /// Replaces Build: loads an index written by SaveIndex against the same
   /// subscription set (ids are validated; `subscriptions` must outlive the
   /// matcher, exactly as with Build).
   Status LoadIndex(const std::vector<BooleanExpression>& subscriptions,
                    const std::string& path);
+
+  /// Stream form of LoadIndex, for images embedded in checkpoint files.
+  Status LoadIndex(const std::vector<BooleanExpression>& subscriptions,
+                   std::istream& in);
 
   void Match(const Event& event,
              std::vector<SubscriptionId>* matches) override;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <sstream>
 #include <utility>
 
 #include "src/base/failpoint.h"
@@ -13,6 +14,7 @@
 #include "src/core/pcm.h"
 #include "src/engine/exposition.h"
 #include "src/engine/report.h"
+#include "src/store/durable_store.h"
 #include "src/workload/trace.h"
 
 // Injected by the build (src/engine/CMakeLists.txt) for apcm_build_info.
@@ -64,6 +66,9 @@ Status ValidateEngineOptions(const EngineOptions& options) {
                                      "' is not supported on this host");
     }
   }
+  if (options.wal_sync_interval_ms < 0) {
+    return Status::InvalidArgument("wal_sync_interval_ms must be >= 0");
+  }
   // Mirror NormalizeOptions: the working buffer grows to hold a full OSR
   // window and at least one batch.
   const uint32_t effective_buffer = std::max(
@@ -97,6 +102,9 @@ StreamEngine::StreamEngine(EngineOptions options, MatchCallback callback)
   }
   round_events_.reserve(options_.buffer_capacity);
   round_ids_.reserve(options_.buffer_capacity);
+  // Recovery runs before the scrape/admin surface exists: by the time
+  // anything can observe the engine, the recovered state is installed.
+  RecoverFromStore();
   RegisterMetrics();
   StartAdminServer();
 }
@@ -227,6 +235,74 @@ void StreamEngine::RegisterMetrics() {
       "apcm_trace_slots_stolen_total",
       "Sampled admissions that reclaimed the slot of an unfinished trace.",
       [this] { return tracer_.slots_stolen(); });
+  if (store_ != nullptr) {
+    auto store_counter = [this](const char* name, const char* help,
+                                uint64_t store::StoreStats::*field) {
+      metrics_.AddCounterFn(name, help,
+                            [this, field] { return store_->stats().*field; });
+    };
+    store_counter("apcm_wal_appends_total",
+                  "Subscription mutations appended to the WAL.",
+                  &store::StoreStats::appends);
+    store_counter("apcm_wal_append_errors_total",
+                  "WAL appends that failed (the store is poisoned after one).",
+                  &store::StoreStats::append_errors);
+    store_counter("apcm_wal_bytes_total", "Bytes appended to WAL segments.",
+                  &store::StoreStats::bytes);
+    store_counter("apcm_wal_fsyncs_total",
+                  "fsync calls issued against the active WAL segment.",
+                  &store::StoreStats::fsyncs);
+    store_counter("apcm_wal_rotations_total",
+                  "WAL segment rotations (one per checkpoint).",
+                  &store::StoreStats::rotations);
+    store_counter("apcm_wal_torn_tail_total",
+                  "Torn or corrupt WAL tails clipped during recovery.",
+                  &store::StoreStats::torn_tails);
+    store_counter("apcm_wal_truncations_total",
+                  "Obsolete WAL/checkpoint files deleted after checkpoints.",
+                  &store::StoreStats::truncated_files);
+    store_counter("apcm_checkpoints_total",
+                  "Checkpoints written successfully.",
+                  &store::StoreStats::checkpoints);
+    store_counter("apcm_checkpoint_errors_total",
+                  "Checkpoint writes that failed (non-fatal; WAL keeps "
+                  "growing).",
+                  &store::StoreStats::checkpoint_errors);
+    store_counter("apcm_recovery_records_total",
+                  "WAL records replayed by the last recovery.",
+                  &store::StoreStats::recovered_records);
+    store_counter("apcm_recovery_skipped_checkpoints_total",
+                  "Corrupt checkpoints skipped over by the last recovery.",
+                  &store::StoreStats::skipped_checkpoints);
+    auto store_gauge = [this](const char* name, const char* help,
+                              uint64_t store::StoreStats::*field) {
+      metrics_.AddGaugeFn(name, help, [this, field] {
+        return static_cast<int64_t>(store_->stats().*field);
+      });
+    };
+    store_gauge("apcm_wal_last_seq", "Highest WAL sequence number appended.",
+                &store::StoreStats::last_seq);
+    store_gauge("apcm_wal_unsynced_records",
+                "Appended records not yet covered by an fsync.",
+                &store::StoreStats::unsynced_records);
+    store_gauge("apcm_checkpoint_last_seq",
+                "WAL sequence covered by the newest checkpoint.",
+                &store::StoreStats::checkpoint_seq);
+    store_gauge("apcm_checkpoint_bytes",
+                "Size of the newest checkpoint file, bytes.",
+                &store::StoreStats::checkpoint_bytes);
+    metrics_.AddGaugeFn(
+        "apcm_recovery_duration_us",
+        "Wall time of the last startup recovery, microseconds.",
+        [this] { return store_->stats().recovery_us; });
+    metrics_.AddGaugeFn(
+        "apcm_checkpoint_lag_ops",
+        "Durable mutations applied since the last checkpoint trigger.",
+        [this] {
+          std::lock_guard<std::mutex> lock(state_mu_);
+          return static_cast<int64_t>(ops_since_checkpoint_);
+        });
+  }
   metrics_
       .AddGaugeWithLabels(
           "apcm_build_info",
@@ -304,6 +380,54 @@ void StreamEngine::StartAdminServer() {
     body += "]}\n";
     return AdminResponse{200, "application/json", std::move(body)};
   });
+  // Durable-store status: WAL/checkpoint counters, policy, and the active
+  // directory. Always registered; answers {"enabled":false} when the engine
+  // runs without a data_dir.
+  admin_->Handle("/storage", [this](std::string_view) {
+    if (store_ == nullptr) {
+      return AdminResponse{200, "application/json", "{\"enabled\":false}\n"};
+    }
+    const store::StoreStats stats = store_->stats();
+    uint64_t lag = 0;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      lag = ops_since_checkpoint_;
+    }
+    std::string body = StringPrintf(
+        "{\"enabled\":true,\"dir\":\"%s\",\"dead\":%s,"
+        "\"wal_sync_every\":%u,\"wal_sync_interval_ms\":%lld,"
+        "\"checkpoint_every_ops\":%llu,\"checkpoint_lag_ops\":%llu,"
+        "\"last_seq\":%llu,\"unsynced_records\":%llu,"
+        "\"appends\":%llu,\"append_errors\":%llu,\"bytes\":%llu,"
+        "\"fsyncs\":%llu,\"rotations\":%llu,"
+        "\"checkpoints\":%llu,\"checkpoint_errors\":%llu,"
+        "\"checkpoint_seq\":%llu,\"checkpoint_bytes\":%llu,"
+        "\"truncated_files\":%llu,\"torn_tails\":%llu,"
+        "\"recovered_records\":%llu,\"skipped_checkpoints\":%llu,"
+        "\"recovery_us\":%llu}\n",
+        store_->dir().c_str(), store_->dead() ? "true" : "false",
+        store_->options().sync_every,
+        static_cast<long long>(store_->options().sync_interval_ms),
+        static_cast<unsigned long long>(options_.checkpoint_every_ops),
+        static_cast<unsigned long long>(lag),
+        static_cast<unsigned long long>(stats.last_seq),
+        static_cast<unsigned long long>(stats.unsynced_records),
+        static_cast<unsigned long long>(stats.appends),
+        static_cast<unsigned long long>(stats.append_errors),
+        static_cast<unsigned long long>(stats.bytes),
+        static_cast<unsigned long long>(stats.fsyncs),
+        static_cast<unsigned long long>(stats.rotations),
+        static_cast<unsigned long long>(stats.checkpoints),
+        static_cast<unsigned long long>(stats.checkpoint_errors),
+        static_cast<unsigned long long>(stats.checkpoint_seq),
+        static_cast<unsigned long long>(stats.checkpoint_bytes),
+        static_cast<unsigned long long>(stats.truncated_files),
+        static_cast<unsigned long long>(stats.torn_tails),
+        static_cast<unsigned long long>(stats.recovered_records),
+        static_cast<unsigned long long>(stats.skipped_checkpoints),
+        static_cast<unsigned long long>(stats.recovery_us));
+    return AdminResponse{200, "application/json", std::move(body)};
+  });
   // Lists registered failpoints with hit counts; arms/disarms them via
   // `?arm=name=spec` / `?disarm=name` / `?disarm=all` (the raw query string
   // is the spec — it is not URL-decoded). Compiled-out builds always answer
@@ -378,6 +502,20 @@ StatusOr<SubscriptionId> StreamEngine::AddSubscriptionLocked(
   APCM_ASSIGN_OR_RETURN(
       BooleanExpression expr,
       BooleanExpression::Create(id, std::move(predicates)));
+  if (store_ != nullptr) {
+    store::WalRecord record;
+    record.kind = store::WalRecord::Kind::kAdd;
+    record.id = id;
+    record.disjuncts.push_back(expr.predicates());
+    APCM_RETURN_NOT_OK(AppendWalLocked(&record));
+  }
+  return RegisterSubscriptionLocked(std::move(expr));
+}
+
+SubscriptionId StreamEngine::RegisterSubscriptionLocked(
+    BooleanExpression expr) {
+  const SubscriptionId id = expr.id();
+  APCM_CHECK(id == next_sub_id_);
   ++next_sub_id_;
   subscriptions_.push_back(std::move(expr));
   change_log_.push_back({++change_seq_, SubChange::kAdd, id});
@@ -390,16 +528,33 @@ StatusOr<SubscriptionId> StreamEngine::AddDisjunctiveSubscription(
     return Status::InvalidArgument("a DNF subscription needs >= 1 disjunct");
   }
   std::lock_guard<std::mutex> lock(state_mu_);
-  // Validate every disjunct before registering any, so failure is atomic.
-  for (const auto& disjunct : disjuncts) {
-    APCM_RETURN_NOT_OK(
-        BooleanExpression::Create(0, disjunct).status());
+  // Build every disjunct expression (with its final id) before mutating any
+  // state, so failure is atomic — and so the whole group can go into ONE
+  // WAL record: replay can then never observe half a group.
+  std::vector<BooleanExpression> exprs;
+  exprs.reserve(disjuncts.size());
+  for (size_t i = 0; i < disjuncts.size(); ++i) {
+    APCM_ASSIGN_OR_RETURN(
+        BooleanExpression expr,
+        BooleanExpression::Create(
+            next_sub_id_ + static_cast<SubscriptionId>(i),
+            std::move(disjuncts[i])));
+    exprs.push_back(std::move(expr));
+  }
+  if (store_ != nullptr) {
+    store::WalRecord record;
+    record.kind = store::WalRecord::Kind::kAddDnf;
+    record.id = next_sub_id_;
+    for (const BooleanExpression& expr : exprs) {
+      record.disjuncts.push_back(expr.predicates());
+    }
+    APCM_RETURN_NOT_OK(AppendWalLocked(&record));
   }
   SubscriptionId external = kInvalidSubscriptionId;
   std::vector<SubscriptionId> internals;
-  for (auto& disjunct : disjuncts) {
-    APCM_ASSIGN_OR_RETURN(const SubscriptionId internal,
-                          AddSubscriptionLocked(std::move(disjunct)));
+  for (BooleanExpression& expr : exprs) {
+    const SubscriptionId internal =
+        RegisterSubscriptionLocked(std::move(expr));
     internals.push_back(internal);
     if (external == kInvalidSubscriptionId) {
       external = internal;
@@ -413,14 +568,26 @@ StatusOr<SubscriptionId> StreamEngine::AddDisjunctiveSubscription(
   return external;
 }
 
-Status StreamEngine::RemoveSubscription(SubscriptionId id) {
-  std::lock_guard<std::mutex> lock(state_mu_);
+Status StreamEngine::ValidateRemoveLocked(SubscriptionId id) const {
   if (auto alias = dnf_alias_.find(id); alias != dnf_alias_.end()) {
     return Status::NotFound(
         "id " + std::to_string(id) +
         " is an internal disjunct; remove the subscription id " +
         std::to_string(alias->second));
   }
+  if (dnf_groups_.contains(id)) return Status::OK();
+  if (id >= next_sub_id_ || tombstones_.contains(id)) {
+    return Status::NotFound("subscription " + std::to_string(id) +
+                            " is not registered");
+  }
+  if (FindSubscriptionLocked(id) == nullptr) {
+    return Status::NotFound("subscription " + std::to_string(id) +
+                            " was already removed");
+  }
+  return Status::OK();
+}
+
+void StreamEngine::ApplyRemoveLocked(SubscriptionId id) {
   if (auto group = dnf_groups_.find(id); group != dnf_groups_.end()) {
     // Remove every disjunct of the DNF group.
     const std::vector<SubscriptionId> internals = std::move(group->second);
@@ -431,19 +598,24 @@ Status StreamEngine::RemoveSubscription(SubscriptionId id) {
       change_log_.push_back({change_seq_, SubChange::kRemove, internal});
     }
     priorities_.erase(id);
-    return Status::OK();
-  }
-  if (id >= next_sub_id_ || tombstones_.contains(id)) {
-    return Status::NotFound("subscription " + std::to_string(id) +
-                            " is not registered");
-  }
-  if (FindSubscriptionLocked(id) == nullptr) {
-    return Status::NotFound("subscription " + std::to_string(id) +
-                            " was already removed");
+    return;
   }
   tombstones_.emplace(id, ++change_seq_);
   change_log_.push_back({change_seq_, SubChange::kRemove, id});
   priorities_.erase(id);
+}
+
+Status StreamEngine::RemoveSubscription(SubscriptionId id) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  // Validate before logging: a rejected remove must leave no WAL trace.
+  APCM_RETURN_NOT_OK(ValidateRemoveLocked(id));
+  if (store_ != nullptr) {
+    store::WalRecord record;
+    record.kind = store::WalRecord::Kind::kRemove;
+    record.id = id;
+    APCM_RETURN_NOT_OK(AppendWalLocked(&record));
+  }
+  ApplyRemoveLocked(id);
   return Status::OK();
 }
 
@@ -496,12 +668,12 @@ StatusOr<size_t> StreamEngine::LoadSubscriptions(const std::string& path) {
                     ? workload::LoadText(path)
                     : workload::LoadBinary(path);
   APCM_RETURN_NOT_OK(loaded.status());
-  // The trace loader already validated every expression; registration
-  // cannot fail below, keeping the bulk load atomic.
+  // The trace loader already validated every expression, so the only way a
+  // registration can fail below is a WAL I/O error — surfaced, with the
+  // already-acknowledged prefix kept (it is durable).
   std::lock_guard<std::mutex> lock(state_mu_);
   for (const BooleanExpression& sub : loaded->subscriptions) {
-    auto added = AddSubscriptionLocked(sub.predicates());
-    APCM_CHECK(added.ok());
+    APCM_RETURN_NOT_OK(AddSubscriptionLocked(sub.predicates()).status());
   }
   return loaded->subscriptions.size();
 }
@@ -512,12 +684,293 @@ Status StreamEngine::SetPriority(SubscriptionId id, double priority) {
     return Status::NotFound("subscription " + std::to_string(id) +
                             " is not registered");
   }
+  if (store_ != nullptr) {
+    store::WalRecord record;
+    record.kind = store::WalRecord::Kind::kPriority;
+    record.id = id;
+    record.priority = priority;
+    APCM_RETURN_NOT_OK(AppendWalLocked(&record));
+  }
   if (priority == 0) {
     priorities_.erase(id);
   } else {
     priorities_[id] = priority;
   }
   return Status::OK();
+}
+
+Status StreamEngine::AppendWalLocked(store::WalRecord* record) {
+  if (store_ == nullptr) return Status::OK();
+  APCM_RETURN_NOT_OK(store_->Append(record));
+  CountDurableOpLocked();
+  return Status::OK();
+}
+
+void StreamEngine::CountDurableOpLocked() {
+  if (options_.checkpoint_every_ops == 0) return;
+  if (++ops_since_checkpoint_ < options_.checkpoint_every_ops) return;
+  if (checkpoint_inflight_) return;
+  // Claim the slot here (not in the job) so a burst of mutations between
+  // submit and execution cannot queue duplicate checkpoints.
+  checkpoint_inflight_ = true;
+  ops_since_checkpoint_ = 0;
+  rebuild_pool_.Submit([this] {
+    const Status done = RunCheckpoint();
+    if (!done.ok()) {
+      LogWarning("background checkpoint failed",
+                 {{"error", done.ToString()}});
+    }
+  });
+}
+
+Status StreamEngine::Checkpoint() {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (store_ == nullptr) {
+      return Status::FailedPrecondition(
+          "no data_dir configured; nothing to checkpoint");
+    }
+    if (checkpoint_inflight_) {
+      return Status::FailedPrecondition("a checkpoint is already in flight");
+    }
+    checkpoint_inflight_ = true;
+  }
+  return RunCheckpoint();
+}
+
+Status StreamEngine::RunCheckpoint() {
+  store::CheckpointState state;
+  {
+    // Rotate under state_mu_: mutations order WAL appends under the same
+    // lock, so the fresh segment's base equals exactly the captured seq —
+    // the retiring segments hold nothing newer than this image.
+    std::lock_guard<std::mutex> lock(state_mu_);
+    StatusOr<uint64_t> rotated = store_->RotateWal();
+    if (!rotated.ok()) {
+      checkpoint_inflight_ = false;
+      return rotated.status();
+    }
+    state.wal_seq = *rotated;
+    state.next_sub_id = next_sub_id_;
+    for (const BooleanExpression& sub : subscriptions_) {
+      if (tombstones_.contains(sub.id())) continue;
+      state.subscriptions.emplace_back(sub.id(), sub.predicates());
+    }
+    state.priorities.assign(priorities_.begin(), priorities_.end());
+    std::sort(state.priorities.begin(), state.priorities.end());
+    for (const auto& [external, internals] : dnf_groups_) {
+      state.dnf_groups.emplace_back(external, internals);
+    }
+    std::sort(state.dnf_groups.begin(), state.dnf_groups.end());
+    ops_since_checkpoint_ = 0;
+  }
+  // Optional index image, built off-lock over the captured copy (mutations
+  // keep flowing into the new segment meanwhile). Unsharded PCM-family
+  // matchers only — the image must be loadable by a matching config.
+  if (options_.checkpoint_index && options_.num_shards <= 1) {
+    std::vector<BooleanExpression> exprs;  // outlives the matcher below
+    std::unique_ptr<Matcher> matcher =
+        CreateMatcher(options_.kind, options_.matcher);
+    if (auto* pcm = dynamic_cast<core::PcmMatcher*>(matcher.get())) {
+      exprs.reserve(state.subscriptions.size());
+      for (const auto& [id, predicates] : state.subscriptions) {
+        // Captured from built expressions, so already attribute-sorted.
+        exprs.push_back(BooleanExpression::FromSorted(id, predicates));
+      }
+      pcm->Build(exprs);
+      std::ostringstream image(std::ios::binary);
+      const Status saved = pcm->SaveIndex(image);
+      if (saved.ok()) {
+        state.index_kind = std::string(MatcherKindName(options_.kind));
+        state.index_image = std::move(image).str();
+      } else {
+        LogWarning("checkpoint index image skipped",
+                   {{"error", saved.ToString()}});
+      }
+    }
+  }
+  const Status written = store_->WriteCheckpoint(state);
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    checkpoint_inflight_ = false;
+  }
+  if (written.ok() && LogEnabled(LogLevel::kDebug)) {
+    LogDebug("checkpoint written",
+             {{"wal_seq", state.wal_seq},
+              {"live_subs", state.subscriptions.size()},
+              {"index_bytes", state.index_image.size()}});
+  }
+  return written;
+}
+
+void StreamEngine::RecoverFromStore() {
+  if (options_.data_dir.empty()) return;
+  store::StoreOptions store_options;
+  store_options.dir = options_.data_dir;
+  store_options.sync_every = options_.wal_sync_every;
+  store_options.sync_interval_ms = options_.wal_sync_interval_ms;
+  store::RecoveryInfo recovery;
+  StatusOr<std::unique_ptr<store::DurableStore>> opened =
+      store::DurableStore::Open(std::move(store_options), &recovery);
+  if (!opened.ok()) {
+    LogError("cannot open durable store; refusing to run non-durably",
+             {{"dir", options_.data_dir},
+              {"error", opened.status().ToString()}});
+  }
+  APCM_CHECK(opened.ok());
+  store_ = std::move(*opened);
+
+  // 1. Base state from the newest intact checkpoint.
+  const store::CheckpointState& ckpt = recovery.checkpoint;
+  if (recovery.had_checkpoint) {
+    next_sub_id_ = ckpt.next_sub_id;
+    for (const auto& [id, predicates] : ckpt.subscriptions) {
+      // Checkpoint entries ascend by id and were captured from built
+      // expressions (attribute-sorted), so the unchecked path is exact.
+      subscriptions_.push_back(BooleanExpression::FromSorted(id, predicates));
+      if (id >= next_sub_id_) next_sub_id_ = id + 1;
+    }
+    for (const auto& [id, priority] : ckpt.priorities) {
+      priorities_[id] = priority;
+    }
+    for (const auto& [external, internals] : ckpt.dnf_groups) {
+      for (const SubscriptionId internal : internals) {
+        if (internal != external) dnf_alias_.emplace(internal, external);
+      }
+      dnf_groups_.emplace(external, internals);
+    }
+    // 2. Pre-built index image: install it as the initial snapshot so the
+    // first round skips the full rebuild. Replayed WAL records then catch
+    // up through the regular delta path (their change seqs are > 0).
+    if (!ckpt.index_kind.empty() && options_.num_shards <= 1 &&
+        ckpt.index_kind == MatcherKindName(options_.kind)) {
+      auto built =
+          std::make_shared<std::vector<BooleanExpression>>(subscriptions_);
+      std::unique_ptr<Matcher> matcher =
+          CreateMatcher(options_.kind, options_.matcher);
+      if (auto* pcm = dynamic_cast<core::PcmMatcher*>(matcher.get())) {
+        std::istringstream image(ckpt.index_image, std::ios::binary);
+        const Status loaded = pcm->LoadIndex(*built, image);
+        if (loaded.ok()) {
+          auto snap = std::make_shared<EngineSnapshot>();
+          snap->built_subs = built;  // the expressions the index points into
+          snap->matcher = std::move(matcher);
+          snap->covered_seq = 0;
+          snap->applied_seq = 0;
+          snapshot_.Store(std::move(snap));
+        } else {
+          LogWarning("checkpoint index image rejected; will rebuild",
+                     {{"error", loaded.ToString()}});
+        }
+      }
+    }
+  }
+
+  // 3. WAL tail replay through the same in-memory apply helpers the live
+  // mutation path uses, so replayed and original execution agree exactly.
+  size_t replayed = 0;
+  for (store::WalRecord& record : recovery.records) {
+    if (!ReplayWalRecordLocked(std::move(record))) break;
+    ++replayed;
+  }
+  LogInfo("durable store recovered",
+          {{"dir", options_.data_dir},
+           {"had_checkpoint", recovery.had_checkpoint},
+           {"wal_records", recovery.records.size()},
+           {"replayed", replayed},
+           {"live_subs", subscriptions_.size() - tombstones_.size()},
+           {"torn_tails", recovery.torn_tails},
+           {"duration_us", recovery.duration_us}});
+}
+
+bool StreamEngine::ReplayWalRecordLocked(store::WalRecord record) {
+  switch (record.kind) {
+    case store::WalRecord::Kind::kAdd: {
+      if (record.id != next_sub_id_ || record.disjuncts.size() != 1) {
+        LogError("WAL replay: inconsistent add record; stopping replay",
+                 {{"seq", record.seq},
+                  {"id", record.id},
+                  {"expected_id", next_sub_id_}});
+        return false;
+      }
+      StatusOr<BooleanExpression> expr = BooleanExpression::Create(
+          record.id, std::move(record.disjuncts[0]));
+      if (!expr.ok()) {
+        LogError("WAL replay: invalid expression; stopping replay",
+                 {{"seq", record.seq}, {"error", expr.status().ToString()}});
+        return false;
+      }
+      RegisterSubscriptionLocked(*std::move(expr));
+      return true;
+    }
+    case store::WalRecord::Kind::kAddDnf: {
+      if (record.id != next_sub_id_ || record.disjuncts.empty()) {
+        LogError("WAL replay: inconsistent DNF record; stopping replay",
+                 {{"seq", record.seq},
+                  {"id", record.id},
+                  {"expected_id", next_sub_id_}});
+        return false;
+      }
+      std::vector<BooleanExpression> exprs;
+      exprs.reserve(record.disjuncts.size());
+      for (size_t i = 0; i < record.disjuncts.size(); ++i) {
+        StatusOr<BooleanExpression> expr = BooleanExpression::Create(
+            record.id + static_cast<SubscriptionId>(i),
+            std::move(record.disjuncts[i]));
+        if (!expr.ok()) {
+          LogError("WAL replay: invalid disjunct; stopping replay",
+                   {{"seq", record.seq},
+                    {"error", expr.status().ToString()}});
+          return false;
+        }
+        exprs.push_back(*std::move(expr));
+      }
+      SubscriptionId external = kInvalidSubscriptionId;
+      std::vector<SubscriptionId> internals;
+      for (BooleanExpression& expr : exprs) {
+        const SubscriptionId internal =
+            RegisterSubscriptionLocked(std::move(expr));
+        internals.push_back(internal);
+        if (external == kInvalidSubscriptionId) {
+          external = internal;
+        } else {
+          dnf_alias_.emplace(internal, external);
+        }
+      }
+      if (internals.size() > 1) {
+        dnf_groups_.emplace(external, std::move(internals));
+      }
+      return true;
+    }
+    case store::WalRecord::Kind::kRemove: {
+      const Status valid = ValidateRemoveLocked(record.id);
+      if (!valid.ok()) {
+        LogError("WAL replay: invalid remove; stopping replay",
+                 {{"seq", record.seq},
+                  {"id", record.id},
+                  {"error", valid.ToString()}});
+        return false;
+      }
+      ApplyRemoveLocked(record.id);
+      return true;
+    }
+    case store::WalRecord::Kind::kPriority: {
+      if (record.id >= next_sub_id_ || tombstones_.contains(record.id)) {
+        LogError("WAL replay: priority for unknown id; stopping replay",
+                 {{"seq", record.seq}, {"id", record.id}});
+        return false;
+      }
+      if (record.priority == 0) {
+        priorities_.erase(record.id);
+      } else {
+        priorities_[record.id] = record.priority;
+      }
+      return true;
+    }
+  }
+  LogError("WAL replay: unknown record kind; stopping replay",
+           {{"seq", record.seq}});
+  return false;
 }
 
 size_t StreamEngine::num_subscriptions() const {

@@ -23,6 +23,11 @@
 #include "src/engine/snapshot.h"
 #include "src/engine/trace_ring.h"
 
+namespace apcm::store {
+class DurableStore;
+struct WalRecord;
+}  // namespace apcm::store
+
 namespace apcm::engine {
 
 /// Engine-level counters. Every field is safe to read at any time from any
@@ -146,6 +151,30 @@ struct EngineOptions {
   /// A traced event slower than this end to end emits one structured
   /// warning log line with its stage breakdown. 0 disables the slow log.
   int64_t trace_slo_ns = 0;
+  /// Durable subscriptions (DESIGN §3.12). When non-empty, every
+  /// subscription mutation (add, DNF add, remove, priority) is appended to
+  /// a CRC-framed write-ahead log in this directory BEFORE it is applied,
+  /// and periodic checkpoints bound recovery time; construction replays
+  /// newest-checkpoint + WAL-tail and continues with the recovered state
+  /// (including the id allocator — recovered and new ids never collide).
+  /// Empty (default) = persistence fully off: no store is created and the
+  /// mutation path is byte-for-byte the in-memory one.
+  std::string data_dir;
+  /// fsync the WAL after every N appended records (group sync). 1 (default)
+  /// = every record, the full durability contract; N > 1 trades the last
+  /// < N acknowledged mutations on power loss for append throughput; 0 =
+  /// never on the append path (only wal_sync_interval_ms / shutdown).
+  uint32_t wal_sync_every = 1;
+  /// Additionally fsync when this many milliseconds have passed since the
+  /// last sync (checked on append). 0 disables the timer.
+  int64_t wal_sync_interval_ms = 0;
+  /// Write a checkpoint (and truncate the log) after this many WAL records,
+  /// on the background maintenance thread. 0 = only explicit Checkpoint()
+  /// calls.
+  uint64_t checkpoint_every_ops = 16384;
+  /// Embed a serialized matcher index image in checkpoints (PCM-family,
+  /// unsharded only) so recovery can skip the initial full rebuild.
+  bool checkpoint_index = true;
   /// Bitmap kernel instruction set: "" or "auto" (default) keeps the
   /// process-wide runtime selection (best supported level, or the APCM_SIMD
   /// environment override); "scalar" / "avx2" / "avx512" force a level.
@@ -260,8 +289,19 @@ class StreamEngine {
   /// Bulk-registers every subscription from a trace file; engine ids are
   /// newly assigned (the trace's ids are not preserved). Returns how many
   /// were added. Partially applied on mid-file errors is prevented by
-  /// validating the full file first.
+  /// validating the full file first (with persistence on, a WAL I/O error
+  /// can still stop the load partway — everything already acknowledged is
+  /// durable).
   StatusOr<size_t> LoadSubscriptions(const std::string& path);
+
+  /// Synchronously writes a durable checkpoint covering every acknowledged
+  /// mutation and truncates the WAL behind it. FailedPrecondition without
+  /// a data_dir or while another checkpoint is in flight. Periodic
+  /// checkpoints (checkpoint_every_ops) run this on the maintenance pool.
+  Status Checkpoint();
+
+  /// True when EngineOptions::data_dir persistence is active.
+  bool durable() const { return store_ != nullptr; }
 
   /// Number of live (non-removed) subscriptions.
   size_t num_subscriptions() const;
@@ -333,6 +373,32 @@ class StreamEngine {
 
   StatusOr<SubscriptionId> AddSubscriptionLocked(
       std::vector<Predicate> predicates);
+  /// Pure in-memory registration of a fully built expression: master list,
+  /// id allocator, change log. The shared tail of the live mutation path
+  /// (after its WAL append) and WAL replay.
+  SubscriptionId RegisterSubscriptionLocked(BooleanExpression expr);
+  /// Checks that `id` names a removable subscription without mutating
+  /// anything — the live path must validate BEFORE logging the removal.
+  Status ValidateRemoveLocked(SubscriptionId id) const;
+  /// In-memory removal of a validated id (single or whole DNF group).
+  void ApplyRemoveLocked(SubscriptionId id);
+  /// Appends `record` to the WAL when persistence is on; no-op Status::OK
+  /// otherwise. On error the caller must not apply the mutation.
+  Status AppendWalLocked(store::WalRecord* record);
+  /// Opens the durable store and replays checkpoint + WAL tail into the
+  /// in-memory state. Constructor-only (no locks; aborts the process if the
+  /// store directory cannot be opened — refusing to silently run
+  /// non-durably).
+  void RecoverFromStore();
+  /// Applies one replayed WAL record; false stops replay (corrupt or
+  /// inconsistent record — everything before it stays applied).
+  bool ReplayWalRecordLocked(store::WalRecord record);
+  /// Counts one durable mutation toward checkpoint_every_ops and schedules
+  /// a background checkpoint at the threshold. Requires state_mu_.
+  void CountDurableOpLocked();
+  /// Capture + write + truncate; expects checkpoint_inflight_ already set
+  /// and clears it when done.
+  Status RunCheckpoint();
   /// Master-list lookup by id (the list is id-sorted; ids are monotone).
   const BooleanExpression* FindSubscriptionLocked(SubscriptionId id) const;
   /// The snapshot matcher the options describe: a plain `kind` matcher, or
@@ -394,6 +460,15 @@ class StreamEngine {
   SubscriptionId next_sub_id_ = 0;
   bool rebuild_inflight_ = false;
   std::shared_future<void> rebuild_done_;
+
+  /// Durable subscription store (null = persistence off). Declared before
+  /// rebuild_pool_: background checkpoints touch it, so it must outlive the
+  /// pool's destructor drain.
+  std::unique_ptr<store::DurableStore> store_;
+  /// WAL records since the last checkpoint; guarded by state_mu_.
+  uint64_t ops_since_checkpoint_ = 0;
+  /// At most one checkpoint at a time; guarded by state_mu_.
+  bool checkpoint_inflight_ = false;
 
   /// Current index generation (RCU-style swap; see SnapshotHolder).
   SnapshotHolder snapshot_;

@@ -1,0 +1,404 @@
+#include "src/store/durable_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "src/base/failpoint.h"
+#include "src/base/logging.h"
+#include "src/base/macros.h"
+
+namespace apcm::store {
+namespace {
+
+constexpr std::string_view kWalPrefix = "wal-";
+constexpr std::string_view kWalSuffix = ".log";
+constexpr std::string_view kCheckpointPrefix = "checkpoint-";
+constexpr std::string_view kCheckpointSuffix = ".ckpt";
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string SeqName(std::string_view prefix, uint64_t seq,
+                    std::string_view suffix) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(seq));
+  std::string name(prefix);
+  name += hex;
+  name += suffix;
+  return name;
+}
+
+/// Matches `<prefix><16 hex digits><suffix>` exactly.
+bool ParseSeqName(std::string_view name, std::string_view prefix,
+                  std::string_view suffix, uint64_t* seq) {
+  if (name.size() != prefix.size() + 16 + suffix.size()) return false;
+  if (name.substr(0, prefix.size()) != prefix) return false;
+  if (name.substr(prefix.size() + 16) != suffix) return false;
+  uint64_t value = 0;
+  for (const char c : name.substr(prefix.size(), 16)) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  *seq = value;
+  return true;
+}
+
+/// Clips a torn segment to its valid prefix so the next recovery can
+/// continue past it into younger segments. Best effort: the bytes being
+/// thrown away are by definition not durable state.
+void ClipFile(const std::string& path, uint64_t size) {
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return;
+  if (::ftruncate(fd, static_cast<off_t>(size)) == 0) (void)::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+std::string WalSegmentName(uint64_t base_seq) {
+  return SeqName(kWalPrefix, base_seq, kWalSuffix);
+}
+
+std::string CheckpointFileName(uint64_t wal_seq) {
+  return SeqName(kCheckpointPrefix, wal_seq, kCheckpointSuffix);
+}
+
+DurableStore::DurableStore(StoreOptions options)
+    : options_(std::move(options)) {}
+
+DurableStore::~DurableStore() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Clean shutdown flushes the group-sync window; a store that already
+  // "crashed" must not touch the files again.
+  if (!dead_ && wal_.is_open() && unsynced_ > 0) (void)wal_.Sync();
+}
+
+StatusOr<std::unique_ptr<DurableStore>> DurableStore::Open(
+    StoreOptions options, RecoveryInfo* recovery) {
+  const int64_t start_us = NowUs();
+  *recovery = RecoveryInfo{};
+  APCM_RETURN_NOT_OK(CreateDirIfMissing(options.dir));
+  APCM_ASSIGN_OR_RETURN(const std::vector<std::string> names,
+                        ListDir(options.dir));
+
+  std::vector<std::pair<uint64_t, std::string>> checkpoints;  // seq, path
+  std::vector<std::pair<uint64_t, std::string>> segments;     // base, path
+  for (const std::string& name : names) {
+    const std::string path = options.dir + "/" + name;
+    uint64_t seq = 0;
+    if (ParseSeqName(name, kCheckpointPrefix, kCheckpointSuffix, &seq)) {
+      checkpoints.emplace_back(seq, path);
+    } else if (ParseSeqName(name, kWalPrefix, kWalSuffix, &seq)) {
+      segments.emplace_back(seq, path);
+    } else if (name.size() >= 4 && name.ends_with(".tmp")) {
+      (void)RemoveFileIfExists(path);  // abandoned atomic write
+    }
+  }
+  std::sort(checkpoints.rbegin(), checkpoints.rend());  // newest first
+  std::sort(segments.begin(), segments.end());
+
+  // Newest intact checkpoint wins; corrupt ones fall back to older images.
+  uint64_t checkpoint_seq = 0;
+  for (const auto& [seq, path] : checkpoints) {
+    StatusOr<std::string> data = ReadFileToString(path);
+    if (data.ok()) {
+      StatusOr<CheckpointState> state = DecodeCheckpoint(*data);
+      if (state.ok() && state->wal_seq == seq) {
+        recovery->had_checkpoint = true;
+        recovery->checkpoint = *std::move(state);
+        checkpoint_seq = seq;
+        break;
+      }
+      if (state.ok()) {
+        LogWarning("store: checkpoint name/seq mismatch, skipping",
+                   {{"path", path}, {"claimed_seq", state->wal_seq}});
+      } else {
+        LogWarning("store: skipping checkpoint",
+                   {{"path", path}, {"error", state.status().ToString()}});
+      }
+    } else {
+      LogWarning("store: unreadable checkpoint",
+                 {{"path", path}, {"error", data.status().ToString()}});
+    }
+    ++recovery->skipped_checkpoints;
+  }
+
+  // Replay the contiguous record run past the checkpoint. Segments are read
+  // in base order; the first torn tail, unreadable file, or sequence gap
+  // ends replay cleanly (never a crash) — everything before it is durable
+  // state, everything after was never acknowledged.
+  uint64_t expected = checkpoint_seq + 1;
+  for (const auto& [base, path] : segments) {
+    ++recovery->segments_scanned;
+    StatusOr<std::string> data = ReadFileToString(path);
+    if (!data.ok()) {
+      LogWarning("store: unreadable segment; ending replay",
+                 {{"path", path}, {"error", data.status().ToString()}});
+      ++recovery->torn_tails;
+      break;
+    }
+    WalDecodeResult decoded = DecodeWalBuffer(*data);
+    bool gap = false;
+    for (WalRecord& record : decoded.records) {
+      if (record.seq <= checkpoint_seq) continue;  // covered by the image
+      if (record.seq != expected) {
+        LogWarning("store: sequence gap; ending replay",
+                   {{"path", path},
+                    {"expected", expected},
+                    {"got", record.seq}});
+        gap = true;
+        break;
+      }
+      recovery->records.push_back(std::move(record));
+      ++expected;
+    }
+    if (decoded.torn) {
+      LogWarning("store: torn tail, clipping segment",
+                 {{"path", path},
+                  {"valid_bytes", decoded.valid_bytes},
+                  {"reason", decoded.tail_error}});
+      ++recovery->torn_tails;
+      ClipFile(path, decoded.valid_bytes);
+      break;
+    }
+    if (gap) break;
+  }
+
+  const uint64_t last_seq = expected - 1;
+  std::unique_ptr<DurableStore> self(new DurableStore(std::move(options)));
+  self->last_seq_ = last_seq;
+  self->stats_.torn_tails = recovery->torn_tails;
+  self->stats_.skipped_checkpoints = recovery->skipped_checkpoints;
+  self->stats_.recovered_records = recovery->records.size();
+  self->stats_.last_seq = last_seq;
+  self->stats_.checkpoint_seq = checkpoint_seq;
+  // A fresh active segment based at last_seq. If a file of that name exists
+  // it contributed zero replayed records (its contents are past a clipped
+  // or corrupt boundary), so truncating it discards nothing acknowledged.
+  APCM_RETURN_NOT_OK(self->OpenSegmentLocked(last_seq));
+  self->last_sync_us_ = NowUs();
+  recovery->duration_us = NowUs() - start_us;
+  self->stats_.recovery_us = recovery->duration_us;
+  return self;
+}
+
+Status DurableStore::OpenSegmentLocked(uint64_t base_seq) {
+  APCM_RETURN_NOT_OK(
+      wal_.Open(options_.dir + "/" + WalSegmentName(base_seq)));
+  // Make the new segment's directory entry durable: fsyncing the file later
+  // is worthless if the name itself is lost with the dir page.
+  return SyncDir(options_.dir);
+}
+
+Status DurableStore::Append(WalRecord* record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  APCM_RETURN_NOT_OK(DeadLocked());
+  record->seq = last_seq_ + 1;
+  std::string frame;
+  EncodeWalRecord(*record, &frame);
+  APCM_FAILPOINT_INJECT("store.wal.append", {
+    DieLocked(/*power_loss=*/fp_arg == 1);
+    return DeadLocked();
+  });
+#ifdef APCM_FAILPOINTS_ENABLED
+  {
+    // Torn-write crash: persist only a prefix of the frame, then die with
+    // the written bytes intact (process-kill semantics). arg = prefix size.
+    static failpoint::Failpoint* torn =
+        failpoint::Registry::Instance().Register("store.wal.append.torn");
+    uint64_t arg = 0;
+    if (APCM_UNLIKELY(torn->armed()) && torn->Fire(&arg)) {
+      const size_t keep = std::clamp<size_t>(arg, 1, frame.size() - 1);
+      (void)wal_.Append(std::string_view(frame).substr(0, keep));
+      DieLocked(/*power_loss=*/false);
+      return DeadLocked();
+    }
+  }
+#endif
+  Status written = wal_.Append(frame);
+  if (!written.ok()) {
+    ++stats_.append_errors;
+    return PoisonLocked(std::move(written));
+  }
+  last_seq_ = record->seq;
+  stats_.last_seq = last_seq_;
+  ++stats_.appends;
+  stats_.bytes += frame.size();
+  ++unsynced_;
+  APCM_FAILPOINT_INJECT("store.wal.fsync", {
+    DieLocked(/*power_loss=*/fp_arg == 1);
+    return DeadLocked();
+  });
+  if (ShouldSyncLocked()) return SyncLocked();
+  return Status::OK();
+}
+
+Status DurableStore::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  APCM_RETURN_NOT_OK(DeadLocked());
+  if (unsynced_ == 0) return Status::OK();
+  return SyncLocked();
+}
+
+StatusOr<uint64_t> DurableStore::RotateWal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  APCM_RETURN_NOT_OK(DeadLocked());
+  APCM_FAILPOINT_INJECT("store.wal.rotate", {
+    DieLocked(/*power_loss=*/fp_arg == 1);
+    return DeadLocked();
+  });
+  // The retiring segment must be fully durable before the image that
+  // supersedes it can exist.
+  APCM_RETURN_NOT_OK(SyncLocked());
+  wal_.Close();
+  APCM_RETURN_NOT_OK(PoisonLocked(OpenSegmentLocked(last_seq_)));
+  ++stats_.rotations;
+  return last_seq_;
+}
+
+Status DurableStore::WriteCheckpoint(const CheckpointState& state) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    APCM_RETURN_NOT_OK(DeadLocked());
+    APCM_FAILPOINT_INJECT("store.checkpoint.write", {
+      DieLocked(/*power_loss=*/fp_arg == 1);
+      return DeadLocked();
+    });
+  }
+  // Encode and write outside mu_ — checkpoint images can be large and must
+  // not stall the append path; the atomic rename keeps readers safe.
+  const std::string blob = EncodeCheckpoint(state);
+  const Status written = AtomicWriteFile(
+      options_.dir + "/" + CheckpointFileName(state.wal_seq), blob);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  APCM_RETURN_NOT_OK(DeadLocked());
+  if (!written.ok()) {
+    // Non-fatal: the previous checkpoint (or the full log) still covers
+    // every acknowledged op.
+    ++stats_.checkpoint_errors;
+    return written;
+  }
+  ++stats_.checkpoints;
+  stats_.checkpoint_seq = state.wal_seq;
+  stats_.checkpoint_bytes = blob.size();
+  APCM_FAILPOINT_INJECT("store.checkpoint.truncate", {
+    DieLocked(/*power_loss=*/fp_arg == 1);
+    return DeadLocked();
+  });
+  TruncateObsoleteLocked(state.wal_seq);
+  return Status::OK();
+}
+
+void DurableStore::TruncateObsoleteLocked(uint64_t covered_seq) {
+  StatusOr<std::vector<std::string>> names = ListDir(options_.dir);
+  if (!names.ok()) return;  // best effort; retried at the next checkpoint
+  uint64_t removed = 0;
+  for (const std::string& name : *names) {
+    uint64_t seq = 0;
+    const bool obsolete_checkpoint =
+        ParseSeqName(name, kCheckpointPrefix, kCheckpointSuffix, &seq) &&
+        seq < covered_seq;
+    // Segments named by base seq hold only records <= the next base; after
+    // the rotation that preceded this checkpoint, every segment based below
+    // covered_seq is wholly reflected in the image.
+    const bool obsolete_segment =
+        ParseSeqName(name, kWalPrefix, kWalSuffix, &seq) &&
+        seq < covered_seq;
+    if (obsolete_checkpoint || obsolete_segment) {
+      if (RemoveFileIfExists(options_.dir + "/" + name).ok()) ++removed;
+    }
+  }
+  if (removed > 0) {
+    stats_.truncated_files += removed;
+    (void)SyncDir(options_.dir);
+  }
+}
+
+void DurableStore::SimulateCrash(bool power_loss) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DieLocked(power_loss);
+}
+
+void DurableStore::DieLocked(bool power_loss) {
+  if (dead_) return;
+  dead_ = true;
+  if (wal_.is_open()) {
+    // Power loss: everything past the last fsync never reached the platter.
+    // Process kill: the page cache survives, so written bytes stay.
+    if (power_loss) (void)wal_.Truncate(wal_.synced_size());
+    wal_.Close();
+  }
+}
+
+Status DurableStore::PoisonLocked(Status status) {
+  if (!status.ok() && !dead_) {
+    LogError("store: poisoned by I/O failure",
+             {{"error", status.ToString()}});
+    dead_ = true;
+    wal_.Close();
+  }
+  return status;
+}
+
+Status DurableStore::DeadLocked() const {
+  if (dead_) {
+    return Status::IOError("durable store is dead (crashed or poisoned)");
+  }
+  return Status::OK();
+}
+
+bool DurableStore::ShouldSyncLocked() const {
+  if (unsynced_ == 0) return false;
+  if (options_.sync_every > 0 && unsynced_ >= options_.sync_every) {
+    return true;
+  }
+  return options_.sync_interval_ms > 0 &&
+         NowUs() - last_sync_us_ >= options_.sync_interval_ms * 1000;
+}
+
+Status DurableStore::SyncLocked() {
+  if (unsynced_ > 0 || wal_.size() > wal_.synced_size()) {
+    Status status = wal_.Sync();
+    if (!status.ok()) return PoisonLocked(std::move(status));
+    ++stats_.fsyncs;
+    unsynced_ = 0;
+  }
+  last_sync_us_ = NowUs();
+  return Status::OK();
+}
+
+bool DurableStore::dead() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_;
+}
+
+uint64_t DurableStore::last_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_seq_;
+}
+
+StoreStats DurableStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StoreStats stats = stats_;
+  stats.unsynced_records = unsynced_;
+  return stats;
+}
+
+}  // namespace apcm::store

@@ -1,0 +1,173 @@
+#ifndef APCM_STORE_DURABLE_STORE_H_
+#define APCM_STORE_DURABLE_STORE_H_
+
+/// \file
+/// DurableStore — the persistence subsystem behind EngineOptions::data_dir
+/// (DESIGN §3.12). It owns one directory containing:
+///
+///     wal-<base16>.log         WAL segments; records have seq > base, and
+///                              segments partition the sequence space
+///                              contiguously in base order
+///     checkpoint-<seq16>.ckpt  checkpoint images, named by the WAL seq
+///                              they cover
+///     *.tmp                    in-flight atomic writes; ignored and
+///                              deleted on recovery
+///
+/// Write protocol: every subscription mutation is appended (and, per the
+/// sync policy, fsynced) BEFORE the in-memory engine applies it. Checkpoint
+/// protocol: rotate the WAL under the engine state lock (so the new segment
+/// base equals the captured seq), write the image off-lock via atomic
+/// rename, then delete segments and checkpoints wholly covered by it.
+/// Recovery: newest intact checkpoint + contiguous WAL tail replay; torn
+/// tails are clipped, corrupt checkpoints skipped in favor of older ones.
+///
+/// Failure model: any WAL write or fsync error poisons the store (fail-stop
+/// — later ops fail fast with IOError), because a half-written append leaves
+/// the tail unparseable; a failed checkpoint is non-fatal (the previous one
+/// still covers the log). Crash seams for the recovery test matrix, all
+/// `return`-action failpoints whose arg selects the simulated crash kind
+/// (0 = process kill: written bytes survive; 1 = power loss: the active
+/// segment rolls back to its last-synced prefix):
+///
+///     store.wal.append          die before any byte of the frame is written
+///     store.wal.append.torn     write only `arg` bytes of the frame, then
+///                               die (keep-mode; arg clamped to [1, len-1])
+///     store.wal.fsync           die after the write, before the fsync
+///     store.wal.rotate          die before rotating to a fresh segment
+///     store.checkpoint.write    die before the checkpoint file is written
+///     store.checkpoint.truncate die after the rename, before deleting
+///                               obsolete segments/checkpoints
+///
+/// Thread-safety: all public methods are safe from any thread; appends
+/// serialize on an internal mutex (the engine additionally orders them
+/// under its own state lock, which is what makes WAL order == apply order).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/base/file_io.h"
+#include "src/base/status.h"
+#include "src/store/checkpoint.h"
+#include "src/store/wal.h"
+
+namespace apcm::store {
+
+struct StoreOptions {
+  std::string dir;
+  /// fsync after every N appended records; 1 = every record (full
+  /// durability), 0 = never on the append path (interval/explicit only).
+  uint32_t sync_every = 1;
+  /// Additionally fsync when this many milliseconds passed since the last
+  /// sync, checked on append. 0 disables the timer.
+  int64_t sync_interval_ms = 0;
+};
+
+/// What Open() reconstructed from disk; the engine replays this into its
+/// in-memory state before serving.
+struct RecoveryInfo {
+  bool had_checkpoint = false;
+  CheckpointState checkpoint;
+  /// WAL records past the checkpoint, strictly contiguous seqs.
+  std::vector<WalRecord> records;
+  uint64_t torn_tails = 0;           ///< segments that ended mid-frame
+  uint64_t skipped_checkpoints = 0;  ///< corrupt images skipped
+  uint64_t segments_scanned = 0;
+  int64_t duration_us = 0;
+};
+
+/// Monotonic operation counters plus current watermarks, bridged to
+/// apcm_wal_* / apcm_checkpoint_* metrics by the engine.
+struct StoreStats {
+  uint64_t appends = 0;
+  uint64_t append_errors = 0;
+  uint64_t bytes = 0;
+  uint64_t fsyncs = 0;
+  uint64_t rotations = 0;
+  uint64_t checkpoints = 0;
+  uint64_t checkpoint_errors = 0;
+  uint64_t truncated_files = 0;  ///< obsolete files deleted after checkpoints
+  uint64_t torn_tails = 0;       ///< from recovery
+  uint64_t recovered_records = 0;
+  uint64_t skipped_checkpoints = 0;
+  uint64_t last_seq = 0;
+  uint64_t checkpoint_seq = 0;
+  uint64_t checkpoint_bytes = 0;
+  uint64_t unsynced_records = 0;
+  int64_t recovery_us = 0;
+};
+
+/// "wal-%016x.log" — segments sort lexicographically in base order.
+std::string WalSegmentName(uint64_t base_seq);
+/// "checkpoint-%016x.ckpt".
+std::string CheckpointFileName(uint64_t wal_seq);
+
+class DurableStore {
+ public:
+  /// Opens (creating if needed) the store directory, runs recovery, and
+  /// positions a fresh active segment after the last durable record.
+  /// `*recovery` receives the reconstructed state to replay.
+  static StatusOr<std::unique_ptr<DurableStore>> Open(StoreOptions options,
+                                                      RecoveryInfo* recovery);
+
+  ~DurableStore();
+
+  DurableStore(const DurableStore&) = delete;
+  DurableStore& operator=(const DurableStore&) = delete;
+
+  /// Assigns the next sequence number to `record`, appends its frame to the
+  /// active segment, and applies the sync policy. On any error the record
+  /// was NOT made durable and the caller must not apply it.
+  Status Append(WalRecord* record);
+
+  /// Forces an fsync of the active segment (group-sync flush).
+  Status Sync();
+
+  /// Checkpoint step 1, called under the engine's state lock: fsync and
+  /// retire the active segment, start a fresh one based at the current
+  /// sequence. Returns that sequence — the `wal_seq` the image must cover.
+  StatusOr<uint64_t> RotateWal();
+
+  /// Checkpoint step 2, off-lock: atomically persist `state` and delete
+  /// segments/checkpoints it makes obsolete. Failure is non-fatal.
+  Status WriteCheckpoint(const CheckpointState& state);
+
+  /// Test hook: drop the process (keep) or the power (additionally roll the
+  /// active segment back to its synced prefix). All later ops fail fast.
+  void SimulateCrash(bool power_loss);
+
+  bool dead() const;
+  uint64_t last_seq() const;
+  const std::string& dir() const { return options_.dir; }
+  const StoreOptions& options() const { return options_; }
+  StoreStats stats() const;
+
+ private:
+  explicit DurableStore(StoreOptions options);
+
+  Status OpenSegmentLocked(uint64_t base_seq);
+  Status SyncLocked();
+  bool ShouldSyncLocked() const;
+  /// Marks the store dead, simulating the requested crash kind.
+  void DieLocked(bool power_loss);
+  /// Poisons the store when `status` is an I/O failure; passes it through.
+  Status PoisonLocked(Status status);
+  Status DeadLocked() const;
+  void TruncateObsoleteLocked(uint64_t covered_seq);
+
+  const StoreOptions options_;
+
+  mutable std::mutex mu_;
+  bool dead_ = false;
+  WritableFile wal_;
+  uint64_t last_seq_ = 0;
+  uint64_t unsynced_ = 0;
+  int64_t last_sync_us_ = 0;  ///< steady-clock stamp of the last fsync
+  StoreStats stats_;
+};
+
+}  // namespace apcm::store
+
+#endif  // APCM_STORE_DURABLE_STORE_H_

@@ -1,0 +1,197 @@
+#include "src/store/wal.h"
+
+#include <limits>
+#include <utility>
+
+#include "src/base/crc32c.h"
+#include "src/base/macros.h"
+
+namespace apcm::store {
+namespace {
+
+/// Smallest possible encoded predicate: attr + op + v1 + v2 + value count.
+constexpr size_t kMinPredicateBytes = 4 + 1 + 8 + 8 + 4;
+
+/// Reconstructs one predicate, validating every constructor precondition
+/// (the Predicate constructors APCM_CHECK them, so feeding them unvalidated
+/// bytes would turn log corruption into a crash).
+bool DecodePredicate(ByteReader* reader, std::vector<Predicate>* out) {
+  uint32_t attr = 0;
+  uint8_t op_raw = 0;
+  int64_t v1 = 0;
+  int64_t v2 = 0;
+  uint32_t nvalues = 0;
+  if (!reader->U32(&attr) || !reader->U8(&op_raw) || !reader->I64(&v1) ||
+      !reader->I64(&v2) || !reader->U32(&nvalues)) {
+    return false;
+  }
+  if (op_raw > static_cast<uint8_t>(Op::kIn)) return false;
+  const Op op = static_cast<Op>(op_raw);
+  if (nvalues > reader->remaining() / sizeof(Value)) return false;
+  std::vector<Value> values(nvalues);
+  for (Value& v : values) {
+    if (!reader->I64(&v)) return false;
+  }
+  switch (op) {
+    case Op::kBetween:
+      if (v1 > v2 || !values.empty()) return false;
+      out->emplace_back(attr, v1, v2);
+      return true;
+    case Op::kIn:
+      if (values.empty()) return false;
+      out->emplace_back(attr, std::move(values));
+      return true;
+    default:
+      if (!values.empty()) return false;
+      out->emplace_back(attr, op, v1);
+      return true;
+  }
+}
+
+void EncodePayload(const WalRecord& record, std::string* out) {
+  ByteWriter writer(out);
+  writer.U64(record.seq);
+  writer.U8(static_cast<uint8_t>(record.kind));
+  writer.U32(record.id);
+  switch (record.kind) {
+    case WalRecord::Kind::kAdd:
+      EncodePredicates(record.disjuncts.at(0), &writer);
+      break;
+    case WalRecord::Kind::kRemove:
+      break;
+    case WalRecord::Kind::kPriority:
+      writer.F64(record.priority);
+      break;
+    case WalRecord::Kind::kAddDnf:
+      writer.U32(static_cast<uint32_t>(record.disjuncts.size()));
+      for (const auto& disjunct : record.disjuncts) {
+        EncodePredicates(disjunct, &writer);
+      }
+      break;
+  }
+}
+
+bool DecodePayload(std::string_view payload, WalRecord* record) {
+  ByteReader reader(payload);
+  uint8_t kind_raw = 0;
+  if (!reader.U64(&record->seq) || !reader.U8(&kind_raw) ||
+      !reader.U32(&record->id)) {
+    return false;
+  }
+  if (kind_raw < static_cast<uint8_t>(WalRecord::Kind::kAdd) ||
+      kind_raw > static_cast<uint8_t>(WalRecord::Kind::kAddDnf)) {
+    return false;
+  }
+  record->kind = static_cast<WalRecord::Kind>(kind_raw);
+  record->priority = 0;
+  record->disjuncts.clear();
+  switch (record->kind) {
+    case WalRecord::Kind::kAdd: {
+      record->disjuncts.emplace_back();
+      if (!DecodePredicates(&reader, &record->disjuncts.back())) return false;
+      break;
+    }
+    case WalRecord::Kind::kRemove:
+      break;
+    case WalRecord::Kind::kPriority:
+      if (!reader.F64(&record->priority)) return false;
+      break;
+    case WalRecord::Kind::kAddDnf: {
+      uint32_t ndisjuncts = 0;
+      if (!reader.U32(&ndisjuncts)) return false;
+      // Each disjunct needs at least a predicate count word; also keep the
+      // internal-id block id..id+n-1 inside SubscriptionId range.
+      if (ndisjuncts == 0 || ndisjuncts > reader.remaining() / 4 ||
+          ndisjuncts - 1 > std::numeric_limits<SubscriptionId>::max() -
+                               record->id) {
+        return false;
+      }
+      record->disjuncts.resize(ndisjuncts);
+      for (auto& disjunct : record->disjuncts) {
+        if (!DecodePredicates(&reader, &disjunct)) return false;
+      }
+      break;
+    }
+  }
+  return reader.exhausted();  // trailing garbage means a corrupt frame
+}
+
+}  // namespace
+
+void EncodePredicates(const std::vector<Predicate>& predicates,
+                      ByteWriter* writer) {
+  writer->U32(static_cast<uint32_t>(predicates.size()));
+  for (const Predicate& p : predicates) {
+    writer->U32(p.attribute());
+    writer->U8(static_cast<uint8_t>(p.op()));
+    writer->I64(p.v1());
+    writer->I64(p.v2());
+    writer->U32(static_cast<uint32_t>(p.values().size()));
+    for (const Value v : p.values()) writer->I64(v);
+  }
+}
+
+bool DecodePredicates(ByteReader* reader, std::vector<Predicate>* out) {
+  uint32_t count = 0;
+  if (!reader->U32(&count)) return false;
+  if (count == 0 || count > reader->remaining() / kMinPredicateBytes) {
+    return false;
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!DecodePredicate(reader, out)) return false;
+  }
+  return true;
+}
+
+void EncodeWalRecord(const WalRecord& record, std::string* out) {
+  std::string payload;
+  EncodePayload(record, &payload);
+  APCM_CHECK(payload.size() <= kMaxWalPayloadBytes);
+  ByteWriter writer(out);
+  writer.U32(static_cast<uint32_t>(payload.size()));
+  writer.U32(MaskCrc32c(Crc32c(0, payload.data(), payload.size())));
+  out->append(payload);
+}
+
+WalDecodeResult DecodeWalBuffer(std::string_view data) {
+  WalDecodeResult result;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    ByteReader header(data.substr(pos));
+    uint32_t len = 0;
+    uint32_t masked_crc = 0;
+    if (!header.U32(&len) || !header.U32(&masked_crc)) {
+      result.tail_error = "partial frame header";
+      break;
+    }
+    if (len > kMaxWalPayloadBytes) {
+      result.tail_error = "implausible payload length";
+      break;
+    }
+    if (data.size() - pos - kWalFrameHeaderBytes < len) {
+      result.tail_error = "truncated payload";
+      break;
+    }
+    const std::string_view payload =
+        data.substr(pos + kWalFrameHeaderBytes, len);
+    if (Crc32c(0, payload.data(), payload.size()) !=
+        UnmaskCrc32c(masked_crc)) {
+      result.tail_error = "checksum mismatch";
+      break;
+    }
+    WalRecord record;
+    if (!DecodePayload(payload, &record)) {
+      result.tail_error = "invalid record body";
+      break;
+    }
+    result.records.push_back(std::move(record));
+    pos += kWalFrameHeaderBytes + len;
+  }
+  result.valid_bytes = pos;
+  result.torn = pos < data.size();
+  return result;
+}
+
+}  // namespace apcm::store

@@ -1,0 +1,159 @@
+#ifndef APCM_STORE_WAL_H_
+#define APCM_STORE_WAL_H_
+
+/// \file
+/// Write-ahead-log record format: the durable twin of the engine's
+/// seq-numbered subscription change log (DESIGN §3.4). Pure codec — framing,
+/// encoding, and validation over in-memory buffers; file handling, fsync
+/// policy, and crash seams live in store::DurableStore so this layer can be
+/// fuzzed byte-by-byte in isolation.
+///
+/// Frame layout (little-endian):
+///
+///     u32 payload_len | u32 masked_crc32c(payload) | payload bytes
+///
+/// Payload layout:
+///
+///     u64 seq | u8 kind | body
+///     kAdd:      u32 id | predicates
+///     kRemove:   u32 id
+///     kPriority: u32 id | f64 priority
+///     kAddDnf:   u32 first_id | u32 num_disjuncts | per disjunct predicates
+///     predicates: u32 count | per predicate:
+///                 u32 attr | u8 op | i64 v1 | i64 v2 | u32 nvalues | i64...
+///
+/// A DNF subscription is one atomic record (its internal disjunct ids are
+/// first_id..first_id+n-1), so replay can never observe half a group.
+/// Decoding stops cleanly at the first torn or corrupt frame — the tail of
+/// a crashed log — and reports how much of the buffer was valid.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/be/predicate.h"
+
+namespace apcm::store {
+
+/// Upper bound on one record's payload; a corrupted length prefix beyond
+/// this is treated as a torn tail instead of a huge allocation.
+inline constexpr uint32_t kMaxWalPayloadBytes = 16u << 20;
+
+/// Bytes of framing per record (length prefix + checksum).
+inline constexpr size_t kWalFrameHeaderBytes = 8;
+
+/// One durable subscription mutation.
+struct WalRecord {
+  enum class Kind : uint8_t {
+    kAdd = 1,       ///< register one conjunction under `id`
+    kRemove = 2,    ///< unregister `id` (a DNF group's external id removes all)
+    kPriority = 3,  ///< set delivery priority of `id`
+    kAddDnf = 4,    ///< register disjuncts under ids id, id+1, ...
+  };
+
+  uint64_t seq = 0;  ///< strictly increasing, assigned by the store
+  Kind kind = Kind::kAdd;
+  SubscriptionId id = 0;  ///< subject id; for kAddDnf the first internal id
+  double priority = 0;    ///< kPriority only
+  /// kAdd: exactly one entry; kAddDnf: one entry per disjunct.
+  std::vector<std::vector<Predicate>> disjuncts;
+
+  /// Change-log slots this record occupies on replay (kAddDnf consumes one
+  /// per disjunct; everything else one).
+  uint64_t num_ops() const {
+    return kind == Kind::kAddDnf ? disjuncts.size() : 1;
+  }
+};
+
+/// Appends the framed encoding of `record` to `*out`.
+void EncodeWalRecord(const WalRecord& record, std::string* out);
+
+/// Outcome of decoding a WAL buffer: every record of the longest valid
+/// prefix, plus how and where decoding stopped.
+struct WalDecodeResult {
+  std::vector<WalRecord> records;
+  uint64_t valid_bytes = 0;  ///< prefix length covered by intact frames
+  /// True when trailing bytes exist past valid_bytes — a torn or corrupt
+  /// tail (partial frame, bad checksum, nonsense length, invalid body).
+  bool torn = false;
+  std::string tail_error;  ///< empty when the buffer ended exactly clean
+};
+
+/// Decodes every intact record from `data`. Never fails hard: corruption
+/// anywhere truncates the result at the last valid frame and sets `torn`.
+/// Sequence monotonicity is NOT checked here (segments are validated for
+/// continuity by the store, which sees all of them).
+WalDecodeResult DecodeWalBuffer(std::string_view data);
+
+/// Little-endian append-only byte writer shared by the WAL and checkpoint
+/// codecs.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::string* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void I64(int64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Bytes(std::string_view data) {
+    U32(static_cast<uint32_t>(data.size()));
+    out_->append(data);
+  }
+
+ private:
+  void Raw(const void* data, size_t len) {
+    out_->append(static_cast<const char*>(data), len);
+  }
+
+  std::string* out_;
+};
+
+/// Bounds-checked little-endian reader; every getter reports underflow
+/// instead of reading past the buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool U8(uint8_t* v) { return Raw(v, sizeof(*v)); }
+  bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool I64(int64_t* v) { return Raw(v, sizeof(*v)); }
+  bool F64(double* v) { return Raw(v, sizeof(*v)); }
+  bool Bytes(std::string_view* out) {
+    uint32_t len = 0;
+    if (!U32(&len) || len > remaining()) return false;
+    *out = data_.substr(pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  bool Raw(void* v, size_t len) {
+    if (remaining() < len) return false;
+    std::memcpy(v, data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// Serializes one predicate list (the shared `predicates` production above).
+void EncodePredicates(const std::vector<Predicate>& predicates,
+                      ByteWriter* writer);
+
+/// Parses a predicate list; false on underflow or structurally invalid
+/// operands (unknown op, inverted between, empty in-set, oversized counts).
+bool DecodePredicates(ByteReader* reader, std::vector<Predicate>* out);
+
+}  // namespace apcm::store
+
+#endif  // APCM_STORE_WAL_H_

@@ -9,7 +9,9 @@
 #include <cstdio>
 #include <fstream>
 #include <iterator>
+#include <sstream>
 
+#include "src/base/failpoint.h"
 #include "src/core/pcm.h"
 #include "tests/matcher_test_util.h"
 
@@ -162,6 +164,87 @@ TEST_F(SerializationTest, CorruptedImagesRejectedNotCrashed) {
       std::vector<SubscriptionId> matches;
       loaded.Match(workload.events.front(), &matches);
     }
+  }
+}
+
+std::string ReadAll(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST_F(SerializationTest, StreamAndPathImagesAreIdentical) {
+  // The checkpoint path (src/store) embeds index images through the stream
+  // form; it must be byte-identical to what SaveIndex(path) persists.
+  const auto workload = workload::Generate(GnarlySpec(309)).value();
+  PcmOptions options;
+  options.clustering.cluster_size = 64;
+  PcmMatcher original(options);
+  original.Build(workload.subscriptions);
+  ASSERT_TRUE(original.SaveIndex(kPath).ok());
+  std::ostringstream stream_image;
+  ASSERT_TRUE(original.SaveIndex(stream_image).ok());
+  EXPECT_EQ(stream_image.str(), ReadAll(kPath));
+
+  PcmMatcher loaded(options);
+  std::istringstream in(stream_image.str());
+  ASSERT_TRUE(loaded.LoadIndex(workload.subscriptions, in).ok());
+  std::vector<std::vector<SubscriptionId>> expected;
+  std::vector<std::vector<SubscriptionId>> actual;
+  original.MatchBatch(workload.events, &expected);
+  loaded.MatchBatch(workload.events, &actual);
+  EXPECT_EQ(actual, expected);
+}
+
+TEST_F(SerializationTest, SaveSurvivesInjectedShortWrites) {
+  if (!failpoint::kEnabled) GTEST_SKIP() << "needs -DAPCM_FAILPOINTS=ON";
+  failpoint::DisarmAll();
+  const auto workload = workload::Generate(GnarlySpec(310)).value();
+  PcmOptions options;
+  options.clustering.cluster_size = 32;
+  PcmMatcher original(options);
+  original.Build(workload.subscriptions);
+  // Every write(2) is clamped to 7 bytes; WriteAll must keep retrying with
+  // the remainder until the full image lands.
+  ASSERT_TRUE(
+      failpoint::Configure("store.file.write.short", "10000*return(7)").ok());
+  const Status saved = original.SaveIndex(kPath);
+  failpoint::DisarmAll();
+  ASSERT_TRUE(saved.ok()) << saved.message();
+  EXPECT_GT(failpoint::Hits("store.file.write.short"), 1u);
+
+  PcmMatcher loaded(options);
+  ASSERT_TRUE(loaded.LoadIndex(workload.subscriptions, kPath).ok());
+  std::vector<std::vector<SubscriptionId>> expected;
+  std::vector<std::vector<SubscriptionId>> actual;
+  original.MatchBatch(workload.events, &expected);
+  loaded.MatchBatch(workload.events, &actual);
+  EXPECT_EQ(actual, expected);
+}
+
+TEST_F(SerializationTest, FailedSaveLeavesTheOldIndexIntact) {
+  if (!failpoint::kEnabled) GTEST_SKIP() << "needs -DAPCM_FAILPOINTS=ON";
+  failpoint::DisarmAll();
+  const auto workload = workload::Generate(GnarlySpec(311)).value();
+  PcmOptions options;
+  options.clustering.cluster_size = 32;
+  PcmMatcher original(options);
+  original.Build(workload.subscriptions);
+  ASSERT_TRUE(original.SaveIndex(kPath).ok());
+  const std::string before = ReadAll(kPath);
+
+  for (const char* seam :
+       {"store.file.write.error", "store.file.fsync.error"}) {
+    SCOPED_TRACE(seam);
+    ASSERT_TRUE(failpoint::Configure(seam, "1*return").ok());
+    EXPECT_FALSE(original.SaveIndex(kPath).ok());
+    failpoint::DisarmAll();
+    // Atomic replace: the old image is untouched and no temp file leaks.
+    EXPECT_EQ(ReadAll(kPath), before);
+    std::ifstream tmp(std::string(kPath) + ".tmp");
+    EXPECT_FALSE(tmp.good());
+    PcmMatcher loaded(options);
+    EXPECT_TRUE(loaded.LoadIndex(workload.subscriptions, kPath).ok());
   }
 }
 

@@ -1,0 +1,258 @@
+// C3: cluster serving tier — router fan-out/merge overhead and scaling.
+// The same remote-ingestion workload as bench_net (C2), but pushed through
+// a ClusterRouter over N in-process backend EventServers: every publish
+// fans out to all N backends and is acknowledged only after each one
+// durably admitted it, so the ACK round trip measures the slowest backend
+// plus the router's merge bookkeeping. A direct single-EventServer row
+// (no router) pins the tier's overhead; the cluster=1 row isolates the
+// extra hop, and larger N shows how fan-out costs grow with the topology.
+//
+// Subscriptions are partitioned across backends by consistent hash, so the
+// per-backend matching load shrinks as N grows while the fan-out cost
+// rises — the crossover is exactly what this bench charts.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/base/histogram.h"
+#include "src/base/macros.h"
+#include "src/base/rng.h"
+#include "src/be/parser.h"
+#include "src/cluster/router.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+
+namespace apcm::bench {
+namespace {
+
+constexpr int kAttributes = 16;
+constexpr int kSubscriptions = 1000;
+constexpr int kEventPool = 2048;
+constexpr int64_t kDomain = 1000;
+constexpr int kPublishers = 4;
+
+/// Same synthetic load as bench_net: one window predicate per subscription,
+/// cycling the primary attribute.
+std::vector<std::string> MakeSubscriptionTexts(Rng& rng) {
+  std::vector<std::string> texts;
+  texts.reserve(kSubscriptions);
+  for (int i = 0; i < kSubscriptions; ++i) {
+    const int attr = i % kAttributes;
+    const int64_t lo = rng.UniformInt(0, kDomain - 51);
+    texts.push_back("a" + std::to_string(attr) + " between [" +
+                    std::to_string(lo) + ", " + std::to_string(lo + 50) + "]");
+  }
+  return texts;
+}
+
+std::vector<Event> MakeEventPool(Parser& parser, Rng& rng) {
+  std::vector<Event> events;
+  events.reserve(kEventPool);
+  for (int i = 0; i < kEventPool; ++i) {
+    std::string text;
+    for (int attr = 0; attr < kAttributes; ++attr) {
+      if (!rng.Bernoulli(0.5)) continue;
+      if (!text.empty()) text += ", ";
+      text += "a" + std::to_string(attr) + " = " +
+              std::to_string(rng.UniformInt(0, kDomain - 1));
+    }
+    if (text.empty()) text = "a0 = 0";
+    events.push_back(parser.ParseEvent(text).value());
+  }
+  return events;
+}
+
+/// Backends must share one attribute schema (each parses only its own
+/// partitions' subscription text — see EventServerOptions::attributes).
+net::EventServerOptions BackendOptions() {
+  net::EventServerOptions options;
+  options.engine.batch_size = 256;
+  for (int attr = 0; attr < kAttributes; ++attr) {
+    options.attributes.push_back("a" + std::to_string(attr));
+  }
+  return options;
+}
+
+struct ClusterResult {
+  double events_per_second = 0;
+  uint64_t events_acked = 0;
+  uint64_t matches = 0;
+  Histogram publish_latency_ns;
+};
+
+/// Runs the publisher fleet against `port` (a router or a bare server) and
+/// drains the subscriber to the progress watermark, so every owed MATCH is
+/// counted without sleeps.
+ClusterResult RunLoad(int port, const std::vector<std::string>& subs,
+                      const std::vector<Event>& events,
+                      double budget_seconds) {
+  net::Client subscriber;
+  APCM_CHECK(subscriber.Connect("127.0.0.1", port).ok());
+  APCM_CHECK(subscriber.Follow().ok());
+  for (size_t i = 0; i < subs.size(); ++i) {
+    APCM_CHECK(subscriber.Subscribe(i, subs[i]).ok());
+  }
+
+  std::atomic<uint64_t> matches{0};
+  std::atomic<uint64_t> total{0};  // set once the fleet is done
+  std::thread drainer([&] {
+    uint64_t watermark = 0;
+    bool alive = true;
+    while (alive) {
+      auto match = subscriber.PollMatch(/*timeout_ms=*/5);
+      if (!match.ok()) break;
+      if (match.value().has_value()) {
+        matches.fetch_add(match.value()->sub_ids.size(),
+                          std::memory_order_relaxed);
+      }
+      // Exhaust the queued watermarks (one PROGRESS per event) in a burst;
+      // popping one per outer pass would drain far slower than publish.
+      while (true) {
+        auto progress = subscriber.PollProgress(/*timeout_ms=*/0);
+        if (!progress.ok()) {
+          alive = false;
+          break;
+        }
+        if (!progress.value().has_value()) break;
+        watermark = *progress.value() + 1;
+      }
+      const uint64_t goal = total.load(std::memory_order_acquire);
+      if (goal > 0 && watermark >= goal) break;
+    }
+  });
+
+  std::vector<Histogram> latencies(kPublishers);
+  std::vector<uint64_t> acked(kPublishers, 0);
+  std::vector<std::thread> threads;
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::duration<double>(budget_seconds);
+  for (int p = 0; p < kPublishers; ++p) {
+    threads.emplace_back([&, p] {
+      net::Client publisher;
+      APCM_CHECK(publisher.Connect("127.0.0.1", port).ok());
+      size_t next = static_cast<size_t>(p);
+      while (std::chrono::steady_clock::now() < deadline) {
+        const auto t0 = std::chrono::steady_clock::now();
+        auto id = publisher.Publish(events[next % events.size()]);
+        APCM_CHECK(id.ok());
+        latencies[p].Record(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        ++acked[p];
+        ++next;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  ClusterResult result;
+  for (int p = 0; p < kPublishers; ++p) {
+    result.events_acked += acked[p];
+    result.publish_latency_ns.Merge(latencies[p]);
+  }
+  total.store(result.events_acked, std::memory_order_release);
+  drainer.join();
+  result.events_per_second = result.events_acked / seconds;
+  result.matches = matches.load();
+  return result;
+}
+
+void Run(BenchJsonWriter& json) {
+  std::printf("C3: cluster serving — router fan-out over N backends\n");
+  std::printf(
+      "    %d subscriptions, %d publishers, %.1fs per config\n\n",
+      kSubscriptions, kPublishers, TimeBudgetSeconds());
+
+  Rng rng(20260808);
+  const std::vector<std::string> subs = MakeSubscriptionTexts(rng);
+  // Local catalog pinned to the same schema the backends declare, so the
+  // binary attribute ids in published events line up with the servers'.
+  Catalog catalog;
+  for (int attr = 0; attr < kAttributes; ++attr) {
+    catalog.GetOrAddAttribute("a" + std::to_string(attr));
+  }
+  Parser parser(&catalog);
+  const std::vector<Event> events = MakeEventPool(parser, rng);
+
+  TablePrinter table({"topology", "events/s", "ack p50 us", "ack p99 us",
+                      "events", "matches"});
+  auto report = [&](const std::string& label, const ClusterResult& result) {
+    const double p50_ns =
+        static_cast<double>(result.publish_latency_ns.ValueAtQuantile(0.5));
+    const double p95_ns =
+        static_cast<double>(result.publish_latency_ns.ValueAtQuantile(0.95));
+    const double p99_ns =
+        static_cast<double>(result.publish_latency_ns.ValueAtQuantile(0.99));
+    table.AddRow({label, Rate(result.events_per_second),
+                  Fixed(p50_ns / 1e3, 1), Fixed(p99_ns / 1e3, 1),
+                  std::to_string(result.events_acked),
+                  std::to_string(result.matches)});
+    json.Add({.bench = "bench_cluster",
+              .config = label,
+              .throughput = result.events_per_second,
+              .p50_ns = p50_ns,
+              .p95_ns = p95_ns,
+              .p99_ns = p99_ns,
+              .max_ns =
+                  static_cast<double>(result.publish_latency_ns.max()),
+              .metrics = {{"events_acked",
+                           static_cast<double>(result.events_acked)},
+                          {"matches",
+                           static_cast<double>(result.matches)}}});
+  };
+
+  // Baseline: the same load straight at one EventServer, no router.
+  {
+    net::EventServer server(BackendOptions());
+    APCM_CHECK(server.Start().ok());
+    report("direct", RunLoad(server.port(), subs, events,
+                             TimeBudgetSeconds()));
+    server.Stop();
+  }
+
+  const std::vector<int> sizes =
+      FullScale() ? std::vector<int>{1, 2, 3, 5} : std::vector<int>{1, 2, 3};
+  for (int n : sizes) {
+    std::vector<std::unique_ptr<net::EventServer>> backends;
+    cluster::ClusterOptions options;
+    for (int i = 0; i < n; ++i) {
+      backends.push_back(std::make_unique<net::EventServer>(BackendOptions()));
+      APCM_CHECK(backends.back()->Start().ok());
+      options.backends.push_back({"127.0.0.1", backends.back()->port()});
+    }
+    cluster::ClusterRouter router(options);
+    APCM_CHECK(router.Start().ok());
+    report("cluster=" + std::to_string(n),
+           RunLoad(router.port(), subs, events, TimeBudgetSeconds()));
+    router.Stop();
+    for (auto& backend : backends) backend->Stop();
+  }
+
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\nnote: a cluster ACK completes only after every backend admitted "
+      "the event, so the round trip is a max over N admissions; the "
+      "cluster=1 row vs direct is the router's own hop + merge cost.\n");
+}
+
+}  // namespace
+}  // namespace apcm::bench
+
+int main(int argc, char** argv) {
+  apcm::bench::BenchJsonWriter json =
+      apcm::bench::BenchJsonWriter::FromArgs(argc, argv);
+  apcm::bench::Run(json);
+  return json.Finish() ? 0 : 1;
+}

@@ -88,9 +88,11 @@ run_chaos() {
   cmake --build "${build_dir}"
   # Scripted fault schedules + failpoint-deepened frame/client fault suites,
   # plus the durability kill matrix (ctest -L recovery: crash-seam recovery,
-  # torn-tail fuzz, on-disk serialization faults).
+  # torn-tail fuzz, on-disk serialization faults) and the cluster tier's
+  # differential oracle with router failpoints armed (ctest -L cluster).
   # The tee pipe is why pipefail matters: ctest's exit status must survive it.
-  ctest --test-dir "${build_dir}" -L 'chaos|recovery' --output-on-failure \
+  ctest --test-dir "${build_dir}" -L 'chaos|recovery|cluster' \
+    --output-on-failure \
     | tee /tmp/apcm_chaos_ctest.log
   # Differential soak with a perturbing failpoint schedule armed: delays at
   # the rebuild seams and probabilistic yields in the pool keep snapshot

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Cluster serving smoke: boot the router tier end-to-end (1 router over 3
+# backend EventServers, with a live backend add + drain/remove mid-stream),
+# then scrape the router's admin endpoint and assert the apcm_cluster_*
+# series moved real traffic. This is what CI's cluster-smoke job runs; it
+# works locally too:
+#
+#   scripts/cluster_smoke.sh [build-dir]    (default: build)
+#
+# The demo exits non-zero unless all 500 published events were released
+# through the merged stream with at least one match, so the smoke covers
+# correctness of the fan-out/merge path, not just endpoint liveness.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+DEMO="${BUILD_DIR}/examples/cluster_demo"
+PORT="${APCM_CLUSTER_SMOKE_PORT:-18100}"
+
+if [[ ! -x "${DEMO}" ]]; then
+  echo "missing ${DEMO} — build the cluster_demo target first" >&2
+  exit 1
+fi
+
+APCM_ADMIN_PORT="${PORT}" APCM_ADMIN_SECONDS=15 "${DEMO}" &
+DEMO_PID=$!
+cleanup() { kill "${DEMO_PID}" 2> /dev/null || true; }
+trap cleanup EXIT
+
+# The demo publishes its whole stream (including the add/remove
+# repartitioning) before the admin endpoint enters its scrape window, so a
+# healthy /healthz implies the interesting counters are already final.
+for _ in $(seq 1 75); do
+  if curl -sf "http://127.0.0.1:${PORT}/healthz" > /dev/null 2>&1; then
+    break
+  fi
+  sleep 0.2
+done
+curl -sf "http://127.0.0.1:${PORT}/healthz" | grep -q ok
+
+# Topology endpoint: valid JSON describing the post-repartition cluster —
+# 3 live backends (4 joined minus 1 drained) and the full release frontier.
+curl -sf "http://127.0.0.1:${PORT}/cluster" | tee /tmp/cluster_smoke.json
+python3 -m json.tool /tmp/cluster_smoke.json > /dev/null
+python3 - << 'EOF'
+import json
+with open("/tmp/cluster_smoke.json") as fh:
+    status = json.load(fh)
+live = [b for b in status["backends"] if b["in_topology"]]
+assert len(live) == 3, f"expected 3 live backends, got {len(live)}"
+assert status["released_count"] == 500, status["released_count"]
+assert status["repartitions"] >= 2, status["repartitions"]  # add + remove
+assert status["unacked_publishes"] == 0, status["unacked_publishes"]
+print(f"cluster topology ok: {len(live)} live backends, "
+      f"{status['released_count']} events released, "
+      f"{status['repartitions']} repartitions")
+EOF
+
+# Metrics endpoint: the cluster series exist and counted real traffic.
+curl -sf "http://127.0.0.1:${PORT}/metrics" | tee /tmp/cluster_metrics.txt
+grep -Eq '^apcm_cluster_publishes_total 500$' /tmp/cluster_metrics.txt
+grep -Eq '^apcm_cluster_publish_acks_total 500$' /tmp/cluster_metrics.txt
+grep -Eq '^apcm_cluster_fanout_frames_total [1-9]' /tmp/cluster_metrics.txt
+grep -Eq '^apcm_cluster_matches_merged_total [1-9]' /tmp/cluster_metrics.txt
+grep -Eq '^apcm_cluster_repartitions_total [1-9]' /tmp/cluster_metrics.txt
+grep -Eq '^apcm_cluster_backends 3$' /tmp/cluster_metrics.txt
+curl -sf "http://127.0.0.1:${PORT}/metrics.json" | python3 -m json.tool > /dev/null
+
+# The scrape asserts above are the correctness verdict (500/500 released
+# through the merged stream, matches counted, repartitions applied); the
+# demo is then cut short in its admin sleep window, so SIGTERM (143) is the
+# expected shutdown path and anything else is a real failure.
+kill "${DEMO_PID}" 2> /dev/null || true
+wait "${DEMO_PID}" && DEMO_RC=0 || DEMO_RC=$?
+if [[ "${DEMO_RC}" != 0 && "${DEMO_RC}" != 143 ]]; then
+  echo "cluster_demo exited with ${DEMO_RC}" >&2
+  exit "${DEMO_RC}"
+fi
+trap - EXIT
+echo "cluster smoke OK"

@@ -765,27 +765,65 @@ Status StreamEngine::RunCheckpoint() {
     ops_since_checkpoint_ = 0;
   }
   // Optional index image, built off-lock over the captured copy (mutations
-  // keep flowing into the new segment meanwhile). Unsharded PCM-family
-  // matchers only — the image must be loadable by a matching config.
-  if (options_.checkpoint_index && options_.num_shards <= 1) {
-    std::vector<BooleanExpression> exprs;  // outlives the matcher below
-    std::unique_ptr<Matcher> matcher =
-        CreateMatcher(options_.kind, options_.matcher);
-    if (auto* pcm = dynamic_cast<core::PcmMatcher*>(matcher.get())) {
-      exprs.reserve(state.subscriptions.size());
-      for (const auto& [id, predicates] : state.subscriptions) {
-        // Captured from built expressions, so already attribute-sorted.
-        exprs.push_back(BooleanExpression::FromSorted(id, predicates));
+  // keep flowing into the new segment meanwhile). PCM-family matchers only
+  // — the image must be loadable by a matching config. Sharded engines
+  // write one image per shard (checkpoint index form 2): placement is the
+  // stable ShardOf hash, so recovery with the same shard count rehydrates
+  // every shard without a rebuild.
+  if (options_.checkpoint_index) {
+    std::vector<BooleanExpression> exprs;  // outlives the matchers below
+    exprs.reserve(state.subscriptions.size());
+    for (const auto& [id, predicates] : state.subscriptions) {
+      // Captured from built expressions, so already attribute-sorted.
+      exprs.push_back(BooleanExpression::FromSorted(id, predicates));
+    }
+    if (options_.num_shards <= 1) {
+      std::unique_ptr<Matcher> matcher =
+          CreateMatcher(options_.kind, options_.matcher);
+      if (auto* pcm = dynamic_cast<core::PcmMatcher*>(matcher.get())) {
+        pcm->Build(exprs);
+        std::ostringstream image(std::ios::binary);
+        const Status saved = pcm->SaveIndex(image);
+        if (saved.ok()) {
+          state.index_kind = std::string(MatcherKindName(options_.kind));
+          state.index_image = std::move(image).str();
+        } else {
+          LogWarning("checkpoint index image skipped",
+                     {{"error", saved.ToString()}});
+        }
       }
-      pcm->Build(exprs);
-      std::ostringstream image(std::ios::binary);
-      const Status saved = pcm->SaveIndex(image);
-      if (saved.ok()) {
+    } else {
+      const uint32_t num_shards = options_.num_shards;
+      std::vector<std::vector<BooleanExpression>> per_shard(num_shards);
+      for (const BooleanExpression& sub : exprs) {
+        per_shard[index::ShardedMatcher::ShardOf(sub.id(), num_shards)]
+            .push_back(sub);
+      }
+      std::vector<std::string> images(num_shards);
+      bool complete = true;
+      for (uint32_t s = 0; s < num_shards && complete; ++s) {
+        std::unique_ptr<Matcher> matcher =
+            CreateMatcher(options_.kind, options_.matcher);
+        auto* pcm = dynamic_cast<core::PcmMatcher*>(matcher.get());
+        if (pcm == nullptr) {
+          complete = false;  // non-PCM kind: no image, plain checkpoint
+          break;
+        }
+        pcm->Build(per_shard[s]);
+        std::ostringstream image(std::ios::binary);
+        const Status saved = pcm->SaveIndex(image);
+        if (!saved.ok()) {
+          LogWarning("checkpoint shard image skipped",
+                     {{"shard", s}, {"error", saved.ToString()}});
+          complete = false;
+          break;
+        }
+        images[s] = std::move(image).str();
+      }
+      // All-or-nothing: a partial shard set cannot be installed.
+      if (complete) {
         state.index_kind = std::string(MatcherKindName(options_.kind));
-        state.index_image = std::move(image).str();
-      } else {
-        LogWarning("checkpoint index image skipped",
-                   {{"error", saved.ToString()}});
+        state.shard_images = std::move(images);
       }
     }
   }
@@ -795,10 +833,15 @@ Status StreamEngine::RunCheckpoint() {
     checkpoint_inflight_ = false;
   }
   if (written.ok() && LogEnabled(LogLevel::kDebug)) {
+    size_t index_bytes = state.index_image.size();
+    for (const std::string& image : state.shard_images) {
+      index_bytes += image.size();
+    }
     LogDebug("checkpoint written",
              {{"wal_seq", state.wal_seq},
               {"live_subs", state.subscriptions.size()},
-              {"index_bytes", state.index_image.size()}});
+              {"index_shards", state.shard_images.size()},
+              {"index_bytes", index_bytes}});
   }
   return written;
 }
@@ -843,6 +886,7 @@ void StreamEngine::RecoverFromStore() {
     // first round skips the full rebuild. Replayed WAL records then catch
     // up through the regular delta path (their change seqs are > 0).
     if (!ckpt.index_kind.empty() && options_.num_shards <= 1 &&
+        ckpt.shard_images.empty() &&
         ckpt.index_kind == MatcherKindName(options_.kind)) {
       auto built =
           std::make_shared<std::vector<BooleanExpression>>(subscriptions_);
@@ -862,6 +906,57 @@ void StreamEngine::RecoverFromStore() {
           LogWarning("checkpoint index image rejected; will rebuild",
                      {{"error", loaded.ToString()}});
         }
+      }
+    }
+    // Sharded form (index form 2): rehydrate every shard's inner matcher
+    // from its image. Only valid for the same shard count — ShardOf
+    // placement is a pure function of (id, num_shards), so a count change
+    // would scatter subscriptions across different shards than the images
+    // were built for; any mismatch falls back to a full rebuild.
+    if (!ckpt.index_kind.empty() && options_.num_shards > 1 &&
+        ckpt.shard_images.size() == options_.num_shards &&
+        ckpt.index_kind == MatcherKindName(options_.kind)) {
+      const uint32_t num_shards = options_.num_shards;
+      std::unique_ptr<Matcher> matcher = CreateEngineMatcher();
+      auto* sharded = dynamic_cast<index::ShardedMatcher*>(matcher.get());
+      bool installed = sharded != nullptr;
+      if (installed) {
+        std::vector<std::vector<BooleanExpression>> per_shard(num_shards);
+        for (const BooleanExpression& sub : subscriptions_) {
+          per_shard[index::ShardedMatcher::ShardOf(sub.id(), num_shards)]
+              .push_back(sub);
+        }
+        for (uint32_t s = 0; s < num_shards && installed; ++s) {
+          std::unique_ptr<Matcher> inner =
+              CreateMatcher(options_.kind, options_.matcher);
+          auto* pcm = dynamic_cast<core::PcmMatcher*>(inner.get());
+          if (pcm == nullptr) {
+            installed = false;
+            break;
+          }
+          auto shard_subs =
+              std::make_shared<const std::vector<BooleanExpression>>(
+                  std::move(per_shard[s]));
+          std::istringstream image(ckpt.shard_images[s], std::ios::binary);
+          const Status loaded = pcm->LoadIndex(*shard_subs, image);
+          if (!loaded.ok()) {
+            LogWarning("checkpoint shard image rejected; will rebuild",
+                       {{"shard", s}, {"error", loaded.ToString()}});
+            installed = false;
+            break;
+          }
+          sharded->InstallShard(s, std::move(shard_subs), std::move(inner),
+                                /*applied_seq=*/0);
+        }
+      }
+      if (installed) {
+        auto snap = std::make_shared<EngineSnapshot>();
+        snap->built_subs = std::make_shared<std::vector<BooleanExpression>>(
+            subscriptions_);
+        snap->matcher = std::move(matcher);
+        snap->covered_seq = 0;
+        snap->applied_seq = 0;
+        snapshot_.Store(std::move(snap));
       }
     }
   }

@@ -282,4 +282,19 @@ void ShardedMatcher::RebuildShard(
   shards_[shard] = std::move(fresh);
 }
 
+void ShardedMatcher::InstallShard(
+    uint32_t shard,
+    std::shared_ptr<const std::vector<BooleanExpression>> subs,
+    std::unique_ptr<Matcher> matcher, uint64_t applied_seq) {
+  for (const BooleanExpression& sub : *subs) {
+    APCM_CHECK(ShardOf(sub.id(), options_.num_shards) == shard);
+  }
+  APCM_CHECK(matcher != nullptr);
+  auto fresh = std::make_shared<Shard>();
+  fresh->subs = std::move(subs);
+  fresh->matcher = std::move(matcher);
+  fresh->applied_seq = applied_seq;
+  shards_[shard] = std::move(fresh);
+}
+
 }  // namespace apcm::index

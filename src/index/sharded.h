@@ -138,6 +138,15 @@ class ShardedMatcher : public IncrementalMatcher {
                     std::shared_ptr<const std::vector<BooleanExpression>> subs,
                     uint64_t applied_seq);
 
+  /// Replaces `shard` with a matcher already built (or index-loaded) over
+  /// `subs` — the checkpoint-recovery path, where each shard's inner matcher
+  /// is rehydrated from a serialized image instead of rebuilt. `subs` is the
+  /// storage the loaded index points into and must obey the same
+  /// ids-hash-to-shard invariant as RebuildShard.
+  void InstallShard(uint32_t shard,
+                    std::shared_ptr<const std::vector<BooleanExpression>> subs,
+                    std::unique_ptr<Matcher> matcher, uint64_t applied_seq);
+
  private:
   /// One partition: the inner matcher, the subscription storage it
   /// references, and the engine watermark. Shared across generations via

@@ -9,8 +9,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
+#include "src/base/failpoint.h"
 #include "src/net/net_io.h"
 
 namespace apcm::net {
@@ -21,12 +25,17 @@ std::string Errno(const char* what) {
   return std::string(what) + ": " + strerror(errno);
 }
 
+/// splitmix64 finalizer — the jitter stream of DialTcpWithRetry.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
-Status Client::Connect(const std::string& host, int port) {
-  if (fd_ >= 0) {
-    return Status::FailedPrecondition("client is already connected");
-  }
+StatusOr<int> DialTcp(const std::string& host, int port) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Status::IOError(Errno("socket"));
 
@@ -46,7 +55,63 @@ Status Client::Connect(const std::string& host, int port) {
   // stalls between a small request frame and its ACK.
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
 
+StatusOr<int> DialTcpWithRetry(const std::string& host, int port,
+                               const RetryOptions& retry) {
+  const int attempts = std::max(1, retry.max_attempts);
+  Status last = Status::IOError("no connect attempt made");
+  int backoff_ms = std::max(1, retry.initial_backoff_ms);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      // Full jitter over the current exponential window: sleep a uniform
+      // pick from [backoff/2, backoff], then double the window. Spreads a
+      // thundering herd of reconnecting dialers without a shared clock.
+      const uint64_t mix =
+          Mix64(retry.jitter_seed + static_cast<uint64_t>(attempt));
+      const int half = backoff_ms / 2;
+      const int sleep_ms =
+          half + static_cast<int>(mix % static_cast<uint64_t>(half + 1));
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      backoff_ms = std::min(retry.max_backoff_ms, backoff_ms * 2);
+    }
+    // Chaos seam: fail or delay a connect attempt before it touches the
+    // socket layer. (A flag, not `continue`: the macro body is its own
+    // do-while, so `continue` would not reach this for loop.)
+    bool injected = false;
+    APCM_FAILPOINT_INJECT("net.dial", {
+      last = Status::IOError("injected dial failure (net.dial)");
+      injected = true;
+    });
+    if (injected) continue;
+    StatusOr<int> fd = DialTcp(host, port);
+    if (fd.ok()) return fd;
+    // A bad address never gets better; retrying would just burn attempts.
+    if (fd.status().code() == StatusCode::kInvalidArgument) return fd;
+    last = fd.status();
+  }
+  return Status(last.code(),
+                last.message() + " (after " + std::to_string(attempts) +
+                    " attempts)");
+}
+
+Status Client::Connect(const std::string& host, int port) {
+  if (fd_ >= 0) {
+    return Status::FailedPrecondition("client is already connected");
+  }
+  APCM_ASSIGN_OR_RETURN(int fd, DialTcp(host, port));
+  fd_ = fd;
+  decoder_.Reset();
+  return Status::OK();
+}
+
+Status Client::ConnectWithRetry(const std::string& host, int port,
+                                const RetryOptions& retry) {
+  if (fd_ >= 0) {
+    return Status::FailedPrecondition("client is already connected");
+  }
+  APCM_ASSIGN_OR_RETURN(int fd, DialTcpWithRetry(host, port, retry));
   fd_ = fd;
   decoder_.Reset();
   return Status::OK();
@@ -125,8 +190,8 @@ StatusOr<Frame> Client::AwaitResponse(uint64_t seq, int timeout_ms) {
     Frame frame = std::move(*next);
     switch (frame.type) {
       case FrameType::kMatch:
-        pending_matches_.push_back(
-            Match{frame.event_id, std::move(frame.matches)});
+      case FrameType::kProgress:
+        QueueUnsolicited(std::move(frame));
         continue;
       case FrameType::kAck:
       case FrameType::kPong:
@@ -197,6 +262,28 @@ Status Client::Ping(int timeout_ms) {
   return AwaitResponse(frame.seq, timeout_ms).status();
 }
 
+Status Client::Follow() {
+  Frame frame;
+  frame.type = FrameType::kFollow;
+  frame.seq = next_seq_++;
+  APCM_RETURN_NOT_OK(SendFrame(frame));
+  return AwaitResponse(frame.seq).status();
+}
+
+bool Client::QueueUnsolicited(Frame frame) {
+  switch (frame.type) {
+    case FrameType::kMatch:
+      pending_matches_.push_back(
+          Match{frame.event_id, std::move(frame.matches)});
+      return true;
+    case FrameType::kProgress:
+      pending_progress_.push_back(frame.event_id);
+      return true;
+    default:
+      return false;
+  }
+}
+
 StatusOr<std::optional<Client::Match>> Client::PollMatch(int timeout_ms) {
   for (;;) {
     if (!pending_matches_.empty()) {
@@ -207,18 +294,40 @@ StatusOr<std::optional<Client::Match>> Client::PollMatch(int timeout_ms) {
     // Drain complete frames already buffered before touching the socket.
     APCM_ASSIGN_OR_RETURN(std::optional<Frame> next, decoder_.Next());
     if (next.has_value()) {
-      if (next->type != FrameType::kMatch) {
+      const FrameType type = next->type;
+      if (!QueueUnsolicited(std::move(*next))) {
         return Broken(Status::Internal(
-            std::string("unexpected ") +
-            std::string(FrameTypeName(next->type)) +
+            std::string("unexpected ") + std::string(FrameTypeName(type)) +
             " frame with no request outstanding"));
       }
-      pending_matches_.push_back(Match{next->event_id, std::move(next->matches)});
       continue;
     }
     if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
     APCM_ASSIGN_OR_RETURN(bool got, FillBuffer(timeout_ms));
     if (!got) return std::optional<Match>();
+  }
+}
+
+StatusOr<std::optional<uint64_t>> Client::PollProgress(int timeout_ms) {
+  for (;;) {
+    if (!pending_progress_.empty()) {
+      const uint64_t watermark = pending_progress_.front();
+      pending_progress_.pop_front();
+      return std::optional<uint64_t>(watermark);
+    }
+    APCM_ASSIGN_OR_RETURN(std::optional<Frame> next, decoder_.Next());
+    if (next.has_value()) {
+      const FrameType type = next->type;
+      if (!QueueUnsolicited(std::move(*next))) {
+        return Broken(Status::Internal(
+            std::string("unexpected ") + std::string(FrameTypeName(type)) +
+            " frame with no request outstanding"));
+      }
+      continue;
+    }
+    if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+    APCM_ASSIGN_OR_RETURN(bool got, FillBuffer(timeout_ms));
+    if (!got) return std::optional<uint64_t>();
   }
 }
 

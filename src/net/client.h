@@ -13,6 +13,29 @@
 
 namespace apcm::net {
 
+/// Backoff policy for DialTcpWithRetry / Client::ConnectWithRetry: bounded
+/// attempts with exponential backoff and deterministic jitter (a splitmix64
+/// mix of `jitter_seed` and the attempt number — reproducible in tests,
+/// decorrelated across a fleet of dialers in production).
+struct RetryOptions {
+  int max_attempts = 5;        ///< total connect attempts (>= 1)
+  int initial_backoff_ms = 10; ///< sleep after the first failure
+  int max_backoff_ms = 1000;   ///< backoff growth cap
+  uint64_t jitter_seed = 0;    ///< jitter stream selector (any value works)
+};
+
+/// One TCP connect attempt to host:port (IPv4 dotted quad). On success the
+/// returned fd is connected, blocking, and TCP_NODELAY. IOError on
+/// socket/connect failure, InvalidArgument on a bad address.
+StatusOr<int> DialTcp(const std::string& host, int port);
+
+/// DialTcp with bounded retries: sleeps a jittered exponential backoff
+/// between attempts and returns the final attempt's error once
+/// `retry.max_attempts` connects have failed. The failpoint seam
+/// `net.dial` fires before every attempt (chaos: inject refusals/delays).
+StatusOr<int> DialTcpWithRetry(const std::string& host, int port,
+                               const RetryOptions& retry);
+
 /// Blocking client for the EventServer frame protocol. One TCP connection,
 /// one outstanding request at a time: every request method sends a frame and
 /// waits for the ACK/ERROR/PONG echoing its sequence number. MATCH frames
@@ -39,6 +62,14 @@ class Client {
   /// Opens a TCP connection to host:port. FailedPrecondition if already
   /// connected, IOError on socket/connect failure.
   Status Connect(const std::string& host, int port);
+
+  /// Connect with the DialTcpWithRetry backoff policy: keeps dialing until
+  /// a connect succeeds or `retry.max_attempts` attempts have failed. Use
+  /// after a server restart — the client's own state (seq counter, queued
+  /// matches) carries over, but server-side state (subscriptions, follower
+  /// registration) must be re-established by the caller.
+  Status ConnectWithRetry(const std::string& host, int port,
+                          const RetryOptions& retry = RetryOptions());
 
   /// Closes the connection (idempotent). Queued matches are kept.
   void Close();
@@ -69,11 +100,20 @@ class Client {
   /// returned.
   Status Ping(int timeout_ms = -1);
 
+  /// Opts this connection into PROGRESS watermarks: the server sends one
+  /// PROGRESS frame per processed event (see FrameType::kProgress). Poll
+  /// them with PollProgress.
+  Status Follow();
+
   /// Returns the next queued MATCH, waiting up to `timeout_ms` for one to
   /// arrive (0 = only drain what is already buffered; negative = wait
   /// indefinitely). std::nullopt on timeout, IOError if the connection
   /// breaks.
   StatusOr<std::optional<Match>> PollMatch(int timeout_ms);
+
+  /// Returns the next queued PROGRESS watermark (requires Follow), waiting
+  /// up to `timeout_ms` as PollMatch does. std::nullopt on timeout.
+  StatusOr<std::optional<uint64_t>> PollProgress(int timeout_ms);
 
  private:
   /// Writes the entire wire encoding of `frame` to the socket.
@@ -90,10 +130,15 @@ class Client {
   /// Fails the connection: closes the socket and returns `status`.
   Status Broken(Status status);
 
+  /// Queues an unsolicited frame (MATCH or PROGRESS). Returns false for
+  /// frame types that are fatal outside a request/response exchange.
+  bool QueueUnsolicited(Frame frame);
+
   int fd_ = -1;
   uint64_t next_seq_ = 1;
   FrameDecoder decoder_;
   std::deque<Match> pending_matches_;
+  std::deque<uint64_t> pending_progress_;
 };
 
 }  // namespace apcm::net

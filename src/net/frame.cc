@@ -16,6 +16,8 @@
 //   kAck          u64 seq, u64 value
 //   kError        u64 seq, u32 status code, u32 len, len bytes of message
 //   kPing, kPong  u64 seq
+//   kFollow       u64 seq
+//   kProgress     u64 event_id (watermark, see frame.h)
 //
 // Every payload must be consumed exactly: trailing bytes are a framing
 // error, so a length-vs-content mismatch cannot smuggle data past the cap.
@@ -188,10 +190,20 @@ StatusOr<Frame> DecodePayload(FrameType type, uint16_t flags,
     }
     case FrameType::kPing:
     case FrameType::kPong:
+    case FrameType::kFollow:
       if (!cursor.ReadU64(&frame.seq)) {
         return Malformed(type, "short payload");
       }
       break;
+    case FrameType::kProgress:
+      if (!cursor.ReadU64(&frame.event_id)) {
+        return Malformed(type, "short payload");
+      }
+      break;
+    case FrameType::kUnknown:
+      // Unreachable: Next() builds kUnknown frames itself and never routes
+      // them through DecodePayload.
+      return Malformed(type, "unknown type in payload decoder");
   }
   if (cursor.remaining() != 0) {
     return Malformed(type, "trailing bytes in payload");
@@ -219,11 +231,20 @@ std::string_view FrameTypeName(FrameType type) {
       return "ping";
     case FrameType::kPong:
       return "pong";
+    case FrameType::kFollow:
+      return "follow";
+    case FrameType::kProgress:
+      return "progress";
+    case FrameType::kUnknown:
+      return "unknown";
   }
   return "unknown";
 }
 
 std::string EncodeFrame(const Frame& frame, size_t max_payload) {
+  // kUnknown is a decoder-side sentinel; this build has nothing to encode
+  // for a type it does not know.
+  APCM_CHECK(frame.type != FrameType::kUnknown);
   std::string payload;
   uint16_t flags = 0;
   switch (frame.type) {
@@ -266,8 +287,14 @@ std::string EncodeFrame(const Frame& frame, size_t max_payload) {
       break;
     case FrameType::kPing:
     case FrameType::kPong:
+    case FrameType::kFollow:
       AppendU64(&payload, frame.seq);
       break;
+    case FrameType::kProgress:
+      AppendU64(&payload, frame.event_id);
+      break;
+    case FrameType::kUnknown:
+      break;  // unreachable (checked above)
   }
   APCM_CHECK(payload.size() <= max_payload);
 
@@ -313,27 +340,29 @@ StatusOr<std::optional<Frame>> FrameDecoder::Next() {
     return stream_status_;
   }
   const uint8_t raw_type = static_cast<uint8_t>(data[5]);
-  if (raw_type < static_cast<uint8_t>(FrameType::kPublish) ||
-      raw_type > static_cast<uint8_t>(FrameType::kPong)) {
-    stream_status_ = Status::InvalidArgument("unknown frame type " +
-                                             std::to_string(raw_type));
-    return stream_status_;
-  }
+  const bool known =
+      raw_type >= static_cast<uint8_t>(FrameType::kPublish) &&
+      raw_type <= static_cast<uint8_t>(FrameType::kProgress);
   const uint16_t flags =
       static_cast<uint16_t>(static_cast<uint8_t>(data[6])) |
       static_cast<uint16_t>(static_cast<uint16_t>(
                                 static_cast<uint8_t>(data[7]))
                             << 8);
-  // The only defined flag is the kPublish trace-id prefix; anything else is
-  // a peer from the future (or corruption) and kills the stream exactly as
-  // the pre-flags "reserved must be zero" rule did.
-  const uint16_t allowed =
-      raw_type == static_cast<uint8_t>(FrameType::kPublish)
-          ? kFrameFlagTraceId
-          : 0;
-  if ((flags & ~allowed) != 0) {
-    stream_status_ = Status::InvalidArgument("nonzero reserved frame bits");
-    return stream_status_;
+  // The only defined flag is the kPublish trace-id prefix; any other flag
+  // on a *known* type is a peer from the future (or corruption) and kills
+  // the stream exactly as the pre-flags "reserved must be zero" rule did.
+  // An unknown type may define flags this build has never heard of, so its
+  // flag word is not validated — the frame is rejected at the request layer
+  // instead (kUnimplemented), not the framing layer.
+  if (known) {
+    const uint16_t allowed =
+        raw_type == static_cast<uint8_t>(FrameType::kPublish)
+            ? kFrameFlagTraceId
+            : 0;
+    if ((flags & ~allowed) != 0) {
+      stream_status_ = Status::InvalidArgument("nonzero reserved frame bits");
+      return stream_status_;
+    }
   }
   uint32_t length = 0;
   Cursor(data + 8, 4).ReadU32(&length);
@@ -344,6 +373,21 @@ StatusOr<std::optional<Frame>> FrameDecoder::Next() {
     return stream_status_;
   }
   if (available < kFrameHeaderBytes + length) return std::optional<Frame>();
+
+  if (!known) {
+    // Forward compatibility: the header framed the payload, so the stream
+    // stays in sync. Extract the conventional leading-u64 seq (every request
+    // type leads with one) for a correlated ERROR reply and hand the frame
+    // up as kUnknown.
+    Frame frame;
+    frame.type = FrameType::kUnknown;
+    frame.raw_type = raw_type;
+    if (length >= 8) {
+      Cursor(data + kFrameHeaderBytes, 8).ReadU64(&frame.seq);
+    }
+    consumed_ += kFrameHeaderBytes + length;
+    return std::optional<Frame>(std::move(frame));
+  }
 
   StatusOr<Frame> decoded =
       DecodePayload(static_cast<FrameType>(raw_type), flags,

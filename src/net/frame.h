@@ -12,9 +12,14 @@
 namespace apcm::net {
 
 /// Wire message types of the event-ingestion protocol (DESIGN.md §3.8).
-/// PUBLISH/SUBSCRIBE/UNSUBSCRIBE/PING travel client -> server;
-/// MATCH/ACK/ERROR/PONG travel server -> client.
+/// PUBLISH/SUBSCRIBE/UNSUBSCRIBE/PING/FOLLOW travel client -> server;
+/// MATCH/ACK/ERROR/PONG/PROGRESS travel server -> client.
 enum class FrameType : uint8_t {
+  /// Decoder-only sentinel for a structurally valid frame whose type byte
+  /// this build does not know (a peer from the future). Never encoded; the
+  /// original type byte is preserved in Frame::raw_type so the receiver can
+  /// reject the *request* (ERROR kUnimplemented) without killing the stream.
+  kUnknown = 0,
   kPublish = 1,      ///< seq + serialized event; ACK carries the event id
   kSubscribe = 2,    ///< seq + client-chosen sub id + expression text
   kUnsubscribe = 3,  ///< seq + client-chosen sub id
@@ -23,6 +28,8 @@ enum class FrameType : uint8_t {
   kError = 6,        ///< echoes a request's seq + Status code and message
   kPing = 7,         ///< seq; the peer answers PONG with the same seq
   kPong = 8,         ///< seq echoed from PING
+  kFollow = 9,       ///< seq; opt into PROGRESS watermarks (ACK value = 0)
+  kProgress = 10,    ///< event id watermark (unsolicited, followers only)
 };
 
 /// Canonical lower-case name ("publish", "ack", ...) for logs and errors.
@@ -59,9 +66,14 @@ inline constexpr size_t kMaxPayloadBytes = 1 << 20;
 /// per-type payload layouts are documented in frame.cc).
 struct Frame {
   FrameType type = FrameType::kPing;
+  /// kUnknown only: the wire type byte of a frame from a newer peer.
+  uint8_t raw_type = 0;
   /// Request correlation id, chosen by the sender of a request frame and
   /// echoed verbatim in the matching ACK/ERROR/PONG. Present in every type
-  /// except kMatch.
+  /// except kMatch and kProgress. For kUnknown frames the decoder reads the
+  /// leading u64 of the payload (0 if shorter) — every request type defined
+  /// so far leads with its seq, so a future request can still be rejected
+  /// with a correlated ERROR.
   uint64_t seq = 0;
   /// kPublish: the event being published.
   Event event;
@@ -76,6 +88,9 @@ struct Frame {
   /// by "and", disjunctions by "or").
   std::string expression;
   /// kMatch: the engine-assigned id of the matched event.
+  /// kProgress: watermark — every event with id <= event_id has been fully
+  /// processed and all of its MATCH notifications for this connection were
+  /// enqueued before this frame.
   uint64_t event_id = 0;
   /// kMatch: the subscribing connection's client-chosen sub ids that
   /// matched, ascending.
@@ -96,11 +111,17 @@ std::string EncodeFrame(const Frame& frame, size_t max_payload = kMaxPayloadByte
 /// Incremental frame parser over an arbitrary re-chunking of the byte
 /// stream: Append() bytes as they arrive from the socket, then call Next()
 /// until it yields no frame. Frames split at any offset reassemble
-/// correctly. A malformed stream (bad magic, unknown version or type,
-/// nonzero reserved bits, oversized or short payload) is fatal for the
-/// whole stream: Next() returns an error Status and every later call
-/// returns the same error — a byte stream cannot be resynchronized after a
-/// framing error, so the connection must be dropped.
+/// correctly. A malformed stream (bad magic, unknown version, nonzero
+/// reserved bits, oversized or short payload) is fatal for the whole
+/// stream: Next() returns an error Status and every later call returns the
+/// same error — a byte stream cannot be resynchronized after a framing
+/// error, so the connection must be dropped.
+///
+/// An *unknown frame type* is NOT a framing error: the header is still
+/// self-delimiting, so the decoder consumes the frame and surfaces it as
+/// FrameType::kUnknown (raw_type preserved, leading-u64 seq extracted).
+/// This keeps a connection to a newer peer alive — the receiver answers
+/// ERROR kUnimplemented instead of dropping the stream.
 class FrameDecoder {
  public:
   explicit FrameDecoder(size_t max_payload = kMaxPayloadBytes)

@@ -77,6 +77,9 @@ Status EventServer::Start() {
   if (started_) {
     return Status::InvalidArgument("event server already started");
   }
+  for (const std::string& name : options_.attributes) {
+    catalog_.GetOrAddAttribute(name);
+  }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
@@ -185,48 +188,62 @@ void EventServer::PumpLoop() {
 
 void EventServer::OnMatch(uint64_t event_id,
                           const std::vector<SubscriptionId>& matches) {
-  if (matches.empty()) return;
   // Group the engine-id match list by subscribing connection. Holding
   // route_mu_ across the enqueues also pins every routed Connection: the
   // I/O thread frees a connection only after erasing its routes under this
   // mutex.
   std::lock_guard<std::mutex> lock(route_mu_);
-  if (routes_.empty()) return;
-  // Small per-event fan-out: a flat vector beats a map here.
-  std::vector<std::pair<Connection*, uint64_t>> targets;
-  targets.reserve(matches.size());
-  for (SubscriptionId id : matches) {
-    auto it = routes_.find(id);
-    if (it == routes_.end()) continue;  // unsubscribed mid-flight
-    targets.emplace_back(it->second.conn, it->second.client_sub_id);
-  }
-  if (targets.empty()) return;
-  std::sort(targets.begin(), targets.end());
-  engine::EventTracer& tracer = engine_->tracer();
-  const bool traced = tracer.Sampled(event_id);
-  Frame frame;
-  frame.type = FrameType::kMatch;
-  frame.event_id = event_id;
-  for (size_t i = 0; i < targets.size();) {
-    Connection* conn = targets[i].first;
-    frame.matches.clear();
-    for (; i < targets.size() && targets[i].first == conn; ++i) {
-      frame.matches.push_back(targets[i].second);
+  bool enqueued = false;
+  if (!matches.empty() && !routes_.empty()) {
+    // Small per-event fan-out: a flat vector beats a map here.
+    std::vector<std::pair<Connection*, uint64_t>> targets;
+    targets.reserve(matches.size());
+    for (SubscriptionId id : matches) {
+      auto it = routes_.find(id);
+      if (it == routes_.end()) continue;  // unsubscribed mid-flight
+      targets.emplace_back(it->second.conn, it->second.client_sub_id);
     }
-    frame.matches.erase(
-        std::unique(frame.matches.begin(), frame.matches.end()),
-        frame.matches.end());
-    // The pending reference must exist before the write mark does:
-    // otherwise the I/O thread could flush the frame and release a
-    // reference this thread has not added yet, finalizing the trace early.
-    // This runs inside the delivery callback, so the engine's own reference
-    // is still held and the trace cannot finalize under us.
-    if (traced) tracer.AddPending(event_id, 1);
-    if (!EnqueueFrame(conn, frame, traced) && traced) {
-      tracer.AbandonPending(event_id);  // frame dropped, no write coming
+    std::sort(targets.begin(), targets.end());
+    engine::EventTracer& tracer = engine_->tracer();
+    const bool traced = !targets.empty() && tracer.Sampled(event_id);
+    Frame frame;
+    frame.type = FrameType::kMatch;
+    frame.event_id = event_id;
+    for (size_t i = 0; i < targets.size();) {
+      Connection* conn = targets[i].first;
+      frame.matches.clear();
+      for (; i < targets.size() && targets[i].first == conn; ++i) {
+        frame.matches.push_back(targets[i].second);
+      }
+      frame.matches.erase(
+          std::unique(frame.matches.begin(), frame.matches.end()),
+          frame.matches.end());
+      // The pending reference must exist before the write mark does:
+      // otherwise the I/O thread could flush the frame and release a
+      // reference this thread has not added yet, finalizing the trace early.
+      // This runs inside the delivery callback, so the engine's own reference
+      // is still held and the trace cannot finalize under us.
+      if (traced) tracer.AddPending(event_id, 1);
+      if (!EnqueueFrame(conn, frame, traced) && traced) {
+        tracer.AbandonPending(event_id);  // frame dropped, no write coming
+      }
+      enqueued = true;
     }
   }
-  WakeIoLoop();
+  // PROGRESS after this event's MATCH frames: the delivery callback runs
+  // once per event in ascending event-id order, so "watermark = event_id"
+  // really does cover every earlier event on each follower's stream.
+  if (!followers_.empty()) {
+    Frame progress;
+    progress.type = FrameType::kProgress;
+    progress.event_id = event_id;
+    for (Connection* follower : followers_) {
+      APCM_FAILPOINT("net.server.progress");
+      EnqueueFrame(follower, progress);
+      enqueued = true;
+    }
+  }
+  if (enqueued) WakeIoLoop();
 }
 
 bool EventServer::EnqueueFrame(Connection* conn, const Frame& frame,
@@ -440,10 +457,22 @@ void EventServer::DispatchFrame(Connection* conn, Frame frame) {
       EnqueueFrame(conn, pong);
       return;
     }
+    case FrameType::kFollow:
+      HandleFollow(conn, frame);
+      return;
+    case FrameType::kUnknown:
+      // A structurally valid frame from a newer peer: reject the request,
+      // keep the connection. The decoder already resynchronized past it.
+      SendError(conn, frame.seq,
+                Status::Unimplemented(
+                    "frame type " + std::to_string(frame.raw_type) +
+                    " is not supported by this server"));
+      return;
     case FrameType::kMatch:
     case FrameType::kAck:
     case FrameType::kError:
     case FrameType::kPong:
+    case FrameType::kProgress:
       // Server-to-client types are a protocol violation from a client.
       SendError(conn, frame.seq,
                 Status::InvalidArgument(
@@ -545,6 +574,20 @@ void EventServer::HandleUnsubscribe(Connection* conn, const Frame& frame) {
   SendAck(conn, frame.seq, 0);
 }
 
+void EventServer::HandleFollow(Connection* conn, const Frame& frame) {
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    if (!conn->follower) {
+      conn->follower = true;
+      followers_.push_back(conn);
+    }
+  }
+  SendAck(conn, frame.seq, 0);
+  if (LogEnabled(LogLevel::kDebug)) {
+    LogDebug("connection following progress", {{"conn", conn->id}});
+  }
+}
+
 void EventServer::RetryPaused() {
   for (auto& [fd, conn] : conns_) {
     if (!conn->paused || conn->doomed.load(std::memory_order_relaxed)) {
@@ -600,6 +643,11 @@ void EventServer::CloseConnection(Connection* conn, const char* reason) {
   {
     std::lock_guard<std::mutex> lock(route_mu_);
     for (SubscriptionId id : engine_ids) routes_.erase(id);
+    if (conn->follower) {
+      followers_.erase(
+          std::remove(followers_.begin(), followers_.end(), conn),
+          followers_.end());
+    }
   }
   for (SubscriptionId id : engine_ids) {
     [[maybe_unused]] Status removed = engine_->RemoveSubscription(id);

@@ -39,6 +39,15 @@ struct EventServerOptions {
   size_t max_write_queue_bytes = 4u << 20;
   /// Per-frame payload cap enforced on incoming frames.
   size_t max_frame_bytes = kMaxPayloadBytes;
+  /// Attribute names pre-registered into the server's catalog at Start(), in
+  /// id order (name k gets AttributeId k, default domain). Names not listed
+  /// here are still registered on first use by subscription text — fine for
+  /// a standalone server, where one catalog sees every expression. A cluster
+  /// of servers MUST share this schema: each backend parses only its own
+  /// partitions' subscriptions, so on-demand registration would assign
+  /// name→id maps that diverge across backends while published events carry
+  /// raw binary attribute ids (DESIGN.md §3.13).
+  std::vector<std::string> attributes;
 };
 
 /// TCP ingestion server for remote publish/subscribe over the frame
@@ -141,6 +150,9 @@ class EventServer {
     bool slow_consumer = false;  ///< doomed because the outbox overflowed
     /// Engine backpressure: reading is suspended while a publish is parked.
     bool paused = false;
+    /// True once this connection sent FOLLOW: it receives one PROGRESS
+    /// frame per processed event (guarded by route_mu_ with followers_).
+    bool follower = false;
     std::optional<PendingPublish> pending;
     /// client-chosen sub id -> engine subscription id (I/O thread only).
     std::unordered_map<uint64_t, SubscriptionId> subs;
@@ -170,6 +182,8 @@ class EventServer {
   void HandlePublish(Connection* conn, Frame frame);
   void HandleSubscribe(Connection* conn, const Frame& frame);
   void HandleUnsubscribe(Connection* conn, const Frame& frame);
+  /// Registers `conn` as a PROGRESS follower (idempotent) and ACKs.
+  void HandleFollow(Connection* conn, const Frame& frame);
   /// Re-tries every parked publish; un-pauses connections whose event the
   /// engine accepted.
   void RetryPaused();
@@ -232,6 +246,11 @@ class EventServer {
   /// thread (subscribe/unsubscribe/disconnect), read by the match callback.
   std::mutex route_mu_;
   std::unordered_map<SubscriptionId, Route> routes_;
+  /// Connections that opted into PROGRESS watermarks (route_mu_). The match
+  /// callback enqueues one PROGRESS per processed event to each, *after*
+  /// that event's MATCH frames — a follower that is also a subscriber sees
+  /// MATCH(e) before PROGRESS(e) on its stream.
+  std::vector<Connection*> followers_;
 
   // Registry-owned instruments (registered into engine_->metrics_registry()
   // at construction; the registry outlives both server threads).

@@ -39,10 +39,17 @@ std::string EncodeCheckpoint(const CheckpointState& state) {
     writer.U32(static_cast<uint32_t>(internals.size()));
     for (const SubscriptionId internal : internals) writer.U32(internal);
   }
-  writer.U8(state.index_kind.empty() ? 0 : 1);
-  if (!state.index_kind.empty()) {
+  if (!state.shard_images.empty()) {
+    writer.U8(2);
+    writer.Bytes(state.index_kind);
+    writer.U32(static_cast<uint32_t>(state.shard_images.size()));
+    for (const std::string& image : state.shard_images) writer.Bytes(image);
+  } else if (!state.index_kind.empty()) {
+    writer.U8(1);
     writer.Bytes(state.index_kind);
     writer.Bytes(state.index_image);
+  } else {
+    writer.U8(0);
   }
   writer.U32(MaskCrc32c(Crc32c(0, out.data(), out.size())));
   return out;
@@ -103,10 +110,10 @@ StatusOr<CheckpointState> DecodeCheckpoint(std::string_view data) {
     }
   }
   uint8_t has_index = 0;
-  if (!reader.U8(&has_index) || has_index > 1) {
+  if (!reader.U8(&has_index) || has_index > 2) {
     return Corrupt("invalid index flag");
   }
-  if (has_index) {
+  if (has_index == 1) {
     std::string_view kind;
     std::string_view image;
     if (!reader.Bytes(&kind) || kind.empty() || !reader.Bytes(&image)) {
@@ -114,6 +121,20 @@ StatusOr<CheckpointState> DecodeCheckpoint(std::string_view data) {
     }
     state.index_kind.assign(kind);
     state.index_image.assign(image);
+  } else if (has_index == 2) {
+    std::string_view kind;
+    uint32_t nshards = 0;
+    if (!reader.Bytes(&kind) || kind.empty() || !reader.U32(&nshards) ||
+        nshards == 0 || nshards > reader.remaining()) {
+      return Corrupt("invalid shard index section");
+    }
+    state.index_kind.assign(kind);
+    state.shard_images.resize(nshards);
+    for (std::string& image : state.shard_images) {
+      std::string_view bytes;
+      if (!reader.Bytes(&bytes)) return Corrupt("invalid shard image");
+      image.assign(bytes);
+    }
   }
   if (!reader.exhausted()) return Corrupt("trailing bytes");
   return state;

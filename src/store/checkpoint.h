@@ -14,13 +14,23 @@
 ///     u32 nsubs     | per sub:   u32 id | predicates
 ///     u32 nprios    | per entry: u32 id | f64 priority
 ///     u32 ngroups   | per group: u32 external | u32 n | u32 internals...
-///     u8 has_index  | [index_kind bytes | index_image bytes]
+///     u8 has_index  | index section (see below)
 ///     u32 masked_crc32c(everything above)
 ///
-/// The optional index section embeds a serialized matcher image (the
+/// Index section by `has_index`:
+///
+///     0  none
+///     1  index_kind bytes | index_image bytes
+///     2  index_kind bytes | u32 nshards | per shard: image bytes
+///
+/// The optional index section embeds serialized matcher images (the
 /// cluster_serialization v2 format via PcmMatcher::SaveIndex) so recovery
 /// can skip the initial full rebuild when the engine runs a compatible
-/// matcher kind.
+/// matcher kind. Form 2 is written by sharded engines (num_shards > 1): one
+/// image per shard, in shard order, each loadable into the shard's inner
+/// matcher (subscription→shard placement is the stable splitmix64 ShardOf,
+/// so a checkpoint's shard images are only valid for the same shard count —
+/// recovery falls back to a full rebuild when the counts differ).
 
 #include <cstdint>
 #include <string>
@@ -46,8 +56,12 @@ struct CheckpointState {
       dnf_groups;
   /// Matcher kind name the image was built for ("" = no image embedded).
   std::string index_kind;
-  /// Serialized matcher index (PcmMatcher::SaveIndex stream bytes).
+  /// Serialized matcher index (PcmMatcher::SaveIndex stream bytes). Unused
+  /// when `shard_images` is set.
   std::string index_image;
+  /// Sharded engines: one SaveIndex image per shard, in shard order (their
+  /// presence selects index form 2; `index_kind` names the inner kind).
+  std::vector<std::string> shard_images;
 };
 
 /// Serializes `state` with magic and trailing checksum.

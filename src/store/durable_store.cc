@@ -86,7 +86,10 @@ DurableStore::~DurableStore() {
   std::lock_guard<std::mutex> lock(mu_);
   // Clean shutdown flushes the group-sync window; a store that already
   // "crashed" must not touch the files again.
-  if (!dead_ && wal_.is_open() && unsynced_ > 0) (void)wal_.Sync();
+  if (!dead_ && wal_.is_open() && unsynced_ > 0) {
+    (void)FlushBatchLocked();
+    (void)wal_.Sync();
+  }
 }
 
 StatusOr<std::unique_ptr<DurableStore>> DurableStore::Open(
@@ -225,16 +228,30 @@ Status DurableStore::Append(WalRecord* record) {
     uint64_t arg = 0;
     if (APCM_UNLIKELY(torn->armed()) && torn->Fire(&arg)) {
       const size_t keep = std::clamp<size_t>(arg, 1, frame.size() - 1);
+      (void)FlushBatchLocked();  // a torn frame follows its predecessors
       (void)wal_.Append(std::string_view(frame).substr(0, keep));
       DieLocked(/*power_loss=*/false);
       return DeadLocked();
     }
   }
 #endif
-  Status written = wal_.Append(frame);
-  if (!written.ok()) {
-    ++stats_.append_errors;
-    return PoisonLocked(std::move(written));
+  if (options_.sync_every > 1) {
+    // Group-commit batching: buffer the frame and let SyncLocked hand the
+    // whole window to the kernel in one write before its fsync. The size
+    // bound keeps memory flat when individual records are large — crossing
+    // it writes early (no fsync), which only narrows the loss window.
+    constexpr size_t kBatchFlushBytes = 1u << 20;
+    batch_.append(frame);
+    if (batch_.size() >= kBatchFlushBytes) {
+      APCM_RETURN_NOT_OK(FlushBatchLocked());
+    }
+  } else {
+    Status written = wal_.Append(frame);
+    if (!written.ok()) {
+      ++stats_.append_errors;
+      return PoisonLocked(std::move(written));
+    }
+    ++stats_.wal_writes;
   }
   last_seq_ = record->seq;
   stats_.last_seq = last_seq_;
@@ -339,6 +356,9 @@ void DurableStore::SimulateCrash(bool power_loss) {
 void DurableStore::DieLocked(bool power_loss) {
   if (dead_) return;
   dead_ = true;
+  // Userspace batch never reached the kernel: both crash kinds lose it
+  // (within the group-sync window the caller already accepted).
+  batch_.clear();
   if (wal_.is_open()) {
     // Power loss: everything past the last fsync never reached the platter.
     // Process kill: the page cache survives, so written bytes stay.
@@ -373,7 +393,20 @@ bool DurableStore::ShouldSyncLocked() const {
          NowUs() - last_sync_us_ >= options_.sync_interval_ms * 1000;
 }
 
+Status DurableStore::FlushBatchLocked() {
+  if (batch_.empty()) return Status::OK();
+  Status written = wal_.Append(batch_);
+  if (!written.ok()) {
+    ++stats_.append_errors;
+    return PoisonLocked(std::move(written));
+  }
+  ++stats_.wal_writes;
+  batch_.clear();  // keeps capacity for the next window
+  return Status::OK();
+}
+
 Status DurableStore::SyncLocked() {
+  APCM_RETURN_NOT_OK(FlushBatchLocked());
   if (unsynced_ > 0 || wal_.size() > wal_.synced_size()) {
     Status status = wal_.Sync();
     if (!status.ok()) return PoisonLocked(std::move(status));

@@ -59,6 +59,12 @@ struct StoreOptions {
   std::string dir;
   /// fsync after every N appended records; 1 = every record (full
   /// durability), 0 = never on the append path (interval/explicit only).
+  /// Group sync (N > 1) also batches record frames in userspace and hands
+  /// the whole group to the kernel in one write() right before the group
+  /// fsync — the crash contract is unchanged (durability is only ever
+  /// promised at the fsync boundary; power loss and process kill both lose
+  /// at most the unsynced window) and the append path sheds a syscall per
+  /// record.
   uint32_t sync_every = 1;
   /// Additionally fsync when this many milliseconds passed since the last
   /// sync, checked on append. 0 disables the timer.
@@ -84,6 +90,8 @@ struct StoreStats {
   uint64_t appends = 0;
   uint64_t append_errors = 0;
   uint64_t bytes = 0;
+  uint64_t wal_writes = 0;  ///< physical write() calls (batching collapses
+                            ///< a whole group-sync window into one)
   uint64_t fsyncs = 0;
   uint64_t rotations = 0;
   uint64_t checkpoints = 0;
@@ -156,12 +164,17 @@ class DurableStore {
   Status PoisonLocked(Status status);
   Status DeadLocked() const;
   void TruncateObsoleteLocked(uint64_t covered_seq);
+  /// Writes the buffered group-commit batch (if any) to the active segment.
+  Status FlushBatchLocked();
 
   const StoreOptions options_;
 
   mutable std::mutex mu_;
   bool dead_ = false;
   WritableFile wal_;
+  /// Encoded frames buffered since the last write (group sync only, see
+  /// StoreOptions::sync_every). Never durable: DieLocked drops it.
+  std::string batch_;
   uint64_t last_seq_ = 0;
   uint64_t unsynced_ = 0;
   int64_t last_sync_us_ = 0;  ///< steady-clock stamp of the last fsync

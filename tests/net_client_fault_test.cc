@@ -7,6 +7,9 @@
 
 #include "src/net/client.h"
 
+#include <chrono>
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -21,6 +24,7 @@
 #include <vector>
 
 #include "src/net/frame.h"
+#include "src/net/server.h"
 
 namespace apcm::net {
 namespace {
@@ -274,6 +278,64 @@ TEST(NetClientFaultTest, MatchesArrivingBeforeTheResponseAreQueued) {
     EXPECT_EQ((*match)->sub_ids, (std::vector<uint64_t>{1, 2}));
   }
   client.Close();
+}
+
+/// Kill a real backend mid-session, restart it on the same port, and
+/// reconnect with the backoff helper while the restart is still in flight:
+/// ConnectWithRetry must absorb the refused attempts, and a re-subscribed
+/// session must match again (server-side state does not carry over — the
+/// caller re-establishes it, exactly the contract the cluster router's
+/// resync path builds on).
+TEST(NetClientFaultTest, KillBackendThenReconnectResumesService) {
+  EventServerOptions options;
+  options.engine.batch_size = 4;
+  options.engine.osr.window_size = 0;
+  auto server = std::make_unique<EventServer>(options);
+  ASSERT_TRUE(server->Start().ok());
+  const int port = server->port();
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+  ASSERT_TRUE(client.Subscribe(7, "a0 >= 5").ok());
+  auto id = client.Publish(Event::Create({{0, 9}}).value());
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  auto match = client.PollMatch(/*timeout_ms=*/5000);
+  ASSERT_TRUE(match.ok() && match->has_value());
+  EXPECT_EQ((*match)->sub_ids, (std::vector<uint64_t>{7}));
+
+  // Kill the backend. The next request observes the broken connection.
+  server->Stop();
+  server.reset();
+  EXPECT_FALSE(client.Ping(/*timeout_ms=*/1000).ok());
+  EXPECT_FALSE(client.connected());
+
+  // Restart on the same port a beat later, with the reconnect already
+  // spinning: the early attempts are refused and backed off, a later one
+  // lands once the listener is up.
+  std::thread restarter([&server, port, &options] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    options.port = port;
+    server = std::make_unique<EventServer>(options);
+    ASSERT_TRUE(server->Start().ok());
+  });
+  RetryOptions retry;
+  retry.max_attempts = 50;
+  retry.initial_backoff_ms = 5;
+  retry.max_backoff_ms = 20;
+  const Status reconnected = client.ConnectWithRetry("127.0.0.1", port, retry);
+  restarter.join();
+  ASSERT_TRUE(reconnected.ok()) << reconnected.ToString();
+
+  // A fresh server holds none of the old session: the subscription must be
+  // re-established before matches flow again.
+  ASSERT_TRUE(client.Subscribe(7, "a0 >= 5").ok());
+  id = client.Publish(Event::Create({{0, 8}}).value());
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  match = client.PollMatch(/*timeout_ms=*/5000);
+  ASSERT_TRUE(match.ok() && match->has_value());
+  EXPECT_EQ((*match)->sub_ids, (std::vector<uint64_t>{7}));
+  client.Close();
+  server->Stop();
 }
 
 TEST(NetClientFaultTest, UnsolicitedNonMatchFrameIsFatal) {

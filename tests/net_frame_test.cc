@@ -109,11 +109,24 @@ std::vector<Frame> SampleFrames() {
     frame.seq = 13;
     frames.push_back(frame);
   }
+  {
+    Frame frame;
+    frame.type = FrameType::kFollow;
+    frame.seq = 15;
+    frames.push_back(frame);
+  }
+  {
+    Frame frame;
+    frame.type = FrameType::kProgress;
+    frame.event_id = 0xabcdef01ull;
+    frames.push_back(frame);
+  }
   return frames;
 }
 
 void ExpectSameFrame(const Frame& got, const Frame& want) {
   EXPECT_EQ(got.type, want.type);
+  EXPECT_EQ(got.raw_type, want.raw_type);
   EXPECT_EQ(got.seq, want.seq);
   EXPECT_EQ(got.sub_id, want.sub_id);
   EXPECT_EQ(got.expression, want.expression);
@@ -219,22 +232,123 @@ TEST(NetFrameTest, RejectsBadVersion) {
   EXPECT_FALSE(decoder.Next().ok());
 }
 
-TEST(NetFrameTest, RejectsUnknownType) {
-  std::string wire = EncodeFrame(SampleFrames()[0]);
-  wire[5] = 0;
+// ---------------------------------------------------------------------------
+// Forward compatibility: a frame whose type byte this build does not know is
+// consumed (the header is self-delimiting) and surfaced as kUnknown, so the
+// receiver can answer ERROR kUnimplemented instead of dropping the stream.
+// ---------------------------------------------------------------------------
+
+TEST(NetFrameTest, UnknownTypeIsNotAFramingError) {
+  for (const uint8_t raw : {uint8_t{0}, uint8_t{11}, uint8_t{0x7F},
+                            uint8_t{0xFF}}) {
+    SCOPED_TRACE("type " + std::to_string(raw));
+    std::string wire = EncodeFrame(SampleFrames()[8]);  // a kPing, u64 seq
+    wire[5] = static_cast<char>(raw);
+    FrameDecoder decoder;
+    decoder.Append(wire.data(), wire.size());
+    auto next = decoder.Next();
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    ASSERT_TRUE(next->has_value());
+    EXPECT_EQ((*next)->type, FrameType::kUnknown);
+    EXPECT_EQ((*next)->raw_type, raw);
+    EXPECT_EQ((*next)->seq, 13u);  // the PING's leading u64
+    EXPECT_FALSE(decoder.failed());
+    // The stream resynchronized: a frame behind the alien one decodes fine.
+    const std::string good = EncodeFrame(SampleFrames()[0]);
+    decoder.Append(good.data(), good.size());
+    auto after = decoder.Next();
+    ASSERT_TRUE(after.ok());
+    ASSERT_TRUE(after->has_value());
+    ExpectSameFrame(**after, SampleFrames()[0]);
+  }
+}
+
+TEST(NetFrameTest, UnknownTypeGoldenBytes) {
+  // Golden bytes of a hypothetical future frame: type 0x2A, a flag word this
+  // build has never seen, and a payload leading with a u64 seq followed by
+  // opaque extension bytes. The decoder must consume exactly these 23 bytes,
+  // preserve the raw type, extract the seq, and not validate the alien flag.
+  const uint8_t wire[] = {0x41, 0x50, 0x43, 0x4D,  // "APCM"
+                          0x01, 0x2A, 0x80, 0x00,  // version, type 42, flags
+                          0x0B, 0x00, 0x00, 0x00,  // payload length 11
+                          0x21, 0x43, 0x65, 0x87, 0x00, 0x00, 0x00, 0x00,
+                          0xDE, 0xAD, 0xBE};
   FrameDecoder decoder;
-  decoder.Append(wire.data(), wire.size());
+  decoder.Append(reinterpret_cast<const char*>(wire), sizeof(wire));
+  auto next = decoder.Next();
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  ASSERT_TRUE(next->has_value());
+  EXPECT_EQ((*next)->type, FrameType::kUnknown);
+  EXPECT_EQ((*next)->raw_type, 0x2A);
+  EXPECT_EQ((*next)->seq, 0x87654321ull);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  EXPECT_FALSE(decoder.failed());
+}
+
+TEST(NetFrameTest, UnknownTypeShortPayloadYieldsZeroSeq) {
+  // A future frame with fewer than 8 payload bytes cannot carry the
+  // conventional seq prefix; it still parses, with seq 0 (the ERROR reply
+  // correlates with seq 0, which no live request uses).
+  const uint8_t wire[] = {0x41, 0x50, 0x43, 0x4D, 0x01, 0x63, 0x00, 0x00,
+                          0x02, 0x00, 0x00, 0x00, 0xAA, 0xBB};
+  FrameDecoder decoder;
+  decoder.Append(reinterpret_cast<const char*>(wire), sizeof(wire));
+  auto next = decoder.Next();
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(next->has_value());
+  EXPECT_EQ((*next)->type, FrameType::kUnknown);
+  EXPECT_EQ((*next)->raw_type, 0x63);
+  EXPECT_EQ((*next)->seq, 0u);
+}
+
+TEST(NetFrameTest, UnknownTypeStillEnforcesThePayloadCap) {
+  // Tolerance does not extend to the length field: an alien frame claiming
+  // a payload over the cap is indistinguishable from corruption and kills
+  // the stream exactly as before.
+  FrameDecoder decoder(/*max_payload=*/64);
+  const uint8_t wire[] = {0x41, 0x50, 0x43, 0x4D, 0x01, 0x2A, 0x00, 0x00,
+                          0x41, 0x00, 0x00, 0x00};  // length 65 > cap 64
+  decoder.Append(reinterpret_cast<const char*>(wire), sizeof(wire));
   EXPECT_FALSE(decoder.Next().ok());
-  wire[5] = 9;
-  FrameDecoder decoder2;
-  decoder2.Append(wire.data(), wire.size());
-  EXPECT_FALSE(decoder2.Next().ok());
+  EXPECT_TRUE(decoder.failed());
+}
+
+TEST(NetFrameTest, FollowAndProgressGoldenBytes) {
+  Frame follow;
+  follow.type = FrameType::kFollow;
+  follow.seq = 0x1122334455667788ull;
+  const std::string follow_wire = EncodeFrame(follow);
+  const uint8_t follow_want[] = {0x41, 0x50, 0x43, 0x4D,  // "APCM"
+                                 0x01, 0x09, 0x00, 0x00,  // version, FOLLOW
+                                 0x08, 0x00, 0x00, 0x00,  // payload length 8
+                                 0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22,
+                                 0x11};
+  ASSERT_EQ(follow_wire.size(), sizeof(follow_want));
+  for (size_t i = 0; i < sizeof(follow_want); ++i) {
+    EXPECT_EQ(static_cast<uint8_t>(follow_wire[i]), follow_want[i])
+        << "byte " << i;
+  }
+
+  Frame progress;
+  progress.type = FrameType::kProgress;
+  progress.event_id = 0x0102030405060708ull;
+  const std::string progress_wire = EncodeFrame(progress);
+  const uint8_t progress_want[] = {0x41, 0x50, 0x43, 0x4D,  // "APCM"
+                                   0x01, 0x0A, 0x00, 0x00,  // version, PROGRESS
+                                   0x08, 0x00, 0x00, 0x00,  // payload length 8
+                                   0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02,
+                                   0x01};
+  ASSERT_EQ(progress_wire.size(), sizeof(progress_want));
+  for (size_t i = 0; i < sizeof(progress_want); ++i) {
+    EXPECT_EQ(static_cast<uint8_t>(progress_wire[i]), progress_want[i])
+        << "byte " << i;
+  }
 }
 
 TEST(NetFrameTest, RejectsReservedBits) {
   // The trace-id flag is only meaningful on PUBLISH; on any other type it is
   // a reserved bit and kills the stream.
-  std::string ping = EncodeFrame(SampleFrames().back());  // a kPong
+  std::string ping = EncodeFrame(SampleFrames()[9]);  // a kPong
   ping[6] = 1;
   FrameDecoder decoder;
   decoder.Append(ping.data(), ping.size());
@@ -393,8 +507,10 @@ TEST(NetFrameTest, FuzzedCorruptionNeverCrashes) {
         }
         if (!next->has_value()) break;
         // A surviving frame must be internally consistent enough to
-        // re-encode (EncodeFrame CHECKs the payload bound).
-        (void)EncodeFrame(**next);
+        // re-encode (EncodeFrame CHECKs the payload bound). kUnknown frames
+        // are decoder-only (a corrupted type byte lands here) and have no
+        // encoding.
+        if ((*next)->type != FrameType::kUnknown) (void)EncodeFrame(**next);
       }
       if (decoder.failed()) break;
     }
@@ -410,9 +526,12 @@ TEST(NetFrameTest, FuzzedRoundTripPreservesFrames) {
     const int count = 1 + static_cast<int>(rng.Uniform(8));
     for (int i = 0; i < count; ++i) {
       Frame frame;
-      frame.type = static_cast<FrameType>(1 + rng.Uniform(8));
-      // kMatch is the one unsolicited type: it carries no seq on the wire.
-      if (frame.type != FrameType::kMatch) frame.seq = rng();
+      frame.type = static_cast<FrameType>(1 + rng.Uniform(10));
+      // kMatch and kProgress are unsolicited: no seq on the wire.
+      if (frame.type != FrameType::kMatch &&
+          frame.type != FrameType::kProgress) {
+        frame.seq = rng();
+      }
       switch (frame.type) {
         case FrameType::kPublish: {
           std::vector<Event::Entry> entries;
@@ -449,7 +568,13 @@ TEST(NetFrameTest, FuzzedRoundTripPreservesFrames) {
           break;
         case FrameType::kPing:
         case FrameType::kPong:
+        case FrameType::kFollow:
           break;
+        case FrameType::kProgress:
+          frame.event_id = rng();
+          break;
+        case FrameType::kUnknown:
+          break;  // never generated (types are drawn from [1, 10])
       }
       frames.push_back(frame);
       stream += EncodeFrame(frame);
@@ -605,8 +730,10 @@ TEST_F(NetFrameFailpointTest, CorruptionUnderTornIoKeepsStickyError) {
         }
         if (!next->has_value()) break;
         // A surviving frame must be internally consistent enough to
-        // re-encode (EncodeFrame CHECKs the payload bound).
-        (void)EncodeFrame(**next);
+        // re-encode (EncodeFrame CHECKs the payload bound). kUnknown frames
+        // are decoder-only (a corrupted type byte lands here) and have no
+        // encoding.
+        if ((*next)->type != FrameType::kUnknown) (void)EncodeFrame(**next);
       }
     }
     if (!first_error.ok()) {

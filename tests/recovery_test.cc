@@ -22,6 +22,7 @@
 #include "src/base/file_io.h"
 #include "src/base/rng.h"
 #include "src/engine/engine.h"
+#include "src/store/checkpoint.h"
 #include "src/store/durable_store.h"
 
 namespace apcm {
@@ -482,6 +483,53 @@ TEST(RecoveryTest, RoundTripAcrossMatcherBackends) {
     EXPECT_EQ(recovered.engine.num_subscriptions(), oracle_subs);
     EXPECT_EQ(recovered.Probe(probes), oracle_digest);
   }
+}
+
+/// Sharded engines embed one index image per shard in the checkpoint (index
+/// form 2) and recovery rehydrates every shard from its image instead of
+/// rebuilding: the restored engine answers probes with zero shard rebuilds.
+TEST(RecoveryTest, ShardedCheckpointEmbedsAndRestoresPerShardImages) {
+  const auto script = MakeScript(0x51AED, 26);
+  const auto probes = MakeProbes(0x51AED2, 32);
+  TempDir dir;
+  EngineOptions options = DurableOptions(dir.path());
+  options.kind = MatcherKind::kAPcm;
+  options.num_shards = 4;
+  options.checkpoint_every_ops = 0;  // explicit Checkpoint() only
+  {
+    Harness durable(options);
+    ApplyScript(durable.engine, script);
+    ASSERT_TRUE(durable.engine.Checkpoint().ok());
+  }
+  // The on-disk image carries the sharded index section: the inner kind
+  // plus one non-empty image per shard (decoded through the public codec).
+  std::string ckpt_path;
+  const auto names = ListDir(dir.path()).value();
+  for (const std::string& name : names) {
+    if (name.ends_with(".ckpt")) ckpt_path = dir.path() + "/" + name;
+  }
+  ASSERT_FALSE(ckpt_path.empty());
+  const auto bytes = ReadFileToString(ckpt_path);
+  ASSERT_TRUE(bytes.ok());
+  const auto decoded = store::DecodeCheckpoint(*bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->index_kind, MatcherKindName(MatcherKind::kAPcm));
+  EXPECT_TRUE(decoded->index_image.empty());
+  ASSERT_EQ(decoded->shard_images.size(), 4u);
+  for (const std::string& image : decoded->shard_images) {
+    EXPECT_FALSE(image.empty());
+  }
+
+  Harness recovered(options);
+  const std::vector<bool> all(script.size(), true);
+  const auto [oracle_digest, oracle_subs] =
+      OracleDigest(script, all, probes, options);
+  EXPECT_EQ(recovered.engine.num_subscriptions(), oracle_subs);
+  EXPECT_EQ(recovered.Probe(probes), oracle_digest);
+  // The probes ran entirely on the rehydrated shards: nothing was rebuilt.
+  EXPECT_EQ(CounterValue(recovered.engine.metrics_registry(),
+                         "apcm_shard_rebuilds_total"),
+            0u);
 }
 
 TEST(RecoveryTest, ForeignFilesInDataDirAreIgnored) {

@@ -3,13 +3,20 @@
 
 Usage:
     scripts/perf_gate.py --baseline BENCH_headline.json \
-        --current bench_results.json [--tolerance 0.10] [--configs pcm,a-pcm]
+        --current bench_results.json [--tolerance 0.10] [--configs pcm,a-pcm] \
+        [--latency-configs connections=10000] [--latency-tolerance 1.0]
 
 Reads the `throughput` field for each gated config from both files and fails
 (exit 1) if the current run is more than `tolerance` below the baseline.
 Faster-than-baseline runs always pass: the gate catches regressions, not
 improvements — improvements get locked in by regenerating the baseline with
 scripts/bench_baseline.sh.
+
+`--latency-configs` gates the other direction on the `p99` field: those
+configs fail when current p99 latency exceeds baseline p99 by more than
+`--latency-tolerance` (a fraction of the baseline, so 1.0 allows up to 2x).
+Latency tails are far noisier than throughput means on shared CI hosts,
+hence the separate, wider default band.
 
 The default gated configs are the paper's algorithms (pcm, a-pcm): the naive
 baselines (scan, counting, ...) exist for comparison and are allowed to
@@ -50,10 +57,18 @@ def main():
     parser.add_argument("--configs", default="pcm,a-pcm",
                         help="comma-separated configs to gate "
                              "(default: pcm,a-pcm)")
+    parser.add_argument("--latency-configs", default="",
+                        help="comma-separated configs whose p99 latency is "
+                             "gated against the baseline (default: none)")
+    parser.add_argument("--latency-tolerance", type=float, default=1.0,
+                        help="allowed fractional p99 increase for "
+                             "--latency-configs (default 1.0, i.e. 2x)")
     args = parser.parse_args()
 
     if not 0 <= args.tolerance < 1:
         sys.exit("perf_gate: --tolerance must be in [0, 1)")
+    if args.latency_tolerance < 0:
+        sys.exit("perf_gate: --latency-tolerance must be >= 0")
 
     baseline = load_rows(args.baseline)
     current = load_rows(args.current)
@@ -78,9 +93,29 @@ def main():
         if verdict != "OK":
             failed = True
 
+    for config in [c.strip() for c in args.latency_configs.split(",")
+                   if c.strip()]:
+        if config not in baseline:
+            sys.exit(f"perf_gate: config '{config}' missing from "
+                     f"{args.baseline}")
+        if config not in current:
+            sys.exit(f"perf_gate: config '{config}' missing from "
+                     f"{args.current}")
+        base = float(baseline[config]["p99"])
+        cur = float(current[config]["p99"])
+        if base <= 0:
+            sys.exit(f"perf_gate: baseline p99 for '{config}' is "
+                     f"non-positive ({base})")
+        ratio = cur / base
+        verdict = "OK" if ratio <= 1 + args.latency_tolerance else "REGRESSION"
+        print(f"{config:>12}: baseline p99 {base:10.0f}ns  current p99 "
+              f"{cur:10.0f}ns  ({ratio:6.1%})  {verdict}")
+        if verdict != "OK":
+            failed = True
+
     if failed:
-        print(f"\nperf_gate: throughput regressed more than "
-              f"{args.tolerance:.0%} below the pinned baseline.", file=sys.stderr)
+        print("\nperf_gate: performance regressed beyond the allowed band "
+              "of the pinned baseline.", file=sys.stderr)
         print("If the slowdown is intentional, regenerate the baseline with "
               "scripts/bench_baseline.sh and commit it.", file=sys.stderr)
         return 1

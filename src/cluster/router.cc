@@ -93,6 +93,13 @@ ClusterRouter::ClusterRouter(ClusterOptions options)
   m_slow_consumers_ = metrics_.AddCounter(
       "apcm_cluster_slow_consumer_disconnects_total",
       "Clients dropped because their write queue overflowed.");
+  // Client sockets ride the shared epoll reactor; its instrument set lands
+  // in the router's registry alongside the cluster series.
+  reactor_metrics_.Register(metrics_);
+  reactor_metrics_.bytes_in = metrics_.AddCounter(
+      "apcm_net_bytes_in_total", "Bytes read from client connections.");
+  reactor_metrics_.bytes_out = metrics_.AddCounter(
+      "apcm_net_bytes_out_total", "Bytes written to client connections.");
   metrics_.AddGaugeFn("apcm_cluster_change_seq",
                       "Latest subscription change-log sequence number.",
                       [this] {
@@ -117,6 +124,9 @@ Status ClusterRouter::Start() {
   }
   if (options_.num_partitions == 0) {
     return Status::InvalidArgument("num_partitions must be positive");
+  }
+  if (options_.io_threads < 1 || options_.io_threads > 64) {
+    return Status::InvalidArgument("io_threads must be in [1, 64]");
   }
 
   map_ = std::make_unique<PartitionMap>(
@@ -152,46 +162,37 @@ Status ClusterRouter::Start() {
     }
   }
 
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    abort_backends();
-    return Status::Internal(std::string("socket: ") + std::strerror(errno));
-  }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string error = std::strerror(errno);
-    ::close(fd);
-    abort_backends();
-    return Status::Internal("bind 127.0.0.1:" +
-                            std::to_string(options_.port) + ": " + error);
-  }
-  if (::listen(fd, 64) != 0) {
-    const std::string error = std::strerror(errno);
-    ::close(fd);
-    abort_backends();
-    return Status::Internal("listen: " + error);
-  }
-  socklen_t addr_len = sizeof(addr);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) == 0) {
-    port_ = ntohs(addr.sin_port);
-  }
-  SetNonBlocking(fd);
   if (::pipe(wake_fds_) != 0) {
     const std::string error = std::strerror(errno);
-    ::close(fd);
     abort_backends();
     return Status::Internal("pipe: " + error);
   }
   SetNonBlocking(wake_fds_[0]);
   SetNonBlocking(wake_fds_[1]);
 
-  listen_fd_ = fd;
+  // The client-facing side is the shared epoll reactor (DESIGN.md §3.14):
+  // it owns accept sharding, framing, and write batching, and posts decoded
+  // frames into the inbox the router thread drains.
+  net::ReactorOptions ropts;
+  ropts.io_threads = options_.io_threads;
+  ropts.port = options_.port;
+  ropts.reuseport = options_.reuseport_accept;
+  ropts.max_write_queue_bytes = options_.max_write_queue_bytes;
+  ropts.max_frame_bytes = options_.max_frame_bytes;
+  ropts.metrics = &reactor_metrics_;
+  reactor_ = std::make_unique<net::Reactor>(
+      ropts, static_cast<net::Reactor::Handler*>(this));
   phase_.store(Phase::kRunning, std::memory_order_relaxed);
+  Status listening = reactor_->Start();
+  if (!listening.ok()) {
+    reactor_.reset();
+    ::close(wake_fds_[0]);
+    ::close(wake_fds_[1]);
+    wake_fds_[0] = wake_fds_[1] = -1;
+    abort_backends();
+    return listening;
+  }
+  port_ = reactor_->port();
   {
     std::lock_guard<std::mutex> cmd_lock(command_mu_);
     commands_closed_ = false;
@@ -216,6 +217,19 @@ void ClusterRouter::Stop() {
   phase_.store(Phase::kStopping, std::memory_order_release);
   WakeIoLoop();
   io_thread_.join();
+  // Client write queues flush inside the reactor (same 3s deadline the old
+  // loop enforced), then every client socket closes. Callbacks fired during
+  // this window still post to the inbox; it is discarded below.
+  if (reactor_ != nullptr) {
+    reactor_->Stop(3000);
+    reactor_.reset();
+  }
+  clients_.clear();
+  pending_events_.clear();
+  {
+    std::lock_guard<std::mutex> inbox_lock(inbox_mu_);
+    inbox_.clear();
+  }
   if (admin_) admin_->Stop();
   {
     // Commands that slipped in after the loop's last drain would block
@@ -230,10 +244,9 @@ void ClusterRouter::Stop() {
   }
   command_cv_.notify_all();
 
-  ::close(listen_fd_);
   ::close(wake_fds_[0]);
   ::close(wake_fds_[1]);
-  listen_fd_ = wake_fds_[0] = wake_fds_[1] = -1;
+  wake_fds_[0] = wake_fds_[1] = -1;
   started_ = false;
   port_ = 0;
   LogInfo("cluster router stopped");
@@ -304,7 +317,6 @@ void ClusterRouter::WakeIoLoop() {
 void ClusterRouter::IoLoop() {
   std::vector<pollfd> pfds;
   std::vector<Backend*> polled_backends;
-  std::vector<ClientConn*> polled_clients;
   std::chrono::steady_clock::time_point stop_deadline{};
   bool stop_seen = false;
   for (;;) {
@@ -326,10 +338,9 @@ void ClusterRouter::IoLoop() {
         stop_seen = true;
         stop_deadline = std::chrono::steady_clock::now() + kStopFlushDeadline;
       }
+      // Client queues flush inside the reactor (Stop() drives that after
+      // the join); only the backend channel drains here.
       bool flushed = true;
-      for (auto& [fd, conn] : clients_) {
-        if (!conn->doomed && !conn->outbox.empty()) flushed = false;
-      }
       for (auto& b : backends_) {
         if (b->connected() && !b->outbox.empty()) flushed = false;
       }
@@ -340,27 +351,13 @@ void ClusterRouter::IoLoop() {
 
     pfds.clear();
     polled_backends.clear();
-    polled_clients.clear();
     pfds.push_back({wake_fds_[0], POLLIN, 0});
-    if (phase == Phase::kRunning) {
-      pfds.push_back({listen_fd_, POLLIN, 0});
-    }
     for (auto& b : backends_) {
       if (!b->connected()) continue;
       short events = POLLIN;
       if (!b->outbox.empty()) events |= POLLOUT;
       pfds.push_back({b->fd, events, 0});
       polled_backends.push_back(b.get());
-    }
-    for (auto& [fd, conn] : clients_) {
-      short events = 0;
-      if (phase == Phase::kRunning && !clients_paused_ && !conn->doomed) {
-        events |= POLLIN;
-      }
-      if (!conn->outbox.empty()) events |= POLLOUT;
-      if (events == 0) continue;
-      pfds.push_back({fd, events, 0});
-      polled_clients.push_back(conn.get());
     }
 
     ::poll(pfds.data(), pfds.size(), kPollIntervalMs);
@@ -370,14 +367,9 @@ void ClusterRouter::IoLoop() {
       while (::read(wake_fds_[0], sink, sizeof(sink)) > 0) {
       }
     }
-    size_t next = 1;
-    if (phase == Phase::kRunning) {
-      if (pfds[next].revents & POLLIN) AcceptClients();
-      ++next;
-    }
     for (size_t i = 0; i < polled_backends.size(); ++i) {
       Backend* b = polled_backends[i];
-      const short revents = pfds[next + i].revents;
+      const short revents = pfds[1 + i].revents;
       if (!b->connected()) continue;  // doomed earlier this pass
       if (revents & (POLLOUT | POLLERR | POLLHUP)) {
         if (!FlushBackend(b)) continue;
@@ -388,35 +380,17 @@ void ClusterRouter::IoLoop() {
       }
       if (revents & POLLIN) ReadBackend(b);
     }
-    next += polled_backends.size();
-    for (size_t i = 0; i < polled_clients.size(); ++i) {
-      ClientConn* conn = polled_clients[i];
-      const short revents = pfds[next + i].revents;
-      if (revents & (POLLOUT | POLLERR | POLLHUP)) {
-        if (!FlushClient(conn)) continue;
-        if ((revents & (POLLERR | POLLHUP)) && !(revents & POLLIN)) {
-          conn->doomed = true;
-          continue;
-        }
-      }
-      if (revents & POLLIN) ReadClient(conn);
-    }
 
+    ProcessClientEvents();
     if (phase == Phase::kRunning) {
       ReconnectBackends(NowMs());
       MaybeResumeClients();
     }
-    ReapDoomedClients();
     RefreshSnapshot();
   }
 
-  // Exit: close everything (write queues were flushed above, or the
-  // deadline expired on an unresponsive peer).
-  std::vector<ClientConn*> remaining;
-  remaining.reserve(clients_.size());
-  for (auto& [fd, conn] : clients_) remaining.push_back(conn.get());
-  for (ClientConn* conn : remaining) CloseClient(conn, "router stopped");
-  clients_.clear();
+  // Exit: the backend channel closes here; client sockets belong to the
+  // reactor and close in Stop().
   for (auto& b : backends_) {
     if (b->connected()) {
       ::close(b->fd);
@@ -426,57 +400,119 @@ void ClusterRouter::IoLoop() {
   RefreshSnapshot();
 }
 
-void ClusterRouter::AcceptClients() {
-  for (;;) {
-    const int fd = net::InstrumentedAccept(listen_fd_);
-    if (fd < 0) return;  // EAGAIN or transient error
-    SetNonBlocking(fd);
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto conn = std::make_unique<ClientConn>(options_.max_frame_bytes);
-    conn->fd = fd;
-    conn->id = next_conn_id_++;
-    if (LogEnabled(LogLevel::kDebug)) {
-      LogDebug("client accepted", {{"conn", conn->id}, {"fd", fd}});
-    }
-    clients_.emplace(fd, std::move(conn));
-  }
+// ---------------------------------------------------------------------------
+// Client gateway
+
+void ClusterRouter::OnAccept(const net::Reactor::ConnPtr& conn) {
+  ClientEvent event;
+  event.kind = ClientEvent::Kind::kAccept;
+  event.conn = conn;
+  PostClientEvent(std::move(event));
 }
 
-void ClusterRouter::ReadClient(ClientConn* conn) {
-  char buf[16 * 1024];
-  size_t budget = kReadBudgetBytes;
-  while (budget > 0) {
-    const ssize_t n = net::InstrumentedRecv(net::IoSide::kServer, conn->fd,
-                                            buf, std::min(sizeof(buf), budget),
-                                            0);
-    if (n == 0) {
-      conn->doomed = true;
-      break;
-    }
-    if (n < 0) {
-      if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
-        conn->doomed = true;
-      }
-      break;
-    }
-    budget -= static_cast<size_t>(n);
-    conn->decoder.Append(buf, static_cast<size_t>(n));
-  }
-  DrainClientDecoder(conn);
+void ClusterRouter::OnFrame(const net::Reactor::ConnPtr& conn, Frame frame) {
+  ClientEvent event;
+  event.kind = ClientEvent::Kind::kFrame;
+  event.conn = conn;
+  event.frame = std::move(frame);
+  PostClientEvent(std::move(event));
 }
 
-void ClusterRouter::DrainClientDecoder(ClientConn* conn) {
-  while (!clients_paused_ && !conn->doomed) {
-    StatusOr<std::optional<Frame>> next = conn->decoder.Next();
-    if (!next.ok()) {
-      LogWarning("client protocol error; closing connection",
-                 {{"conn", conn->id}, {"error", next.status().ToString()}});
-      conn->doomed = true;
+void ClusterRouter::OnConnectionClosed(const net::Reactor::ConnPtr& conn,
+                                       net::CloseReason reason) {
+  ClientEvent event;
+  event.kind = ClientEvent::Kind::kClosed;
+  event.conn = conn;
+  event.reason = reason;
+  PostClientEvent(std::move(event));
+}
+
+void ClusterRouter::PostClientEvent(ClientEvent event) {
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    inbox_.push_back(std::move(event));
+  }
+  WakeIoLoop();
+}
+
+void ClusterRouter::ProcessClientEvents() {
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    while (!inbox_.empty()) {
+      pending_events_.push_back(std::move(inbox_.front()));
+      inbox_.pop_front();
+    }
+  }
+  const Phase phase = phase_.load(std::memory_order_acquire);
+  while (!pending_events_.empty()) {
+    if (clients_paused_ && phase == Phase::kRunning &&
+        pending_events_.front().kind == ClientEvent::Kind::kFrame) {
+      // Backpressure: frames (and everything queued behind them) wait for
+      // the unacked window to half-drain; the FIFO preserves order.
       return;
     }
-    if (!next->has_value()) return;  // need more bytes
-    DispatchClientFrame(conn, std::move(**next));
+    ClientEvent event = std::move(pending_events_.front());
+    pending_events_.pop_front();
+    switch (event.kind) {
+      case ClientEvent::Kind::kAccept:
+        if (phase != Phase::kRunning) {
+          reactor_->Doom(event.conn, net::CloseReason::kShutdown);
+          break;
+        }
+        HandleClientAccepted(event.conn);
+        break;
+      case ClientEvent::Kind::kFrame: {
+        if (phase != Phase::kRunning) break;  // shutdown drops queued input
+        ClientConn* conn = FindClient(event.conn->id());
+        if (conn == nullptr) break;  // doomed or already closed
+        DispatchClientFrame(conn, std::move(event.frame));
+        break;
+      }
+      case ClientEvent::Kind::kClosed:
+        HandleClientClosed(event.conn, event.reason);
+        break;
+    }
+  }
+}
+
+void ClusterRouter::HandleClientAccepted(const net::Reactor::ConnPtr& rconn) {
+  auto conn = std::make_unique<ClientConn>();
+  conn->rconn = rconn;
+  conn->id = rconn->id();
+  if (clients_paused_) reactor_->PauseRead(rconn);
+  if (LogEnabled(LogLevel::kDebug)) {
+    LogDebug("client accepted", {{"conn", conn->id}});
+  }
+  clients_.emplace(conn->id, std::move(conn));
+}
+
+void ClusterRouter::HandleClientClosed(const net::Reactor::ConnPtr& rconn,
+                                       net::CloseReason reason) {
+  auto it = clients_.find(rconn->id());
+  if (it == clients_.end()) return;
+  std::unique_ptr<ClientConn> conn = std::move(it->second);
+  clients_.erase(it);
+  if (reason == net::CloseReason::kSlowConsumer) {
+    m_slow_consumers_->Increment();
+  }
+  // Unregister the connection's subscriptions from their owners. Pending
+  // (un-ACKed) registrations are cleaned up when their ACK arrives and
+  // finds the origin gone.
+  size_t removed = 0;
+  for (const auto& [client_sub, global_sub] : conn->subs) {
+    auto sub = subs_.find(global_sub);
+    if (sub == subs_.end()) continue;
+    BackendOp internal;
+    SendUnsubscribe(backends_[sub->second.owner].get(), global_sub, internal);
+    AppendChange(ChangeRecord::Kind::kRemove, global_sub, sub->second.owner,
+                 sub->second.owner);
+    subs_.erase(sub);
+    ++removed;
+  }
+  if (LogEnabled(LogLevel::kDebug)) {
+    LogDebug("client closed", {{"conn", conn->id},
+                               {"reason", net::CloseReasonName(reason)},
+                               {"subs_removed", removed}});
   }
 }
 
@@ -519,7 +555,7 @@ void ClusterRouter::DispatchClientFrame(ClientConn* conn, Frame frame) {
                       Status::InvalidArgument(
                           std::string(net::FrameTypeName(frame.type)) +
                           " frames are server-to-client only"));
-      conn->doomed = true;
+      DoomClient(conn, net::CloseReason::kProtocolError);
       return;
   }
 }
@@ -547,8 +583,10 @@ void ClusterRouter::HandleClientPublish(ClientConn* conn, Frame frame) {
   if (!clients_paused_ &&
       unacked_publishes_ >= options_.max_inflight_publishes) {
     // Router-level backpressure: stop reading every client until the
-    // slowest backend catches up on ACKs. TCP pushes back from here.
+    // slowest backend catches up on ACKs. TCP pushes back from here;
+    // frames the reactor already decoded wait in the inbox.
     clients_paused_ = true;
+    PauseClientReads();
     m_backpressure_->Increment();
     if (LogEnabled(LogLevel::kDebug)) {
       LogDebug("client reads paused on unacked publishes",
@@ -604,15 +642,9 @@ void ClusterRouter::HandleClientUnsubscribe(ClientConn* conn,
 
 bool ClusterRouter::EnqueueClient(ClientConn* conn, const Frame& frame) {
   if (conn->doomed) return false;
-  const std::string wire = EncodeFrame(frame);
-  if (conn->outbox.size() + wire.size() > options_.max_write_queue_bytes) {
-    // Slow-consumer policy: drop the consumer, never buffer without bound.
-    conn->slow_consumer = true;
-    conn->doomed = true;
-    return false;
-  }
-  conn->outbox += wire;
-  return true;
+  // The reactor enforces the write-queue bound and dooms slow consumers
+  // itself (CloseReason::kSlowConsumer arrives via the inbox).
+  return reactor_->Enqueue(conn->rconn, frame);
 }
 
 void ClusterRouter::SendClientAck(ClientConn* conn, uint64_t seq,
@@ -634,79 +666,39 @@ void ClusterRouter::SendClientError(ClientConn* conn, uint64_t seq,
   EnqueueClient(conn, frame);
 }
 
-bool ClusterRouter::FlushClient(ClientConn* conn) {
-  while (!conn->outbox.empty()) {
-    const ssize_t n = net::InstrumentedSend(net::IoSide::kServer, conn->fd,
-                                            conn->outbox.data(),
-                                            conn->outbox.size(), MSG_NOSIGNAL);
-    if (n > 0) {
-      conn->outbox.erase(0, static_cast<size_t>(n));
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
-    if (n < 0 && errno == EINTR) continue;
-    conn->doomed = true;
-    return false;
-  }
-  return true;
-}
-
-void ClusterRouter::ReapDoomedClients() {
-  for (auto it = clients_.begin(); it != clients_.end();) {
-    ClientConn* conn = it->second.get();
-    if (!conn->doomed) {
-      ++it;
-      continue;
-    }
-    // One final best-effort flush (e.g. the ERROR frame of a violation).
-    FlushClient(conn);
-    const char* reason = conn->slow_consumer
-                             ? "slow consumer (write queue overflow)"
-                             : "connection closed";
-    if (conn->slow_consumer) m_slow_consumers_->Increment();
-    std::unique_ptr<ClientConn> owned = std::move(it->second);
-    it = clients_.erase(it);
-    CloseClient(owned.get(), reason);
-  }
-}
-
-void ClusterRouter::CloseClient(ClientConn* conn, const char* reason) {
-  // Unregister the connection's subscriptions from their owners. Pending
-  // (un-ACKed) registrations are cleaned up when their ACK arrives and
-  // finds the origin gone.
-  size_t removed = 0;
-  for (const auto& [client_sub, global_sub] : conn->subs) {
-    auto it = subs_.find(global_sub);
-    if (it == subs_.end()) continue;
-    BackendOp internal;
-    SendUnsubscribe(backends_[it->second.owner].get(), global_sub, internal);
-    AppendChange(ChangeRecord::Kind::kRemove, global_sub, it->second.owner,
-                 it->second.owner);
-    subs_.erase(it);
-    ++removed;
-  }
-  ::close(conn->fd);
-  if (LogEnabled(LogLevel::kDebug)) {
-    LogDebug("client closed", {{"conn", conn->id},
-                               {"reason", reason},
-                               {"subs_removed", removed}});
-  }
+void ClusterRouter::DoomClient(ClientConn* conn, net::CloseReason reason) {
+  if (conn->doomed) return;
+  conn->doomed = true;
+  reactor_->Doom(conn->rconn, reason);  // teardown completes via kClosed
 }
 
 ClusterRouter::ClientConn* ClusterRouter::FindClient(uint64_t conn_id) {
   if (conn_id == 0) return nullptr;
-  for (auto& [fd, conn] : clients_) {
-    if (conn->id == conn_id && !conn->doomed) return conn.get();
+  auto it = clients_.find(conn_id);
+  if (it == clients_.end() || it->second->doomed) return nullptr;
+  return it->second.get();
+}
+
+void ClusterRouter::PauseClientReads() {
+  for (auto& [id, conn] : clients_) {
+    if (!conn->doomed) reactor_->PauseRead(conn->rconn);
   }
-  return nullptr;
+}
+
+void ClusterRouter::ResumeClientReads() {
+  if (clients_paused_) return;  // the backpressure pause is still in force
+  for (auto& [id, conn] : clients_) {
+    if (!conn->doomed) reactor_->ResumeRead(conn->rconn);
+  }
 }
 
 void ClusterRouter::MaybeResumeClients() {
   if (!clients_paused_) return;
   if (unacked_publishes_ > options_.max_inflight_publishes / 2) return;
   clients_paused_ = false;
-  // Frames kept waiting in the decoders are runnable again.
-  for (auto& [fd, conn] : clients_) DrainClientDecoder(conn.get());
+  ResumeClientReads();
+  // Frames that queued up behind the pause resume from the inbox on the
+  // next ProcessClientEvents pass.
 }
 
 // ---------------------------------------------------------------------------
@@ -1182,7 +1174,7 @@ void ClusterRouter::AdvanceFrontier() {
   Frame progress;
   progress.type = FrameType::kProgress;
   progress.event_id = released_count_ - 1;
-  for (auto& [fd, conn] : clients_) {
+  for (auto& [id, conn] : clients_) {
     if (!conn->follower) continue;
     EnqueueClient(conn.get(), progress);
     m_progress_frames_->Increment();
@@ -1263,9 +1255,14 @@ void ClusterRouter::ExecuteCommands() {
       cmd = commands_.front();
       commands_.pop_front();
     }
+    // Quiesce: client reads stop while a command runs (the old loop simply
+    // did not poll them); frames the reactor already decoded wait in the
+    // inbox until the cutover completes.
+    PauseClientReads();
     Status result = cmd->kind == Command::Kind::kAddBackend
                         ? ExecuteAddBackend(cmd->addr)
                         : ExecuteRemoveBackend(cmd->slot);
+    ResumeClientReads();
     {
       std::lock_guard<std::mutex> lock(command_mu_);
       cmd->result = std::move(result);

@@ -21,6 +21,7 @@
 #include "src/engine/admin_server.h"
 #include "src/net/client.h"
 #include "src/net/frame.h"
+#include "src/net/reactor.h"
 
 namespace apcm::cluster {
 
@@ -36,6 +37,13 @@ struct ClusterOptions {
   std::vector<BackendAddress> backends;
   /// TCP port for client connections on 127.0.0.1 (0 = kernel-assigned).
   int port = 0;
+  /// I/O threads for the client-facing reactor (1..64). Client sockets are
+  /// served by the same epoll reactor that backs `net::EventServer`; the
+  /// router's own thread keeps the backend channel and all stream state.
+  int io_threads = 1;
+  /// Shard the client listen socket across I/O threads with SO_REUSEPORT
+  /// (falls back to a single accept thread where unsupported).
+  bool reuseport_accept = true;
   /// Virtual partitions on the consistent-hash ring (see PartitionMap).
   /// More partitions = finer rebalance granularity; must not change over a
   /// cluster's life.
@@ -130,11 +138,16 @@ struct ClusterStatus {
 /// passes them). Duplicate MATCHes from reprocessing dedupe in the merge
 /// buffer, so delivered match sets are unchanged.
 ///
-/// Threading mirrors EventServer: one I/O thread runs a poll loop over the
-/// listen socket, every client and backend connection, and a self-wake
-/// pipe. AddBackend/RemoveBackend may be called from any thread; they post
-/// a command the I/O thread executes and block until it completes.
-class ClusterRouter {
+/// Threading splits along the trust boundary. Client sockets live on the
+/// shared epoll reactor (`net::Reactor`, DESIGN.md §3.14) — N I/O threads
+/// own accept, framing, and write batching, and feed decoded frames into a
+/// mutexed inbox. The router's own thread drains that inbox, runs a poll
+/// loop over the backend connections and a self-wake pipe, and owns every
+/// piece of stream state (inflight window, merge buffer, topology).
+/// Outgoing client frames go through the reactor's thread-safe Enqueue.
+/// AddBackend/RemoveBackend may be called from any thread; they post a
+/// command the router thread executes and block until it completes.
+class ClusterRouter : private net::Reactor::Handler {
  public:
   explicit ClusterRouter(ClusterOptions options);
   ~ClusterRouter();
@@ -219,18 +232,28 @@ class ClusterRouter {
     bool connected() const { return fd >= 0; }
   };
 
+  /// Router-side view of one client connection. The socket, decoder, and
+  /// write queue live inside the reactor; this holds only the protocol
+  /// state the router thread owns.
   struct ClientConn {
-    int fd = -1;
+    net::Reactor::ConnPtr rconn;
     uint64_t id = 0;
-    net::FrameDecoder decoder;
-    std::string outbox;
+    /// Doom requested; the reactor's kClosed event finishes the teardown.
     bool doomed = false;
-    bool slow_consumer = false;
     bool follower = false;
     /// client-chosen sub id -> global sub id.
     std::unordered_map<uint64_t, uint64_t> subs;
+  };
 
-    explicit ClientConn(size_t max_frame_bytes) : decoder(max_frame_bytes) {}
+  /// One reactor callback, replayed on the router thread in arrival order
+  /// (per-connection order is exact: the reactor serializes a connection's
+  /// callbacks on its owner thread, and the inbox is a single FIFO).
+  struct ClientEvent {
+    enum class Kind : uint8_t { kAccept, kFrame, kClosed };
+    Kind kind = Kind::kAccept;
+    net::Reactor::ConnPtr conn;
+    net::Frame frame;
+    net::CloseReason reason = net::CloseReason::kPeerClosed;
   };
 
   /// One registered subscription, owned by `owner`'s partition.
@@ -280,9 +303,22 @@ class ClusterRouter {
   // I/O loop ----------------------------------------------------------------
   void IoLoop();
   void WakeIoLoop();
-  void AcceptClients();
-  void ReadClient(ClientConn* conn);
-  void DrainClientDecoder(ClientConn* conn);
+
+  // Client gateway ----------------------------------------------------------
+  // Reactor::Handler overrides run on reactor I/O threads; they only post
+  // to the inbox and wake the router thread.
+  void OnAccept(const net::Reactor::ConnPtr& conn) override;
+  void OnFrame(const net::Reactor::ConnPtr& conn, net::Frame frame) override;
+  void OnConnectionClosed(const net::Reactor::ConnPtr& conn,
+                          net::CloseReason reason) override;
+  void PostClientEvent(ClientEvent event);
+  /// Drains the inbox and replays client events on the router thread.
+  /// Frames stop at the backpressure pause (FIFO order holds; they resume
+  /// from the same queue).
+  void ProcessClientEvents();
+  void HandleClientAccepted(const net::Reactor::ConnPtr& rconn);
+  void HandleClientClosed(const net::Reactor::ConnPtr& rconn,
+                          net::CloseReason reason);
   void DispatchClientFrame(ClientConn* conn, net::Frame frame);
   void HandleClientPublish(ClientConn* conn, net::Frame frame);
   void HandleClientSubscribe(ClientConn* conn, const net::Frame& frame);
@@ -290,12 +326,15 @@ class ClusterRouter {
   bool EnqueueClient(ClientConn* conn, const net::Frame& frame);
   void SendClientAck(ClientConn* conn, uint64_t seq, uint64_t value);
   void SendClientError(ClientConn* conn, uint64_t seq, const Status& status);
-  bool FlushClient(ClientConn* conn);
-  void ReapDoomedClients();
-  void CloseClient(ClientConn* conn, const char* reason);
+  void DoomClient(ClientConn* conn, net::CloseReason reason);
   ClientConn* FindClient(uint64_t conn_id);
+  /// Pauses reads on every live client (backpressure and topology-command
+  /// quiesce both ride this).
+  void PauseClientReads();
+  /// Undoes PauseClientReads unless the backpressure pause is in force.
+  void ResumeClientReads();
   /// Lifts the router-level publish backpressure pause once the unacked
-  /// window has half-drained, re-draining frames buffered meanwhile.
+  /// window has half-drained; queued frames resume from the inbox.
   void MaybeResumeClients();
 
   // Backend channel ---------------------------------------------------------
@@ -358,16 +397,21 @@ class ClusterRouter {
   std::mutex lifecycle_mu_;
   bool started_ = false;
   std::atomic<Phase> phase_{Phase::kRunning};
-  int listen_fd_ = -1;
   int wake_fds_[2] = {-1, -1};
   int port_ = 0;
   std::thread io_thread_;
 
-  // Topology + stream state (I/O thread only, except where noted).
+  // Client gateway (reactor threads produce, router thread consumes).
+  net::ReactorMetrics reactor_metrics_;
+  std::unique_ptr<net::Reactor> reactor_;
+  std::mutex inbox_mu_;
+  std::deque<ClientEvent> inbox_;          // guarded by inbox_mu_
+  std::deque<ClientEvent> pending_events_;  // router thread only
+
+  // Topology + stream state (router thread only, except where noted).
   std::unique_ptr<PartitionMap> map_;
   std::vector<std::unique_ptr<Backend>> backends_;  ///< index = slot
-  std::unordered_map<int, std::unique_ptr<ClientConn>> clients_;  ///< by fd
-  uint64_t next_conn_id_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<ClientConn>> clients_;  ///< id
   uint64_t next_global_event_ = 0;
   uint64_t next_global_sub_ = 1;
   std::unordered_map<uint64_t, GlobalSub> subs_;  ///< by global sub id

@@ -17,8 +17,12 @@
 ///   net.{server,client}.send.eagain      send fails with errno=EAGAIN
 ///   net.{server,client}.send.error       send fails with errno=ECONNRESET
 ///   net.server.accept.fail               accept fails with errno=EMFILE
+///   net.reactor.writev.short             writev byte count clamped to
+///                                        max(arg, 1), splitting mid-frame
+///                                        and mid-iovec at arbitrary offsets
 
 #include <sys/types.h>
+#include <sys/uio.h>
 
 #include <cstddef>
 
@@ -39,6 +43,14 @@ ssize_t InstrumentedSend(IoSide side, int fd, const void* buf, size_t len,
 
 /// ::accept(fd, nullptr, nullptr) with failpoint injection (EMFILE).
 int InstrumentedAccept(int fd);
+
+/// ::writev with failpoint injection (net.reactor.writev.short clamps the
+/// total byte count to max(arg, 1), truncating the iovec array mid-entry so
+/// frames tear at arbitrary offsets; net.server.send.eagain/.error apply as
+/// for InstrumentedSend). The reactor's gathered outbox flush goes through
+/// this wrapper.
+ssize_t InstrumentedWritev(IoSide side, int fd, const struct iovec* iov,
+                           int iovcnt);
 
 }  // namespace apcm::net
 

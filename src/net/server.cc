@@ -40,6 +40,24 @@ void SetNonBlocking(int fd) {
 
 }  // namespace
 
+Status ValidateEventServerOptions(const EventServerOptions& options) {
+  if (options.io_threads < 0 || options.io_threads > 64) {
+    return Status::InvalidArgument(
+        "io_threads must be in [0, 64] (0 = legacy poll loop), got " +
+        std::to_string(options.io_threads));
+  }
+  if (options.max_frame_bytes == 0 ||
+      options.max_frame_bytes > kMaxPayloadBytes) {
+    return Status::InvalidArgument(
+        "max_frame_bytes must be in (0, " + std::to_string(kMaxPayloadBytes) +
+        "], got " + std::to_string(options.max_frame_bytes));
+  }
+  if (options.max_write_queue_bytes == 0) {
+    return Status::InvalidArgument("max_write_queue_bytes must be positive");
+  }
+  return engine::ValidateEngineOptions(options.engine);
+}
+
 EventServer::EventServer(EventServerOptions options)
     : options_(std::move(options)) {
   // The server must never block inside Publish: rejection is the signal
@@ -68,6 +86,11 @@ EventServer::EventServer(EventServerOptions options)
   slow_consumer_disconnects_ = registry.AddCounter(
       "apcm_net_slow_consumer_disconnects_total",
       "Connections dropped because their write queue overflowed.");
+  reactor_metrics_.Register(registry);
+  // The reactor reports socket traffic into the server's established byte
+  // series, so dashboards don't fork on the io_threads setting.
+  reactor_metrics_.bytes_in = bytes_in_;
+  reactor_metrics_.bytes_out = bytes_out_;
 }
 
 EventServer::~EventServer() { Stop(); }
@@ -77,8 +100,37 @@ Status EventServer::Start() {
   if (started_) {
     return Status::InvalidArgument("event server already started");
   }
+  APCM_RETURN_NOT_OK(ValidateEventServerOptions(options_));
   for (const std::string& name : options_.attributes) {
     catalog_.GetOrAddAttribute(name);
+  }
+  if (options_.io_threads > 0) {
+    // Reactor mode: the epoll front-end owns sockets and framing; this
+    // class is its protocol Handler and keeps the engine pump.
+    ReactorOptions ropts;
+    ropts.io_threads = options_.io_threads;
+    ropts.port = options_.port;
+    ropts.reuseport = options_.reuseport_accept;
+    ropts.max_write_queue_bytes = options_.max_write_queue_bytes;
+    ropts.max_frame_bytes = options_.max_frame_bytes;
+    ropts.metrics = &reactor_metrics_;
+    reactor_ = std::make_unique<Reactor>(
+        ropts, static_cast<Reactor::Handler*>(this));
+    Status started = reactor_->Start();
+    if (!started.ok()) {
+      reactor_.reset();
+      return started;
+    }
+    port_ = reactor_->port();
+    pump_stop_ = false;
+    started_ = true;
+    pump_thread_ = std::thread([this] { PumpLoop(); });
+    LogInfo("event server listening (reactor)",
+            {{"addr", "127.0.0.1"},
+             {"port", port_},
+             {"io_threads", options_.io_threads},
+             {"reuseport", reactor_->reuseport_active()}});
+    return Status::OK();
   }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
@@ -130,6 +182,31 @@ void EventServer::Stop() {
   {
     std::unique_lock<std::mutex> lock(lifecycle_mu_);
     if (!started_) return;
+    if (reactor_ != nullptr) {
+      lock.unlock();
+      // Same four phases as the legacy loop, delegated to the reactor.
+      // Phase 1: stop accepting and reading (no publish can race the
+      // drain below once BeginDrain returns).
+      reactor_->BeginDrain();
+      // Phase 2: drain the engine — every ACKed event is matched and its
+      // MATCH frames land in subscriber outboxes.
+      engine_->Flush();
+      // Phase 3: stop the pump.
+      {
+        std::lock_guard<std::mutex> pump_lock(pump_mu_);
+        pump_stop_ = true;
+      }
+      pump_cv_.notify_all();
+      pump_thread_.join();
+      // Phase 4: flush remaining outboxes (3s deadline), close, join.
+      reactor_->Stop(3000);
+      reactor_.reset();
+      lock.lock();
+      started_ = false;
+      port_ = 0;
+      LogInfo("event server stopped");
+      return;
+    }
     // Phase 1: the I/O loop stops accepting and reading. Wait until it
     // acknowledges, so no publish can race the engine drain below.
     phase_.store(Phase::kDraining, std::memory_order_release);
@@ -162,6 +239,12 @@ void EventServer::Stop() {
 }
 
 void EventServer::WakeIoLoop() {
+  if (reactor_ != nullptr) {
+    // Reactor mode: wake every I/O thread so parked publishes retry and
+    // fresh MATCH frames flush promptly.
+    reactor_->WakeAll();
+    return;
+  }
   const char byte = 0;
   // Nonblocking; EAGAIN means the pipe already holds a wakeup.
   [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &byte, 1);
@@ -193,6 +276,67 @@ void EventServer::OnMatch(uint64_t event_id,
   // I/O thread frees a connection only after erasing its routes under this
   // mutex.
   std::lock_guard<std::mutex> lock(route_mu_);
+  if (reactor_ != nullptr) {
+    if (!matches.empty() && !routes_.empty()) {
+      // (connection, client sub id) targets, keyed by the raw pointer so
+      // frames group per connection exactly like the legacy path.
+      struct RTarget {
+        Reactor::Connection* key;
+        const Reactor::ConnPtr* conn;
+        uint64_t sub;
+      };
+      std::vector<RTarget> targets;
+      targets.reserve(matches.size());
+      for (SubscriptionId id : matches) {
+        auto it = routes_.find(id);
+        if (it == routes_.end()) continue;  // unsubscribed mid-flight
+        targets.push_back(RTarget{it->second.rconn.get(), &it->second.rconn,
+                                  it->second.client_sub_id});
+      }
+      std::sort(targets.begin(), targets.end(),
+                [](const RTarget& a, const RTarget& b) {
+                  return a.key != b.key ? a.key < b.key : a.sub < b.sub;
+                });
+      engine::EventTracer& tracer = engine_->tracer();
+      const bool traced = !targets.empty() && tracer.Sampled(event_id);
+      Frame frame;
+      frame.type = FrameType::kMatch;
+      frame.event_id = event_id;
+      for (size_t i = 0; i < targets.size();) {
+        Reactor::Connection* key = targets[i].key;
+        const Reactor::ConnPtr* conn = targets[i].conn;
+        frame.matches.clear();
+        for (; i < targets.size() && targets[i].key == key; ++i) {
+          frame.matches.push_back(targets[i].sub);
+        }
+        frame.matches.erase(
+            std::unique(frame.matches.begin(), frame.matches.end()),
+            frame.matches.end());
+        // Pending reference before the enqueue, exactly as in legacy mode:
+        // an I/O thread could otherwise write the frame and release a
+        // reference this thread has not added yet.
+        if (traced) tracer.AddPending(event_id, 1);
+        if (reactor_->Enqueue(*conn, frame, traced, event_id)) {
+          frames_out_->Increment();
+        } else if (traced) {
+          tracer.AbandonPending(event_id);  // dropped, no write coming
+        }
+      }
+    }
+    // PROGRESS after this event's MATCH frames (same stream-order contract
+    // as legacy mode; both are pushed by this thread, so the per-producer
+    // FIFO of the outbox preserves it).
+    if (!rfollowers_.empty()) {
+      Frame progress;
+      progress.type = FrameType::kProgress;
+      progress.event_id = event_id;
+      for (const Reactor::ConnPtr& follower : rfollowers_) {
+        APCM_FAILPOINT("net.server.progress");
+        if (reactor_->Enqueue(follower, progress)) frames_out_->Increment();
+      }
+    }
+    return;
+  }
   bool enqueued = false;
   if (!matches.empty() && !routes_.empty()) {
     // Small per-event fan-out: a flat vector beats a map here.
@@ -541,7 +685,7 @@ void EventServer::HandleSubscribe(Connection* conn, const Frame& frame) {
   conn->subs.emplace(frame.sub_id, *added);
   {
     std::lock_guard<std::mutex> lock(route_mu_);
-    routes_[*added] = Route{conn, frame.sub_id};
+    routes_[*added] = Route{conn, nullptr, frame.sub_id};
   }
   SendAck(conn, frame.seq, *added);
   if (LogEnabled(LogLevel::kDebug)) {
@@ -706,6 +850,248 @@ bool EventServer::AllWritesFlushed() {
     if (!conn->outbox.empty()) return false;
   }
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Reactor mode: protocol handler. Every callback runs on the connection's
+// owner I/O thread; per-connection session state needs no locks, while
+// cross-connection state (routes, parser) keeps the same mutexes the
+// legacy path already uses plus control_mu_ for the parser.
+// ---------------------------------------------------------------------------
+
+void EventServer::OnAccept(const Reactor::ConnPtr& conn) {
+  conn->set_user_data(new ReactorSession());
+  connections_->Add(1);
+  if (LogEnabled(LogLevel::kDebug)) {
+    LogDebug("connection accepted", {{"conn", conn->id()}});
+  }
+}
+
+void EventServer::SendAckReactor(const Reactor::ConnPtr& conn, uint64_t seq,
+                                 uint64_t value) {
+  Frame frame;
+  frame.type = FrameType::kAck;
+  frame.seq = seq;
+  frame.value = value;
+  if (reactor_->Enqueue(conn, frame)) frames_out_->Increment();
+}
+
+void EventServer::SendErrorReactor(const Reactor::ConnPtr& conn, uint64_t seq,
+                                   const Status& status) {
+  Frame frame;
+  frame.type = FrameType::kError;
+  frame.seq = seq;
+  frame.code = status.code();
+  frame.message = status.message();
+  if (reactor_->Enqueue(conn, frame)) frames_out_->Increment();
+}
+
+void EventServer::OnFrame(const Reactor::ConnPtr& conn, Frame frame) {
+  frames_in_->Increment();
+  switch (frame.type) {
+    case FrameType::kPublish:
+      HandlePublishReactor(conn, std::move(frame));
+      return;
+    case FrameType::kSubscribe:
+      HandleSubscribeReactor(conn, frame);
+      return;
+    case FrameType::kUnsubscribe:
+      HandleUnsubscribeReactor(conn, frame);
+      return;
+    case FrameType::kPing: {
+      Frame pong;
+      pong.type = FrameType::kPong;
+      pong.seq = frame.seq;
+      if (reactor_->Enqueue(conn, pong)) frames_out_->Increment();
+      return;
+    }
+    case FrameType::kFollow: {
+      ReactorSession* session = SessionOf(conn);
+      {
+        std::lock_guard<std::mutex> lock(route_mu_);
+        if (!session->follower) {
+          session->follower = true;
+          rfollowers_.push_back(conn);
+        }
+      }
+      SendAckReactor(conn, frame.seq, 0);
+      return;
+    }
+    case FrameType::kUnknown:
+      SendErrorReactor(conn, frame.seq,
+                       Status::Unimplemented(
+                           "frame type " + std::to_string(frame.raw_type) +
+                           " is not supported by this server"));
+      return;
+    case FrameType::kMatch:
+    case FrameType::kAck:
+    case FrameType::kError:
+    case FrameType::kPong:
+    case FrameType::kProgress:
+      SendErrorReactor(conn, frame.seq,
+                       Status::InvalidArgument(
+                           std::string(FrameTypeName(frame.type)) +
+                           " frames are server-to-client only"));
+      reactor_->Doom(conn, CloseReason::kProtocolError);
+      return;
+  }
+}
+
+void EventServer::HandlePublishReactor(const Reactor::ConnPtr& conn,
+                                       Frame frame) {
+  const engine::IngressTrace ingress{frame.trace_id,
+                                     engine_->tracer().NowNs()};
+  // Keep a copy: TryPublish consumes its argument even on rejection, and a
+  // rejected event must survive to be re-tried (the ACK contract).
+  Event event = frame.event;
+  StatusOr<uint64_t> id = engine_->TryPublish(std::move(frame.event), ingress);
+  if (id.ok()) {
+    SendAckReactor(conn, frame.seq, *id);
+    pump_cv_.notify_one();
+    return;
+  }
+  if (id.status().code() != StatusCode::kResourceExhausted) {
+    SendErrorReactor(conn, frame.seq, id.status());
+    return;
+  }
+  // Engine backpressure, same state machine as the legacy loop: park the
+  // event, pause reading (TCP pushes back on the remote publisher), and
+  // retry on service ticks until the engine admits it.
+  ReactorSession* session = SessionOf(conn);
+  session->pending = PendingPublish{frame.seq, std::move(event), ingress};
+  reactor_->PauseRead(conn);
+  reactor_->RequestService(conn);
+  backpressure_events_->Increment();
+  pump_cv_.notify_one();
+  if (LogEnabled(LogLevel::kDebug)) {
+    LogDebug("connection paused on engine backpressure",
+             {{"conn", conn->id()},
+              {"queue_depth", engine_->queue_depth()}});
+  }
+}
+
+bool EventServer::OnService(const Reactor::ConnPtr& conn) {
+  ReactorSession* session = SessionOf(conn);
+  if (!session->pending.has_value()) return true;
+  Event event = session->pending->event;  // keep the parked copy retryable
+  StatusOr<uint64_t> id =
+      engine_->TryPublish(std::move(event), session->pending->ingress);
+  if (!id.ok()) return false;  // still saturated; retry next tick
+  SendAckReactor(conn, session->pending->seq, *id);
+  session->pending.reset();
+  reactor_->ResumeRead(conn);
+  pump_cv_.notify_one();
+  if (LogEnabled(LogLevel::kDebug)) {
+    LogDebug("connection resumed after drain", {{"conn", conn->id()}});
+  }
+  return true;
+}
+
+void EventServer::HandleSubscribeReactor(const Reactor::ConnPtr& conn,
+                                         const Frame& frame) {
+  ReactorSession* session = SessionOf(conn);
+  if (session->subs.contains(frame.sub_id)) {
+    SendErrorReactor(conn, frame.seq,
+                     Status::AlreadyExists("subscription id " +
+                                           std::to_string(frame.sub_id) +
+                                           " is already registered"));
+    return;
+  }
+  StatusOr<SubscriptionId> added = [&]() -> StatusOr<SubscriptionId> {
+    // Parser, catalog, and string dictionary are not thread-safe; any of N
+    // I/O threads can dispatch a SUBSCRIBE.
+    std::lock_guard<std::mutex> lock(control_mu_);
+    auto disjuncts = parser_.ParseDisjunction(frame.expression);
+    if (!disjuncts.ok()) return disjuncts.status();
+    return disjuncts->size() == 1
+               ? engine_->AddSubscription(std::move((*disjuncts)[0]))
+               : engine_->AddDisjunctiveSubscription(std::move(*disjuncts));
+  }();
+  if (!added.ok()) {
+    SendErrorReactor(conn, frame.seq, added.status());
+    return;
+  }
+  session->subs.emplace(frame.sub_id, *added);
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    routes_[*added] = Route{nullptr, conn, frame.sub_id};
+  }
+  SendAckReactor(conn, frame.seq, *added);
+  if (LogEnabled(LogLevel::kDebug)) {
+    LogDebug("subscription registered", {{"conn", conn->id()},
+                                         {"client_sub", frame.sub_id},
+                                         {"engine_sub", *added}});
+  }
+}
+
+void EventServer::HandleUnsubscribeReactor(const Reactor::ConnPtr& conn,
+                                           const Frame& frame) {
+  ReactorSession* session = SessionOf(conn);
+  auto it = session->subs.find(frame.sub_id);
+  if (it == session->subs.end()) {
+    SendErrorReactor(conn, frame.seq,
+                     Status::NotFound("subscription id " +
+                                      std::to_string(frame.sub_id) +
+                                      " is not registered on this connection"));
+    return;
+  }
+  const SubscriptionId engine_id = it->second;
+  session->subs.erase(it);
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    routes_.erase(engine_id);
+  }
+  const Status removed = engine_->RemoveSubscription(engine_id);
+  if (!removed.ok()) {
+    SendErrorReactor(conn, frame.seq, removed);
+    return;
+  }
+  SendAckReactor(conn, frame.seq, 0);
+}
+
+void EventServer::OnConnectionClosed(const Reactor::ConnPtr& conn,
+                                     CloseReason reason) {
+  std::unique_ptr<ReactorSession> session(SessionOf(conn));
+  conn->set_user_data(nullptr);
+  if (session == nullptr) return;
+  std::vector<SubscriptionId> engine_ids;
+  engine_ids.reserve(session->subs.size());
+  for (const auto& [client_id, engine_id] : session->subs) {
+    engine_ids.push_back(engine_id);
+  }
+  {
+    // Erase the routes first, so the match callback cannot reach this
+    // connection again (its enqueues would be refused anyway — the
+    // connection is doomed — but the route must not outlive the session).
+    std::lock_guard<std::mutex> lock(route_mu_);
+    for (SubscriptionId id : engine_ids) routes_.erase(id);
+    if (session->follower) {
+      rfollowers_.erase(
+          std::remove(rfollowers_.begin(), rfollowers_.end(), conn),
+          rfollowers_.end());
+    }
+  }
+  for (SubscriptionId id : engine_ids) {
+    [[maybe_unused]] Status removed = engine_->RemoveSubscription(id);
+  }
+  if (reason == CloseReason::kSlowConsumer) {
+    slow_consumer_disconnects_->Increment();
+  }
+  connections_->Sub(1);
+  if (LogEnabled(LogLevel::kDebug)) {
+    LogDebug("connection closed", {{"conn", conn->id()},
+                                   {"reason", CloseReasonName(reason)},
+                                   {"subs_removed", engine_ids.size()}});
+  }
+}
+
+void EventServer::OnTracedFrameWritten(uint64_t event_id) {
+  engine::EventTracer& tracer = engine_->tracer();
+  tracer.CompleteStage(event_id, engine::EventTracer::kWrite, tracer.NowNs());
+}
+
+void EventServer::OnTracedFrameAbandoned(uint64_t event_id) {
+  engine_->tracer().AbandonPending(event_id);
 }
 
 }  // namespace apcm::net

@@ -20,6 +20,7 @@
 #include "src/be/string_dictionary.h"
 #include "src/engine/engine.h"
 #include "src/net/frame.h"
+#include "src/net/reactor.h"
 
 namespace apcm::net {
 
@@ -39,6 +40,15 @@ struct EventServerOptions {
   size_t max_write_queue_bytes = 4u << 20;
   /// Per-frame payload cap enforced on incoming frames.
   size_t max_frame_bytes = kMaxPayloadBytes;
+  /// I/O front-end selection (DESIGN.md §3.14). 0 keeps the original
+  /// single-thread poll() loop; N >= 1 serves connections from an
+  /// edge-triggered epoll reactor with N I/O threads. The default of 1
+  /// preserves today's single-I/O-thread semantics on the reactor path.
+  int io_threads = 1;
+  /// Reactor mode only: shared-nothing accept via one SO_REUSEPORT
+  /// listening socket per I/O thread. When disabled (or unavailable on the
+  /// host) thread 0 accepts and deals connections round-robin.
+  bool reuseport_accept = true;
   /// Attribute names pre-registered into the server's catalog at Start(), in
   /// id order (name k gets AttributeId k, default domain). Names not listed
   /// here are still registered on first use by subscription text — fine for
@@ -50,24 +60,34 @@ struct EventServerOptions {
   std::vector<std::string> attributes;
 };
 
+/// Structural validation of EventServerOptions (io_threads range, byte
+/// bounds, embedded engine options). Start() refuses invalid options with
+/// the same status.
+Status ValidateEventServerOptions(const EventServerOptions& options);
+
 /// TCP ingestion server for remote publish/subscribe over the frame
 /// protocol (frame.h): clients SUBSCRIBE with expression text and a
 /// client-chosen id, PUBLISH serialized events, and receive MATCH
 /// notifications routed to the connection that registered each matching
 /// subscription.
 ///
-/// Architecture (DESIGN.md §3.8): one I/O thread runs a poll() readiness
-/// loop over the nonblocking listen socket, a self-wake pipe, and every
-/// connection; it decodes frames, fans PUBLISH into
-/// StreamEngine::TryPublish, and flushes per-connection write queues. One
-/// pump thread drains the engine whenever events are queued, so matching
-/// never monopolizes the I/O thread. Engine backpressure propagates to the
-/// socket layer: a publish that hits BackpressurePolicy::kReject parks the
-/// event on its connection, pauses reading that connection (the kernel's
-/// TCP window then pushes back on the remote publisher), and resumes once
-/// the engine has drained — the parked event is re-tried and acknowledged
-/// before any later frame from that connection is processed, so an ACK is
-/// a durable admission promise.
+/// Architecture (DESIGN.md §3.8, §3.14): the I/O front-end is selected by
+/// `EventServerOptions::io_threads`. The default (>= 1) composes the
+/// edge-triggered epoll Reactor (reactor.h) with the engine pump: the
+/// reactor owns sockets, framing, and write batching across N I/O threads,
+/// and this class supplies the protocol state machine (publish admission,
+/// subscription routing, parked-publish retry) as its Handler.
+/// `io_threads = 0` retains the original single-thread poll() readiness
+/// loop — the differential baseline the reactor is validated against.
+/// Either way, one pump thread drains the engine whenever events are
+/// queued, so matching never monopolizes I/O threads. Engine backpressure
+/// propagates to the socket layer identically in both modes: a publish
+/// that hits BackpressurePolicy::kReject parks the event on its
+/// connection, pauses reading that connection (the kernel's TCP window
+/// then pushes back on the remote publisher), and resumes once the engine
+/// has drained — the parked event is re-tried and acknowledged before any
+/// later frame from that connection is processed, so an ACK is a durable
+/// admission promise.
 ///
 /// Graceful Stop(): stops accepting and reading, drains the engine
 /// (Flush — every accepted event is matched and its notifications are
@@ -77,7 +97,7 @@ struct EventServerOptions {
 /// Observability: the server registers apcm_net_* counters/gauges in the
 /// engine's MetricsRegistry, so they are scraped by the same /metrics
 /// admin endpoint (enable it via options.engine.admin_port).
-class EventServer {
+class EventServer : private Reactor::Handler {
  public:
   explicit EventServer(EventServerOptions options);
   ~EventServer();
@@ -103,6 +123,12 @@ class EventServer {
 
   /// Live connection count (the apcm_net_connections gauge).
   int64_t num_connections() const { return connections_->Value(); }
+
+  /// Reactor mode: true when accept sharding via SO_REUSEPORT is live
+  /// (false in legacy mode or under the single-acceptor fallback).
+  bool reuseport_active() const {
+    return reactor_ != nullptr && reactor_->reuseport_active();
+  }
 
  private:
   /// Lifecycle phases of the I/O loop. kDraining stops accept/read but
@@ -160,10 +186,25 @@ class EventServer {
     explicit Connection(size_t max_frame_bytes) : decoder(max_frame_bytes) {}
   };
 
-  /// Where MATCH notifications for one engine subscription go.
+  /// Where MATCH notifications for one engine subscription go. Exactly one
+  /// of `conn` (legacy poll loop) / `rconn` (reactor mode) is set; the
+  /// ConnPtr additionally pins the reactor connection against teardown
+  /// while a route still points at it.
   struct Route {
     Connection* conn = nullptr;
+    Reactor::ConnPtr rconn;
     uint64_t client_sub_id = 0;
+  };
+
+  /// Per-connection protocol state in reactor mode, owned via
+  /// Reactor::Connection::user_data. Mutated only on the connection's owner
+  /// I/O thread (OnFrame / OnService / OnConnectionClosed), except
+  /// `follower`, which route_mu_ also guards with rfollowers_.
+  struct ReactorSession {
+    std::optional<PendingPublish> pending;
+    bool follower = false;
+    /// client-chosen sub id -> engine subscription id.
+    std::unordered_map<uint64_t, SubscriptionId> subs;
   };
 
   void IoLoop();
@@ -211,13 +252,48 @@ class EventServer {
   bool AllWritesFlushed();
   void WakeIoLoop();
 
+  // --- Reactor::Handler (reactor mode; every callback runs on the
+  // connection's owner I/O thread) ---
+  void OnAccept(const Reactor::ConnPtr& conn) override;
+  void OnFrame(const Reactor::ConnPtr& conn, Frame frame) override;
+  bool OnService(const Reactor::ConnPtr& conn) override;
+  void OnConnectionClosed(const Reactor::ConnPtr& conn,
+                          CloseReason reason) override;
+  void OnTracedFrameWritten(uint64_t event_id) override;
+  void OnTracedFrameAbandoned(uint64_t event_id) override;
+
+  static ReactorSession* SessionOf(const Reactor::ConnPtr& conn) {
+    return static_cast<ReactorSession*>(conn->user_data());
+  }
+  void HandlePublishReactor(const Reactor::ConnPtr& conn, Frame frame);
+  void HandleSubscribeReactor(const Reactor::ConnPtr& conn,
+                              const Frame& frame);
+  void HandleUnsubscribeReactor(const Reactor::ConnPtr& conn,
+                                const Frame& frame);
+  void SendAckReactor(const Reactor::ConnPtr& conn, uint64_t seq,
+                      uint64_t value);
+  void SendErrorReactor(const Reactor::ConnPtr& conn, uint64_t seq,
+                        const Status& status);
+
   EventServerOptions options_;
   std::unique_ptr<engine::StreamEngine> engine_;
 
-  /// Expression front-end for SUBSCRIBE frames (I/O thread only).
+  /// Expression front-end for SUBSCRIBE frames. Legacy mode touches it
+  /// from the single I/O thread; reactor mode serializes subscribe /
+  /// unsubscribe control operations (parser, catalog, engine subscription
+  /// mutation) under control_mu_, since any of N I/O threads may dispatch
+  /// them.
   Catalog catalog_;
   StringDictionary strings_;
   Parser parser_{&catalog_, &strings_};
+  std::mutex control_mu_;
+
+  /// Reactor front-end (reactor mode only; null in legacy mode and between
+  /// Stop and the next Start). Instruments live in reactor_metrics_,
+  /// registered once at construction so Stop/Start cycles never
+  /// re-register.
+  ReactorMetrics reactor_metrics_;
+  std::unique_ptr<Reactor> reactor_;
 
   // Lifecycle (guarded by lifecycle_mu_ where not atomic).
   std::mutex lifecycle_mu_;
@@ -249,8 +325,10 @@ class EventServer {
   /// Connections that opted into PROGRESS watermarks (route_mu_). The match
   /// callback enqueues one PROGRESS per processed event to each, *after*
   /// that event's MATCH frames — a follower that is also a subscriber sees
-  /// MATCH(e) before PROGRESS(e) on its stream.
+  /// MATCH(e) before PROGRESS(e) on its stream. Legacy connections land in
+  /// followers_, reactor connections in rfollowers_.
   std::vector<Connection*> followers_;
+  std::vector<Reactor::ConnPtr> rfollowers_;
 
   // Registry-owned instruments (registered into engine_->metrics_registry()
   // at construction; the registry outlives both server threads).

@@ -756,6 +756,119 @@ TEST_F(ChaosTest, SlowConsumerEvictionIsDeterministicUnderJammedWrites) {
 }
 
 // ---------------------------------------------------------------------------
+// Scenario: slow-consumer herd at connection scale, against the epoll
+// reactor (io_threads = 4). A 1k-subscriber herd in which every 10th
+// connection jams its reads and carries fat subscriptions (24 catch-alls,
+// so each of its MATCH frames is an order of magnitude heavier than a
+// healthy subscriber's). A server-side write jam makes outbox growth
+// deterministic during the broadcast storm: exactly the jammed cohort
+// crosses the 2 KiB bound and is evicted, every run. Healthy subscribers
+// must then observe complete, in-order streams once writes heal — under
+// spurious-wakeup and phantom-readable perturbation — and Stop() drains.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+uint64_t RunSlowConsumerHerdSchedule(int herd) {
+  const int jam_every = 10;
+  EventServerOptions options = SmallServerOptions();
+  options.io_threads = 4;
+  options.max_write_queue_bytes = 2048;
+  EventServer server(options);
+  EXPECT_TRUE(server.Start().ok());
+  const MetricsRegistry& registry = server.engine().metrics_registry();
+
+  std::vector<std::unique_ptr<Client>> healthy;
+  std::vector<std::unique_ptr<Client>> jammed;
+  for (int i = 0; i < herd; ++i) {
+    auto client = std::make_unique<Client>();
+    Status st = client->Connect("127.0.0.1", server.port());
+    EXPECT_TRUE(st.ok()) << "connection " << i << ": " << st.ToString();
+    if (!st.ok()) return 0;
+    if (i % jam_every == jam_every - 1) {
+      for (uint64_t s = 0; s < 24; ++s) {
+        EXPECT_TRUE(client->Subscribe(s, "a0 >= 0").ok());
+      }
+      jammed.push_back(std::move(client));
+    } else {
+      EXPECT_TRUE(client->Subscribe(0, "a0 >= 0").ok());
+      healthy.push_back(std::move(client));
+    }
+  }
+
+  // Jam every server-side write and perturb the loop's readiness
+  // bookkeeping, then storm: 12 broadcast events, fire-and-forget (a
+  // Client would block on its ACK, which is itself jammed). Each jammed
+  // connection's 12 fat MATCH frames (~220 B apiece) overflow the 2 KiB
+  // bound; each healthy outbox stays an order of magnitude below it.
+  EXPECT_TRUE(failpoint::ConfigureFromSpec(
+                  "net.server.send.eagain=return,"
+                  "net.reactor.wakeup=5%return@71,"
+                  "net.reactor.readable=5%return@73")
+                  .ok());
+  RawConn publisher(server.port());
+  for (uint64_t i = 0; i < 12; ++i) {
+    publisher.Send(EncodePublish(
+        i + 1, Event::Create({{0, static_cast<int64_t>(i)}}).value()));
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (CounterValue(registry, "apcm_net_slow_consumer_disconnects_total") <
+         jammed.size()) {
+    EXPECT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(failpoint::Hits("net.server.send.eagain"), 0u);
+  EXPECT_GT(failpoint::Hits("net.reactor.wakeup"), 0u);
+
+  // Heal the writes (perturbation stays armed); surviving outboxes drain
+  // via the stalled-write probe and every healthy subscriber reads its
+  // complete stream: all 12 events, publish order, exactly its own sub.
+  EXPECT_TRUE(failpoint::Configure("net.server.send.eagain", "off").ok());
+  std::map<uint64_t, std::vector<uint64_t>> digest_rows;
+  std::vector<uint64_t> reference;
+  for (size_t c = 0; c < healthy.size(); ++c) {
+    std::vector<uint64_t> ids;
+    for (int k = 0; k < 12; ++k) {
+      auto match = healthy[c]->PollMatch(/*timeout_ms=*/10000);
+      EXPECT_TRUE(match.ok()) << match.status().ToString();
+      if (!match.ok() || !match->has_value()) break;
+      EXPECT_EQ((*match)->sub_ids, (std::vector<uint64_t>{0}));
+      ids.push_back((*match)->event_id);
+    }
+    EXPECT_EQ(ids.size(), 12u) << "healthy subscriber " << c;
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()))
+        << "healthy subscriber " << c << " saw events out of order";
+    if (c == 0) {
+      reference = ids;
+      for (size_t k = 0; k < ids.size(); ++k) digest_rows[k] = {ids[k]};
+    } else {
+      EXPECT_EQ(ids, reference) << "healthy subscriber " << c;
+    }
+  }
+
+  // Eviction landed on exactly the jammed cohort: the count matches it and
+  // every healthy connection is still alive and serviceable.
+  EXPECT_EQ(CounterValue(registry, "apcm_net_slow_consumer_disconnects_total"),
+            jammed.size());
+  for (auto& client : healthy) EXPECT_TRUE(client->Ping().ok());
+
+  publisher.Close();
+  server.Stop();
+  return HashMatchSets(digest_rows);
+}
+
+}  // namespace
+
+TEST_F(ChaosTest, SlowConsumerHerdEvictsOnlyTheJammedCohort) {
+  const uint64_t run1 = RunSlowConsumerHerdSchedule(/*herd=*/1000);
+  failpoint::DisarmAll();
+  const uint64_t run2 = RunSlowConsumerHerdSchedule(/*herd=*/1000);
+  EXPECT_EQ(run1, run2);
+}
+
+// ---------------------------------------------------------------------------
 // Scenario: torn frames. Seeded probabilistic short reads/writes on both
 // sides plus injected EINTR shred every frame boundary; the protocol must
 // reassemble perfectly — exact agreement with the fault-free oracle engine.

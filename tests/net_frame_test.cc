@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -681,6 +682,75 @@ TEST_F(NetFrameFailpointTest, ShortIoAtEverySplitOffsetReassembles) {
   }
   EXPECT_GT(failpoint::Hits("net.client.send.short"), 0u);
   EXPECT_GT(failpoint::Hits("net.server.recv.short"), 0u);
+}
+
+TEST_F(NetFrameFailpointTest, GatheredWritevClampedAtEveryOffsetReassembles) {
+  // The reactor drains each connection's outbox with one gathered writev per
+  // wakeup, one iovec entry per batched frame (reactor.h). This replays that
+  // exact shape through the instrumented wrapper with the write clamped at
+  // every byte offset of the coalesced batch, so the first torn syscall
+  // lands mid-entry — i.e. mid-frame — at every possible position, and the
+  // tail-replay loop must resume without losing or duplicating a byte.
+  const std::vector<Frame> frames = SampleFrames();
+  std::vector<std::string> encoded;
+  size_t total = 0;
+  for (const Frame& frame : frames) {
+    encoded.push_back(EncodeFrame(frame));
+    total += encoded.back().size();
+  }
+
+  for (size_t clamp = 1; clamp < total; ++clamp) {
+    SCOPED_TRACE("clamp " + std::to_string(clamp));
+    ASSERT_TRUE(failpoint::Configure("net.reactor.writev.short",
+                                     "1*return(" + std::to_string(clamp) + ")")
+                    .ok());
+
+    // Outbox drain: gather everything unsent into one iovec array (the
+    // first entry possibly mid-frame), writev, advance by whatever the
+    // socket — or the armed clamp — actually took, repeat.
+    size_t sent = 0;
+    while (sent < total) {
+      struct iovec iov[64];
+      int cnt = 0;
+      size_t skip = sent;
+      for (const std::string& bytes : encoded) {
+        if (skip >= bytes.size()) {
+          skip -= bytes.size();
+          continue;
+        }
+        iov[cnt].iov_base = const_cast<char*>(bytes.data()) + skip;
+        iov[cnt].iov_len = bytes.size() - skip;
+        skip = 0;
+        if (++cnt == 64) break;
+      }
+      const ssize_t n = InstrumentedWritev(IoSide::kServer, fds_[0], iov, cnt);
+      ASSERT_GT(n, 0);
+      sent += static_cast<size_t>(n);
+    }
+
+    FrameDecoder decoder;
+    std::vector<Frame> decoded;
+    size_t received = 0;
+    char buf[4096];
+    while (received < total) {
+      const ssize_t n = ::recv(fds_[1], buf, sizeof(buf), 0);
+      ASSERT_GT(n, 0);
+      received += static_cast<size_t>(n);
+      decoder.Append(buf, static_cast<size_t>(n));
+      for (;;) {
+        auto next = decoder.Next();
+        ASSERT_TRUE(next.ok()) << next.status().ToString();
+        if (!next->has_value()) break;
+        decoded.push_back(std::move(**next));
+      }
+    }
+    ASSERT_EQ(decoded.size(), frames.size());
+    for (size_t i = 0; i < frames.size(); ++i) {
+      ExpectSameFrame(decoded[i], frames[i]);
+    }
+    EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  }
+  EXPECT_GT(failpoint::Hits("net.reactor.writev.short"), 0u);
 }
 
 TEST_F(NetFrameFailpointTest, CorruptionUnderTornIoKeepsStickyError) {

@@ -1,0 +1,521 @@
+// Differential oracle and edge-trigger corner suite for the epoll reactor
+// front-end (src/net/reactor.h, DESIGN.md §3.14). The reactor is validated
+// against the pre-reactor single-thread poll() loop (`io_threads = 0`), which
+// this suite keeps alive as the behavioural baseline: the same workload must
+// produce identical per-subscriber MATCH digests and identical ACK/ERROR
+// status sequences whichever front-end serves it, at every thread count.
+//
+// The failpoint scenarios (spurious wakeups, phantom readability forcing the
+// EAGAIN-after-readable path, torn gathered writes) GTEST_SKIP() at runtime
+// unless the binary was built with -DAPCM_FAILPOINTS=ON.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/failpoint.h"
+#include "src/base/metrics.h"
+#include "src/base/rng.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+
+namespace apcm {
+namespace {
+
+using net::Client;
+using net::EventServer;
+using net::EventServerOptions;
+using net::ValidateEventServerOptions;
+
+uint64_t CounterValue(const MetricsRegistry& registry,
+                      const std::string& name) {
+  for (const MetricSample& sample : registry.Collect()) {
+    if (sample.name == name) return sample.counter_value;
+  }
+  ADD_FAILURE() << "metric not registered: " << name;
+  return 0;
+}
+
+int64_t GaugeValue(const MetricsRegistry& registry, const std::string& name) {
+  for (const MetricSample& sample : registry.Collect()) {
+    if (sample.name == name) return sample.gauge_value;
+  }
+  ADD_FAILURE() << "metric not registered: " << name;
+  return 0;
+}
+
+/// FNV-1a over a match-set map (publish index -> ascending client sub ids);
+/// depends only on logical content, never on delivery interleaving.
+uint64_t HashMatchSets(const std::map<uint64_t, std::vector<uint64_t>>& sets) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const auto& [key, subs] : sets) {
+    mix(key);
+    mix(subs.size());
+    for (uint64_t s : subs) mix(s);
+  }
+  return h;
+}
+
+/// Deterministic workload: random boolean expressions (the net_server_test
+/// generator shape) and random events over attributes a0..a7.
+struct Workload {
+  std::vector<std::string> expressions;
+  std::vector<Event> events;
+};
+
+Workload MakeWorkload(uint64_t seed, int subs, int num_events) {
+  Rng rng(seed);
+  auto make_conjunction = [&rng]() {
+    static const char* kOps[] = {">=", "<=", ">", "<", "=", "!="};
+    std::string text;
+    std::set<uint64_t> used;
+    const int preds = 1 + static_cast<int>(rng.Uniform(3));
+    for (int p = 0; p < preds; ++p) {
+      uint64_t attr = rng.Uniform(8);
+      if (!used.insert(attr).second) continue;
+      if (!text.empty()) text += " and ";
+      text += "a" + std::to_string(attr) + " " + kOps[rng.Uniform(6)] + " " +
+              std::to_string(rng.Uniform(100));
+    }
+    return text;
+  };
+  Workload w;
+  for (int i = 0; i < subs; ++i) {
+    std::string text = make_conjunction();
+    if (rng.Bernoulli(0.3)) text += " or " + make_conjunction();
+    w.expressions.push_back(std::move(text));
+  }
+  for (int i = 0; i < num_events; ++i) {
+    std::vector<Event::Entry> entries;
+    uint64_t attr = rng.Uniform(3);
+    while (attr < 8) {
+      entries.push_back({static_cast<AttributeId>(attr),
+                         static_cast<int64_t>(rng.Uniform(100))});
+      attr += 1 + rng.Uniform(4);
+    }
+    w.events.push_back(Event::FromSorted(std::move(entries)));
+  }
+  return w;
+}
+
+EventServerOptions ServerOptions(int io_threads, bool reuseport = true) {
+  EventServerOptions options;
+  options.engine.batch_size = 16;
+  options.engine.osr.window_size = 0;
+  options.engine.buffer_capacity = 16;
+  options.engine.matcher.pcm.clustering.cluster_size = 32;
+  options.io_threads = io_threads;
+  options.reuseport_accept = reuseport;
+  return options;
+}
+
+/// Everything observable from one front-end run of a workload; differential
+/// equality of two RunResults is the oracle assertion.
+struct RunResult {
+  /// One digest per subscriber client: publish index -> its matched client
+  /// sub ids.
+  std::vector<uint64_t> subscriber_digests;
+  /// Server-assigned event id per ACKed publish, in publish order.
+  std::vector<uint64_t> publish_acks;
+  /// StatusCode of every control operation (subscribes, the deliberate
+  /// duplicate / parse-error / unknown-unsubscribe probes), in issue order.
+  /// This is the ACK/ERROR sequence: an ACK records kOk, an ERROR records
+  /// the carried code.
+  std::vector<int> control_codes;
+  bool ok = false;
+};
+
+/// Runs `workload` through a server with the given I/O front-end.
+/// Expressions are dealt round-robin to `num_subscribers` subscriber
+/// connections (expression i -> subscriber i % num_subscribers, client sub
+/// id i), every event is published on a separate connection, and Stop()
+/// drains — so each subscriber's received stream is complete, not a
+/// timeout-bounded prefix.
+RunResult RunWorkload(int io_threads, const Workload& workload,
+                      int num_subscribers) {
+  RunResult result;
+  EventServer server(ServerOptions(io_threads));
+  Status started = server.Start();
+  EXPECT_TRUE(started.ok()) << started.ToString();
+  if (!started.ok()) return result;
+
+  std::vector<std::unique_ptr<Client>> subscribers;
+  for (int s = 0; s < num_subscribers; ++s) {
+    subscribers.push_back(std::make_unique<Client>());
+    Status st = subscribers.back()->Connect("127.0.0.1", server.port());
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    if (!st.ok()) return result;
+  }
+
+  auto record = [&result](const Status& status) {
+    result.control_codes.push_back(static_cast<int>(status.code()));
+  };
+  for (size_t i = 0; i < workload.expressions.size(); ++i) {
+    Client& owner = *subscribers[i % num_subscribers];
+    record(owner.Subscribe(i, workload.expressions[i]));
+  }
+  // Deliberate ERROR probes, identical in every mode: a duplicate sub id, an
+  // unparsable expression, an unsubscribe of an id never registered.
+  for (int s = 0; s < num_subscribers; ++s) {
+    Client& owner = *subscribers[static_cast<size_t>(s)];
+    record(owner.Subscribe(static_cast<uint64_t>(s), "a0 >= 0"));
+    record(owner.Subscribe(100000 + static_cast<uint64_t>(s), "a0 >><< 1"));
+    record(owner.Unsubscribe(200000 + static_cast<uint64_t>(s)));
+  }
+
+  Client publisher;
+  Status pst = publisher.Connect("127.0.0.1", server.port());
+  EXPECT_TRUE(pst.ok()) << pst.ToString();
+  if (!pst.ok()) return result;
+  for (const Event& event : workload.events) {
+    auto id = publisher.Publish(event);
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    if (!id.ok()) return result;
+    result.publish_acks.push_back(*id);
+  }
+
+  // Stop() drains: every accepted event is matched and every owed MATCH
+  // frame is flushed before sockets close, so reading to the close marker
+  // yields each subscriber's complete stream.
+  server.Stop();
+
+  std::map<uint64_t, uint64_t> publish_index;  // event id -> publish index
+  for (size_t k = 0; k < result.publish_acks.size(); ++k) {
+    publish_index[result.publish_acks[k]] = k;
+  }
+  for (auto& subscriber : subscribers) {
+    std::map<uint64_t, std::vector<uint64_t>> rows;
+    for (;;) {
+      auto match = subscriber->PollMatch(/*timeout_ms=*/2000);
+      if (!match.ok() || !match->has_value()) break;
+      auto it = publish_index.find((*match)->event_id);
+      EXPECT_NE(it, publish_index.end())
+          << "MATCH for an event id never ACKed: " << (*match)->event_id;
+      if (it == publish_index.end()) continue;
+      std::vector<uint64_t>& row = rows[it->second];
+      row.insert(row.end(), (*match)->sub_ids.begin(),
+                 (*match)->sub_ids.end());
+    }
+    for (auto& [index, row] : rows) std::sort(row.begin(), row.end());
+    result.subscriber_digests.push_back(HashMatchSets(rows));
+  }
+  result.ok = true;
+  return result;
+}
+
+void ExpectSameRun(const RunResult& baseline, const RunResult& candidate,
+                   const std::string& what) {
+  ASSERT_TRUE(baseline.ok);
+  ASSERT_TRUE(candidate.ok) << what;
+  EXPECT_EQ(candidate.subscriber_digests, baseline.subscriber_digests)
+      << what << ": per-subscriber MATCH digests diverged";
+  EXPECT_EQ(candidate.publish_acks, baseline.publish_acks)
+      << what << ": publish ACK sequence diverged";
+  EXPECT_EQ(candidate.control_codes, baseline.control_codes)
+      << what << ": ACK/ERROR status sequence diverged";
+}
+
+// ---------------------------------------------------------------------------
+// The differential oracle: the legacy poll loop (io_threads = 0) is ground
+// truth; the reactor at 1, 2, and 4 I/O threads must be indistinguishable.
+// ---------------------------------------------------------------------------
+
+TEST(NetReactorTest, DifferentialOracleAcrossIoThreadModes) {
+  const Workload workload =
+      MakeWorkload(/*seed=*/2026, /*subs=*/24, /*num_events=*/120);
+  const RunResult baseline = RunWorkload(/*io_threads=*/0, workload,
+                                         /*num_subscribers=*/3);
+  ASSERT_TRUE(baseline.ok);
+  // The probes must actually have produced a mixed ACK/ERROR sequence —
+  // an all-kOk run would make the equality below vacuous.
+  EXPECT_TRUE(std::any_of(baseline.control_codes.begin(),
+                          baseline.control_codes.end(),
+                          [](int code) { return code != 0; }));
+
+  for (int io_threads : {1, 2, 4}) {
+    SCOPED_TRACE("io_threads=" + std::to_string(io_threads));
+    const RunResult run = RunWorkload(io_threads, workload,
+                                      /*num_subscribers=*/3);
+    ExpectSameRun(baseline, run,
+                  "reactor io_threads=" + std::to_string(io_threads));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reactor plumbing: metrics surface, accept-sharding fallback, restart.
+// ---------------------------------------------------------------------------
+
+TEST(NetReactorTest, ReactorMetricsAreRegisteredAndLive) {
+  EventServer server(ServerOptions(/*io_threads=*/2));
+  ASSERT_TRUE(server.Start().ok());
+  const MetricsRegistry& registry = server.engine().metrics_registry();
+  EXPECT_EQ(GaugeValue(registry, "apcm_net_io_threads"), 2);
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(client.Subscribe(0, "a0 >= 0").ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(client.Publish(Event::Create({{0, i}}).value()).ok());
+  }
+  for (int i = 0; i < 8; ++i) {
+    auto match = client.PollMatch(/*timeout_ms=*/10000);
+    ASSERT_TRUE(match.ok() && match->has_value());
+  }
+  EXPECT_GT(CounterValue(registry, "apcm_net_wakeups_total"), 0u);
+  EXPECT_GT(CounterValue(registry, "apcm_net_batched_writes_total"), 0u);
+  server.Stop();
+  EXPECT_EQ(GaugeValue(registry, "apcm_net_io_threads"), 0);
+}
+
+TEST(NetReactorTest, ReuseportShardingIsActiveWhenRequested) {
+  EventServer server(ServerOptions(/*io_threads=*/2, /*reuseport=*/true));
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_TRUE(server.reuseport_active());
+  // Connections spread across per-thread listen sockets still serve one
+  // coherent protocol surface.
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int i = 0; i < 8; ++i) {
+    clients.push_back(std::make_unique<Client>());
+    ASSERT_TRUE(clients.back()->Connect("127.0.0.1", server.port()).ok());
+    ASSERT_TRUE(clients.back()->Ping().ok());
+  }
+  server.Stop();
+}
+
+TEST(NetReactorTest, SingleAcceptorFallbackDealsConnectionsRoundRobin) {
+  // reuseport disabled: thread 0 owns the only listening socket and adopts
+  // connections round-robin across all three threads. Every connection must
+  // be fully served wherever it landed.
+  EventServer server(ServerOptions(/*io_threads=*/3, /*reuseport=*/false));
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_FALSE(server.reuseport_active());
+
+  std::vector<std::unique_ptr<Client>> subscribers;
+  for (int i = 0; i < 6; ++i) {
+    subscribers.push_back(std::make_unique<Client>());
+    ASSERT_TRUE(subscribers.back()->Connect("127.0.0.1", server.port()).ok());
+    ASSERT_TRUE(subscribers.back()->Subscribe(0, "a0 >= 0").ok());
+  }
+  Client publisher;
+  ASSERT_TRUE(publisher.Connect("127.0.0.1", server.port()).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(publisher.Publish(Event::Create({{0, i}}).value()).ok());
+  }
+  for (auto& subscriber : subscribers) {
+    for (int i = 0; i < 5; ++i) {
+      auto match = subscriber->PollMatch(/*timeout_ms=*/10000);
+      ASSERT_TRUE(match.ok() && match->has_value());
+      EXPECT_EQ((*match)->sub_ids, (std::vector<uint64_t>{0}));
+    }
+  }
+  server.Stop();
+}
+
+TEST(NetReactorTest, LegacyModeReportsNoReuseport) {
+  EventServer server(ServerOptions(/*io_threads=*/0));
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_FALSE(server.reuseport_active());
+  server.Stop();
+}
+
+TEST(NetReactorTest, RestartOnFreshPortServesTraffic) {
+  EventServer first(ServerOptions(/*io_threads=*/2));
+  ASSERT_TRUE(first.Start().ok());
+  EXPECT_EQ(first.Start().code(), StatusCode::kInvalidArgument);
+  first.Stop();
+  first.Stop();  // idempotent
+
+  EventServer second(ServerOptions(/*io_threads=*/2));
+  ASSERT_TRUE(second.Start().ok());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", second.port()).ok());
+  EXPECT_TRUE(client.Ping().ok());
+  second.Stop();
+}
+
+TEST(NetReactorTest, ValidateOptionsRejectsBadConfigs) {
+  EXPECT_TRUE(ValidateEventServerOptions(ServerOptions(0)).ok());
+  EXPECT_TRUE(ValidateEventServerOptions(ServerOptions(1)).ok());
+  EXPECT_TRUE(ValidateEventServerOptions(ServerOptions(64)).ok());
+  EXPECT_EQ(ValidateEventServerOptions(ServerOptions(-1)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateEventServerOptions(ServerOptions(65)).code(),
+            StatusCode::kInvalidArgument);
+
+  EventServerOptions bad_frame = ServerOptions(1);
+  bad_frame.max_frame_bytes = 0;
+  EXPECT_EQ(ValidateEventServerOptions(bad_frame).code(),
+            StatusCode::kInvalidArgument);
+
+  // Start() refuses with the same status instead of half-initializing.
+  EventServer server(ServerOptions(65));
+  EXPECT_EQ(server.Start().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Edge-trigger corner coverage via armed failpoints. Each scenario perturbs
+// the reactor's readiness bookkeeping (the exact seams where an
+// edge-triggered loop loses frames if its level flags are wrong) and then
+// demands byte-for-byte agreement with the unperturbed baseline.
+// ---------------------------------------------------------------------------
+
+class NetReactorFailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!failpoint::kEnabled) {
+      GTEST_SKIP() << "failpoints compiled out; build with -DAPCM_FAILPOINTS=ON";
+    }
+    failpoint::DisarmAll();
+  }
+  void TearDown() override { failpoint::DisarmAll(); }
+};
+
+TEST_F(NetReactorFailpointTest, SpuriousWakeupsDoNotPerturbStreams) {
+  const Workload workload =
+      MakeWorkload(/*seed=*/404, /*subs=*/12, /*num_events=*/60);
+  const RunResult baseline = RunWorkload(/*io_threads=*/0, workload,
+                                         /*num_subscribers=*/2);
+
+  const uint64_t hits0 = failpoint::Hits("net.reactor.wakeup");
+  ASSERT_TRUE(failpoint::Configure("net.reactor.wakeup", "25%return@97").ok());
+  const RunResult run = RunWorkload(/*io_threads=*/2, workload,
+                                    /*num_subscribers=*/2);
+  EXPECT_GT(failpoint::Hits("net.reactor.wakeup"), hits0);
+  ExpectSameRun(baseline, run, "spurious wakeups");
+}
+
+TEST_F(NetReactorFailpointTest, EagainAfterReadableLeavesNoFrameBehind) {
+  // Phantom readability marks every connection read-ready with no bytes
+  // behind it: recv must meet EAGAIN, set the level flag back down, and
+  // *still* pick up real bytes that arrive afterwards (the classic
+  // edge-trigger lost-wakeup bug this flag discipline exists to prevent).
+  const Workload workload =
+      MakeWorkload(/*seed=*/405, /*subs=*/12, /*num_events=*/60);
+  const RunResult baseline = RunWorkload(/*io_threads=*/0, workload,
+                                         /*num_subscribers=*/2);
+
+  const uint64_t hits0 = failpoint::Hits("net.reactor.readable");
+  ASSERT_TRUE(
+      failpoint::Configure("net.reactor.readable", "20%return@211").ok());
+  const RunResult run = RunWorkload(/*io_threads=*/2, workload,
+                                    /*num_subscribers=*/2);
+  EXPECT_GT(failpoint::Hits("net.reactor.readable"), hits0);
+  ExpectSameRun(baseline, run, "EAGAIN after readable");
+}
+
+TEST_F(NetReactorFailpointTest, ShortWritevMidFrameReplaysTheTail) {
+  // Torn gathered writes: the writev byte count is clamped so MATCH frames
+  // are split mid-frame across syscalls; the outbox must replay the tail in
+  // order, never duplicating or dropping a byte.
+  const Workload workload =
+      MakeWorkload(/*seed=*/406, /*subs=*/12, /*num_events=*/60);
+  const RunResult baseline = RunWorkload(/*io_threads=*/0, workload,
+                                         /*num_subscribers=*/2);
+
+  const uint64_t hits0 = failpoint::Hits("net.reactor.writev.short");
+  ASSERT_TRUE(
+      failpoint::Configure("net.reactor.writev.short", "35%return(7)@1042")
+          .ok());
+  const RunResult run = RunWorkload(/*io_threads=*/2, workload,
+                                    /*num_subscribers=*/2);
+  EXPECT_GT(failpoint::Hits("net.reactor.writev.short"), hits0);
+  ExpectSameRun(baseline, run, "short writev mid-frame");
+}
+
+TEST_F(NetReactorFailpointTest, AcceptFailureStallsOnlyNewConnections) {
+  EventServer server(ServerOptions(/*io_threads=*/2));
+  ASSERT_TRUE(server.Start().ok());
+
+  Client established;
+  ASSERT_TRUE(established.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(established.Ping().ok());
+
+  ASSERT_TRUE(failpoint::Configure("net.reactor.accept", "return").ok());
+  Client stalled;
+  // connect() succeeds into the kernel backlog but no reactor thread
+  // accepts; the bounded Ping times out and fails the connection.
+  ASSERT_TRUE(stalled.Connect("127.0.0.1", server.port()).ok());
+  const Status ping = stalled.Ping(/*timeout_ms=*/500);
+  EXPECT_EQ(ping.code(), StatusCode::kIOError) << ping.ToString();
+  EXPECT_GT(failpoint::Hits("net.reactor.accept"), 0u);
+
+  // Established connections never noticed, and connectivity heals the
+  // moment the point is disarmed (the pending backlog is re-reported).
+  ASSERT_TRUE(established.Ping().ok());
+  failpoint::DisarmAll();
+  Client fresh;
+  ASSERT_TRUE(fresh.Connect("127.0.0.1", server.port()).ok());
+  EXPECT_TRUE(fresh.Ping().ok());
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Armed-failpoint soak: all three reactor seams shredded at once while a
+// catch-all subscriber audits that every ACKed publish produces exactly its
+// match. Runtime is APCM_NET_SOAK_SECONDS (default 2; CI's net-stress job
+// runs it at 30).
+// ---------------------------------------------------------------------------
+
+TEST_F(NetReactorFailpointTest, ArmedFailpointSoakLosesNothing) {
+  int soak_seconds = 2;
+  if (const char* env = std::getenv("APCM_NET_SOAK_SECONDS")) {
+    soak_seconds = std::max(1, std::atoi(env));
+  }
+  ASSERT_TRUE(failpoint::ConfigureFromSpec(
+                  "net.reactor.wakeup=10%return@1,"
+                  "net.reactor.readable=10%return@3,"
+                  "net.reactor.writev.short=25%return(9)@5")
+                  .ok());
+
+  EventServer server(ServerOptions(/*io_threads=*/4));
+  ASSERT_TRUE(server.Start().ok());
+
+  Client subscriber;
+  ASSERT_TRUE(subscriber.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(subscriber.Subscribe(0, "a0 >= 0").ok());
+  Client publisher;
+  ASSERT_TRUE(publisher.Connect("127.0.0.1", server.port()).ok());
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(soak_seconds);
+  uint64_t published = 0;
+  std::set<uint64_t> acked;
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto id = publisher.Publish(
+        Event::Create({{0, static_cast<int64_t>(published)}}).value());
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    acked.insert(*id);
+    ++published;
+  }
+  ASSERT_GT(published, 0u);
+
+  // Stop() drains, so the subscriber's stream is complete: exactly one
+  // MATCH (for sub 0) per ACKed event, nothing lost, nothing duplicated.
+  server.Stop();
+  std::set<uint64_t> matched;
+  for (;;) {
+    auto match = subscriber.PollMatch(/*timeout_ms=*/2000);
+    if (!match.ok() || !match->has_value()) break;
+    EXPECT_EQ((*match)->sub_ids, (std::vector<uint64_t>{0}));
+    EXPECT_TRUE(matched.insert((*match)->event_id).second)
+        << "duplicate MATCH for event " << (*match)->event_id;
+  }
+  EXPECT_EQ(matched, acked);
+  EXPECT_GT(failpoint::Hits("net.reactor.writev.short"), 0u);
+}
+
+}  // namespace
+}  // namespace apcm
